@@ -1,0 +1,123 @@
+//! Criterion micro-benchmarks for the substrate components on the hot
+//! paths of the simulator: oracle window queries, slot enumeration,
+//! fault-aware placement, event-queue churn, the filtering pipeline, and
+//! workload generation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pqos_cluster::node::NodeId;
+use pqos_cluster::partition::Partition;
+use pqos_cluster::topology::Topology;
+use pqos_failures::filter::{filter_events, FilterConfig};
+use pqos_failures::synthetic::{AixLikeTrace, RawLogBuilder};
+use pqos_predict::api::Predictor;
+use pqos_predict::oracle::TraceOracle;
+use pqos_sched::place::{choose_partition, PlacementStrategy};
+use pqos_sched::reservation::ReservationBook;
+use pqos_sim_core::queue::EventQueue;
+use pqos_sim_core::time::{SimDuration, SimTime, TimeWindow};
+use pqos_workload::job::JobId;
+use pqos_workload::synthetic::{LogModel, SyntheticLog};
+use std::sync::Arc;
+
+fn bench_oracle_query(c: &mut Criterion) {
+    let trace = Arc::new(AixLikeTrace::new().days(365.0).seed(1).build());
+    let oracle = TraceOracle::new(trace, 0.7).expect("valid accuracy");
+    let nodes: Vec<NodeId> = (0..32).map(NodeId::new).collect();
+    let window = TimeWindow::new(SimTime::from_secs(1_000_000), SimTime::from_secs(1_050_000));
+    c.bench_function("oracle_partition_query_32_nodes", |b| {
+        b.iter(|| black_box(oracle.failure_probability(black_box(&nodes), black_box(window))))
+    });
+}
+
+fn bench_reservation_slots(c: &mut Criterion) {
+    // A realistically-loaded book: 64 staggered commitments.
+    let mut book = ReservationBook::new(128);
+    for i in 0..64u64 {
+        let first = ((i * 13) % 96) as u32;
+        book.add(
+            JobId::new(i),
+            Partition::contiguous(first, 16),
+            TimeWindow::new(
+                SimTime::from_secs(i * 500),
+                SimTime::from_secs(i * 500 + 8_000),
+            ),
+        )
+        .ok();
+    }
+    c.bench_function("earliest_slots_loaded_book", |b| {
+        b.iter(|| {
+            black_box(book.earliest_slots(32, SimDuration::from_secs(3_600), SimTime::ZERO, &[], 8))
+        })
+    });
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let trace = Arc::new(AixLikeTrace::new().days(365.0).seed(2).build());
+    let oracle = TraceOracle::new(trace, 1.0).expect("valid accuracy");
+    let free: Vec<NodeId> = (0..128).map(NodeId::new).collect();
+    let window = TimeWindow::new(SimTime::from_secs(500_000), SimTime::from_secs(600_000));
+    c.bench_function("choose_partition_min_pf_128_free", |b| {
+        b.iter(|| {
+            black_box(choose_partition(
+                Topology::Flat,
+                black_box(&free),
+                32,
+                window,
+                &oracle,
+                PlacementStrategy::MinFailureProbability,
+            ))
+        })
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.push(SimTime::from_secs((i * 7919) % 100_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_filter_pipeline(c: &mut Criterion) {
+    let raw = RawLogBuilder::new().days(90.0).seed(3).build();
+    c.bench_function("filter_pipeline_90_days", |b| {
+        b.iter(|| {
+            black_box(filter_events(
+                black_box(&raw.events),
+                FilterConfig::default(),
+            ))
+        })
+    });
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    c.bench_function("synthesize_sdsc_10k_jobs", |b| {
+        b.iter(|| {
+            black_box(
+                SyntheticLog::new(LogModel::SdscSp2)
+                    .jobs(10_000)
+                    .seed(4)
+                    .build(),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_oracle_query,
+    bench_reservation_slots,
+    bench_placement,
+    bench_event_queue,
+    bench_filter_pipeline,
+    bench_workload_generation,
+);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Figure-regeneration bench (custom harness): regenerates *every* table
+//! and figure of the paper at reduced workload scale and reports the time
+//! each one took. Run as part of `cargo bench --workspace`; for the full
+//! 10,000-job tables use the `experiments` binary.
+//!
+//! Scale via `PQOS_BENCH_JOBS` (default 1500).
+
+use pqos_bench::experiments::{
+    ablation_checkpoint, ablation_scheduler, accuracy_figure, accuracy_grid, figure8, headline,
+    table1, table2, user_figure, user_grid, Metric, SweepOptions,
+};
+use pqos_bench::scenario::standard_trace;
+use pqos_workload::synthetic::LogModel;
+use std::time::Instant;
+
+fn main() {
+    // Respect `cargo bench -- --test` style invocations gracefully: we
+    // always run the full (reduced-scale) regeneration.
+    let jobs = std::env::var("PQOS_BENCH_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1500);
+    let opts = SweepOptions {
+        jobs,
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+    };
+    println!("regenerating all paper tables/figures at {jobs} jobs per log\n");
+    let trace = standard_trace();
+    let t0 = Instant::now();
+
+    let timed = |name: &str, f: &mut dyn FnMut() -> String| {
+        let start = Instant::now();
+        let out = f();
+        println!("--- {name} ({:.2?}) ---\n{out}", start.elapsed());
+    };
+
+    timed("table1", &mut || table1(&opts).render());
+    timed("table2", &mut || table2().render());
+
+    let sdsc_grid = {
+        let start = Instant::now();
+        let g = accuracy_grid(LogModel::SdscSp2, &opts, &trace);
+        println!("[grid] SDSC (a,U) grid in {:.2?}", start.elapsed());
+        g
+    };
+    let nasa_grid = {
+        let start = Instant::now();
+        let g = accuracy_grid(LogModel::NasaIpsc, &opts, &trace);
+        println!("[grid] NASA (a,U) grid in {:.2?}", start.elapsed());
+        g
+    };
+    timed("fig1 QoS vs a (SDSC)", &mut || {
+        accuracy_figure(&sdsc_grid, Metric::Qos).render()
+    });
+    timed("fig2 QoS vs a (NASA)", &mut || {
+        accuracy_figure(&nasa_grid, Metric::Qos).render()
+    });
+    timed("fig3 util vs a (SDSC)", &mut || {
+        accuracy_figure(&sdsc_grid, Metric::Utilization).render()
+    });
+    timed("fig4 util vs a (NASA)", &mut || {
+        accuracy_figure(&nasa_grid, Metric::Utilization).render()
+    });
+    timed("fig5 lost vs a (SDSC)", &mut || {
+        accuracy_figure(&sdsc_grid, Metric::LostWork).render()
+    });
+    timed("fig6 lost vs a (NASA)", &mut || {
+        accuracy_figure(&nasa_grid, Metric::LostWork).render()
+    });
+
+    let fig7_grid = user_grid(LogModel::SdscSp2, 0.5, &opts, &trace);
+    timed("fig7 QoS vs U at a=0.5 (SDSC)", &mut || {
+        user_figure(&fig7_grid, Metric::Qos).render()
+    });
+
+    let sdsc_u = user_grid(LogModel::SdscSp2, 1.0, &opts, &trace);
+    let nasa_u = user_grid(LogModel::NasaIpsc, 1.0, &opts, &trace);
+    timed("fig8 QoS vs U at a=1", &mut || {
+        figure8(&sdsc_u, &nasa_u).render()
+    });
+    timed("fig9 util vs U (SDSC)", &mut || {
+        user_figure(&sdsc_u, Metric::Utilization).render()
+    });
+    timed("fig10 util vs U (NASA)", &mut || {
+        user_figure(&nasa_u, Metric::Utilization).render()
+    });
+    timed("fig11 lost vs U (SDSC)", &mut || {
+        user_figure(&sdsc_u, Metric::LostWork).render()
+    });
+    timed("fig12 lost vs U (NASA)", &mut || {
+        user_figure(&nasa_u, Metric::LostWork).render()
+    });
+    timed("headline", &mut || headline(&opts, &trace).render());
+    timed("ablation-ckpt", &mut || {
+        ablation_checkpoint(&opts, &trace).render()
+    });
+    timed("ablation-sched", &mut || {
+        ablation_scheduler(&opts, &trace).render()
+    });
+
+    println!("total: {:.2?}", t0.elapsed());
+}

@@ -1,0 +1,342 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```sh
+//! cargo run --release -p pqos-bench --bin experiments -- all
+//! cargo run --release -p pqos-bench --bin experiments -- fig1 fig5 table1
+//! cargo run --release -p pqos-bench --bin experiments -- --jobs 2000 all
+//! ```
+//!
+//! Tables are printed to stdout and mirrored as CSV under `results/`.
+
+use pqos_bench::experiments::{
+    ablation_checkpoint, ablation_diurnal, ablation_interval, ablation_scheduler,
+    ablation_topology, accuracy_figure, accuracy_grid, calibration, figure8, headline,
+    online_predictor, table1, table2, user_figure, user_grid, Metric, SweepOptions,
+};
+use pqos_bench::scenario::standard_trace;
+use pqos_bench::ScenarioResult;
+use pqos_core::config::SimConfig;
+use pqos_core::system::QosSimulator;
+use pqos_core::user::UserStrategy;
+use pqos_failures::trace::FailureTrace;
+use pqos_sim_core::table::{fnum, Table};
+use pqos_workload::synthetic::LogModel;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+struct Harness {
+    opts: SweepOptions,
+    trace: Arc<FailureTrace>,
+    sdsc_accuracy_grid: Option<Vec<ScenarioResult>>,
+    nasa_accuracy_grid: Option<Vec<ScenarioResult>>,
+    sdsc_user_grid_a1: Option<Vec<ScenarioResult>>,
+    nasa_user_grid_a1: Option<Vec<ScenarioResult>>,
+}
+
+impl Harness {
+    fn new(opts: SweepOptions) -> Self {
+        Harness {
+            opts,
+            trace: standard_trace(),
+            sdsc_accuracy_grid: None,
+            nasa_accuracy_grid: None,
+            sdsc_user_grid_a1: None,
+            nasa_user_grid_a1: None,
+        }
+    }
+
+    fn accuracy(&mut self, model: LogModel) -> &[ScenarioResult] {
+        let (slot, name) = match model {
+            LogModel::SdscSp2 => (&mut self.sdsc_accuracy_grid, "SDSC"),
+            LogModel::NasaIpsc => (&mut self.nasa_accuracy_grid, "NASA"),
+        };
+        if slot.is_none() {
+            eprintln!(
+                "[sweep] (a, U) grid for {name} ({} jobs x 33 points)",
+                self.opts.jobs
+            );
+            *slot = Some(accuracy_grid(model, &self.opts, &self.trace));
+        }
+        slot.as_ref().expect("just filled")
+    }
+
+    fn user_a1(&mut self, model: LogModel) -> &[ScenarioResult] {
+        let (slot, name) = match model {
+            LogModel::SdscSp2 => (&mut self.sdsc_user_grid_a1, "SDSC"),
+            LogModel::NasaIpsc => (&mut self.nasa_user_grid_a1, "NASA"),
+        };
+        if slot.is_none() {
+            eprintln!(
+                "[sweep] U grid at a=1 for {name} ({} jobs x 11 points)",
+                self.opts.jobs
+            );
+            *slot = Some(user_grid(model, 1.0, &self.opts, &self.trace));
+        }
+        slot.as_ref().expect("just filled")
+    }
+}
+
+fn emit(id: &str, caption: &str, table: &Table) {
+    println!("== {id}: {caption} ==");
+    println!("{}", table.render());
+    let path = format!("results/{id}.csv");
+    if let Err(e) =
+        std::fs::create_dir_all("results").and_then(|_| std::fs::write(&path, table.to_csv()))
+    {
+        eprintln!("warning: could not write {path}: {e}");
+    }
+}
+
+/// Deadline-slack ablation (ours): how quoted slack compresses the QoS
+/// dynamic range toward the paper's ±6%.
+fn ablation_slack(opts: &SweepOptions, trace: &Arc<FailureTrace>) -> Table {
+    let mut t = Table::new(vec![
+        "slack".into(),
+        "a".into(),
+        "QoS".into(),
+        "misses".into(),
+    ]);
+    let log = pqos_bench::standard_log(LogModel::SdscSp2, opts.jobs);
+    for slack in [0.0, 0.1, 0.25] {
+        for a in [0.0, 1.0] {
+            let config = SimConfig::paper_defaults()
+                .accuracy(a)
+                .user(UserStrategy::risk_threshold(0.5).expect("valid"))
+                .deadline_slack_fraction(slack);
+            let report = QosSimulator::new(config, log.clone(), Arc::clone(trace))
+                .run()
+                .report;
+            t.row(vec![
+                fnum(slack, 2),
+                fnum(a, 1),
+                fnum(report.qos, 4),
+                report.deadline_misses.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+fn main() {
+    let mut jobs = 10_000usize;
+    let mut threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut requested: BTreeSet<String> = BTreeSet::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--jobs needs a number"));
+            }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--threads needs a number"));
+            }
+            "--help" | "-h" => {
+                usage();
+                return;
+            }
+            other => {
+                requested.insert(other.to_string());
+            }
+        }
+    }
+    if requested.is_empty() {
+        usage();
+        return;
+    }
+    let all = requested.contains("all");
+    let want = |id: &str| all || requested.contains(id);
+
+    let opts = SweepOptions { jobs, threads };
+    let mut h = Harness::new(opts);
+
+    if want("table1") {
+        emit("table1", "job log characteristics", &table1(&opts));
+    }
+    if want("table2") {
+        emit("table2", "simulation parameters", &table2());
+    }
+    let figs: [(&str, LogModel, Metric, &str); 6] = [
+        (
+            "fig1",
+            LogModel::SdscSp2,
+            Metric::Qos,
+            "QoS vs accuracy, SDSC",
+        ),
+        (
+            "fig2",
+            LogModel::NasaIpsc,
+            Metric::Qos,
+            "QoS vs accuracy, NASA",
+        ),
+        (
+            "fig3",
+            LogModel::SdscSp2,
+            Metric::Utilization,
+            "utilization vs accuracy, SDSC",
+        ),
+        (
+            "fig4",
+            LogModel::NasaIpsc,
+            Metric::Utilization,
+            "utilization vs accuracy, NASA",
+        ),
+        (
+            "fig5",
+            LogModel::SdscSp2,
+            Metric::LostWork,
+            "lost work vs accuracy, SDSC",
+        ),
+        (
+            "fig6",
+            LogModel::NasaIpsc,
+            Metric::LostWork,
+            "lost work vs accuracy, NASA",
+        ),
+    ];
+    for (id, model, metric, caption) in figs {
+        if want(id) {
+            let grid = h.accuracy(model).to_vec();
+            emit(id, caption, &accuracy_figure(&grid, metric));
+        }
+    }
+    if want("fig7") {
+        eprintln!("[sweep] U grid at a=0.5 for SDSC");
+        let grid = user_grid(LogModel::SdscSp2, 0.5, &opts, &h.trace);
+        emit(
+            "fig7",
+            "QoS vs user behavior, SDSC, a=0.5 (insensitivity knee)",
+            &user_figure(&grid, Metric::Qos),
+        );
+    }
+    if want("fig8") {
+        let sdsc = h.user_a1(LogModel::SdscSp2).to_vec();
+        let nasa = h.user_a1(LogModel::NasaIpsc).to_vec();
+        emit("fig8", "QoS vs user behavior, a=1", &figure8(&sdsc, &nasa));
+    }
+    let ufigs: [(&str, LogModel, Metric, &str); 4] = [
+        (
+            "fig9",
+            LogModel::SdscSp2,
+            Metric::Utilization,
+            "utilization vs U, SDSC, a=1",
+        ),
+        (
+            "fig10",
+            LogModel::NasaIpsc,
+            Metric::Utilization,
+            "utilization vs U, NASA, a=1",
+        ),
+        (
+            "fig11",
+            LogModel::SdscSp2,
+            Metric::LostWork,
+            "lost work vs U, SDSC, a=1",
+        ),
+        (
+            "fig12",
+            LogModel::NasaIpsc,
+            Metric::LostWork,
+            "lost work vs U, NASA, a=1",
+        ),
+    ];
+    for (id, model, metric, caption) in ufigs {
+        if want(id) {
+            let grid = h.user_a1(model).to_vec();
+            emit(id, caption, &user_figure(&grid, metric));
+        }
+    }
+    if want("headline") {
+        eprintln!("[sweep] headline comparison");
+        emit(
+            "headline",
+            "no-prediction baseline vs perfect prediction",
+            &headline(&opts, &h.trace),
+        );
+    }
+    if want("ablation-ckpt") {
+        eprintln!("[sweep] checkpoint-policy ablation");
+        emit(
+            "ablation-ckpt",
+            "checkpoint policy ablation, SDSC, U=0.5",
+            &ablation_checkpoint(&opts, &h.trace),
+        );
+    }
+    if want("ablation-sched") {
+        eprintln!("[sweep] scheduler ablation");
+        emit(
+            "ablation-sched",
+            "fault-aware vs first-fit placement, SDSC, a=1",
+            &ablation_scheduler(&opts, &h.trace),
+        );
+    }
+    if want("calibration") {
+        eprintln!("[sweep] promise calibration");
+        emit(
+            "calibration",
+            "promised vs realized success, SDSC, a=0.7, U=0.1",
+            &calibration(&opts, &h.trace),
+        );
+    }
+    if want("ablation-interval") {
+        eprintln!("[sweep] checkpoint-interval ablation");
+        emit(
+            "ablation-interval",
+            "checkpoint interval sweep incl. Young's optimum, SDSC, a=0, periodic",
+            &ablation_interval(&opts, &h.trace),
+        );
+    }
+    if want("ablation-topology") {
+        eprintln!("[sweep] topology ablation");
+        emit(
+            "ablation-topology",
+            "flat vs contiguous (line) allocation, SDSC",
+            &ablation_topology(&opts, &h.trace),
+        );
+    }
+    if want("ablation-diurnal") {
+        eprintln!("[sweep] diurnal-arrival ablation");
+        emit(
+            "ablation-diurnal",
+            "poisson vs diurnal arrivals, SDSC",
+            &ablation_diurnal(&opts, &h.trace),
+        );
+    }
+    if want("online-predictor") {
+        eprintln!("[sweep] online-predictor end-to-end");
+        emit(
+            "online-predictor",
+            "practical rate predictor vs oracle, SDSC, U=0.5",
+            &online_predictor(&opts, &h.trace),
+        );
+    }
+    if want("ablation-slack") {
+        eprintln!("[sweep] deadline-slack ablation");
+        emit(
+            "ablation-slack",
+            "quoted deadline slack vs QoS range, SDSC, U=0.5",
+            &ablation_slack(&opts, &h.trace),
+        );
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: experiments [--jobs N] [--threads K] <ids...>\n\
+         ids: all table1 table2 fig1..fig12 headline ablation-ckpt ablation-sched\n\
+              ablation-slack ablation-interval ablation-topology ablation-diurnal\n\
+              online-predictor calibration"
+    );
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,37 @@
+//! # pqos-cluster
+//!
+//! Machine model for the DSN 2005 *Probabilistic QoS Guarantees* reproduction:
+//! a fixed population of homogeneous nodes (128 in the paper's experiments)
+//! that may fail independently and recover after a fixed downtime.
+//!
+//! * [`node`] — [`node::NodeId`] and up/down [`node::NodeState`];
+//! * [`partition`] — sorted node sets, the unit of allocation;
+//! * [`topology`] — allocation constraints and candidate-partition
+//!   enumeration for flat (all-to-all), contiguous (line), and 3-D torus
+//!   (sub-box) machines;
+//! * [`machine`] — the [`machine::Cluster`] with exclusive occupancy.
+//!
+//! # Examples
+//!
+//! ```
+//! use pqos_cluster::machine::Cluster;
+//! use pqos_cluster::topology::Topology;
+//!
+//! let cluster = Cluster::new(128);
+//! let free = cluster.free_nodes();
+//! let candidates = Topology::Flat.candidate_partitions(&free, 32);
+//! assert_eq!(candidates.len(), 128 - 32 + 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod machine;
+pub mod node;
+pub mod partition;
+pub mod topology;
+
+pub use machine::Cluster;
+pub use node::{NodeId, NodeState};
+pub use partition::Partition;
+pub use topology::Topology;

@@ -1,0 +1,117 @@
+//! Node identity and availability state.
+
+use pqos_sim_core::time::SimTime;
+use std::fmt;
+
+/// Identifier of a node in the cluster, densely numbered from zero.
+///
+/// # Examples
+///
+/// ```
+/// use pqos_cluster::node::NodeId;
+///
+/// let n = NodeId::new(5);
+/// assert_eq!(n.index(), 5);
+/// assert_eq!(n.to_string(), "n5");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a dense index.
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The dense index of this node.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw numeric value.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Availability of a single node.
+///
+/// The paper's failure model (§4.4) keeps a failed node down for a fixed
+/// restart time (120 s for a BlueGene/L node), after which it recovers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NodeState {
+    /// The node is operational.
+    #[default]
+    Up,
+    /// The node is down and will recover at the given instant.
+    Down {
+        /// Instant at which the node becomes available again.
+        until: SimTime,
+    },
+}
+
+impl NodeState {
+    /// Whether the node is operational.
+    pub fn is_up(self) -> bool {
+        matches!(self, NodeState::Up)
+    }
+}
+
+impl fmt::Display for NodeState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeState::Up => write!(f, "up"),
+            NodeState::Down { until } => write!(f, "down(until {until})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trips() {
+        let n = NodeId::new(17);
+        assert_eq!(n.index(), 17);
+        assert_eq!(n.as_u32(), 17);
+        assert_eq!(NodeId::from(17u32), n);
+    }
+
+    #[test]
+    fn node_ids_order_by_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+    }
+
+    #[test]
+    fn state_predicates() {
+        assert!(NodeState::Up.is_up());
+        assert!(!NodeState::Down {
+            until: SimTime::from_secs(10)
+        }
+        .is_up());
+        assert_eq!(NodeState::default(), NodeState::Up);
+    }
+
+    #[test]
+    fn state_display() {
+        assert_eq!(NodeState::Up.to_string(), "up");
+        assert!(NodeState::Down {
+            until: SimTime::from_secs(9)
+        }
+        .to_string()
+        .contains("9"));
+    }
+}

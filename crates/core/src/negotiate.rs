@@ -1,0 +1,545 @@
+//! Deadline negotiation: the paper's "unique dialog between the system and
+//! the user" (§3.5).
+//!
+//! For a job of a given size and (checkpointed) duration, the system quotes
+//! successive `(deadline, probability-of-success)` pairs in increasing
+//! deadline order; the simulated user accepts the earliest quote whose
+//! promised success probability meets their risk threshold `U` (Eq. 3), and
+//! otherwise takes the earliest quote within a small tolerance of the best
+//! promise seen — "a deadline may be pushed arbitrarily far into the
+//! future, but no further than necessary".
+//!
+//! Candidate deadlines come from the reservation book's placement slots;
+//! when the book runs out (the machine is idle past its last commitment)
+//! the search keeps probing forward in fixed steps, because an idle machine
+//! can still carry predicted failures worth dodging.
+
+use crate::user::UserStrategy;
+use pqos_cluster::node::NodeId;
+use pqos_cluster::partition::Partition;
+use pqos_cluster::topology::Topology;
+use pqos_predict::api::Predictor;
+use pqos_sched::place::{choose_partition, PlacementStrategy};
+use pqos_sched::reservation::ReservationBook;
+use pqos_sim_core::time::{SimDuration, SimTime, TimeWindow};
+use std::fmt;
+
+/// One quoted offer: start the job at `start` on `partition`, finishing by
+/// `deadline`, with the given predicted failure probability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quote {
+    /// Proposed start time.
+    pub start: SimTime,
+    /// Proposed deadline (`start` plus the checkpointed execution time).
+    pub deadline: SimTime,
+    /// Proposed partition.
+    pub partition: Partition,
+    /// Predicted probability the partition fails during the run (`pf`).
+    pub failure_probability: f64,
+}
+
+impl Quote {
+    /// The promised probability of success, `pj = 1 − pf`.
+    pub fn promised_success(&self) -> f64 {
+        1.0 - self.failure_probability
+    }
+}
+
+impl fmt::Display for Quote {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "start {} deadline {} p={:.3}",
+            self.start,
+            self.deadline,
+            self.promised_success()
+        )
+    }
+}
+
+/// Result of a negotiation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NegotiationOutcome {
+    /// The accepted quote.
+    pub accepted: Quote,
+    /// How many quotes were examined (≥ 1).
+    pub quotes_examined: usize,
+    /// Whether the accepted quote met the user's threshold (`false` means
+    /// the user took the best available after exhausting the search).
+    pub satisfied_threshold: bool,
+}
+
+/// Negotiation inputs that do not vary per quote.
+#[derive(Debug, Clone, Copy)]
+pub struct NegotiationRequest<'a> {
+    /// Job size in nodes.
+    pub size: u32,
+    /// Checkpointed execution time `Ej` used for the reservation length.
+    pub duration: SimDuration,
+    /// Current simulation time (quotes start at or after this).
+    pub now: SimTime,
+    /// Nodes currently down.
+    pub down: &'a [NodeId],
+    /// Instant by which every down node has recovered; used to retry when
+    /// exclusions make the job temporarily unplaceable.
+    pub recovery_horizon: SimTime,
+    /// How far before a candidate start a failure still threatens the
+    /// deadline: a node that fails within this span of the start is mid-
+    /// restart at the start instant, delaying the job. Set to the node
+    /// downtime; the quoted `pf` window is extended backwards by this much.
+    pub pre_start_risk: SimDuration,
+}
+
+/// Runs the negotiation.
+///
+/// Returns `None` only when the job can never fit (`size` exceeds the
+/// cluster size).
+///
+/// # Examples
+///
+/// ```
+/// use pqos_cluster::topology::Topology;
+/// use pqos_core::negotiate::{negotiate, NegotiationRequest};
+/// use pqos_core::user::UserStrategy;
+/// use pqos_predict::api::NullPredictor;
+/// use pqos_sched::place::PlacementStrategy;
+/// use pqos_sched::reservation::ReservationBook;
+/// use pqos_sim_core::time::{SimDuration, SimTime};
+///
+/// let book = ReservationBook::new(16);
+/// let outcome = negotiate(
+///     &book,
+///     Topology::Flat,
+///     PlacementStrategy::MinFailureProbability,
+///     &NullPredictor,
+///     NegotiationRequest {
+///         size: 4,
+///         duration: SimDuration::from_secs(100),
+///         now: SimTime::ZERO,
+///         down: &[],
+///         recovery_horizon: SimTime::ZERO,
+///         pre_start_risk: SimDuration::from_secs(120),
+///     },
+///     &UserStrategy::AlwaysEarliest,
+///     8,
+///     8,
+/// )
+/// .unwrap();
+/// assert_eq!(outcome.accepted.start, SimTime::ZERO);
+/// assert_eq!(outcome.accepted.deadline, SimTime::from_secs(100));
+/// assert!(outcome.satisfied_threshold);
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn negotiate<P: Predictor>(
+    book: &ReservationBook,
+    topology: Topology,
+    placement: PlacementStrategy,
+    predictor: &P,
+    request: NegotiationRequest<'_>,
+    user: &UserStrategy,
+    max_slots: usize,
+    max_probe_steps: usize,
+) -> Option<NegotiationOutcome> {
+    if request.size == 0 || request.size > book.cluster_size() {
+        return None;
+    }
+    let mut slots = book.earliest_slots(
+        request.size,
+        request.duration,
+        request.now,
+        request.down,
+        max_slots.max(1),
+    );
+    if slots.is_empty() {
+        // Down nodes blocked every slot; by the recovery horizon they are
+        // back. The machine past its last commitment is otherwise free.
+        let from = request.recovery_horizon.max(request.now);
+        slots = book.earliest_slots(request.size, request.duration, from, &[], max_slots.max(1));
+    }
+
+    // When no quote satisfies the user, the fallback is the *earliest*
+    // quote whose promise is within this tolerance of the best promise
+    // seen — extending a deadline for a marginal probability gain is not
+    // "necessary" in the Eq. 3 sense. Without the tolerance, a predictor
+    // with small per-partition variations (e.g. a rate model) would push
+    // jobs arbitrarily far into the future chasing 0.1% improvements.
+    const PROMISE_TOLERANCE: f64 = 0.01;
+
+    let mut examined = 0usize;
+    let mut rejected: Vec<Quote> = Vec::new();
+    let mut consider = |quote: Quote, examined: &mut usize| -> Option<Quote> {
+        *examined += 1;
+        if user.accepts(quote.promised_success()) {
+            return Some(quote);
+        }
+        rejected.push(quote);
+        None
+    };
+
+    let risk_window = |start: SimTime| {
+        TimeWindow::new(
+            start.saturating_sub(request.pre_start_risk),
+            start.saturating_add(request.duration),
+        )
+    };
+    for slot in &slots {
+        let window = TimeWindow::starting_at(slot.start, request.duration);
+        let Some(choice) = choose_partition(
+            topology,
+            &slot.free,
+            request.size,
+            risk_window(slot.start),
+            predictor,
+            placement,
+        ) else {
+            continue;
+        };
+        let quote = Quote {
+            start: slot.start,
+            deadline: window.end(),
+            partition: choice.partition,
+            failure_probability: choice.failure_probability,
+        };
+        if let Some(accepted) = consider(quote, &mut examined) {
+            return Some(NegotiationOutcome {
+                accepted,
+                quotes_examined: examined,
+                satisfied_threshold: true,
+            });
+        }
+    }
+
+    // Probe past the book: step the start forward by the job duration from
+    // the latest slot examined (or from `now` if the book was empty).
+    let probe_base = slots.last().map(|s| s.start).unwrap_or(request.now);
+    let step = request.duration.max(SimDuration::from_secs(1));
+    for k in 1..=max_probe_steps {
+        let start = probe_base.saturating_add(step.saturating_mul(k as u64));
+        let window = TimeWindow::starting_at(start, request.duration);
+        let free = book.free_nodes_during(window, request.down);
+        let Some(choice) = choose_partition(
+            topology,
+            &free,
+            request.size,
+            risk_window(start),
+            predictor,
+            placement,
+        ) else {
+            continue;
+        };
+        let quote = Quote {
+            start,
+            deadline: window.end(),
+            partition: choice.partition,
+            failure_probability: choice.failure_probability,
+        };
+        if let Some(accepted) = consider(quote, &mut examined) {
+            return Some(NegotiationOutcome {
+                accepted,
+                quotes_examined: examined,
+                satisfied_threshold: true,
+            });
+        }
+    }
+
+    // Guaranteed fallback: at the end of the book (past every commitment
+    // and past the recovery horizon) the machine is idle and fully up, so
+    // any job that fits the cluster places — even under contiguous-only
+    // topologies where fragmented slots and probes can all fail.
+    if examined == 0 {
+        let book_end = book
+            .change_points(request.now)
+            .last()
+            .copied()
+            .unwrap_or(request.now);
+        let start = book_end.max(request.recovery_horizon).max(request.now);
+        let window = TimeWindow::starting_at(start, request.duration);
+        let free = book.free_nodes_during(window, &[]);
+        let choice = choose_partition(
+            topology,
+            &free,
+            request.size,
+            risk_window(start),
+            predictor,
+            placement,
+        )?;
+        let quote = Quote {
+            start,
+            deadline: window.end(),
+            partition: choice.partition,
+            failure_probability: choice.failure_probability,
+        };
+        if let Some(accepted) = consider(quote, &mut examined) {
+            return Some(NegotiationOutcome {
+                accepted,
+                quotes_examined: examined,
+                satisfied_threshold: true,
+            });
+        }
+    }
+
+    let best_promise = rejected
+        .iter()
+        .map(Quote::promised_success)
+        .fold(f64::NEG_INFINITY, f64::max);
+    // Quotes were pushed in increasing-start order, so the first within
+    // tolerance is the earliest acceptable compromise.
+    let chosen = rejected
+        .into_iter()
+        .find(|q| q.promised_success() >= best_promise - PROMISE_TOLERANCE)?;
+    Some(NegotiationOutcome {
+        accepted: chosen,
+        quotes_examined: examined,
+        satisfied_threshold: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqos_failures::trace::{Failure, FailureTrace};
+    use pqos_predict::api::NullPredictor;
+    use pqos_predict::oracle::TraceOracle;
+    use pqos_workload::job::JobId;
+    use std::sync::Arc;
+
+    fn oracle(failures: &[(u64, u32, f64)], a: f64) -> TraceOracle {
+        let trace = FailureTrace::new(
+            failures
+                .iter()
+                .map(|&(t, n, px)| Failure {
+                    time: SimTime::from_secs(t),
+                    node: NodeId::new(n),
+                    detectability: px,
+                })
+                .collect(),
+        )
+        .unwrap();
+        TraceOracle::new(Arc::new(trace), a).unwrap()
+    }
+
+    fn request(size: u32, duration: u64) -> NegotiationRequest<'static> {
+        NegotiationRequest {
+            size,
+            duration: SimDuration::from_secs(duration),
+            now: SimTime::ZERO,
+            down: &[],
+            recovery_horizon: SimTime::ZERO,
+            pre_start_risk: SimDuration::from_secs(120),
+        }
+    }
+
+    fn run<P: Predictor>(
+        book: &ReservationBook,
+        predictor: &P,
+        req: NegotiationRequest<'_>,
+        user: &UserStrategy,
+    ) -> Option<NegotiationOutcome> {
+        negotiate(
+            book,
+            Topology::Flat,
+            PlacementStrategy::MinFailureProbability,
+            predictor,
+            req,
+            user,
+            16,
+            16,
+        )
+    }
+
+    #[test]
+    fn earliest_user_takes_first_quote() {
+        let book = ReservationBook::new(8);
+        let o = run(
+            &book,
+            &NullPredictor,
+            request(4, 100),
+            &UserStrategy::AlwaysEarliest,
+        )
+        .unwrap();
+        assert_eq!(o.accepted.start, SimTime::ZERO);
+        assert_eq!(o.quotes_examined, 1);
+        assert!(o.satisfied_threshold);
+    }
+
+    #[test]
+    fn oversized_job_is_rejected() {
+        let book = ReservationBook::new(8);
+        assert!(run(
+            &book,
+            &NullPredictor,
+            request(9, 100),
+            &UserStrategy::AlwaysEarliest
+        )
+        .is_none());
+        assert!(run(
+            &book,
+            &NullPredictor,
+            request(0, 100),
+            &UserStrategy::AlwaysEarliest
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn cautious_user_extends_past_predicted_failure() {
+        // All 2 nodes carry a detectable failure at t=50; a cautious user
+        // delays until the window clears.
+        let o = oracle(&[(50, 0, 0.4), (50, 1, 0.4)], 1.0);
+        let book = ReservationBook::new(2);
+        let user = UserStrategy::risk_threshold(0.9).unwrap();
+        let outcome = run(&book, &o, request(2, 100), &user).unwrap();
+        assert!(outcome.satisfied_threshold);
+        // The window [start, start+100) must exclude the failure at t=50.
+        assert!(outcome.accepted.start > SimTime::from_secs(50));
+        assert_eq!(outcome.accepted.failure_probability, 0.0);
+        assert!(outcome.quotes_examined > 1);
+    }
+
+    #[test]
+    fn bold_user_takes_risky_first_slot() {
+        let o = oracle(&[(50, 0, 0.4), (50, 1, 0.4)], 1.0);
+        let book = ReservationBook::new(2);
+        let outcome = run(&book, &o, request(2, 100), &UserStrategy::AlwaysEarliest).unwrap();
+        assert_eq!(outcome.accepted.start, SimTime::ZERO);
+        assert_eq!(outcome.accepted.failure_probability, 0.4);
+        assert!((outcome.accepted.promised_success() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn falls_back_to_best_quote_when_unsatisfiable() {
+        // Node 0 (the only node) fails detectably every 10 s forever within
+        // the search horizon; U = 1 cannot be met.
+        let failures: Vec<(u64, u32, f64)> = (0..100_000)
+            .step_by(10)
+            .map(|t| (t as u64, 0, 0.5))
+            .collect();
+        let o = oracle(&failures, 1.0);
+        let book = ReservationBook::new(1);
+        let user = UserStrategy::risk_threshold(1.0).unwrap();
+        let outcome = run(&book, &o, request(1, 100), &user).unwrap();
+        assert!(!outcome.satisfied_threshold);
+        assert_eq!(outcome.accepted.failure_probability, 0.5);
+    }
+
+    #[test]
+    fn waits_for_reservations_when_machine_full() {
+        let mut book = ReservationBook::new(4);
+        book.add(
+            JobId::new(1),
+            Partition::contiguous(0, 4),
+            TimeWindow::new(SimTime::ZERO, SimTime::from_secs(500)),
+        )
+        .unwrap();
+        let o = run(
+            &book,
+            &NullPredictor,
+            request(3, 100),
+            &UserStrategy::AlwaysEarliest,
+        )
+        .unwrap();
+        assert_eq!(o.accepted.start, SimTime::from_secs(500));
+        assert_eq!(o.accepted.deadline, SimTime::from_secs(600));
+    }
+
+    #[test]
+    fn down_nodes_trigger_recovery_retry() {
+        // 2-node cluster, both down; recovery at t=120.
+        let book = ReservationBook::new(2);
+        let down = [NodeId::new(0), NodeId::new(1)];
+        let req = NegotiationRequest {
+            size: 2,
+            duration: SimDuration::from_secs(100),
+            now: SimTime::ZERO,
+            down: &down,
+            recovery_horizon: SimTime::from_secs(120),
+            pre_start_risk: SimDuration::from_secs(120),
+        };
+        let o = negotiate(
+            &book,
+            Topology::Flat,
+            PlacementStrategy::MinFailureProbability,
+            &NullPredictor,
+            req,
+            &UserStrategy::AlwaysEarliest,
+            4,
+            4,
+        )
+        .unwrap();
+        assert_eq!(o.accepted.start, SimTime::from_secs(120));
+    }
+
+    #[test]
+    fn line_topology_always_places_via_fallback() {
+        // Two staggered long reservations fragment the 4-node line machine
+        // so no contiguous 3-node run exists in any early slot or probe;
+        // the fallback at the end of the book must still place the job.
+        let mut book = ReservationBook::new(4);
+        book.add(
+            JobId::new(1),
+            Partition::new([NodeId::new(1)]).unwrap(),
+            TimeWindow::new(SimTime::ZERO, SimTime::from_secs(1_000_000)),
+        )
+        .unwrap();
+        let outcome = negotiate(
+            &book,
+            Topology::Line,
+            PlacementStrategy::MinFailureProbability,
+            &NullPredictor,
+            request(3, 100),
+            &UserStrategy::AlwaysEarliest,
+            4,
+            4,
+        )
+        .unwrap();
+        // Free nodes before t=1e6 are {0, 2, 3}: no contiguous triple.
+        assert_eq!(outcome.accepted.start, SimTime::from_secs(1_000_000));
+        assert_eq!(outcome.accepted.partition.len(), 3);
+    }
+
+    #[test]
+    fn fallback_prefers_earliest_among_near_equal_quotes() {
+        // Single node, a detectable px=0.5 failure in every examined
+        // window: U=1 is unsatisfiable and all promises tie, so the user
+        // takes the earliest quote rather than procrastinating.
+        let failures: Vec<(u64, u32, f64)> = (0..200).map(|k| (50 + 100 * k, 0, 0.5)).collect();
+        let o = oracle(&failures, 1.0);
+        let book = ReservationBook::new(1);
+        let user = UserStrategy::risk_threshold(1.0).unwrap();
+        let outcome = run(&book, &o, request(1, 100), &user).unwrap();
+        assert!(!outcome.satisfied_threshold);
+        assert_eq!(outcome.accepted.start, SimTime::ZERO);
+        assert_eq!(outcome.accepted.failure_probability, 0.5);
+    }
+
+    #[test]
+    fn fallback_extends_for_substantially_better_quotes() {
+        // Same setup, but the window starting at t=500 carries a much less
+        // likely failure (px=0.2): worth waiting for.
+        let failures: Vec<(u64, u32, f64)> = (0..200)
+            .map(|k| (50 + 100 * k, 0, if k == 5 { 0.2 } else { 0.5 }))
+            .collect();
+        let o = oracle(&failures, 1.0);
+        let book = ReservationBook::new(1);
+        let user = UserStrategy::risk_threshold(1.0).unwrap();
+        let outcome = run(&book, &o, request(1, 100), &user).unwrap();
+        assert!(!outcome.satisfied_threshold);
+        // The quoted risk window extends 120 s before the start, so the
+        // first start whose window sees the px=0.2 failure (at t=550)
+        // first — and not the px=0.5 one at t=450 — is t=600.
+        assert_eq!(outcome.accepted.start, SimTime::from_secs(600));
+        assert_eq!(outcome.accepted.failure_probability, 0.2);
+    }
+
+    #[test]
+    fn promised_success_complements_pf() {
+        let q = Quote {
+            start: SimTime::ZERO,
+            deadline: SimTime::from_secs(10),
+            partition: Partition::contiguous(0, 1),
+            failure_probability: 0.25,
+        };
+        assert!((q.promised_success() - 0.75).abs() < 1e-12);
+        assert!(!q.to_string().is_empty());
+    }
+}

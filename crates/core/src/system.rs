@@ -1,0 +1,1013 @@
+//! The trace-driven simulator: the paper's seven event types (§4.1) wired
+//! to the negotiation layer, the fault-aware scheduler, and cooperative
+//! checkpointing.
+//!
+//! Event semantics follow §3.3–3.4:
+//!
+//! * every job receives a `(partition, interval)` commitment at submission
+//!   (conservative backfilling) and *retains* it — there is no migration
+//!   and no re-optimization of other jobs when something fails;
+//! * a failed node takes any job running on it down with it; the job rolls
+//!   back to the start of its last completed checkpoint and returns to the
+//!   scheduler, which re-commits it to the earliest feasible slot (its
+//!   negotiated deadline and promise are unchanged);
+//! * failed nodes recover after the configured downtime;
+//! * checkpoint requests fire after every interval `I` of useful progress
+//!   and are granted or denied by the configured policy, with the
+//!   deadline-aware override of §3.4.
+
+use crate::config::SimConfig;
+use crate::metrics::{JobOutcome, LostWorkEvent, MetricsCollector, SimReport};
+use crate::negotiate::{negotiate, NegotiationRequest};
+use crate::user::UserStrategy;
+use pqos_ckpt::model::planned_execution;
+use pqos_ckpt::policy::{
+    CheckpointContext, CheckpointDecision, CheckpointPolicy, DeadlinePressure,
+};
+use pqos_cluster::machine::Cluster;
+use pqos_cluster::node::NodeId;
+use pqos_cluster::partition::Partition;
+use pqos_failures::trace::FailureTrace;
+use pqos_predict::api::Predictor;
+use pqos_predict::oracle::TraceOracle;
+use pqos_sched::reservation::{ReservationBook, ReservationId};
+use pqos_sim_core::queue::EventQueue;
+use pqos_sim_core::time::{SimDuration, SimTime, TimeWindow};
+use pqos_workload::job::{Job, JobId};
+use pqos_workload::log::JobLog;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Retry delay when a job's committed nodes are transiently unavailable at
+/// its start instant (e.g. still claimed by a late predecessor).
+const START_RETRY: SimDuration = SimDuration::from_secs(10);
+
+/// Same-time event ordering. Occupancy windows are end-exclusive — a job
+/// scheduled over `[s, f)` is *gone* at instant `f` — so a finish at `t`
+/// precedes a failure at `t` (otherwise a failure could kill a job whose
+/// quoted, end-exclusive risk window honestly excluded it). Failures then
+/// strike before any same-instant checkpoint completion ("the failure may
+/// occur before the completion of checkpoint i", §3.4), releases precede
+/// recoveries and arrivals, and starts claim nodes last.
+fn priority(event: &Event) -> u8 {
+    match event {
+        Event::Finish { .. } => 0,
+        Event::NodeFailure { .. } => 1,
+        Event::CheckpointFinish { .. } => 2,
+        Event::NodeRecovery { .. } => 3,
+        Event::Arrival(_) => 4,
+        Event::CheckpointRequest { .. } => 5,
+        Event::Start { .. } => 6,
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Debug)]
+pub struct SimOutput {
+    /// Aggregated metrics.
+    pub report: SimReport,
+    /// Per-job outcomes and lost-work events.
+    pub collector: MetricsCollector,
+    /// Jobs that could never fit on the cluster (size > N) and were
+    /// rejected at submission.
+    pub rejected: Vec<JobId>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    Arrival(JobId),
+    Start { job: JobId, epoch: u32 },
+    CheckpointRequest { job: JobId, epoch: u32 },
+    CheckpointFinish { job: JobId, epoch: u32 },
+    Finish { job: JobId, epoch: u32 },
+    NodeFailure { index: usize },
+    NodeRecovery { node: NodeId },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Pending,
+    Running,
+    Checkpointing,
+    Done,
+}
+
+#[derive(Debug)]
+struct JobState {
+    job: Job,
+    promised: f64,
+    deadline: SimTime,
+    satisfied_threshold: bool,
+    epoch: u32,
+    phase: Phase,
+    reservation: Option<ReservationId>,
+    partition: Option<Partition>,
+    /// Useful work completed, updated at segment boundaries.
+    done: SimDuration,
+    /// Work protected by completed checkpoints.
+    durable: SimDuration,
+    /// Start of the current attempt.
+    attempt_start: SimTime,
+    /// Start of the current compute segment (or of the in-flight
+    /// checkpoint while `phase == Checkpointing`).
+    segment_start: SimTime,
+    /// `cjx`: start time of the last completed checkpoint in this attempt,
+    /// else the attempt start.
+    rollback_anchor: SimTime,
+    skipped_since_last: u64,
+    failures: u32,
+    ckpt_performed: u32,
+    ckpt_skipped: u32,
+}
+
+/// The full probabilistic-QoS system simulator.
+///
+/// # Examples
+///
+/// ```
+/// use pqos_core::config::SimConfig;
+/// use pqos_core::system::QosSimulator;
+/// use pqos_core::user::UserStrategy;
+/// use pqos_failures::synthetic::AixLikeTrace;
+/// use pqos_workload::synthetic::{LogModel, SyntheticLog};
+/// use std::sync::Arc;
+///
+/// let log = SyntheticLog::new(LogModel::NasaIpsc).jobs(100).seed(1).build();
+/// let trace = Arc::new(AixLikeTrace::new().days(30.0).seed(1).build());
+/// let config = SimConfig::paper_defaults()
+///     .accuracy(1.0)
+///     .user(UserStrategy::risk_threshold(0.9).unwrap());
+/// let output = QosSimulator::new(config, log, trace).run();
+/// assert_eq!(output.report.jobs + output.rejected.len(), 100);
+/// assert!(output.report.qos > 0.0);
+/// ```
+pub struct QosSimulator {
+    config: SimConfig,
+    jobs: HashMap<JobId, JobState>,
+    arrival_order: Vec<Job>,
+    trace: Arc<FailureTrace>,
+    predictor: Arc<dyn Predictor + Send + Sync>,
+    /// Historical per-node failure rate (failures per node-second),
+    /// estimated from the trace; feeds the base-rate checkpoint prior.
+    baseline_node_rate: f64,
+    policy: Box<dyn CheckpointPolicy>,
+    cluster: Cluster,
+    book: ReservationBook,
+    events: EventQueue<Event>,
+    node_owner: Vec<Option<JobId>>,
+    down_until: Vec<SimTime>,
+    metrics: MetricsCollector,
+    rejected: Vec<JobId>,
+    failure_hook: Option<Box<dyn FnMut(NodeId, SimTime) + Send>>,
+}
+
+impl std::fmt::Debug for QosSimulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QosSimulator")
+            .field("config", &self.config)
+            .field("jobs", &self.jobs.len())
+            .field("policy", &self.policy.name())
+            .field("pending_events", &self.events.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl QosSimulator {
+    /// Builds a simulator over a job log and failure trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured accuracy is outside `[0, 1]` (prevented by
+    /// [`SimConfig::accuracy`]).
+    pub fn new(config: SimConfig, log: JobLog, trace: Arc<FailureTrace>) -> Self {
+        let oracle = TraceOracle::new(Arc::clone(&trace), config.accuracy)
+            .expect("SimConfig validated accuracy");
+        Self::with_predictor(config, log, trace, Arc::new(oracle))
+    }
+
+    /// Builds a simulator that consults an arbitrary predictor instead of
+    /// the trace oracle — e.g. one of the online models from
+    /// `pqos_predict::online`, or [`pqos_predict::api::NullPredictor`].
+    ///
+    /// The failure trace is still replayed as ground truth; only the
+    /// *forecasts* change. `config.accuracy` is ignored in this mode.
+    pub fn with_predictor(
+        config: SimConfig,
+        log: JobLog,
+        trace: Arc<FailureTrace>,
+        predictor: Arc<dyn Predictor + Send + Sync>,
+    ) -> Self {
+        let policy = config.checkpoint_policy.build();
+        let cluster = Cluster::with_topology(config.cluster_size, config.topology);
+        let book = ReservationBook::new(config.cluster_size);
+        let n = config.cluster_size as usize;
+        let stats = trace.stats();
+        let baseline_node_rate = if stats.span.is_zero() {
+            0.0
+        } else {
+            stats.count as f64 / (stats.span.as_secs() as f64 * f64::from(config.cluster_size))
+        };
+        QosSimulator {
+            arrival_order: log.jobs().to_vec(),
+            jobs: HashMap::new(),
+            trace,
+            predictor,
+            baseline_node_rate,
+            policy,
+            cluster,
+            book,
+            events: EventQueue::new(),
+            node_owner: vec![None; n],
+            down_until: vec![SimTime::ZERO; n],
+            metrics: MetricsCollector::new(),
+            rejected: Vec::new(),
+            failure_hook: None,
+            config,
+        }
+    }
+
+    /// Installs a hook invoked at every replayed node failure (whether or
+    /// not a job was hit), before the scheduler reacts. Used to feed
+    /// online predictors during the run (see
+    /// `pqos_predict::online::SharedRateEstimator`) or for custom
+    /// instrumentation.
+    pub fn with_failure_hook(mut self, hook: Box<dyn FnMut(NodeId, SimTime) + Send>) -> Self {
+        self.failure_hook = Some(hook);
+        self
+    }
+
+    /// Runs the simulation to completion and returns the output.
+    pub fn run(mut self) -> SimOutput {
+        // Pre-schedule the raw trace replay and all arrivals. Failure
+        // events are pushed first so that, at equal timestamps, a failure
+        // beats a start/checkpoint event — matching the paper's "the
+        // failure may occur before the completion of checkpoint i".
+        let failure_schedule: Vec<(SimTime, usize)> = self
+            .trace
+            .failures()
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.node.index() < self.config.cluster_size as usize)
+            .map(|(index, f)| (f.time, index))
+            .collect();
+        for (time, index) in failure_schedule {
+            self.push_event(time, Event::NodeFailure { index });
+        }
+        for job in self.arrival_order.clone() {
+            self.push_event(job.arrival(), Event::Arrival(job.id()));
+        }
+        while let Some((now, event)) = self.events.pop() {
+            self.dispatch(now, event);
+        }
+        let report = self.metrics.report(self.config.cluster_size);
+        SimOutput {
+            report,
+            collector: self.metrics,
+            rejected: self.rejected,
+        }
+    }
+
+    fn dispatch(&mut self, now: SimTime, event: Event) {
+        match event {
+            Event::Arrival(job) => self.on_arrival(now, job),
+            Event::Start { job, epoch } => self.on_start(now, job, epoch),
+            Event::CheckpointRequest { job, epoch } => self.on_ckpt_request(now, job, epoch),
+            Event::CheckpointFinish { job, epoch } => self.on_ckpt_finish(now, job, epoch),
+            Event::Finish { job, epoch } => self.on_finish(now, job, epoch),
+            Event::NodeFailure { index } => self.on_failure(now, index),
+            Event::NodeRecovery { node } => self.on_recovery(now, node),
+        }
+    }
+
+    fn push_event(&mut self, at: SimTime, event: Event) {
+        self.events.push_with_priority(at, priority(&event), event);
+    }
+
+    fn down_nodes(&self) -> (Vec<NodeId>, SimTime) {
+        let mut down = Vec::new();
+        let mut horizon = SimTime::ZERO;
+        for (i, &until) in self.down_until.iter().enumerate() {
+            if !self.cluster.state(NodeId::new(i as u32)).is_up() {
+                down.push(NodeId::new(i as u32));
+                horizon = horizon.max(until);
+            }
+        }
+        (down, horizon)
+    }
+
+    fn on_arrival(&mut self, now: SimTime, id: JobId) {
+        let job = *self
+            .arrival_order
+            .iter()
+            .find(|j| j.id() == id)
+            .expect("arrival for unknown job");
+        let plan = planned_execution(
+            job.runtime(),
+            self.config.checkpoint_interval,
+            self.config.checkpoint_overhead,
+        );
+        let (down, horizon) = self.down_nodes();
+        let Some(outcome) = negotiate(
+            &self.book,
+            self.config.topology,
+            self.config.placement,
+            &self.predictor,
+            NegotiationRequest {
+                size: job.nodes(),
+                duration: plan.total,
+                now,
+                down: &down,
+                recovery_horizon: horizon,
+                pre_start_risk: self.config.node_downtime,
+            },
+            &self.config.user,
+            self.config.max_negotiation_slots,
+            self.config.max_probe_steps,
+        ) else {
+            self.rejected.push(id);
+            return;
+        };
+        let quote = outcome.accepted;
+        let reservation = self
+            .book
+            .add(
+                id,
+                quote.partition.clone(),
+                TimeWindow::new(quote.start, quote.deadline),
+            )
+            .expect("negotiated slot must be reservable");
+        let epoch = 0;
+        let slack = SimDuration::from_secs(
+            (plan.total.as_secs() as f64 * self.config.deadline_slack) as u64,
+        );
+        self.jobs.insert(
+            id,
+            JobState {
+                job,
+                promised: quote.promised_success(),
+                deadline: quote.deadline + slack,
+                satisfied_threshold: outcome.satisfied_threshold,
+                epoch,
+                phase: Phase::Pending,
+                reservation: Some(reservation),
+                partition: Some(quote.partition.clone()),
+                done: SimDuration::ZERO,
+                durable: SimDuration::ZERO,
+                attempt_start: quote.start,
+                segment_start: quote.start,
+                rollback_anchor: quote.start,
+                skipped_since_last: 0,
+                failures: 0,
+                ckpt_performed: 0,
+                ckpt_skipped: 0,
+            },
+        );
+        self.push_event(quote.start, Event::Start { job: id, epoch });
+    }
+
+    fn on_start(&mut self, now: SimTime, id: JobId, epoch: u32) {
+        let Some(state) = self.jobs.get(&id) else {
+            return;
+        };
+        if state.epoch != epoch || state.phase != Phase::Pending {
+            return;
+        }
+        let partition = state.partition.clone().expect("pending job has partition");
+        if self.cluster.claim(&partition).is_err() {
+            // A member node is down or still claimed by a late predecessor.
+            // Retry once the known recoveries have passed, else shortly.
+            let mut retry = now + START_RETRY;
+            for n in partition.iter() {
+                if !self.cluster.state(n).is_up() {
+                    retry = retry.max(self.down_until[n.index()]);
+                }
+            }
+            self.push_event(retry, Event::Start { job: id, epoch });
+            return;
+        }
+        for n in partition.iter() {
+            self.node_owner[n.index()] = Some(id);
+        }
+        let state = self.jobs.get_mut(&id).expect("checked above");
+        state.phase = Phase::Running;
+        state.attempt_start = now;
+        state.rollback_anchor = now;
+        state.skipped_since_last = 0;
+        // Restarted attempts pay the recovery overhead R before useful
+        // work resumes (the paper uses R = 0; configurable for ablations).
+        let recovery = if state.failures > 0 {
+            self.config.restart_overhead
+        } else {
+            SimDuration::ZERO
+        };
+        self.schedule_next_segment(id, now + recovery);
+    }
+
+    /// Starts the next compute segment for a running job: either up to the
+    /// next checkpoint request or straight to the finish line.
+    fn schedule_next_segment(&mut self, id: JobId, now: SimTime) {
+        let interval = self.config.checkpoint_interval;
+        let state = self.jobs.get_mut(&id).expect("segment for unknown job");
+        state.segment_start = now;
+        let remaining = state.job.runtime() - state.done;
+        let epoch = state.epoch;
+        if remaining <= interval {
+            self.push_event(now + remaining, Event::Finish { job: id, epoch });
+        } else {
+            self.events
+                .push(now + interval, Event::CheckpointRequest { job: id, epoch });
+        }
+    }
+
+    fn on_ckpt_request(&mut self, now: SimTime, id: JobId, epoch: u32) {
+        let overhead = self.config.checkpoint_overhead;
+        let interval = self.config.checkpoint_interval;
+        let deadline_aware = self.config.deadline_aware_skips;
+
+        let Some(state) = self.jobs.get(&id) else {
+            return;
+        };
+        if state.epoch != epoch || state.phase != Phase::Running {
+            return;
+        }
+        let partition = state.partition.clone().expect("running job has partition");
+        // One interval of work has just completed.
+        let done = state.done + (now - state.segment_start);
+        let remaining = state.job.runtime() - done;
+        debug_assert!(!remaining.is_zero(), "request at finish boundary");
+
+        // Risk window: from this request through completion of the *next*
+        // checkpoint (f_{i+1} in the paper's notation).
+        let risk_window =
+            TimeWindow::starting_at(now, overhead.saturating_mul(2) + interval.min(remaining));
+        let pf = self
+            .predictor
+            .failure_probability(partition.as_slice(), risk_window);
+        // Base-rate probability of losing this partition over the same
+        // window, from the historical failure rate.
+        let baseline = 1.0
+            - (-self.baseline_node_rate
+                * partition.len() as f64
+                * risk_window.length().as_secs() as f64)
+                .exp();
+
+        // Deadline pressure (§3.4): performing now — even if every future
+        // checkpoint is skipped — would miss the deadline, while skipping
+        // keeps it reachable.
+        let deadline = state.deadline;
+        let miss_if_perform = now + overhead + remaining > deadline;
+        let meet_if_skip = now + remaining <= deadline;
+        let pressure = if deadline_aware && miss_if_perform && meet_if_skip {
+            DeadlinePressure::SkipToMeet
+        } else {
+            DeadlinePressure::None
+        };
+        let ctx = CheckpointContext {
+            now,
+            interval,
+            overhead,
+            skipped_since_last: state.skipped_since_last,
+            failure_probability: pf,
+            baseline_failure_probability: baseline,
+            deadline_pressure: pressure,
+        };
+        let decision = if pressure == DeadlinePressure::SkipToMeet {
+            CheckpointDecision::Skip
+        } else {
+            self.policy.decide(&ctx)
+        };
+
+        let state = self.jobs.get_mut(&id).expect("checked above");
+        state.done = done;
+        match decision {
+            CheckpointDecision::Perform => {
+                state.phase = Phase::Checkpointing;
+                state.segment_start = now;
+                state.ckpt_performed += 1;
+                self.events
+                    .push(now + overhead, Event::CheckpointFinish { job: id, epoch });
+            }
+            CheckpointDecision::Skip => {
+                state.skipped_since_last += 1;
+                state.ckpt_skipped += 1;
+                self.schedule_next_segment(id, now);
+            }
+        }
+    }
+
+    fn on_ckpt_finish(&mut self, now: SimTime, id: JobId, epoch: u32) {
+        let Some(state) = self.jobs.get_mut(&id) else {
+            return;
+        };
+        if state.epoch != epoch || state.phase != Phase::Checkpointing {
+            return;
+        }
+        state.durable = state.done;
+        // cjx is the *start* of the last successful checkpoint (§3.5).
+        state.rollback_anchor = state.segment_start;
+        state.skipped_since_last = 0;
+        state.phase = Phase::Running;
+        self.schedule_next_segment(id, now);
+    }
+
+    fn on_finish(&mut self, now: SimTime, id: JobId, epoch: u32) {
+        let Some(state) = self.jobs.get(&id) else {
+            return;
+        };
+        if state.epoch != epoch || state.phase != Phase::Running {
+            return;
+        }
+        let partition = state.partition.clone().expect("running job has partition");
+        self.cluster
+            .release(&partition)
+            .expect("finishing job held its claim");
+        for n in partition.iter() {
+            self.node_owner[n.index()] = None;
+        }
+        let state = self.jobs.get_mut(&id).expect("checked above");
+        state.done = state.job.runtime();
+        state.phase = Phase::Done;
+        if let Some(r) = state.reservation.take() {
+            self.book.remove(r);
+        }
+        let state = self.jobs.get(&id).expect("checked above");
+        self.metrics.record_outcome(JobOutcome {
+            id,
+            nodes: state.job.nodes(),
+            runtime: state.job.runtime(),
+            arrival: state.job.arrival(),
+            promised: state.promised,
+            deadline: state.deadline,
+            last_start: state.attempt_start,
+            finish: now,
+            met_deadline: now <= state.deadline,
+            failures: state.failures,
+            satisfied_threshold: state.satisfied_threshold,
+            checkpoints_performed: state.ckpt_performed,
+            checkpoints_skipped: state.ckpt_skipped,
+        });
+    }
+
+    fn on_failure(&mut self, now: SimTime, index: usize) {
+        let node = self.trace.failures()[index].node;
+        if let Some(hook) = self.failure_hook.as_mut() {
+            hook(node, now);
+        }
+        let until = now + self.config.node_downtime;
+        self.cluster.mark_down(node, until);
+        self.down_until[node.index()] = until;
+        self.push_event(until, Event::NodeRecovery { node });
+
+        let Some(victim) = self.node_owner[node.index()] else {
+            return;
+        };
+        let state = self.jobs.get(&victim).expect("owner map tracks live jobs");
+        if !matches!(state.phase, Phase::Running | Phase::Checkpointing) {
+            return;
+        }
+        let partition = state.partition.clone().expect("running job has partition");
+        // ω_lost contribution: wall-clock since the last checkpoint started
+        // (or the attempt began), times the job's size.
+        let lost =
+            now.saturating_since(state.rollback_anchor).as_secs() * u64::from(state.job.nodes());
+        self.metrics.record_lost_work(LostWorkEvent {
+            time: now,
+            job: victim,
+            nodes: state.job.nodes(),
+            lost_node_seconds: lost,
+        });
+
+        self.cluster
+            .release(&partition)
+            .expect("failed job held its claim");
+        for n in partition.iter() {
+            self.node_owner[n.index()] = None;
+        }
+        let state = self.jobs.get_mut(&victim).expect("checked above");
+        state.failures += 1;
+        state.epoch += 1;
+        state.phase = Phase::Pending;
+        state.done = state.durable;
+        if let Some(r) = state.reservation.take() {
+            self.book.remove(r);
+        }
+        self.requeue(now, victim);
+    }
+
+    /// Re-commits a failed job to the earliest feasible slot. The deadline
+    /// and promise are unchanged — re-negotiation after a failure would let
+    /// the system walk back its word.
+    fn requeue(&mut self, now: SimTime, id: JobId) {
+        let state = self.jobs.get(&id).expect("requeue of unknown job");
+        let remaining = state.job.runtime() - state.durable;
+        let mut plan = planned_execution(
+            remaining,
+            self.config.checkpoint_interval,
+            self.config.checkpoint_overhead,
+        );
+        plan.total += self.config.restart_overhead;
+        let size = state.job.nodes();
+        let epoch = state.epoch;
+        let (down, horizon) = self.down_nodes();
+        let outcome = negotiate(
+            &self.book,
+            self.config.topology,
+            self.config.placement,
+            &self.predictor,
+            NegotiationRequest {
+                size,
+                duration: plan.total,
+                now,
+                down: &down,
+                recovery_horizon: horizon,
+                pre_start_risk: self.config.node_downtime,
+            },
+            // Earliest restart gives the best chance of still making the
+            // already-negotiated deadline.
+            &UserStrategy::AlwaysEarliest,
+            self.config.max_negotiation_slots,
+            self.config.max_probe_steps,
+        )
+        .expect("job fit the cluster at submission");
+        let quote = outcome.accepted;
+        let reservation = self
+            .book
+            .add(
+                id,
+                quote.partition.clone(),
+                TimeWindow::new(quote.start, quote.deadline),
+            )
+            .expect("negotiated slot must be reservable");
+        let state = self.jobs.get_mut(&id).expect("checked above");
+        state.reservation = Some(reservation);
+        state.partition = Some(quote.partition);
+        self.push_event(quote.start, Event::Start { job: id, epoch });
+    }
+
+    fn on_recovery(&mut self, now: SimTime, node: NodeId) {
+        // A newer failure may have extended the downtime; only the final
+        // recovery brings the node up.
+        if self.down_until[node.index()] <= now {
+            self.cluster.mark_up(node);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CheckpointPolicyKind;
+    use pqos_failures::trace::Failure;
+    use pqos_sim_core::time::SimDuration;
+
+    fn job(id: u64, arrive: u64, nodes: u32, runtime: u64) -> Job {
+        Job::new(
+            JobId::new(id),
+            SimTime::from_secs(arrive),
+            nodes,
+            SimDuration::from_secs(runtime),
+        )
+        .unwrap()
+    }
+
+    fn trace(failures: Vec<(u64, u32, f64)>) -> Arc<FailureTrace> {
+        Arc::new(
+            FailureTrace::new(
+                failures
+                    .into_iter()
+                    .map(|(t, n, px)| Failure {
+                        time: SimTime::from_secs(t),
+                        node: NodeId::new(n),
+                        detectability: px,
+                    })
+                    .collect(),
+            )
+            .unwrap(),
+        )
+    }
+
+    fn small_config() -> SimConfig {
+        SimConfig::paper_defaults().cluster_size_nodes(4)
+    }
+
+    #[test]
+    fn failure_free_run_completes_everything_on_time() {
+        let log = JobLog::new(vec![job(0, 0, 2, 100), job(1, 10, 2, 100)]).unwrap();
+        let out = QosSimulator::new(small_config(), log, trace(vec![])).run();
+        assert_eq!(out.report.jobs, 2);
+        assert_eq!(out.report.deadline_misses, 0);
+        assert_eq!(out.report.lost_work, 0);
+        assert!((out.report.qos - 1.0).abs() < 1e-12);
+        assert!(out.rejected.is_empty());
+    }
+
+    #[test]
+    fn serial_jobs_when_machine_too_small() {
+        // Two 3-node jobs on a 4-node machine must run serially.
+        let log = JobLog::new(vec![job(0, 0, 3, 100), job(1, 0, 3, 100)]).unwrap();
+        let out = QosSimulator::new(small_config(), log, trace(vec![])).run();
+        assert_eq!(out.report.jobs, 2);
+        let finishes: Vec<u64> = out
+            .collector
+            .outcomes()
+            .iter()
+            .map(|o| o.finish.as_secs())
+            .collect();
+        assert!(finishes.contains(&100));
+        assert!(finishes.contains(&200));
+        assert_eq!(
+            out.report.deadline_misses, 0,
+            "promised deadlines account for queueing"
+        );
+    }
+
+    #[test]
+    fn oversized_job_is_rejected() {
+        let log = JobLog::new(vec![job(0, 0, 99, 100)]).unwrap();
+        let out = QosSimulator::new(small_config(), log, trace(vec![])).run();
+        assert_eq!(out.report.jobs, 0);
+        assert_eq!(out.rejected, vec![JobId::new(0)]);
+    }
+
+    #[test]
+    fn undetected_failure_kills_and_restarts_job() {
+        // One 2-node job; node 0 fails at t=50 with px=0.9, invisible at
+        // a=0. No checkpoints possible (runtime < I). The job restarts from
+        // scratch after the failure and finishes late.
+        let log = JobLog::new(vec![job(0, 0, 2, 100)]).unwrap();
+        let out =
+            QosSimulator::new(small_config().accuracy(0.0), log, trace(vec![(50, 0, 0.9)])).run();
+        assert_eq!(out.report.jobs, 1);
+        assert_eq!(out.report.job_failures, 1);
+        // Lost work: 50 s × 2 nodes.
+        assert_eq!(out.report.lost_work, 100);
+        assert_eq!(out.report.deadline_misses, 1);
+        assert_eq!(out.report.qos, 0.0);
+        let o = &out.collector.outcomes()[0];
+        assert!(o.finish.as_secs() >= 150, "finish {}", o.finish);
+    }
+
+    #[test]
+    fn predicted_failure_is_avoided_by_placement() {
+        // Node 0 fails at t=50, fully detectable. The 2-node job fits on
+        // nodes 1-3 avoiding it entirely, even for an earliest-deadline
+        // user (placement dodges within the same slot).
+        let log = JobLog::new(vec![job(0, 0, 2, 100)]).unwrap();
+        let out =
+            QosSimulator::new(small_config().accuracy(1.0), log, trace(vec![(50, 0, 0.5)])).run();
+        assert_eq!(out.report.job_failures, 0);
+        assert_eq!(out.report.lost_work, 0);
+        assert_eq!(out.report.deadline_misses, 0);
+        assert!((out.report.qos - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cautious_user_waits_out_unavoidable_failure() {
+        // Every node fails detectably at t=50 (px=0.4 → promise 0.6).
+        // A U=0.9 user extends the deadline past the failures; an
+        // earliest-deadline user gets hit.
+        let failures = vec![(50, 0, 0.4), (50, 1, 0.4), (50, 2, 0.4), (50, 3, 0.4)];
+        let log = JobLog::new(vec![job(0, 0, 4, 100)]).unwrap();
+
+        let cautious = QosSimulator::new(
+            small_config()
+                .accuracy(1.0)
+                .user(UserStrategy::risk_threshold(0.9).unwrap()),
+            log.clone(),
+            trace(failures.clone()),
+        )
+        .run();
+        assert_eq!(cautious.report.job_failures, 0);
+        assert_eq!(cautious.report.deadline_misses, 0);
+        assert!((cautious.report.qos - 1.0).abs() < 1e-12);
+        // The job waited: its start is after the failure burst.
+        assert!(cautious.collector.outcomes()[0].last_start > SimTime::from_secs(50));
+
+        let bold = QosSimulator::new(small_config().accuracy(1.0), log, trace(failures)).run();
+        assert_eq!(bold.report.job_failures, 1);
+        // Promise was honest: 0.6 — and the deadline was missed, so QoS
+        // collects nothing.
+        assert_eq!(bold.report.deadline_misses, 1);
+        assert_eq!(bold.report.qos, 0.0);
+        assert!((bold.collector.outcomes()[0].promised - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn periodic_checkpointing_bounds_lost_work() {
+        // Long job (3 h) with I=1 h, C=100 s; node fails at t=2.5 h,
+        // undetectable. With periodic checkpointing the rollback is at most
+        // I + C wall-clock.
+        let config = SimConfig::paper_defaults()
+            .cluster_size_nodes(2)
+            .accuracy(0.0)
+            .checkpoint_overhead_secs(SimDuration::from_secs(100))
+            .checkpoint_policy(CheckpointPolicyKind::Periodic);
+        let log = JobLog::new(vec![job(0, 0, 1, 3 * 3600)]).unwrap();
+        let out = QosSimulator::new(config, log.clone(), trace(vec![(9000, 0, 0.9)])).run();
+        assert_eq!(out.report.job_failures, 1);
+        // Last checkpoint started at 7300 (3600 work + 100 C + 3600 work);
+        // failure at 9000 → lost 1700 node-s (1 node).
+        assert_eq!(out.report.lost_work, 1700);
+
+        // Same scenario without checkpointing loses the whole 9000 s.
+        let none = SimConfig::paper_defaults()
+            .cluster_size_nodes(2)
+            .accuracy(0.0)
+            .checkpoint_policy(CheckpointPolicyKind::None);
+        let out2 = QosSimulator::new(none, log, trace(vec![(9000, 0, 0.9)])).run();
+        assert_eq!(out2.report.lost_work, 9000);
+        assert!(out2.report.lost_work > out.report.lost_work);
+    }
+
+    #[test]
+    fn risk_based_checkpoints_only_before_predicted_failures() {
+        // 4-hour 1-node job on a 1-node cluster; failure at t=2.2 h with
+        // px=0.3, fully detectable but unavoidable (only one node). The
+        // risk-based policy performs the checkpoint request at t=1h? No:
+        // pf over [3600, 3600+I+2C] covers 2.2h=7920 < 3600+5040 → pf=0.3;
+        // Eq.1: 0.3·3600=1080 ≥ 720 → perform. So the rollback anchor is
+        // close to the failure and little is lost.
+        let config = SimConfig::paper_defaults()
+            .cluster_size_nodes(1)
+            .accuracy(1.0)
+            .checkpoint_policy(CheckpointPolicyKind::RiskBased);
+        let log = JobLog::new(vec![job(0, 0, 1, 4 * 3600)]).unwrap();
+        let out = QosSimulator::new(config, log, trace(vec![(7920, 0, 0.3)])).run();
+        assert_eq!(out.report.job_failures, 1);
+        // Exactly one checkpoint: the request at t=3600 sees the predicted
+        // failure and performs; post-restart requests see pf = 0 and the
+        // literal Eq. 1 skips them.
+        assert_eq!(out.report.checkpoints_performed, 1);
+        assert!(out.report.checkpoints_skipped >= 2);
+        // Lost work ≤ failure time − checkpoint start = 7920 − 3600.
+        assert!(
+            out.report.lost_work <= 4320,
+            "lost {}",
+            out.report.lost_work
+        );
+        assert_eq!(out.report.jobs, 1);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let log = JobLog::new(
+            (0..20)
+                .map(|i| job(i, i * 50, (i % 3 + 1) as u32, 500))
+                .collect(),
+        )
+        .unwrap();
+        let t = trace(vec![(300, 0, 0.2), (800, 2, 0.6), (2000, 1, 0.9)]);
+        let a = QosSimulator::new(small_config().accuracy(0.5), log.clone(), Arc::clone(&t)).run();
+        let b = QosSimulator::new(small_config().accuracy(0.5), log, t).run();
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.collector.outcomes(), b.collector.outcomes());
+    }
+
+    #[test]
+    fn node_recovers_after_downtime() {
+        // Failure at t=50 on the only node; job arrives at t=60 and must
+        // wait nothing (node back at t=170, before... actually negotiation
+        // sees the down node and pushes the start to the recovery horizon).
+        let log = JobLog::new(vec![job(0, 60, 1, 100)]).unwrap();
+        let out = QosSimulator::new(
+            SimConfig::paper_defaults()
+                .cluster_size_nodes(1)
+                .accuracy(0.0),
+            log,
+            trace(vec![(50, 0, 0.9)]),
+        )
+        .run();
+        assert_eq!(out.report.jobs, 1);
+        let o = &out.collector.outcomes()[0];
+        assert!(
+            o.last_start >= SimTime::from_secs(170),
+            "start {}",
+            o.last_start
+        );
+        assert_eq!(out.report.deadline_misses, 0);
+    }
+
+    #[test]
+    fn checkpoint_overhead_extends_finish_but_not_runtime_metric() {
+        // 2-hour job with periodic checkpointing: one checkpoint → finish
+        // at 2h + C; utilization counts only ej.
+        let config = SimConfig::paper_defaults()
+            .cluster_size_nodes(1)
+            .checkpoint_policy(CheckpointPolicyKind::Periodic);
+        let log = JobLog::new(vec![job(0, 0, 1, 7200)]).unwrap();
+        let out = QosSimulator::new(config, log, trace(vec![])).run();
+        let o = &out.collector.outcomes()[0];
+        assert_eq!(o.finish.as_secs(), 7200 + 720);
+        assert_eq!(o.checkpoints_performed, 1);
+        assert_eq!(out.report.total_work, 7200);
+        assert_eq!(out.report.deadline_misses, 0, "deadline included overhead");
+    }
+
+    #[test]
+    fn null_predictor_matches_zero_accuracy_oracle() {
+        use pqos_predict::api::NullPredictor;
+        let log = JobLog::new(
+            (0..30)
+                .map(|i| job(i, i * 40, (i % 3 + 1) as u32, 400))
+                .collect(),
+        )
+        .unwrap();
+        let t = trace(vec![(500, 0, 0.4), (3000, 2, 0.7)]);
+        let config = small_config().accuracy(0.0);
+        let via_oracle = QosSimulator::new(config.clone(), log.clone(), Arc::clone(&t)).run();
+        let via_null = QosSimulator::with_predictor(config, log, t, Arc::new(NullPredictor)).run();
+        assert_eq!(via_oracle.report, via_null.report);
+    }
+
+    #[test]
+    fn restart_overhead_delays_completion() {
+        // 1-node job, 100 s; invisible failure at t=50; R=60.
+        let log = JobLog::new(vec![job(0, 0, 1, 100)]).unwrap();
+        let t = trace(vec![(50, 0, 0.9)]);
+        let without = QosSimulator::new(
+            SimConfig::paper_defaults()
+                .cluster_size_nodes(1)
+                .accuracy(0.0),
+            log.clone(),
+            Arc::clone(&t),
+        )
+        .run();
+        let with_r = QosSimulator::new(
+            SimConfig::paper_defaults()
+                .cluster_size_nodes(1)
+                .accuracy(0.0)
+                .restart_overhead_secs(SimDuration::from_secs(60)),
+            log,
+            t,
+        )
+        .run();
+        let f0 = without.collector.outcomes()[0].finish.as_secs();
+        let f1 = with_r.collector.outcomes()[0].finish.as_secs();
+        assert_eq!(f1, f0 + 60, "restart pays R before work resumes");
+    }
+
+    #[test]
+    fn deadline_slack_rescues_marginal_misses() {
+        // Failure costs 50 s on a 100 s job; 100% slack covers the rerun.
+        let log = JobLog::new(vec![job(0, 0, 2, 100)]).unwrap();
+        let t = trace(vec![(50, 0, 0.9)]);
+        let strict =
+            QosSimulator::new(small_config().accuracy(0.0), log.clone(), Arc::clone(&t)).run();
+        assert_eq!(strict.report.deadline_misses, 1);
+        let slack = QosSimulator::new(
+            small_config().accuracy(0.0).deadline_slack_fraction(1.0),
+            log,
+            t,
+        )
+        .run();
+        assert_eq!(slack.report.deadline_misses, 0);
+    }
+
+    #[test]
+    fn prior_policy_checkpoints_without_predictions() {
+        // Long 1-node job on a trace dense enough that the base-rate prior
+        // alone justifies occasional checkpoints; invisible failures (a=0).
+        let failures: Vec<(u64, u32, f64)> = (1..200).map(|k| (k * 3000, 1, 0.9)).collect(); // node 1: drives the base rate
+        let config = SimConfig::paper_defaults()
+            .cluster_size_nodes(2)
+            .accuracy(0.0)
+            .checkpoint_policy(CheckpointPolicyKind::RiskBasedWithPrior);
+        let log = JobLog::new(vec![job(0, 0, 1, 12 * 3600)]).unwrap();
+        let out = QosSimulator::new(config, log.clone(), trace(failures.clone())).run();
+        let o = &out.collector.outcomes()[0];
+        assert!(
+            o.checkpoints_performed > 0,
+            "prior should trigger some checkpoints"
+        );
+        // But strictly fewer than periodic would perform.
+        let periodic = QosSimulator::new(
+            SimConfig::paper_defaults()
+                .cluster_size_nodes(2)
+                .accuracy(0.0)
+                .checkpoint_policy(CheckpointPolicyKind::Periodic),
+            log,
+            trace(failures),
+        )
+        .run();
+        assert!(
+            out.report.checkpoints_performed <= periodic.report.checkpoints_performed,
+            "prior performs no more than periodic"
+        );
+    }
+
+    #[test]
+    fn risk_based_skips_everything_when_blind() {
+        let config = SimConfig::paper_defaults()
+            .cluster_size_nodes(1)
+            .accuracy(0.0)
+            .checkpoint_policy(CheckpointPolicyKind::RiskBased);
+        let log = JobLog::new(vec![job(0, 0, 1, 7200)]).unwrap();
+        let out = QosSimulator::new(config, log, trace(vec![])).run();
+        let o = &out.collector.outcomes()[0];
+        assert_eq!(o.checkpoints_performed, 0);
+        assert_eq!(o.checkpoints_skipped, 1);
+        // Finished early relative to the quoted deadline (which budgeted C).
+        assert_eq!(o.finish.as_secs(), 7200);
+        assert!(o.met_deadline);
+    }
+}

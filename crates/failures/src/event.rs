@@ -1,0 +1,165 @@
+//! Raw RAS (reliability/availability/serviceability) events and filtered
+//! failure records.
+//!
+//! The paper's failure traces were produced by filtering a year of raw AIX
+//! event logs: "isolating system events that are of the highest severity
+//! (i.e. FATAL or FAILURE), and further filtering to remove clusters of
+//! events that share a root cause" (§4.3). This module defines both ends of
+//! that pipeline: the raw event as logged, and the filtered
+//! [`FailureRecord`] the simulator consumes.
+
+use pqos_cluster::node::NodeId;
+use pqos_sim_core::time::SimTime;
+use std::fmt;
+
+/// Severity of a raw RAS event, ordered from least to most severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational chatter.
+    Info,
+    /// Suspicious but non-fatal condition.
+    Warning,
+    /// A component error that did not take the node down.
+    Error,
+    /// A fatal software condition; the node is lost.
+    Fatal,
+    /// A hardware failure; the node is lost.
+    Failure,
+}
+
+impl Severity {
+    /// Whether this severity means the hosting node (and any job on it)
+    /// is lost — the paper's definition of "failure".
+    pub fn is_critical(self) -> bool {
+        matches!(self, Severity::Fatal | Severity::Failure)
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Severity::Info => "INFO",
+            Severity::Warning => "WARNING",
+            Severity::Error => "ERROR",
+            Severity::Fatal => "FATAL",
+            Severity::Failure => "FAILURE",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Subsystem that reported an event; used by spatial root-cause filtering
+/// (events of the same class across nodes in a short window are assumed to
+/// share a cause, e.g. a switch failure logged by every attached node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Subsystem {
+    /// Memory hierarchy (ECC, DIMM).
+    Memory,
+    /// Interconnect / network adapters.
+    Network,
+    /// Local disk and filesystem.
+    Storage,
+    /// Node software: kernel, daemons.
+    NodeSoftware,
+    /// Power / environmental.
+    Power,
+}
+
+impl fmt::Display for Subsystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Subsystem::Memory => "memory",
+            Subsystem::Network => "network",
+            Subsystem::Storage => "storage",
+            Subsystem::NodeSoftware => "node-software",
+            Subsystem::Power => "power",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One raw log entry, before filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RawEvent {
+    /// When the event was logged.
+    pub time: SimTime,
+    /// Node that reported it.
+    pub node: NodeId,
+    /// Severity level.
+    pub severity: Severity,
+    /// Reporting subsystem (proxy for the message class).
+    pub subsystem: Subsystem,
+}
+
+impl fmt::Display for RawEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} {}",
+            self.time, self.node, self.severity, self.subsystem
+        )
+    }
+}
+
+/// A filtered failure: a critical event that would kill any job running on
+/// the node at that instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FailureRecord {
+    /// When the node fails.
+    pub time: SimTime,
+    /// The failing node.
+    pub node: NodeId,
+}
+
+impl fmt::Display for FailureRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "failure of {} at {}", self.node, self.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_fatal_and_failure_are_critical() {
+        assert!(!Severity::Info.is_critical());
+        assert!(!Severity::Warning.is_critical());
+        assert!(!Severity::Error.is_critical());
+        assert!(Severity::Fatal.is_critical());
+        assert!(Severity::Failure.is_critical());
+    }
+
+    #[test]
+    fn severity_order_matches_escalation() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert!(Severity::Error < Severity::Fatal);
+        assert!(Severity::Fatal < Severity::Failure);
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        let e = RawEvent {
+            time: SimTime::from_secs(9),
+            node: NodeId::new(3),
+            severity: Severity::Fatal,
+            subsystem: Subsystem::Memory,
+        };
+        assert!(e.to_string().contains("FATAL"));
+        let f = FailureRecord {
+            time: SimTime::from_secs(9),
+            node: NodeId::new(3),
+        };
+        assert!(f.to_string().contains("n3"));
+        for s in [
+            Subsystem::Memory,
+            Subsystem::Network,
+            Subsystem::Storage,
+            Subsystem::NodeSoftware,
+            Subsystem::Power,
+        ] {
+            assert!(!s.to_string().is_empty());
+        }
+    }
+}

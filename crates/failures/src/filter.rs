@@ -1,0 +1,258 @@
+//! The failure-log filtering pipeline.
+//!
+//! Mirrors the filtration the paper applied to its AIX traces (§4.3),
+//! which in turn follows the BlueGene/L log-filtering methodology of Liang
+//! et al. (DSN 2005):
+//!
+//! 1. **Severity filtering** — keep only FATAL/FAILURE events;
+//! 2. **Temporal coalescing** — repeated critical events on the *same node*
+//!    within a short window are one failure (a crashing node spews entries);
+//! 3. **Spatial coalescing** — critical events of the same subsystem on
+//!    *different nodes* within a short window share a root cause (e.g. one
+//!    switch failure logged by every attached node) and are kept only once.
+//!
+//! Temporal coalescing preserves the *first* event of each cluster, so a
+//! filtered failure's timestamp is the moment the node was actually lost.
+
+use crate::event::{FailureRecord, RawEvent};
+use pqos_sim_core::time::SimDuration;
+
+/// Configuration for the filtering pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FilterConfig {
+    /// Same-node events closer than this are one failure. The paper's
+    /// sources use windows of a few minutes to an hour; default 20 min.
+    pub temporal_window: SimDuration,
+    /// Cross-node same-subsystem events closer than this share a root
+    /// cause. Default 2 min.
+    pub spatial_window: SimDuration,
+    /// Whether to apply spatial (cross-node) coalescing at all.
+    pub spatial: bool,
+}
+
+impl Default for FilterConfig {
+    fn default() -> Self {
+        FilterConfig {
+            temporal_window: SimDuration::from_secs(20 * 60),
+            spatial_window: SimDuration::from_secs(2 * 60),
+            spatial: true,
+        }
+    }
+}
+
+/// Statistics about one filtering run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FilterStats {
+    /// Raw events examined.
+    pub raw: usize,
+    /// Dropped by the severity filter.
+    pub dropped_severity: usize,
+    /// Coalesced into an earlier same-node failure.
+    pub dropped_temporal: usize,
+    /// Coalesced into an earlier same-subsystem failure on another node.
+    pub dropped_spatial: usize,
+    /// Failures that survived.
+    pub kept: usize,
+}
+
+/// Runs the full pipeline over raw events (any order) and returns
+/// time-ordered failure records plus filtering statistics.
+///
+/// # Examples
+///
+/// ```
+/// use pqos_cluster::node::NodeId;
+/// use pqos_failures::event::{RawEvent, Severity, Subsystem};
+/// use pqos_failures::filter::{filter_events, FilterConfig};
+/// use pqos_sim_core::time::SimTime;
+///
+/// let mk = |t: u64, n: u32, sev| RawEvent {
+///     time: SimTime::from_secs(t),
+///     node: NodeId::new(n),
+///     severity: sev,
+///     subsystem: Subsystem::Memory,
+/// };
+/// let events = vec![
+///     mk(0, 1, Severity::Warning),       // dropped: severity
+///     mk(100, 1, Severity::Fatal),       // kept
+///     mk(200, 1, Severity::Fatal),       // dropped: same node, 100 s later
+///     mk(90_000, 1, Severity::Fatal),    // kept: far outside the window
+/// ];
+/// let (failures, stats) = filter_events(&events, FilterConfig::default());
+/// assert_eq!(failures.len(), 2);
+/// assert_eq!(stats.dropped_severity, 1);
+/// assert_eq!(stats.dropped_temporal, 1);
+/// ```
+pub fn filter_events(
+    events: &[RawEvent],
+    config: FilterConfig,
+) -> (Vec<FailureRecord>, FilterStats) {
+    let mut stats = FilterStats {
+        raw: events.len(),
+        ..FilterStats::default()
+    };
+
+    // Severity filter, then sort by time (node index breaks ties) so the
+    // coalescing passes see events in order.
+    let mut critical: Vec<&RawEvent> = events
+        .iter()
+        .filter(|e| {
+            if e.severity.is_critical() {
+                true
+            } else {
+                stats.dropped_severity += 1;
+                false
+            }
+        })
+        .collect();
+    critical.sort_by_key(|e| (e.time, e.node));
+
+    // Temporal coalescing: remember the last kept failure time per node.
+    let max_node = critical.iter().map(|e| e.node.index()).max().unwrap_or(0);
+    let mut last_kept: Vec<Option<pqos_sim_core::time::SimTime>> = vec![None; max_node + 1];
+    // Spatial coalescing: last kept (time, node) per subsystem.
+    let mut last_subsystem: std::collections::HashMap<
+        crate::event::Subsystem,
+        (pqos_sim_core::time::SimTime, pqos_cluster::node::NodeId),
+    > = std::collections::HashMap::new();
+
+    let mut out = Vec::new();
+    for e in critical {
+        if let Some(prev) = last_kept[e.node.index()] {
+            if e.time.saturating_since(prev) < config.temporal_window {
+                stats.dropped_temporal += 1;
+                continue;
+            }
+        }
+        if config.spatial {
+            if let Some((prev_t, prev_n)) = last_subsystem.get(&e.subsystem) {
+                if *prev_n != e.node && e.time.saturating_since(*prev_t) < config.spatial_window {
+                    stats.dropped_spatial += 1;
+                    // The node is still lost operationally, but the *trace*
+                    // counts one failure per root cause, as in the paper.
+                    continue;
+                }
+            }
+        }
+        last_kept[e.node.index()] = Some(e.time);
+        last_subsystem.insert(e.subsystem, (e.time, e.node));
+        out.push(FailureRecord {
+            time: e.time,
+            node: e.node,
+        });
+        stats.kept += 1;
+    }
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Severity, Subsystem};
+    use pqos_cluster::node::NodeId;
+    use pqos_sim_core::time::SimTime;
+
+    fn ev(t: u64, n: u32, sev: Severity, sub: Subsystem) -> RawEvent {
+        RawEvent {
+            time: SimTime::from_secs(t),
+            node: NodeId::new(n),
+            severity: sev,
+            subsystem: sub,
+        }
+    }
+
+    #[test]
+    fn severity_filter_drops_noncritical() {
+        let events = vec![
+            ev(0, 0, Severity::Info, Subsystem::Memory),
+            ev(1, 0, Severity::Error, Subsystem::Memory),
+            ev(2, 0, Severity::Failure, Subsystem::Memory),
+        ];
+        let (f, s) = filter_events(&events, FilterConfig::default());
+        assert_eq!(f.len(), 1);
+        assert_eq!(s.dropped_severity, 2);
+        assert_eq!(s.kept, 1);
+        assert_eq!(s.raw, 3);
+    }
+
+    #[test]
+    fn temporal_coalescing_keeps_first() {
+        let events = vec![
+            ev(500, 3, Severity::Fatal, Subsystem::Storage),
+            ev(100, 3, Severity::Fatal, Subsystem::Storage), // earlier, out of order
+            ev(600, 3, Severity::Fatal, Subsystem::Storage),
+        ];
+        let (f, s) = filter_events(&events, FilterConfig::default());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].time, SimTime::from_secs(100));
+        assert_eq!(s.dropped_temporal, 2);
+    }
+
+    #[test]
+    fn events_outside_window_are_distinct_failures() {
+        let w = FilterConfig::default().temporal_window.as_secs();
+        let events = vec![
+            ev(0, 1, Severity::Fatal, Subsystem::Memory),
+            ev(w, 1, Severity::Fatal, Subsystem::Memory),
+        ];
+        let (f, _) = filter_events(&events, FilterConfig::default());
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn spatial_coalescing_collapses_shared_root_cause() {
+        // A switch failure observed by three nodes within seconds.
+        let events = vec![
+            ev(100, 0, Severity::Failure, Subsystem::Network),
+            ev(101, 1, Severity::Failure, Subsystem::Network),
+            ev(102, 2, Severity::Failure, Subsystem::Network),
+        ];
+        let (f, s) = filter_events(&events, FilterConfig::default());
+        assert_eq!(f.len(), 1);
+        assert_eq!(s.dropped_spatial, 2);
+    }
+
+    #[test]
+    fn spatial_coalescing_respects_subsystem() {
+        let events = vec![
+            ev(100, 0, Severity::Failure, Subsystem::Network),
+            ev(101, 1, Severity::Failure, Subsystem::Memory), // different class
+        ];
+        let (f, _) = filter_events(&events, FilterConfig::default());
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn spatial_can_be_disabled() {
+        let events = vec![
+            ev(100, 0, Severity::Failure, Subsystem::Network),
+            ev(101, 1, Severity::Failure, Subsystem::Network),
+        ];
+        let config = FilterConfig {
+            spatial: false,
+            ..FilterConfig::default()
+        };
+        let (f, s) = filter_events(&events, config);
+        assert_eq!(f.len(), 2);
+        assert_eq!(s.dropped_spatial, 0);
+    }
+
+    #[test]
+    fn output_is_time_ordered() {
+        let events = vec![
+            ev(9000, 5, Severity::Fatal, Subsystem::Memory),
+            ev(10, 2, Severity::Fatal, Subsystem::Storage),
+            ev(5000, 7, Severity::Failure, Subsystem::Power),
+        ];
+        let (f, _) = filter_events(&events, FilterConfig::default());
+        assert!(f.windows(2).all(|w| w[0].time <= w[1].time));
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let (f, s) = filter_events(&[], FilterConfig::default());
+        assert!(f.is_empty());
+        assert_eq!(s, FilterStats::default());
+    }
+}

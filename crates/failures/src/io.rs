@@ -1,0 +1,224 @@
+//! Plain-text failure-trace I/O.
+//!
+//! The paper laments that "there are no publicly available supercomputer
+//! RAS and failure traces"; today several exist (e.g. the CFDR archives),
+//! but in heterogeneous formats. This module defines a minimal interchange
+//! format so real traces can be replayed by the simulator the same way SWF
+//! logs can on the workload side:
+//!
+//! ```text
+//! # pqos failure trace v1
+//! # <time-seconds> <node-index> [detectability]
+//! 3600 17 0.42
+//! 7211 3
+//! ```
+//!
+//! `#`-prefixed lines are comments. The detectability column is optional;
+//! rows without one are assigned a deterministic uniform draw at load time
+//! (the paper's procedure), keyed by the seed passed to [`parse_trace`].
+
+use crate::event::FailureRecord;
+use crate::trace::{Failure, FailureTrace, TraceError};
+use pqos_cluster::node::NodeId;
+use pqos_sim_core::time::SimTime;
+use std::fmt;
+
+/// Error parsing a failure-trace document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceIoError {
+    /// A data line had the wrong number of fields.
+    BadFieldCount {
+        /// 1-based line number.
+        line: usize,
+        /// Fields found.
+        found: usize,
+    },
+    /// A field failed to parse.
+    BadField {
+        /// 1-based line number.
+        line: usize,
+        /// Offending token.
+        token: String,
+    },
+    /// The parsed rows violated a trace invariant.
+    Trace(TraceError),
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::BadFieldCount { line, found } => {
+                write!(f, "line {line}: expected 2 or 3 fields, found {found}")
+            }
+            TraceIoError::BadField { line, token } => {
+                write!(f, "line {line}: could not parse {token:?}")
+            }
+            TraceIoError::Trace(e) => write!(f, "invalid trace: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<TraceError> for TraceIoError {
+    fn from(e: TraceError) -> Self {
+        TraceIoError::Trace(e)
+    }
+}
+
+/// Parses a failure-trace document. Rows without a detectability column
+/// get a deterministic uniform draw keyed by `seed`.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError`] on malformed lines or out-of-range
+/// detectabilities.
+///
+/// # Examples
+///
+/// ```
+/// use pqos_failures::io::parse_trace;
+///
+/// let text = "# comment\n100 3 0.25\n200 7\n";
+/// let trace = parse_trace(text, 42)?;
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace.failures()[0].detectability, 0.25);
+/// # Ok::<(), pqos_failures::io::TraceIoError>(())
+/// ```
+pub fn parse_trace(text: &str, seed: u64) -> Result<FailureTrace, TraceIoError> {
+    let mut explicit = Vec::new();
+    let mut implicit = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() < 2 || fields.len() > 3 {
+            return Err(TraceIoError::BadFieldCount {
+                line: line_no,
+                found: fields.len(),
+            });
+        }
+        let bad = |token: &str| TraceIoError::BadField {
+            line: line_no,
+            token: token.to_string(),
+        };
+        let time: u64 = fields[0].parse().map_err(|_| bad(fields[0]))?;
+        let node: u32 = fields[1].parse().map_err(|_| bad(fields[1]))?;
+        if let Some(px_tok) = fields.get(2) {
+            let px: f64 = px_tok.parse().map_err(|_| bad(px_tok))?;
+            explicit.push(Failure {
+                time: SimTime::from_secs(time),
+                node: NodeId::new(node),
+                detectability: px,
+            });
+        } else {
+            implicit.push(FailureRecord {
+                time: SimTime::from_secs(time),
+                node: NodeId::new(node),
+            });
+        }
+    }
+    let assigned = FailureTrace::from_records(&implicit, seed);
+    explicit.extend(assigned.iter().copied());
+    Ok(FailureTrace::new(explicit)?)
+}
+
+/// Serializes a trace (detectabilities included, full precision).
+///
+/// # Examples
+///
+/// ```
+/// use pqos_failures::io::{parse_trace, to_text};
+/// use pqos_failures::synthetic::AixLikeTrace;
+///
+/// let trace = AixLikeTrace::new().days(10.0).seed(5).build();
+/// let round_trip = parse_trace(&to_text(&trace), 0)?;
+/// assert_eq!(round_trip.failures(), trace.failures());
+/// # Ok::<(), pqos_failures::io::TraceIoError>(())
+/// ```
+pub fn to_text(trace: &FailureTrace) -> String {
+    let mut out = String::from("# pqos failure trace v1\n# time_secs node detectability\n");
+    for f in trace.iter() {
+        out.push_str(&format!(
+            "{} {} {}\n",
+            f.time.as_secs(),
+            f.node.as_u32(),
+            f.detectability
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_mixed_rows() {
+        let trace = parse_trace("10 0 0.5\n20 1\n# comment\n\n30 2 1.0\n", 7).unwrap();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.failures()[0].detectability, 0.5);
+        assert_eq!(trace.failures()[2].detectability, 1.0);
+        let implicit = trace.failures()[1];
+        assert!((0.0..=1.0).contains(&implicit.detectability));
+    }
+
+    #[test]
+    fn implicit_detectability_is_seed_deterministic() {
+        let a = parse_trace("10 0\n20 1\n", 7).unwrap();
+        let b = parse_trace("10 0\n20 1\n", 7).unwrap();
+        assert_eq!(a.failures(), b.failures());
+        let c = parse_trace("10 0\n20 1\n", 8).unwrap();
+        assert_ne!(a.failures(), c.failures());
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(matches!(
+            parse_trace("10\n", 0),
+            Err(TraceIoError::BadFieldCount { line: 1, found: 1 })
+        ));
+        assert!(matches!(
+            parse_trace("10 0 0.5 9\n", 0),
+            Err(TraceIoError::BadFieldCount { line: 1, found: 4 })
+        ));
+        assert!(matches!(
+            parse_trace("ten 0\n", 0),
+            Err(TraceIoError::BadField { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_trace("10 0 1.5\n", 0),
+            Err(TraceIoError::Trace(_))
+        ));
+        for e in [
+            TraceIoError::BadFieldCount { line: 1, found: 1 },
+            TraceIoError::BadField {
+                line: 2,
+                token: "x".into(),
+            },
+            TraceIoError::Trace(TraceError::BadDetectability(2.0)),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let original = crate::synthetic::AixLikeTrace::new()
+            .days(20.0)
+            .seed(3)
+            .build();
+        let text = to_text(&original);
+        let parsed = parse_trace(&text, 999).unwrap();
+        assert_eq!(parsed.failures(), original.failures());
+    }
+
+    #[test]
+    fn empty_document_is_an_empty_trace() {
+        let trace = parse_trace("# nothing here\n", 0).unwrap();
+        assert!(trace.is_empty());
+    }
+}

@@ -1,0 +1,96 @@
+//! The prediction interface consumed by the scheduler, the checkpointer,
+//! and the negotiation layer.
+
+use pqos_cluster::node::NodeId;
+use pqos_sim_core::time::TimeWindow;
+
+/// An event-prediction mechanism (§3.2).
+///
+/// "The prediction algorithm in this paper is given a set (partition) of
+/// nodes and a time window, and returns the estimated probability of
+/// failure."
+///
+/// Implementations must return a probability in `[0, 1]`; `0` means "no
+/// failure foreseen", which callers treat as the absence of a prediction
+/// rather than a certificate of safety.
+pub trait Predictor {
+    /// Estimated probability that at least one node of `nodes` fails within
+    /// `window`.
+    fn failure_probability(&self, nodes: &[NodeId], window: TimeWindow) -> f64;
+
+    /// Convenience: single-node query.
+    fn node_failure_probability(&self, node: NodeId, window: TimeWindow) -> f64 {
+        self.failure_probability(&[node], window)
+    }
+}
+
+/// The no-forecasting baseline: predicts nothing, ever.
+///
+/// Equivalent to a [`crate::oracle::TraceOracle`] with accuracy 0, but
+/// usable without a trace. The paper's comparisons against "a system that
+/// does not use event prediction" use this.
+///
+/// # Examples
+///
+/// ```
+/// use pqos_cluster::node::NodeId;
+/// use pqos_predict::api::{NullPredictor, Predictor};
+/// use pqos_sim_core::time::{SimTime, TimeWindow};
+///
+/// let p = NullPredictor;
+/// let w = TimeWindow::new(SimTime::ZERO, SimTime::from_secs(1_000_000));
+/// assert_eq!(p.failure_probability(&[NodeId::new(0)], w), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullPredictor;
+
+impl Predictor for NullPredictor {
+    fn failure_probability(&self, _nodes: &[NodeId], _window: TimeWindow) -> f64 {
+        0.0
+    }
+}
+
+impl<P: Predictor + ?Sized> Predictor for &P {
+    fn failure_probability(&self, nodes: &[NodeId], window: TimeWindow) -> f64 {
+        (**self).failure_probability(nodes, window)
+    }
+}
+
+impl<P: Predictor + ?Sized> Predictor for Box<P> {
+    fn failure_probability(&self, nodes: &[NodeId], window: TimeWindow) -> f64 {
+        (**self).failure_probability(nodes, window)
+    }
+}
+
+impl<P: Predictor + ?Sized> Predictor for std::sync::Arc<P> {
+    fn failure_probability(&self, nodes: &[NodeId], window: TimeWindow) -> f64 {
+        (**self).failure_probability(nodes, window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqos_sim_core::time::SimTime;
+
+    #[test]
+    fn null_predictor_is_always_zero() {
+        let w = TimeWindow::new(SimTime::ZERO, SimTime::from_secs(100));
+        assert_eq!(NullPredictor.failure_probability(&[], w), 0.0);
+        assert_eq!(
+            NullPredictor.node_failure_probability(NodeId::new(5), w),
+            0.0
+        );
+    }
+
+    #[test]
+    fn trait_objects_and_smart_pointers_work() {
+        let w = TimeWindow::new(SimTime::ZERO, SimTime::from_secs(100));
+        let boxed: Box<dyn Predictor> = Box::new(NullPredictor);
+        assert_eq!(boxed.failure_probability(&[NodeId::new(0)], w), 0.0);
+        let arc: std::sync::Arc<dyn Predictor> = std::sync::Arc::new(NullPredictor);
+        assert_eq!(arc.failure_probability(&[NodeId::new(0)], w), 0.0);
+        let by_ref: &dyn Predictor = &NullPredictor;
+        assert_eq!(by_ref.node_failure_probability(NodeId::new(1), w), 0.0);
+    }
+}

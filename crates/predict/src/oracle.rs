@@ -1,0 +1,231 @@
+//! The paper's deterministic trace-oracle predictor (§4.3).
+//!
+//! "When the predictor is asked for the probability of failure of a
+//! particular node (or partition) in a given time window, it retrieves all
+//! the corresponding failures from the log and considers them in order of
+//! time. Once a failure is encountered such that `px ≤ a`, `px` is returned
+//! as the probability of failure. Otherwise, the predictor returns 0.
+//! Therefore, the false positive rate is 0 and the false negative rate is
+//! `1 − a`. An additional consequence of this method is that the
+//! probability of failure returned for any partition will never exceed `a`
+//! \[since\] a low-accuracy predictor should not make predictions with high
+//! confidence."
+
+use crate::api::Predictor;
+use pqos_cluster::node::NodeId;
+use pqos_failures::trace::FailureTrace;
+use pqos_sim_core::time::TimeWindow;
+use std::fmt;
+use std::sync::Arc;
+
+/// Error constructing a [`TraceOracle`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyError(pub f64);
+
+impl fmt::Display for AccuracyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prediction accuracy {} outside [0, 1]", self.0)
+    }
+}
+
+impl std::error::Error for AccuracyError {}
+
+/// Trace-backed predictor with tunable accuracy `a ∈ [0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use pqos_cluster::node::NodeId;
+/// use pqos_failures::trace::{Failure, FailureTrace};
+/// use pqos_predict::api::Predictor;
+/// use pqos_predict::oracle::TraceOracle;
+/// use pqos_sim_core::time::{SimTime, TimeWindow};
+/// use std::sync::Arc;
+///
+/// let trace = Arc::new(FailureTrace::new(vec![Failure {
+///     time: SimTime::from_secs(500),
+///     node: NodeId::new(3),
+///     detectability: 0.4,
+/// }])?);
+/// let w = TimeWindow::new(SimTime::ZERO, SimTime::from_secs(1000));
+///
+/// // Detectable at a = 0.5 ...
+/// let sharp = TraceOracle::new(Arc::clone(&trace), 0.5)?;
+/// assert_eq!(sharp.failure_probability(&[NodeId::new(3)], w), 0.4);
+///
+/// // ... invisible at a = 0.3 (px > a ⇒ false negative).
+/// let blunt = TraceOracle::new(trace, 0.3)?;
+/// assert_eq!(blunt.failure_probability(&[NodeId::new(3)], w), 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceOracle {
+    trace: Arc<FailureTrace>,
+    accuracy: f64,
+}
+
+impl TraceOracle {
+    /// Creates an oracle over `trace` with accuracy `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccuracyError`] if `a` is outside `[0, 1]` or NaN.
+    pub fn new(trace: Arc<FailureTrace>, accuracy: f64) -> Result<Self, AccuracyError> {
+        if !(0.0..=1.0).contains(&accuracy) {
+            return Err(AccuracyError(accuracy));
+        }
+        Ok(TraceOracle { trace, accuracy })
+    }
+
+    /// The accuracy `a`.
+    pub fn accuracy(&self) -> f64 {
+        self.accuracy
+    }
+
+    /// The underlying trace.
+    pub fn trace(&self) -> &FailureTrace {
+        &self.trace
+    }
+}
+
+impl Predictor for TraceOracle {
+    fn failure_probability(&self, nodes: &[NodeId], window: TimeWindow) -> f64 {
+        for failure in self.trace.failures_in_window(nodes, window) {
+            if failure.detectability <= self.accuracy {
+                return failure.detectability;
+            }
+        }
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqos_failures::trace::Failure;
+    use pqos_sim_core::time::SimTime;
+
+    fn trace(failures: Vec<(u64, u32, f64)>) -> Arc<FailureTrace> {
+        Arc::new(
+            FailureTrace::new(
+                failures
+                    .into_iter()
+                    .map(|(t, n, px)| Failure {
+                        time: SimTime::from_secs(t),
+                        node: NodeId::new(n),
+                        detectability: px,
+                    })
+                    .collect(),
+            )
+            .unwrap(),
+        )
+    }
+
+    fn w(a: u64, b: u64) -> TimeWindow {
+        TimeWindow::new(SimTime::from_secs(a), SimTime::from_secs(b))
+    }
+
+    #[test]
+    fn rejects_bad_accuracy() {
+        let t = trace(vec![]);
+        assert!(TraceOracle::new(Arc::clone(&t), -0.1).is_err());
+        assert!(TraceOracle::new(Arc::clone(&t), 1.1).is_err());
+        assert!(TraceOracle::new(Arc::clone(&t), f64::NAN).is_err());
+        assert!(!AccuracyError(2.0).to_string().is_empty());
+        let ok = TraceOracle::new(t, 0.5).unwrap();
+        assert_eq!(ok.accuracy(), 0.5);
+    }
+
+    #[test]
+    fn returns_first_detectable_in_time_order() {
+        // Two failures; the earlier one has high px (undetectable at 0.5),
+        // the later low px. Paper semantics: scan in time order, return the
+        // first *detectable* one.
+        let t = trace(vec![(100, 0, 0.9), (200, 0, 0.2)]);
+        let oracle = TraceOracle::new(t, 0.5).unwrap();
+        assert_eq!(
+            oracle.failure_probability(&[NodeId::new(0)], w(0, 1000)),
+            0.2
+        );
+    }
+
+    #[test]
+    fn partition_query_spans_nodes() {
+        let t = trace(vec![(300, 1, 0.3), (100, 2, 0.8)]);
+        let oracle = TraceOracle::new(t, 0.5).unwrap();
+        // Node 2's failure at t=100 is first in time but undetectable; node
+        // 1's at t=300 is returned.
+        let p = oracle.failure_probability(&[NodeId::new(1), NodeId::new(2)], w(0, 1000));
+        assert_eq!(p, 0.3);
+    }
+
+    #[test]
+    fn never_exceeds_accuracy() {
+        let t = trace(
+            (0..200)
+                .map(|i| (i * 10, (i % 16) as u32, (i as f64) / 200.0))
+                .collect(),
+        );
+        for a in [0.0, 0.1, 0.5, 0.9, 1.0] {
+            let oracle = TraceOracle::new(Arc::clone(&t), a).unwrap();
+            for start in (0..2000).step_by(100) {
+                let nodes: Vec<NodeId> = (0..16).map(NodeId::new).collect();
+                let p = oracle.failure_probability(&nodes, w(start, start + 500));
+                assert!(p <= a + 1e-12, "pf {p} exceeds a {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_accuracy_is_null() {
+        let t = trace(vec![(100, 0, 0.001), (200, 0, 0.5)]);
+        let oracle = TraceOracle::new(t, 0.0).unwrap();
+        // px is strictly positive almost surely; with px ≤ a = 0 nothing is
+        // returned unless px is exactly 0.
+        assert_eq!(
+            oracle.failure_probability(&[NodeId::new(0)], w(0, 1000)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn perfect_accuracy_sees_everything() {
+        let t = trace(vec![(100, 0, 0.97)]);
+        let oracle = TraceOracle::new(t, 1.0).unwrap();
+        assert_eq!(
+            oracle.failure_probability(&[NodeId::new(0)], w(0, 1000)),
+            0.97
+        );
+    }
+
+    #[test]
+    fn window_bounds_are_respected() {
+        let t = trace(vec![(100, 0, 0.2)]);
+        let oracle = TraceOracle::new(t, 1.0).unwrap();
+        assert_eq!(
+            oracle.failure_probability(&[NodeId::new(0)], w(0, 100)),
+            0.0
+        );
+        assert_eq!(
+            oracle.failure_probability(&[NodeId::new(0)], w(100, 101)),
+            0.2
+        );
+        assert_eq!(
+            oracle.failure_probability(&[NodeId::new(0)], w(101, 1000)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn deterministic_across_clones() {
+        let t = trace(vec![(100, 0, 0.2), (150, 1, 0.4)]);
+        let oracle = TraceOracle::new(t, 0.5).unwrap();
+        let clone = oracle.clone();
+        let nodes = [NodeId::new(0), NodeId::new(1)];
+        assert_eq!(
+            oracle.failure_probability(&nodes, w(0, 1000)),
+            clone.failure_probability(&nodes, w(0, 1000))
+        );
+        assert!(oracle.trace().len() == 2);
+    }
+}

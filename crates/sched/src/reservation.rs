@@ -1,0 +1,451 @@
+//! The reservation book: a conservative-backfilling availability profile.
+//!
+//! The paper's scheduler is "FCFS with backfilling" in which "jobs that have
+//! already been scheduled for later execution retain their scheduled
+//! partition" (§3.3) — i.e. every job is given a concrete
+//! `(partition, time interval)` commitment when it is scheduled, and later
+//! jobs may slot into earlier holes only where they fit without disturbing
+//! existing commitments. That is *conservative* backfilling: the book below
+//! is the profile of commitments, and [`ReservationBook::earliest_slots`]
+//! enumerates the candidate start times a new job could take.
+
+use pqos_cluster::node::NodeId;
+use pqos_cluster::partition::Partition;
+use pqos_sim_core::time::{SimDuration, SimTime, TimeWindow};
+use pqos_workload::job::JobId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a reservation within a [`ReservationBook`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReservationId(u64);
+
+impl fmt::Display for ReservationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A committed `(job, partition, interval)` triple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reservation {
+    /// The job holding the commitment.
+    pub job: JobId,
+    /// The nodes committed.
+    pub partition: Partition,
+    /// The committed interval `[start, end)`.
+    pub interval: TimeWindow,
+}
+
+/// Error adding a reservation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReservationError {
+    /// The partition overlaps an existing reservation in both nodes and
+    /// time.
+    Conflict {
+        /// The existing reservation it collides with.
+        existing: ReservationId,
+    },
+    /// A node id beyond the cluster size was used.
+    UnknownNode(NodeId),
+    /// The interval is empty.
+    EmptyInterval,
+}
+
+impl fmt::Display for ReservationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReservationError::Conflict { existing } => {
+                write!(f, "conflicts with existing reservation {existing}")
+            }
+            ReservationError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            ReservationError::EmptyInterval => write!(f, "reservation interval is empty"),
+        }
+    }
+}
+
+impl std::error::Error for ReservationError {}
+
+/// A candidate placement opportunity: a start time and the nodes free for
+/// the whole duration starting there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Slot {
+    /// Candidate start time.
+    pub start: SimTime,
+    /// Nodes free during `[start, start + duration)`, sorted.
+    pub free: Vec<NodeId>,
+}
+
+/// The availability profile: every commitment made and not yet released.
+///
+/// # Examples
+///
+/// ```
+/// use pqos_cluster::partition::Partition;
+/// use pqos_sched::reservation::ReservationBook;
+/// use pqos_sim_core::time::{SimDuration, SimTime, TimeWindow};
+/// use pqos_workload::job::JobId;
+///
+/// let mut book = ReservationBook::new(8);
+/// book.add(
+///     JobId::new(1),
+///     Partition::contiguous(0, 8),
+///     TimeWindow::new(SimTime::from_secs(0), SimTime::from_secs(100)),
+/// )?;
+/// // The machine is fully booked until t=100; a 4-node/50s job first fits at 100.
+/// let slots = book.earliest_slots(4, SimDuration::from_secs(50), SimTime::ZERO, &[], 1);
+/// assert_eq!(slots[0].start, SimTime::from_secs(100));
+/// # Ok::<(), pqos_sched::reservation::ReservationError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReservationBook {
+    cluster_size: u32,
+    reservations: BTreeMap<ReservationId, Reservation>,
+    next_id: u64,
+}
+
+impl ReservationBook {
+    /// Creates an empty book over a cluster of `cluster_size` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster_size == 0`.
+    pub fn new(cluster_size: u32) -> Self {
+        assert!(cluster_size > 0, "cluster must have at least one node");
+        ReservationBook {
+            cluster_size,
+            reservations: BTreeMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// The cluster size this book plans for.
+    pub fn cluster_size(&self) -> u32 {
+        self.cluster_size
+    }
+
+    /// Number of live reservations.
+    pub fn len(&self) -> usize {
+        self.reservations.len()
+    }
+
+    /// Whether the book is empty.
+    pub fn is_empty(&self) -> bool {
+        self.reservations.is_empty()
+    }
+
+    /// Iterates over live reservations in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (ReservationId, &Reservation)> {
+        self.reservations.iter().map(|(id, r)| (*id, r))
+    }
+
+    /// Commits `partition` to `job` over `interval`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReservationError::Conflict`] if any node of `partition` is
+    /// already committed during an overlapping interval,
+    /// [`ReservationError::UnknownNode`] for out-of-range nodes, and
+    /// [`ReservationError::EmptyInterval`] for empty intervals.
+    pub fn add(
+        &mut self,
+        job: JobId,
+        partition: Partition,
+        interval: TimeWindow,
+    ) -> Result<ReservationId, ReservationError> {
+        if interval.is_empty() {
+            return Err(ReservationError::EmptyInterval);
+        }
+        if let Some(n) = partition
+            .iter()
+            .find(|n| n.index() >= self.cluster_size as usize)
+        {
+            return Err(ReservationError::UnknownNode(n));
+        }
+        for (id, r) in &self.reservations {
+            if windows_overlap(r.interval, interval) && r.partition.overlaps(&partition) {
+                return Err(ReservationError::Conflict { existing: *id });
+            }
+        }
+        let id = ReservationId(self.next_id);
+        self.next_id += 1;
+        self.reservations.insert(
+            id,
+            Reservation {
+                job,
+                partition,
+                interval,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Releases a reservation, returning it if it existed.
+    pub fn remove(&mut self, id: ReservationId) -> Option<Reservation> {
+        self.reservations.remove(&id)
+    }
+
+    /// Truncates a reservation's end to `end` (used when a job finishes
+    /// early thanks to skipped checkpoints). Removes it entirely if `end`
+    /// precedes its start.
+    pub fn truncate(&mut self, id: ReservationId, end: SimTime) {
+        let remove = match self.reservations.get_mut(&id) {
+            Some(r) if end <= r.interval.start() => true,
+            Some(r) => {
+                r.interval = TimeWindow::new(r.interval.start(), end.min(r.interval.end()));
+                false
+            }
+            None => false,
+        };
+        if remove {
+            self.reservations.remove(&id);
+        }
+    }
+
+    /// Nodes free (uncommitted and not in `exclude`) for the *entire*
+    /// `window`, sorted.
+    pub fn free_nodes_during(&self, window: TimeWindow, exclude: &[NodeId]) -> Vec<NodeId> {
+        let mut busy = vec![false; self.cluster_size as usize];
+        for n in exclude {
+            if n.index() < busy.len() {
+                busy[n.index()] = true;
+            }
+        }
+        for r in self.reservations.values() {
+            if windows_overlap(r.interval, window) {
+                for n in r.partition.iter() {
+                    busy[n.index()] = true;
+                }
+            }
+        }
+        (0..self.cluster_size)
+            .map(NodeId::new)
+            .filter(|n| !busy[n.index()])
+            .collect()
+    }
+
+    /// Sorted, deduplicated candidate start times at or after `from`:
+    /// `from` itself plus every reservation start/end after it.
+    pub fn change_points(&self, from: SimTime) -> Vec<SimTime> {
+        let mut points = vec![from];
+        for r in self.reservations.values() {
+            for t in [r.interval.start(), r.interval.end()] {
+                if t > from {
+                    points.push(t);
+                }
+            }
+        }
+        points.sort_unstable();
+        points.dedup();
+        points
+    }
+
+    /// Enumerates up to `max_slots` feasible placement opportunities for a
+    /// job of `size` nodes and `duration`, starting at or after `from`,
+    /// treating `exclude` as unusable (e.g. currently-down nodes when
+    /// `from` is "now").
+    ///
+    /// Slots are returned in increasing start-time order. The final change
+    /// point (after which the machine is idle) guarantees at least one slot
+    /// whenever `size ≤ cluster_size − exclude.len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0` or `duration` is zero.
+    pub fn earliest_slots(
+        &self,
+        size: u32,
+        duration: SimDuration,
+        from: SimTime,
+        exclude: &[NodeId],
+        max_slots: usize,
+    ) -> Vec<Slot> {
+        assert!(size > 0, "job size must be positive");
+        assert!(!duration.is_zero(), "duration must be positive");
+        let mut out = Vec::new();
+        for t in self.change_points(from) {
+            if out.len() >= max_slots {
+                break;
+            }
+            let window = TimeWindow::starting_at(t, duration);
+            let free = self.free_nodes_during(window, exclude);
+            if free.len() >= size as usize {
+                out.push(Slot { start: t, free });
+            }
+        }
+        out
+    }
+}
+
+fn windows_overlap(a: TimeWindow, b: TimeWindow) -> bool {
+    a.start() < b.end() && b.start() < a.end()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(a: u64, b: u64) -> TimeWindow {
+        TimeWindow::new(SimTime::from_secs(a), SimTime::from_secs(b))
+    }
+
+    #[test]
+    fn add_and_remove() {
+        let mut book = ReservationBook::new(4);
+        let id = book
+            .add(JobId::new(1), Partition::contiguous(0, 2), w(0, 10))
+            .unwrap();
+        assert_eq!(book.len(), 1);
+        let r = book.remove(id).unwrap();
+        assert_eq!(r.job, JobId::new(1));
+        assert!(book.is_empty());
+        assert!(book.remove(id).is_none());
+    }
+
+    #[test]
+    fn conflicting_reservation_rejected() {
+        let mut book = ReservationBook::new(4);
+        let id = book
+            .add(JobId::new(1), Partition::contiguous(0, 2), w(0, 10))
+            .unwrap();
+        let err = book
+            .add(JobId::new(2), Partition::contiguous(1, 2), w(5, 15))
+            .unwrap_err();
+        assert_eq!(err, ReservationError::Conflict { existing: id });
+        // Disjoint in time is fine.
+        book.add(JobId::new(3), Partition::contiguous(1, 2), w(10, 15))
+            .unwrap();
+        // Disjoint in nodes is fine.
+        book.add(JobId::new(4), Partition::contiguous(2, 2), w(0, 10))
+            .unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let mut book = ReservationBook::new(4);
+        assert_eq!(
+            book.add(JobId::new(1), Partition::contiguous(3, 2), w(0, 10)),
+            Err(ReservationError::UnknownNode(NodeId::new(4)))
+        );
+        assert_eq!(
+            book.add(JobId::new(1), Partition::contiguous(0, 1), w(5, 5)),
+            Err(ReservationError::EmptyInterval)
+        );
+        for e in [
+            ReservationError::Conflict {
+                existing: ReservationId(0),
+            },
+            ReservationError::UnknownNode(NodeId::new(9)),
+            ReservationError::EmptyInterval,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn free_nodes_respects_reservations_and_exclusions() {
+        let mut book = ReservationBook::new(4);
+        book.add(JobId::new(1), Partition::contiguous(0, 2), w(10, 20))
+            .unwrap();
+        // Window before the reservation: everything free.
+        assert_eq!(book.free_nodes_during(w(0, 10), &[]).len(), 4);
+        // Overlapping window: nodes 0-1 busy.
+        let free = book.free_nodes_during(w(15, 25), &[]);
+        assert_eq!(free, vec![NodeId::new(2), NodeId::new(3)]);
+        // Exclusion on top.
+        let free = book.free_nodes_during(w(15, 25), &[NodeId::new(2)]);
+        assert_eq!(free, vec![NodeId::new(3)]);
+    }
+
+    #[test]
+    fn earliest_slot_backfills_holes() {
+        let mut book = ReservationBook::new(4);
+        // Nodes 0-3 busy during [100, 200); the hole [0, 100) is open.
+        book.add(JobId::new(1), Partition::contiguous(0, 4), w(100, 200))
+            .unwrap();
+        // A short job fits in the hole...
+        let slots = book.earliest_slots(2, SimDuration::from_secs(50), SimTime::ZERO, &[], 1);
+        assert_eq!(slots[0].start, SimTime::ZERO);
+        // ...a long one must wait for the reservation to end.
+        let slots = book.earliest_slots(2, SimDuration::from_secs(150), SimTime::ZERO, &[], 1);
+        assert_eq!(slots[0].start, SimTime::from_secs(200));
+    }
+
+    #[test]
+    fn slots_are_in_increasing_start_order() {
+        let mut book = ReservationBook::new(4);
+        book.add(JobId::new(1), Partition::contiguous(0, 3), w(0, 100))
+            .unwrap();
+        book.add(JobId::new(2), Partition::contiguous(0, 3), w(150, 300))
+            .unwrap();
+        let slots = book.earliest_slots(2, SimDuration::from_secs(40), SimTime::ZERO, &[], 10);
+        assert!(slots.windows(2).all(|s| s[0].start < s[1].start));
+        // First feasible: the gap [100, 150) fits a 40 s job on 3+ nodes.
+        assert_eq!(slots[0].start, SimTime::from_secs(100));
+    }
+
+    #[test]
+    fn always_finds_a_slot_after_everything_ends() {
+        let mut book = ReservationBook::new(2);
+        book.add(JobId::new(1), Partition::contiguous(0, 2), w(0, 1000))
+            .unwrap();
+        let slots = book.earliest_slots(2, SimDuration::from_secs(9999), SimTime::ZERO, &[], 1);
+        assert_eq!(slots.len(), 1);
+        assert_eq!(slots[0].start, SimTime::from_secs(1000));
+    }
+
+    #[test]
+    fn truncate_shrinks_or_removes() {
+        let mut book = ReservationBook::new(4);
+        let id = book
+            .add(JobId::new(1), Partition::contiguous(0, 2), w(10, 100))
+            .unwrap();
+        book.truncate(id, SimTime::from_secs(50));
+        assert_eq!(book.free_nodes_during(w(50, 60), &[]).len(), 4);
+        assert_eq!(book.free_nodes_during(w(40, 50), &[]).len(), 2);
+        // Truncating to before the start removes it.
+        book.truncate(id, SimTime::from_secs(5));
+        assert!(book.is_empty());
+        // Truncating a missing id is a no-op.
+        book.truncate(id, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn truncate_never_extends() {
+        let mut book = ReservationBook::new(4);
+        let id = book
+            .add(JobId::new(1), Partition::contiguous(0, 2), w(10, 100))
+            .unwrap();
+        book.truncate(id, SimTime::from_secs(500));
+        assert_eq!(book.free_nodes_during(w(100, 200), &[]).len(), 4);
+    }
+
+    #[test]
+    fn change_points_sorted_unique() {
+        let mut book = ReservationBook::new(4);
+        book.add(JobId::new(1), Partition::contiguous(0, 1), w(10, 20))
+            .unwrap();
+        book.add(JobId::new(2), Partition::contiguous(1, 1), w(10, 30))
+            .unwrap();
+        let pts = book.change_points(SimTime::from_secs(5));
+        assert_eq!(
+            pts,
+            vec![
+                SimTime::from_secs(5),
+                SimTime::from_secs(10),
+                SimTime::from_secs(20),
+                SimTime::from_secs(30)
+            ]
+        );
+        // Points at or before `from` are dropped.
+        let pts = book.change_points(SimTime::from_secs(20));
+        assert_eq!(pts, vec![SimTime::from_secs(20), SimTime::from_secs(30)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "size must be positive")]
+    fn zero_size_slot_query_panics() {
+        let book = ReservationBook::new(2);
+        let _ = book.earliest_slots(0, SimDuration::from_secs(1), SimTime::ZERO, &[], 1);
+    }
+}

@@ -1,0 +1,179 @@
+//! Plain-text table and CSV rendering for experiment output.
+//!
+//! The experiment harness prints the same rows/series the paper reports;
+//! this module keeps that formatting in one place, with no serialization
+//! dependencies.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table builder.
+///
+/// # Examples
+///
+/// ```
+/// use pqos_sim_core::table::Table;
+///
+/// let mut t = Table::new(vec!["log".into(), "avg nodes".into()]);
+/// t.row(vec!["NASA".into(), "6.3".into()]);
+/// t.row(vec!["SDSC".into(), "9.7".into()]);
+/// let text = t.render();
+/// assert!(text.contains("NASA"));
+/// assert!(text.lines().count() >= 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `header` is empty.
+    pub fn new(header: Vec<String>) -> Self {
+        assert!(!header.is_empty(), "table needs at least one column");
+        Table {
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as an aligned plain-text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<width$}", width = widths[i]);
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Renders as RFC-4180-ish CSV (quotes cells containing `,`, `"`, or
+    /// newlines).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |cell: &str| -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|c| esc(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with `digits` decimal places, trimming to a compact form.
+pub fn fnum(x: f64, digits: usize) -> String {
+    format!("{x:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(vec!["a".into(), "bb".into()]);
+        t.row(vec!["xxx".into(), "y".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[2].starts_with("xxx"));
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let mut t = Table::new(vec!["h".into()]);
+        t.row(vec!["a,b".into()]);
+        t.row(vec!["say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn fnum_formats() {
+        assert_eq!(fnum(0.123456, 3), "0.123");
+        assert_eq!(fnum(2.0, 1), "2.0");
+    }
+
+    #[test]
+    fn empty_len() {
+        let t = Table::new(vec!["a".into()]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Capacity planning: how much offered load can the cluster absorb while
+//! still keeping its promises?
+//!
+//! Sweeps the offered load of an SDSC-like workload and reports QoS,
+//! utilization, mean wait, and lost work at two prediction accuracies —
+//! the kind of study an operator would run before committing to
+//! service-level agreements.
+//!
+//! ```sh
+//! cargo run --release -p pqos-core --example capacity_planning
+//! ```
+
+use pqos_core::config::SimConfig;
+use pqos_core::system::QosSimulator;
+use pqos_core::user::UserStrategy;
+use pqos_failures::synthetic::AixLikeTrace;
+use pqos_sim_core::table::{fnum, Table};
+use pqos_workload::synthetic::{LogModel, SyntheticLog};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = Arc::new(AixLikeTrace::new().days(200.0).seed(11).build());
+    let mut table = Table::new(vec![
+        "offered load".into(),
+        "a".into(),
+        "QoS".into(),
+        "utilization".into(),
+        "mean wait (s)".into(),
+        "lost work (node-s)".into(),
+    ]);
+    for load in [0.5, 0.65, 0.8, 0.95] {
+        for accuracy in [0.0, 0.9] {
+            let log = SyntheticLog::new(LogModel::SdscSp2)
+                .jobs(2_000)
+                .seed(11)
+                .offered_load(load)
+                .build();
+            let config = SimConfig::paper_defaults()
+                .accuracy(accuracy)
+                .user(UserStrategy::risk_threshold(0.5)?);
+            let report = QosSimulator::new(config, log, Arc::clone(&trace))
+                .run()
+                .report;
+            table.row(vec![
+                fnum(load, 2),
+                fnum(accuracy, 1),
+                fnum(report.qos, 4),
+                fnum(report.utilization, 4),
+                fnum(report.mean_wait_secs, 0),
+                report.lost_work.to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!("Higher offered load buys utilization at the cost of queueing;");
+    println!("forecasting (a=0.9) claws back QoS and lost work at every load point.");
+    Ok(())
+}

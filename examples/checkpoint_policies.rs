@@ -1,0 +1,62 @@
+//! Checkpoint-policy comparison on a single workload: never checkpoint,
+//! classic periodic, the paper's literal Eq. 1 risk-based gate, and the
+//! hybrid (Eq. 1 with a periodic default) the headline experiments use.
+//!
+//! ```sh
+//! cargo run --release -p pqos-core --example checkpoint_policies
+//! ```
+
+use pqos_core::config::{CheckpointPolicyKind, SimConfig};
+use pqos_core::system::QosSimulator;
+use pqos_core::user::UserStrategy;
+use pqos_failures::synthetic::AixLikeTrace;
+use pqos_sim_core::table::{fnum, Table};
+use pqos_workload::synthetic::{LogModel, SyntheticLog};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let log = SyntheticLog::new(LogModel::SdscSp2)
+        .jobs(2_000)
+        .seed(13)
+        .build();
+    let trace = Arc::new(AixLikeTrace::new().days(200.0).seed(13).build());
+
+    let mut table = Table::new(vec![
+        "policy".into(),
+        "a".into(),
+        "QoS".into(),
+        "lost work (node-s)".into(),
+        "ckpt performed".into(),
+        "ckpt skipped".into(),
+    ]);
+    for kind in [
+        CheckpointPolicyKind::None,
+        CheckpointPolicyKind::Periodic,
+        CheckpointPolicyKind::RiskBased,
+        CheckpointPolicyKind::RiskBasedWithDefault,
+    ] {
+        for accuracy in [0.0, 1.0] {
+            let config = SimConfig::paper_defaults()
+                .accuracy(accuracy)
+                .user(UserStrategy::risk_threshold(0.5)?)
+                .checkpoint_policy(kind);
+            let r = QosSimulator::new(config, log.clone(), Arc::clone(&trace))
+                .run()
+                .report;
+            table.row(vec![
+                kind.name().into(),
+                fnum(accuracy, 1),
+                fnum(r.qos, 4),
+                r.lost_work.to_string(),
+                r.checkpoints_performed.to_string(),
+                r.checkpoints_skipped.to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!("Eq. 1 taken literally checkpoints only when a failure is predicted —");
+    println!("cheap at a=1, catastrophic at a=0. The hybrid keeps the periodic");
+    println!("safety net when the predictor is silent, matching the paper's");
+    println!("measured a=0 behaviour (see DESIGN.md).");
+    Ok(())
+}

@@ -1,0 +1,111 @@
+//! Predictor quality: derive a failure trace the way the paper did (raw
+//! RAS log → severity/temporal/spatial filtering), then compare the
+//! idealized trace oracle against the practical online predictors.
+//!
+//! ```sh
+//! cargo run --release -p pqos-core --example predictor_quality
+//! ```
+
+use pqos_failures::filter::{filter_events, FilterConfig};
+use pqos_failures::synthetic::RawLogBuilder;
+use pqos_failures::trace::FailureTrace;
+use pqos_predict::api::Predictor;
+use pqos_predict::eval::{evaluate_per_node, evaluate_per_node_with_threshold};
+use pqos_predict::online::{PatternPredictor, RateEstimator};
+use pqos_predict::oracle::TraceOracle;
+use pqos_sim_core::table::{fnum, Table};
+use pqos_sim_core::time::SimDuration;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Generate a raw RAS log: critical events with duplicate chatter,
+    //    precursor warnings, shared-root-cause bursts, and noise.
+    let raw = RawLogBuilder::new().days(120.0).seed(5).build();
+    println!(
+        "raw log: {} events, {} ground-truth failures",
+        raw.events.len(),
+        raw.ground_truth.len()
+    );
+
+    // 2. Filter it (severity → temporal → spatial), as in §4.3.
+    let (records, stats) = filter_events(&raw.events, FilterConfig::default());
+    println!(
+        "filtered: kept {} (dropped {} severity, {} temporal, {} spatial)",
+        stats.kept, stats.dropped_severity, stats.dropped_temporal, stats.dropped_spatial
+    );
+
+    // 3. Assign static detectabilities to get the replayable trace.
+    let trace = Arc::new(FailureTrace::from_records(&records, 5));
+    println!("trace: {}\n", trace.stats());
+
+    // 4. Train the rate model on the first half of the trace.
+    let split = trace.failures()[trace.len() / 2].time;
+    let mut rate = RateEstimator::new(SimDuration::from_days(14), 0.7);
+    for f in trace.iter().take_while(|f| f.time < split) {
+        rate.observe_failure(f.node, f.time);
+    }
+
+    let mut table = Table::new(vec![
+        "predictor".into(),
+        "horizon".into(),
+        "recall".into(),
+        "precision".into(),
+        "false-positive rate".into(),
+    ]);
+    let mut add = |name: &str, p: &dyn Predictor, horizon: SimDuration, threshold: f64| {
+        let q = evaluate_per_node_with_threshold(&p, &trace, 128, horizon, horizon, threshold);
+        table.row(vec![
+            name.into(),
+            format!("{}h", horizon.as_hours_f64()),
+            fnum(q.recall().unwrap_or(0.0), 3),
+            q.precision()
+                .map(|v| fnum(v, 3))
+                .unwrap_or_else(|| "-".into()),
+            fnum(q.false_positive_rate().unwrap_or(0.0), 3),
+        ]);
+    };
+    let half_day = SimDuration::from_hours(12);
+    for a in [0.1, 0.7, 1.0] {
+        let oracle = TraceOracle::new(Arc::clone(&trace), a)?;
+        add(&format!("trace oracle (a={a:.1})"), &oracle, half_day, 0.0);
+    }
+    // The rate model always reports a nonzero probability (it carries a
+    // prior), so it is evaluated with a firing threshold.
+    add("decayed-rate estimator (p>0.05)", &rate, half_day, 0.05);
+    println!("{}", table.render());
+
+    // 5. The pattern detector is causal — its state only means something at
+    //    "now" — so it is evaluated by online replay: before each critical
+    //    event, ask whether the detector was already firing for that node.
+    let mut pattern = PatternPredictor::new(SimDuration::from_hours(1), 3, 0.7);
+    let truth: std::collections::HashSet<_> =
+        raw.ground_truth.iter().map(|e| (e.time, e.node)).collect();
+    let (mut hits, mut misses) = (0u32, 0u32);
+    for e in &raw.events {
+        // Query only at the ground-truth failures, not at their duplicate
+        // critical chatter (which the real pipeline coalesces away).
+        if e.severity.is_critical() && truth.contains(&(e.time, e.node)) {
+            let window =
+                pqos_sim_core::time::TimeWindow::starting_at(e.time, SimDuration::from_hours(1));
+            if pattern.failure_probability(&[e.node], window) > 0.0 {
+                hits += 1;
+            } else {
+                misses += 1;
+            }
+        }
+        pattern.observe_raw(e);
+    }
+    println!(
+        "precursor-pattern detector (online replay): firing before {}/{} failures ({:.0}%)",
+        hits,
+        hits + misses,
+        100.0 * f64::from(hits) / f64::from(hits + misses)
+    );
+    println!();
+    println!("The oracle's recall tracks `a` with zero false positives (§4.3);");
+    println!("the rate model finds the lemon nodes at the cost of false positives;");
+    println!("the pattern detector's warning rate is bounded by the fraction of");
+    println!("failures that emit precursors (70% here, as in Sahoo et al.).");
+    let _ = evaluate_per_node::<pqos_predict::api::NullPredictor>; // both evaluators referenced
+    Ok(())
+}

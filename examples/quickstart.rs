@@ -1,0 +1,50 @@
+//! Quickstart: run the probabilistic-QoS system on a synthetic SDSC-like
+//! workload and a year of synthetic failures, and print the paper's three
+//! headline metrics.
+//!
+//! ```sh
+//! cargo run --release -p pqos-core --example quickstart
+//! ```
+
+use pqos_core::config::SimConfig;
+use pqos_core::system::QosSimulator;
+use pqos_core::user::UserStrategy;
+use pqos_failures::synthetic::AixLikeTrace;
+use pqos_workload::synthetic::{LogModel, SyntheticLog};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 2,000-job slice of an SDSC-SP2-like workload (the paper uses
+    // 10,000 jobs; this keeps the quickstart under a second).
+    let log = SyntheticLog::new(LogModel::SdscSp2)
+        .jobs(2_000)
+        .seed(7)
+        .build();
+    println!("workload: {}", log.stats());
+
+    // A year of bursty, lemon-heavy failures on 128 nodes (§4.3).
+    let trace = Arc::new(AixLikeTrace::new().days(365.0).seed(7).build());
+    println!("failures: {}", trace.stats());
+
+    // The paper's Table 2 system with a 70%-accurate predictor and users
+    // who demand at least a 50% probability of success (Eq. 3).
+    let config = SimConfig::paper_defaults()
+        .accuracy(0.7)
+        .user(UserStrategy::risk_threshold(0.5)?);
+
+    let output = QosSimulator::new(config, log, trace).run();
+    let r = &output.report;
+    println!();
+    println!("QoS (Eq. 2)        {:.4}", r.qos);
+    println!("utilization        {:.4}", r.utilization);
+    println!("lost work          {} node-seconds", r.lost_work);
+    println!(
+        "deadline misses    {}/{} jobs ({} hit by failures)",
+        r.deadline_misses, r.jobs, r.job_failures
+    );
+    println!(
+        "checkpoints        {} performed, {} skipped",
+        r.checkpoints_performed, r.checkpoints_skipped
+    );
+    Ok(())
+}

@@ -1,0 +1,393 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! simulator's invariants.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use pqos_ckpt::model::planned_execution;
+use pqos_cluster::node::NodeId;
+use pqos_cluster::partition::Partition;
+use pqos_core::config::SimConfig;
+use pqos_core::system::QosSimulator;
+use pqos_core::user::UserStrategy;
+use pqos_failures::trace::{Failure, FailureTrace};
+use pqos_predict::api::Predictor;
+use pqos_predict::oracle::TraceOracle;
+use pqos_sched::reservation::ReservationBook;
+use pqos_sim_core::queue::EventQueue;
+use pqos_sim_core::stats::OnlineStats;
+use pqos_sim_core::time::{SimDuration, SimTime, TimeWindow};
+use pqos_workload::job::{Job, JobId};
+use pqos_workload::log::JobLog;
+use pqos_workload::swf::{parse_swf, to_swf};
+
+proptest! {
+    /// The event queue pops in exact (time, priority, insertion) order.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(
+        entries in prop::collection::vec((0u64..1000, 0u8..4), 1..200)
+    ) {
+        let mut q = EventQueue::new();
+        for (i, (t, p)) in entries.iter().enumerate() {
+            q.push_with_priority(SimTime::from_secs(*t), *p, i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            popped.push((t, entries[i].1, i));
+        }
+        prop_assert_eq!(popped.len(), entries.len());
+        for w in popped.windows(2) {
+            let (t1, p1, s1) = w[0];
+            let (t2, p2, s2) = w[1];
+            prop_assert!(
+                (t1, p1, s1) < (t2, p2, s2),
+                "order violated: {:?} then {:?}", w[0], w[1]
+            );
+        }
+    }
+
+    /// Partitions are always sorted and duplicate-free regardless of input.
+    #[test]
+    fn partition_canonical_form(nodes in prop::collection::vec(0u32..64, 1..64)) {
+        let p = Partition::new(nodes.iter().copied().map(NodeId::new)).expect("non-empty");
+        let slice = p.as_slice();
+        prop_assert!(slice.windows(2).all(|w| w[0] < w[1]));
+        for n in &nodes {
+            prop_assert!(p.contains(NodeId::new(*n)));
+        }
+    }
+
+    /// Overlap is symmetric and consistent with intersection of node sets.
+    #[test]
+    fn partition_overlap_matches_set_intersection(
+        a in prop::collection::vec(0u32..32, 1..16),
+        b in prop::collection::vec(0u32..32, 1..16),
+    ) {
+        let pa = Partition::new(a.iter().copied().map(NodeId::new)).expect("non-empty");
+        let pb = Partition::new(b.iter().copied().map(NodeId::new)).expect("non-empty");
+        let expected = a.iter().any(|x| b.contains(x));
+        prop_assert_eq!(pa.overlaps(&pb), expected);
+        prop_assert_eq!(pa.overlaps(&pb), pb.overlaps(&pa));
+    }
+
+    /// Merging statistics accumulators matches single-pass accumulation.
+    #[test]
+    fn online_stats_merge_is_associative(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..200),
+        split in 0usize..200,
+    ) {
+        let split = split.min(xs.len());
+        let all: OnlineStats = xs.iter().copied().collect();
+        let mut left: OnlineStats = xs[..split].iter().copied().collect();
+        let right: OnlineStats = xs[split..].iter().copied().collect();
+        left.merge(&right);
+        prop_assert_eq!(left.count(), all.count());
+        prop_assert!((left.mean() - all.mean()).abs() < 1e-6);
+        prop_assert!((left.population_variance() - all.population_variance()).abs() < 1e-3);
+    }
+
+    /// SWF serialization round-trips any valid job log.
+    #[test]
+    fn swf_round_trip(jobs in prop::collection::vec((0u64..100_000, 1u32..256, 1u64..1_000_000), 0..60)) {
+        let jobs: Vec<Job> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, (arrive, nodes, runtime))| {
+                Job::new(
+                    JobId::new(i as u64),
+                    SimTime::from_secs(*arrive),
+                    *nodes,
+                    SimDuration::from_secs(*runtime),
+                )
+                .expect("valid")
+            })
+            .collect();
+        let log = JobLog::new(jobs).expect("unique ids");
+        let parsed = parse_swf(&to_swf(&log)).expect("round trip");
+        prop_assert_eq!(parsed.log, log);
+        prop_assert_eq!(parsed.skipped, 0);
+    }
+
+    /// The trace oracle never returns a probability above its accuracy,
+    /// never fires on an empty window, and fires only when a detectable
+    /// failure is inside the window.
+    #[test]
+    fn oracle_bounded_by_accuracy(
+        failures in prop::collection::vec((0u64..10_000, 0u32..16, 0.0f64..1.0), 0..100),
+        accuracy in 0.0f64..1.0,
+        start in 0u64..10_000,
+        len in 1u64..5_000,
+    ) {
+        let trace = Arc::new(FailureTrace::new(
+            failures
+                .iter()
+                .map(|&(t, n, px)| Failure {
+                    time: SimTime::from_secs(t),
+                    node: NodeId::new(n),
+                    detectability: px,
+                })
+                .collect(),
+        ).expect("valid detectabilities"));
+        let oracle = TraceOracle::new(Arc::clone(&trace), accuracy).expect("valid accuracy");
+        let nodes: Vec<NodeId> = (0..16).map(NodeId::new).collect();
+        let window = TimeWindow::new(
+            SimTime::from_secs(start),
+            SimTime::from_secs(start + len),
+        );
+        let pf = oracle.failure_probability(&nodes, window);
+        prop_assert!(pf <= accuracy + 1e-12, "pf {pf} > a {accuracy}");
+        let any_detectable = failures.iter().any(|&(t, _, px)| {
+            window.contains(SimTime::from_secs(t)) && px <= accuracy
+        });
+        prop_assert_eq!(pf > 0.0, any_detectable && pf > 0.0);
+        if !any_detectable {
+            prop_assert_eq!(pf, 0.0);
+        }
+        // Empty window never fires.
+        let empty = TimeWindow::new(SimTime::from_secs(start), SimTime::from_secs(start));
+        prop_assert_eq!(oracle.failure_probability(&nodes, empty), 0.0);
+    }
+
+    /// Reservation books never double-book: after any sequence of adds,
+    /// every pair of overlapping-time reservations is node-disjoint, and
+    /// `free_nodes_during` never reports a committed node.
+    #[test]
+    fn reservation_book_never_double_books(
+        requests in prop::collection::vec((0u32..16, 1u32..8, 0u64..500, 1u64..200), 1..40)
+    ) {
+        let mut book = ReservationBook::new(16);
+        for (i, (start_node, len, t, dur)) in requests.iter().enumerate() {
+            let first = (*start_node).min(15);
+            let size = (*len).min(16 - first);
+            if size == 0 {
+                continue;
+            }
+            let partition = Partition::contiguous(first, size);
+            let window = TimeWindow::new(
+                SimTime::from_secs(*t),
+                SimTime::from_secs(t + dur),
+            );
+            // Adds may fail with conflicts; that is the point.
+            let _ = book.add(JobId::new(i as u64), partition, window);
+        }
+        let all: Vec<_> = book.iter().map(|(_, r)| r.clone()).collect();
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                let time_overlap = a.interval.start() < b.interval.end()
+                    && b.interval.start() < a.interval.end();
+                if time_overlap {
+                    prop_assert!(!a.partition.overlaps(&b.partition));
+                }
+            }
+            let free = book.free_nodes_during(a.interval, &[]);
+            for n in a.partition.iter() {
+                prop_assert!(!free.contains(&n));
+            }
+        }
+    }
+
+    /// Execution plans: totals are runtime plus one overhead per request,
+    /// and requests never reach the finish boundary.
+    #[test]
+    fn execution_plan_arithmetic(
+        runtime in 1u64..1_000_000,
+        interval in 1u64..100_000,
+        overhead in 0u64..10_000,
+    ) {
+        let plan = planned_execution(
+            SimDuration::from_secs(runtime),
+            SimDuration::from_secs(interval),
+            SimDuration::from_secs(overhead),
+        );
+        prop_assert_eq!(
+            plan.total.as_secs(),
+            runtime + plan.requests * overhead
+        );
+        prop_assert!(plan.requests * interval < runtime);
+        prop_assert!((plan.requests + 1) * interval >= runtime);
+    }
+
+    /// End-to-end simulator invariants on arbitrary small workloads:
+    /// every job completes, metrics stay in range, and replay is
+    /// deterministic.
+    #[test]
+    fn simulator_invariants(
+        jobs in prop::collection::vec((0u64..5_000, 1u32..8, 30u64..7_000), 1..25),
+        failures in prop::collection::vec((0u64..20_000, 0u32..8, 0.0f64..1.0), 0..12),
+        accuracy in 0.0f64..1.0,
+        threshold in 0.0f64..1.0,
+    ) {
+        let log = JobLog::new(
+            jobs.iter()
+                .enumerate()
+                .map(|(i, (arrive, nodes, runtime))| {
+                    Job::new(
+                        JobId::new(i as u64),
+                        SimTime::from_secs(*arrive),
+                        *nodes,
+                        SimDuration::from_secs(*runtime),
+                    )
+                    .expect("valid")
+                })
+                .collect(),
+        )
+        .expect("unique ids");
+        let trace = Arc::new(FailureTrace::new(
+            failures
+                .iter()
+                .map(|&(t, n, px)| Failure {
+                    time: SimTime::from_secs(t),
+                    node: NodeId::new(n),
+                    detectability: px,
+                })
+                .collect(),
+        ).expect("valid"));
+        let config = SimConfig::paper_defaults()
+            .cluster_size_nodes(8)
+            .accuracy(accuracy)
+            .user(UserStrategy::risk_threshold(threshold).expect("valid"));
+        let out = QosSimulator::new(config.clone(), log.clone(), Arc::clone(&trace)).run();
+        prop_assert_eq!(out.report.jobs + out.rejected.len(), jobs.len());
+        prop_assert!(out.report.qos >= 0.0 && out.report.qos <= 1.0 + 1e-12);
+        prop_assert!(out.report.utilization >= 0.0 && out.report.utilization <= 1.0 + 1e-12);
+        prop_assert!(out.report.qos <= out.report.mean_promise + 1e-9);
+        for o in out.collector.outcomes() {
+            prop_assert!(o.finish >= o.arrival);
+            prop_assert!(o.last_start >= o.arrival);
+            prop_assert!((0.0..=1.0).contains(&o.promised));
+        }
+        // Deterministic replay.
+        let again = QosSimulator::new(config, log, trace).run();
+        prop_assert_eq!(out.report, again.report);
+    }
+}
+
+proptest! {
+    /// The filtering pipeline's temporal invariant: no two kept failures on
+    /// the same node are closer than the coalescing window.
+    #[test]
+    fn filter_output_has_no_same_node_clusters(
+        events in prop::collection::vec((0u64..200_000, 0u32..8, 0u8..5, 0u8..5), 0..150)
+    ) {
+        use pqos_failures::event::{RawEvent, Severity, Subsystem};
+        use pqos_failures::filter::{filter_events, FilterConfig};
+        let sev = [Severity::Info, Severity::Warning, Severity::Error, Severity::Fatal, Severity::Failure];
+        let sub = [Subsystem::Memory, Subsystem::Network, Subsystem::Storage, Subsystem::NodeSoftware, Subsystem::Power];
+        let raw: Vec<RawEvent> = events
+            .iter()
+            .map(|&(t, n, s, b)| RawEvent {
+                time: SimTime::from_secs(t),
+                node: NodeId::new(n),
+                severity: sev[s as usize],
+                subsystem: sub[b as usize],
+            })
+            .collect();
+        let config = FilterConfig::default();
+        let (kept, stats) = filter_events(&raw, config);
+        prop_assert_eq!(stats.kept, kept.len());
+        prop_assert_eq!(
+            stats.raw,
+            stats.kept + stats.dropped_severity + stats.dropped_temporal + stats.dropped_spatial
+        );
+        // Per-node minimum spacing.
+        for node in 0..8u32 {
+            let times: Vec<u64> = kept
+                .iter()
+                .filter(|f| f.node == NodeId::new(node))
+                .map(|f| f.time.as_secs())
+                .collect();
+            for w in times.windows(2) {
+                prop_assert!(
+                    w[1] - w[0] >= config.temporal_window.as_secs(),
+                    "node {node}: kept failures {w:?} within the window"
+                );
+            }
+        }
+    }
+
+    /// Every candidate partition any topology produces is valid for that
+    /// topology, has the requested size, and uses only free nodes.
+    #[test]
+    fn topology_candidates_are_valid(
+        free_bits in prop::collection::vec(any::<bool>(), 64),
+        size in 1usize..16,
+    ) {
+        use pqos_cluster::topology::Topology;
+        let free: Vec<NodeId> = free_bits
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| NodeId::new(i as u32))
+            .collect();
+        for topology in [
+            Topology::Flat,
+            Topology::Line,
+            Topology::Torus3d { x: 4, y: 4, z: 4 },
+        ] {
+            for c in topology.candidate_partitions(&free, size) {
+                prop_assert_eq!(c.len(), size);
+                prop_assert!(topology.is_valid_partition(&c), "{c} invalid for {topology}");
+                for n in c.iter() {
+                    prop_assert!(free.contains(&n), "{n} not free");
+                }
+            }
+        }
+    }
+
+    /// Negotiation postconditions: the accepted quote starts no earlier
+    /// than `now`, its deadline is exactly `start + duration`, the quoted
+    /// probability is a probability, and a threshold-satisfied outcome
+    /// really satisfies the threshold.
+    #[test]
+    fn negotiation_postconditions(
+        size in 1u32..8,
+        duration in 1u64..10_000,
+        threshold in 0.0f64..1.0,
+        failures in prop::collection::vec((0u64..50_000, 0u32..8, 0.0f64..1.0), 0..20),
+    ) {
+        use pqos_core::negotiate::{negotiate, NegotiationRequest};
+        use pqos_cluster::topology::Topology;
+        use pqos_predict::oracle::TraceOracle;
+        use pqos_sched::place::PlacementStrategy;
+        let trace = Arc::new(FailureTrace::new(
+            failures
+                .iter()
+                .map(|&(t, n, px)| Failure {
+                    time: SimTime::from_secs(t),
+                    node: NodeId::new(n),
+                    detectability: px,
+                })
+                .collect(),
+        ).expect("valid"));
+        let oracle = TraceOracle::new(trace, 1.0).expect("valid accuracy");
+        let book = ReservationBook::new(8);
+        let user = UserStrategy::risk_threshold(threshold).expect("valid");
+        let outcome = negotiate(
+            &book,
+            Topology::Flat,
+            PlacementStrategy::MinFailureProbability,
+            &oracle,
+            NegotiationRequest {
+                size,
+                duration: SimDuration::from_secs(duration),
+                now: SimTime::from_secs(1000),
+                down: &[],
+                recovery_horizon: SimTime::from_secs(1000),
+                pre_start_risk: SimDuration::from_secs(120),
+            },
+            &user,
+            8,
+            8,
+        )
+        .expect("job fits");
+        let q = &outcome.accepted;
+        prop_assert!(q.start >= SimTime::from_secs(1000));
+        prop_assert_eq!(q.deadline, q.start + SimDuration::from_secs(duration));
+        prop_assert!((0.0..=1.0).contains(&q.failure_probability));
+        prop_assert_eq!(q.partition.len(), size as usize);
+        if outcome.satisfied_threshold {
+            prop_assert!(q.promised_success() >= threshold);
+        }
+        prop_assert!(outcome.quotes_examined >= 1);
+    }
+}
