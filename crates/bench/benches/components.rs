@@ -1,12 +1,16 @@
-//! Criterion micro-benchmarks for the substrate components on the hot
-//! paths of the simulator: oracle window queries, slot enumeration,
-//! fault-aware placement, event-queue churn, the filtering pipeline, and
-//! workload generation.
+//! Micro-benchmarks (custom harness) for the substrate components on the
+//! hot paths of the simulator: oracle window queries, slot enumeration,
+//! fault-aware placement, event-queue churn, the filtering pipeline,
+//! workload generation, and the overhead of the telemetry layer.
+//!
+//! Scale via `PQOS_BENCH_SAMPLES` (default 15 samples per benchmark).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pqos_bench::timing::bench;
 use pqos_cluster::node::NodeId;
 use pqos_cluster::partition::Partition;
 use pqos_cluster::topology::Topology;
+use pqos_core::config::SimConfig;
+use pqos_core::system::QosSimulator;
 use pqos_failures::filter::{filter_events, FilterConfig};
 use pqos_failures::synthetic::{AixLikeTrace, RawLogBuilder};
 use pqos_predict::api::Predictor;
@@ -15,21 +19,23 @@ use pqos_sched::place::{choose_partition, PlacementStrategy};
 use pqos_sched::reservation::ReservationBook;
 use pqos_sim_core::queue::EventQueue;
 use pqos_sim_core::time::{SimDuration, SimTime, TimeWindow};
+use pqos_telemetry::Telemetry;
 use pqos_workload::job::JobId;
 use pqos_workload::synthetic::{LogModel, SyntheticLog};
+use std::hint::black_box;
 use std::sync::Arc;
 
-fn bench_oracle_query(c: &mut Criterion) {
+fn bench_oracle_query() {
     let trace = Arc::new(AixLikeTrace::new().days(365.0).seed(1).build());
     let oracle = TraceOracle::new(trace, 0.7).expect("valid accuracy");
     let nodes: Vec<NodeId> = (0..32).map(NodeId::new).collect();
     let window = TimeWindow::new(SimTime::from_secs(1_000_000), SimTime::from_secs(1_050_000));
-    c.bench_function("oracle_partition_query_32_nodes", |b| {
-        b.iter(|| black_box(oracle.failure_probability(black_box(&nodes), black_box(window))))
+    bench("oracle_partition_query_32_nodes", || {
+        oracle.failure_probability(black_box(&nodes), black_box(window))
     });
 }
 
-fn bench_reservation_slots(c: &mut Criterion) {
+fn bench_reservation_slots() {
     // A realistically-loaded book: 64 staggered commitments.
     let mut book = ReservationBook::new(128);
     for i in 0..64u64 {
@@ -44,80 +50,92 @@ fn bench_reservation_slots(c: &mut Criterion) {
         )
         .ok();
     }
-    c.bench_function("earliest_slots_loaded_book", |b| {
-        b.iter(|| {
-            black_box(book.earliest_slots(32, SimDuration::from_secs(3_600), SimTime::ZERO, &[], 8))
-        })
+    bench("earliest_slots_loaded_book", || {
+        book.earliest_slots(32, SimDuration::from_secs(3_600), SimTime::ZERO, &[], 8)
     });
 }
 
-fn bench_placement(c: &mut Criterion) {
+fn bench_placement() {
     let trace = Arc::new(AixLikeTrace::new().days(365.0).seed(2).build());
     let oracle = TraceOracle::new(trace, 1.0).expect("valid accuracy");
     let free: Vec<NodeId> = (0..128).map(NodeId::new).collect();
     let window = TimeWindow::new(SimTime::from_secs(500_000), SimTime::from_secs(600_000));
-    c.bench_function("choose_partition_min_pf_128_free", |b| {
-        b.iter(|| {
-            black_box(choose_partition(
-                Topology::Flat,
-                black_box(&free),
-                32,
-                window,
-                &oracle,
-                PlacementStrategy::MinFailureProbability,
-            ))
-        })
+    bench("choose_partition_min_pf_128_free", || {
+        choose_partition(
+            Topology::Flat,
+            black_box(&free),
+            32,
+            window,
+            &oracle,
+            PlacementStrategy::MinFailureProbability,
+        )
     });
 }
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..10_000u64 {
-                q.push(SimTime::from_secs((i * 7919) % 100_000), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, v)) = q.pop() {
-                sum = sum.wrapping_add(v);
-            }
-            black_box(sum)
-        })
+fn bench_event_queue() {
+    bench("event_queue_push_pop_10k", || {
+        let mut q = EventQueue::new();
+        for i in 0..10_000u64 {
+            q.push(SimTime::from_secs((i * 7919) % 100_000), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, v)) = q.pop() {
+            sum = sum.wrapping_add(v);
+        }
+        sum
     });
 }
 
-fn bench_filter_pipeline(c: &mut Criterion) {
+fn bench_filter_pipeline() {
     let raw = RawLogBuilder::new().days(90.0).seed(3).build();
-    c.bench_function("filter_pipeline_90_days", |b| {
-        b.iter(|| {
-            black_box(filter_events(
-                black_box(&raw.events),
-                FilterConfig::default(),
-            ))
-        })
+    bench("filter_pipeline_90_days", || {
+        filter_events(black_box(&raw.events), FilterConfig::default())
     });
 }
 
-fn bench_workload_generation(c: &mut Criterion) {
-    c.bench_function("synthesize_sdsc_10k_jobs", |b| {
-        b.iter(|| {
-            black_box(
-                SyntheticLog::new(LogModel::SdscSp2)
-                    .jobs(10_000)
-                    .seed(4)
-                    .build(),
-            )
-        })
+fn bench_workload_generation() {
+    bench("synthesize_sdsc_10k_jobs", || {
+        SyntheticLog::new(LogModel::SdscSp2)
+            .jobs(10_000)
+            .seed(4)
+            .build()
     });
 }
 
-criterion_group!(
-    benches,
-    bench_oracle_query,
-    bench_reservation_slots,
-    bench_placement,
-    bench_event_queue,
-    bench_filter_pipeline,
-    bench_workload_generation,
-);
-criterion_main!(benches);
+/// The cost of the telemetry layer on a full run: disabled telemetry must
+/// be within noise of the baseline, enabled telemetry (metrics + ring
+/// journal) is the price of observability.
+fn bench_telemetry_overhead() {
+    let trace = Arc::new(AixLikeTrace::new().days(120.0).seed(7).build());
+    let log = SyntheticLog::new(LogModel::SdscSp2)
+        .jobs(300)
+        .seed(7)
+        .build();
+    let config = SimConfig::paper_defaults();
+
+    let disabled = bench("simulate_300_jobs_telemetry_disabled", || {
+        QosSimulator::new(config.clone(), log.clone(), Arc::clone(&trace)).run()
+    });
+    let enabled = bench("simulate_300_jobs_telemetry_ring+metrics", || {
+        let telemetry = Telemetry::builder().ring_buffer(4096).build();
+        QosSimulator::new(config.clone(), log.clone(), Arc::clone(&trace))
+            .with_telemetry(telemetry)
+            .run()
+    });
+    println!(
+        "telemetry overhead: {:+.2}% (median {:.2} ms -> {:.2} ms)",
+        (enabled.median_ns / disabled.median_ns - 1.0) * 100.0,
+        disabled.median_ns / 1e6,
+        enabled.median_ns / 1e6,
+    );
+}
+
+fn main() {
+    bench_oracle_query();
+    bench_reservation_slots();
+    bench_placement();
+    bench_event_queue();
+    bench_filter_pipeline();
+    bench_workload_generation();
+    bench_telemetry_overhead();
+}

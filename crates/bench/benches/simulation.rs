@@ -1,8 +1,11 @@
-//! Criterion end-to-end simulation benchmarks: the full system at reduced
-//! workload scale, one bench per paper operating point, so performance
-//! regressions in the scheduler/negotiation hot path are visible.
+//! End-to-end simulation benchmarks (custom harness): the full system at
+//! reduced workload scale, one measurement per paper operating point, so
+//! performance regressions in the scheduler/negotiation hot path are
+//! visible.
+//!
+//! Scale via `PQOS_BENCH_SAMPLES` (default 15 samples per benchmark).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pqos_bench::timing::bench;
 use pqos_core::config::SimConfig;
 use pqos_core::system::QosSimulator;
 use pqos_core::user::UserStrategy;
@@ -10,26 +13,20 @@ use pqos_failures::synthetic::AixLikeTrace;
 use pqos_workload::synthetic::{LogModel, SyntheticLog};
 use std::sync::Arc;
 
-fn bench_end_to_end(c: &mut Criterion) {
+fn main() {
     let trace = Arc::new(AixLikeTrace::new().days(120.0).seed(7).build());
-    let mut group = c.benchmark_group("simulate_500_jobs");
-    group.sample_size(10);
     for model in [LogModel::NasaIpsc, LogModel::SdscSp2] {
         let log = SyntheticLog::new(model).jobs(500).seed(7).build();
         for (a, u) in [(0.0, 0.1), (1.0, 0.9)] {
-            let id = BenchmarkId::from_parameter(format!("{model}_a{a:.0}_U{u:.1}"));
-            group.bench_with_input(id, &(a, u), |b, &(a, u)| {
-                b.iter(|| {
+            bench(
+                &format!("simulate_500_jobs/{model}_a{a:.0}_U{u:.1}"),
+                || {
                     let config = SimConfig::paper_defaults()
                         .accuracy(a)
                         .user(UserStrategy::risk_threshold(u).expect("valid"));
-                    black_box(QosSimulator::new(config, log.clone(), Arc::clone(&trace)).run())
-                })
-            });
+                    QosSimulator::new(config, log.clone(), Arc::clone(&trace)).run()
+                },
+            );
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_end_to_end);
-criterion_main!(benches);

@@ -4,9 +4,13 @@
 //! cargo run --release -p pqos-bench --bin experiments -- all
 //! cargo run --release -p pqos-bench --bin experiments -- fig1 fig5 table1
 //! cargo run --release -p pqos-bench --bin experiments -- --jobs 2000 all
+//! cargo run --release -p pqos-bench --bin experiments -- --journal run.jsonl --metrics
 //! ```
 //!
 //! Tables are printed to stdout and mirrored as CSV under `results/`.
+//! `--journal <path>` and `--metrics` run one instrumented scenario with
+//! the telemetry layer attached: the journal is the JSONL event stream,
+//! the metrics snapshot is printed as a table.
 
 use pqos_bench::experiments::{
     ablation_checkpoint, ablation_diurnal, ablation_interval, ablation_scheduler,
@@ -20,6 +24,7 @@ use pqos_core::system::QosSimulator;
 use pqos_core::user::UserStrategy;
 use pqos_failures::trace::FailureTrace;
 use pqos_sim_core::table::{fnum, Table};
+use pqos_telemetry::Telemetry;
 use pqos_workload::synthetic::LogModel;
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -117,11 +122,42 @@ fn ablation_slack(opts: &SweepOptions, trace: &Arc<FailureTrace>) -> Table {
     t
 }
 
+/// Runs one instrumented SDSC scenario with the telemetry layer attached:
+/// events stream to `journal` (JSONL) when given, and the final metrics
+/// snapshot is printed when `metrics` is set.
+fn telemetry_run(jobs: usize, journal: Option<&str>, metrics: bool, trace: &Arc<FailureTrace>) {
+    let mut builder = Telemetry::builder().ring_buffer(4096);
+    if let Some(path) = journal {
+        builder = builder
+            .jsonl_path(path)
+            .unwrap_or_else(|e| die(&format!("cannot open journal {path}: {e}")));
+    }
+    let telemetry = builder.build();
+    let log = pqos_bench::standard_log(LogModel::SdscSp2, jobs);
+    let config = SimConfig::paper_defaults()
+        .accuracy(0.7)
+        .user(UserStrategy::risk_threshold(0.5).expect("valid"));
+    eprintln!("[telemetry] instrumented run: SDSC, {jobs} jobs, a=0.7, U=0.5");
+    let out = QosSimulator::new(config, log, Arc::clone(trace))
+        .with_telemetry(telemetry)
+        .run();
+    if let Some(path) = journal {
+        eprintln!("[telemetry] journal written to {path}");
+    }
+    if metrics {
+        let snapshot = out.telemetry.expect("telemetered run has a snapshot");
+        println!("== telemetry: metrics snapshot ==");
+        println!("{}", snapshot.render());
+    }
+}
+
 fn main() {
     let mut jobs = 10_000usize;
     let mut threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
+    let mut journal: Option<String> = None;
+    let mut metrics = false;
     let mut requested: BTreeSet<String> = BTreeSet::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -138,17 +174,31 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--threads needs a number"));
             }
+            "--journal" => {
+                journal = Some(args.next().unwrap_or_else(|| die("--journal needs a path")));
+            }
+            "--metrics" => {
+                metrics = true;
+            }
             "--help" | "-h" => {
                 usage();
                 return;
+            }
+            other if other.starts_with('-') => {
+                die(&format!("unknown flag {other} (see --help)"));
             }
             other => {
                 requested.insert(other.to_string());
             }
         }
     }
+    if journal.is_some() || metrics {
+        telemetry_run(jobs, journal.as_deref(), metrics, &standard_trace());
+    }
     if requested.is_empty() {
-        usage();
+        if journal.is_none() && !metrics {
+            usage();
+        }
         return;
     }
     let all = requested.contains("all");
@@ -329,10 +379,12 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage: experiments [--jobs N] [--threads K] <ids...>\n\
+        "usage: experiments [--jobs N] [--threads K] [--journal PATH] [--metrics] <ids...>\n\
          ids: all table1 table2 fig1..fig12 headline ablation-ckpt ablation-sched\n\
               ablation-slack ablation-interval ablation-topology ablation-diurnal\n\
-              online-predictor calibration"
+              online-predictor calibration\n\
+         --journal PATH  stream lifecycle events of one instrumented run as JSONL\n\
+         --metrics       print the metrics snapshot of that run"
     );
 }
 

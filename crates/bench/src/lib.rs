@@ -11,5 +11,7 @@
 
 pub mod experiments;
 pub mod scenario;
+pub mod timing;
 
 pub use scenario::{standard_log, standard_trace, Scenario, ScenarioResult};
+pub use timing::{bench, BenchResult};

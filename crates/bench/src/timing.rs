@@ -1,0 +1,135 @@
+//! A small self-contained benchmarking harness.
+//!
+//! The bench targets in `benches/` use this instead of an external harness
+//! so the workspace has no dev-dependencies to fetch. The methodology is
+//! the usual one: warm up, auto-calibrate a batch size so one sample is
+//! long enough for the clock to resolve, take many samples, and report the
+//! median (robust to scheduler noise) alongside mean and min.
+//!
+//! Scale the effort down for smoke runs with `PQOS_BENCH_SAMPLES` (default
+//! 15 samples per benchmark).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Timing summary for one benchmark, all in nanoseconds per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Iterations per sample after calibration.
+    pub batch: u64,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Median ns/iter across samples.
+    pub median_ns: f64,
+    /// Mean ns/iter across samples.
+    pub mean_ns: f64,
+    /// Fastest sample's ns/iter.
+    pub min_ns: f64,
+}
+
+impl BenchResult {
+    /// One-line human-readable report.
+    pub fn report(&self) -> String {
+        format!(
+            "{:<44} {:>12}/iter  (mean {}, min {}, {} samples x {} iters)",
+            self.name,
+            format_ns(self.median_ns),
+            format_ns(self.mean_ns),
+            format_ns(self.min_ns),
+            self.samples,
+            self.batch,
+        )
+    }
+}
+
+/// Formats a nanosecond quantity with an adaptive unit.
+pub fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Times `f`, prints a one-line report, and returns the summary.
+///
+/// The closure's return value is passed through [`black_box`] so the
+/// optimizer cannot delete the measured work.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> BenchResult {
+    let samples_wanted: usize = std::env::var("PQOS_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(15)
+        .max(3);
+
+    // Warm-up + calibration: find a batch size where one sample takes at
+    // least ~2 ms, so timer resolution is negligible.
+    let mut batch: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed.as_millis() >= 2 || batch >= 1 << 20 {
+            break;
+        }
+        // Grow towards the target based on the observed rate.
+        let per_iter = elapsed.as_nanos().max(1) as u64 / batch;
+        batch = (2_000_000 / per_iter.max(1)).clamp(batch * 2, 1 << 20);
+    }
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples_wanted);
+    for _ in 0..samples_wanted {
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        per_iter_ns.push(start.elapsed().as_nanos() as f64 / batch as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+
+    let median_ns = per_iter_ns[per_iter_ns.len() / 2];
+    let mean_ns = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    let result = BenchResult {
+        name: name.to_string(),
+        batch,
+        samples: per_iter_ns.len(),
+        median_ns,
+        mean_ns,
+        min_ns: per_iter_ns[0],
+    };
+    println!("{}", result.report());
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_something() {
+        // Keep the workload trivial so the test is fast even though the
+        // harness targets ~2 ms per sample.
+        std::env::set_var("PQOS_BENCH_SAMPLES", "3");
+        let r = bench("noop-add", || std::hint::black_box(1u64) + 1);
+        assert!(r.median_ns > 0.0);
+        assert!(r.min_ns <= r.median_ns);
+        assert!(r.samples >= 3);
+        std::env::remove_var("PQOS_BENCH_SAMPLES");
+    }
+
+    #[test]
+    fn format_ns_picks_units() {
+        assert_eq!(format_ns(500.0), "500 ns");
+        assert_eq!(format_ns(2_500.0), "2.50 µs");
+        assert_eq!(format_ns(3_000_000.0), "3.00 ms");
+        assert_eq!(format_ns(4_000_000_000.0), "4.00 s");
+    }
+}

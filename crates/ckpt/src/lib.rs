@@ -40,5 +40,6 @@ pub mod policy;
 pub use model::{planned_execution, young_interval, ExecutionPlan};
 pub use policy::{
     CheckpointContext, CheckpointDecision, CheckpointPolicy, DeadlineAware, DeadlinePressure,
-    NoCheckpointing, Periodic, RiskBased, RiskBasedWithDefault, RiskBasedWithPrior,
+    InstrumentedPolicy, NoCheckpointing, Periodic, RiskBased, RiskBasedWithDefault,
+    RiskBasedWithPrior,
 };

@@ -304,6 +304,82 @@ impl<P: CheckpointPolicy + ?Sized> CheckpointPolicy for Box<P> {
     }
 }
 
+/// Wraps any policy and records its Eq. 1 decisions into a telemetry
+/// metrics registry (`ckpt.*`) without altering them.
+///
+/// The simulator installs this wrapper only when telemetry is enabled, so
+/// the uninstrumented path pays nothing.
+///
+/// # Examples
+///
+/// ```
+/// use pqos_ckpt::policy::*;
+/// use pqos_sim_core::time::{SimDuration, SimTime};
+/// use pqos_telemetry::Telemetry;
+///
+/// let telemetry = Telemetry::builder().build();
+/// let policy = InstrumentedPolicy::new(Periodic, telemetry.clone());
+/// let ctx = CheckpointContext {
+///     now: SimTime::ZERO,
+///     interval: SimDuration::from_secs(3600),
+///     overhead: SimDuration::from_secs(720),
+///     skipped_since_last: 0,
+///     failure_probability: 0.0,
+///     baseline_failure_probability: 0.0,
+///     deadline_pressure: DeadlinePressure::None,
+/// };
+/// assert_eq!(policy.decide(&ctx), CheckpointDecision::Perform);
+/// let snap = telemetry.snapshot().unwrap();
+/// assert_eq!(snap.counter("ckpt.requests"), Some(1));
+/// assert_eq!(snap.counter("ckpt.performed"), Some(1));
+/// ```
+pub struct InstrumentedPolicy<P> {
+    inner: P,
+    // Handles resolved once at wrap time; `decide` runs on every checkpoint
+    // request of every job.
+    requests: pqos_telemetry::Counter,
+    performed: pqos_telemetry::Counter,
+    skipped: pqos_telemetry::Counter,
+    request_pf: pqos_telemetry::Histogram,
+    at_risk_secs: pqos_telemetry::Histogram,
+}
+
+impl<P: CheckpointPolicy> InstrumentedPolicy<P> {
+    /// Wraps `inner`, recording into `telemetry`.
+    pub fn new(inner: P, telemetry: pqos_telemetry::Telemetry) -> Self {
+        InstrumentedPolicy {
+            inner,
+            requests: telemetry.counter("ckpt.requests"),
+            performed: telemetry.counter("ckpt.performed"),
+            skipped: telemetry.counter("ckpt.skipped"),
+            request_pf: telemetry.histogram("ckpt.request_pf"),
+            at_risk_secs: telemetry.histogram("ckpt.work_at_risk_secs"),
+        }
+    }
+
+    /// The wrapped policy.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+}
+
+impl<P: CheckpointPolicy> CheckpointPolicy for InstrumentedPolicy<P> {
+    fn decide(&self, ctx: &CheckpointContext) -> CheckpointDecision {
+        let decision = self.inner.decide(ctx);
+        self.requests.inc();
+        match decision {
+            CheckpointDecision::Perform => self.performed.inc(),
+            CheckpointDecision::Skip => self.skipped.inc(),
+        }
+        self.request_pf.observe(ctx.failure_probability);
+        self.at_risk_secs.observe(ctx.at_risk().as_secs() as f64);
+        decision
+    }
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -442,5 +518,28 @@ mod tests {
     #[test]
     fn into_inner_round_trips() {
         assert_eq!(DeadlineAware::new(Periodic).into_inner(), Periodic);
+    }
+
+    #[test]
+    fn instrumented_policy_counts_without_changing_decisions() {
+        let telemetry = pqos_telemetry::Telemetry::builder().build();
+        let policy = InstrumentedPolicy::new(RiskBased, telemetry.clone());
+        for (pf, skipped) in [(1.0, 0), (0.0, 0), (0.0, 5)] {
+            let c = ctx(pf, skipped);
+            assert_eq!(policy.decide(&c), RiskBased.decide(&c));
+        }
+        assert_eq!(policy.name(), RiskBased.name());
+        let snap = telemetry.snapshot().unwrap();
+        assert_eq!(snap.counter("ckpt.requests"), Some(3));
+        assert_eq!(snap.counter("ckpt.performed"), Some(1));
+        assert_eq!(snap.counter("ckpt.skipped"), Some(2));
+        assert_eq!(snap.histogram("ckpt.request_pf").unwrap().count, 3);
+        assert_eq!(policy.into_inner(), RiskBased);
+    }
+
+    #[test]
+    fn instrumented_policy_with_disabled_handle_is_silent() {
+        let policy = InstrumentedPolicy::new(Periodic, pqos_telemetry::Telemetry::disabled());
+        assert_eq!(policy.decide(&ctx(0.0, 0)), CheckpointDecision::Perform);
     }
 }

@@ -19,9 +19,10 @@ use pqos_cluster::node::NodeId;
 use pqos_cluster::partition::Partition;
 use pqos_cluster::topology::Topology;
 use pqos_predict::api::Predictor;
-use pqos_sched::place::{choose_partition, PlacementStrategy};
+use pqos_sched::place::{choose_partition_with_telemetry, PlacementStrategy};
 use pqos_sched::reservation::ReservationBook;
 use pqos_sim_core::time::{SimDuration, SimTime, TimeWindow};
+use pqos_telemetry::Telemetry;
 use std::fmt;
 
 /// One quoted offer: start the job at `start` on `partition`, finishing by
@@ -140,6 +141,34 @@ pub fn negotiate<P: Predictor>(
     max_slots: usize,
     max_probe_steps: usize,
 ) -> Option<NegotiationOutcome> {
+    negotiate_with_telemetry(
+        book,
+        topology,
+        placement,
+        predictor,
+        request,
+        user,
+        max_slots,
+        max_probe_steps,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`negotiate`] with every placement decision recorded into `telemetry`'s
+/// metrics registry (`sched.*` — see
+/// [`choose_partition_with_telemetry`]). The outcome is identical.
+#[allow(clippy::too_many_arguments)]
+pub fn negotiate_with_telemetry<P: Predictor>(
+    book: &ReservationBook,
+    topology: Topology,
+    placement: PlacementStrategy,
+    predictor: &P,
+    request: NegotiationRequest<'_>,
+    user: &UserStrategy,
+    max_slots: usize,
+    max_probe_steps: usize,
+    telemetry: &Telemetry,
+) -> Option<NegotiationOutcome> {
     if request.size == 0 || request.size > book.cluster_size() {
         return None;
     }
@@ -184,13 +213,14 @@ pub fn negotiate<P: Predictor>(
     };
     for slot in &slots {
         let window = TimeWindow::starting_at(slot.start, request.duration);
-        let Some(choice) = choose_partition(
+        let Some(choice) = choose_partition_with_telemetry(
             topology,
             &slot.free,
             request.size,
             risk_window(slot.start),
             predictor,
             placement,
+            telemetry,
         ) else {
             continue;
         };
@@ -217,13 +247,14 @@ pub fn negotiate<P: Predictor>(
         let start = probe_base.saturating_add(step.saturating_mul(k as u64));
         let window = TimeWindow::starting_at(start, request.duration);
         let free = book.free_nodes_during(window, request.down);
-        let Some(choice) = choose_partition(
+        let Some(choice) = choose_partition_with_telemetry(
             topology,
             &free,
             request.size,
             risk_window(start),
             predictor,
             placement,
+            telemetry,
         ) else {
             continue;
         };
@@ -255,13 +286,14 @@ pub fn negotiate<P: Predictor>(
         let start = book_end.max(request.recovery_horizon).max(request.now);
         let window = TimeWindow::starting_at(start, request.duration);
         let free = book.free_nodes_during(window, &[]);
-        let choice = choose_partition(
+        let choice = choose_partition_with_telemetry(
             topology,
             &free,
             request.size,
             risk_window(start),
             predictor,
             placement,
+            telemetry,
         )?;
         let quote = Quote {
             start,

@@ -18,21 +18,23 @@
 
 use crate::config::SimConfig;
 use crate::metrics::{JobOutcome, LostWorkEvent, MetricsCollector, SimReport};
-use crate::negotiate::{negotiate, NegotiationRequest};
+use crate::negotiate::{negotiate_with_telemetry, NegotiationRequest};
 use crate::user::UserStrategy;
 use pqos_ckpt::model::planned_execution;
 use pqos_ckpt::policy::{
-    CheckpointContext, CheckpointDecision, CheckpointPolicy, DeadlinePressure,
+    CheckpointContext, CheckpointDecision, CheckpointPolicy, DeadlinePressure, InstrumentedPolicy,
 };
 use pqos_cluster::machine::Cluster;
 use pqos_cluster::node::NodeId;
 use pqos_cluster::partition::Partition;
 use pqos_failures::trace::FailureTrace;
 use pqos_predict::api::Predictor;
+use pqos_predict::instrument::InstrumentedPredictor;
 use pqos_predict::oracle::TraceOracle;
 use pqos_sched::reservation::{ReservationBook, ReservationId};
 use pqos_sim_core::queue::EventQueue;
 use pqos_sim_core::time::{SimDuration, SimTime, TimeWindow};
+use pqos_telemetry::{SkipReason, Snapshot, Telemetry, TelemetryEvent};
 use pqos_workload::job::{Job, JobId};
 use pqos_workload::log::JobLog;
 use std::collections::HashMap;
@@ -71,6 +73,9 @@ pub struct SimOutput {
     /// Jobs that could never fit on the cluster (size > N) and were
     /// rejected at submission.
     pub rejected: Vec<JobId>,
+    /// Final metrics snapshot when the run was telemetered (see
+    /// [`QosSimulator::with_telemetry`]); `None` otherwise.
+    pub telemetry: Option<Snapshot>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -159,6 +164,7 @@ pub struct QosSimulator {
     metrics: MetricsCollector,
     rejected: Vec<JobId>,
     failure_hook: Option<Box<dyn FnMut(NodeId, SimTime) + Send>>,
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for QosSimulator {
@@ -222,6 +228,7 @@ impl QosSimulator {
             metrics: MetricsCollector::new(),
             rejected: Vec::new(),
             failure_hook: None,
+            telemetry: Telemetry::disabled(),
             config,
         }
     }
@@ -233,6 +240,27 @@ impl QosSimulator {
     /// instrumentation.
     pub fn with_failure_hook(mut self, hook: Box<dyn FnMut(NodeId, SimTime) + Send>) -> Self {
         self.failure_hook = Some(hook);
+        self
+    }
+
+    /// Attaches a telemetry handle: lifecycle events flow to its journal
+    /// sinks and decision metrics to its registry, surfaced as
+    /// [`SimOutput::telemetry`] after the run.
+    ///
+    /// With an enabled handle the predictor and checkpoint policy are
+    /// wrapped in transparent counting adapters
+    /// ([`InstrumentedPredictor`], [`InstrumentedPolicy`]); a disabled
+    /// handle leaves the simulator exactly as built, so the default path
+    /// pays nothing.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        if telemetry.is_enabled() {
+            self.predictor = Arc::new(InstrumentedPredictor::new(
+                Arc::clone(&self.predictor),
+                telemetry.clone(),
+            ));
+            self.policy = Box::new(InstrumentedPolicy::new(self.policy, telemetry.clone()));
+        }
+        self.telemetry = telemetry;
         self
     }
 
@@ -260,10 +288,12 @@ impl QosSimulator {
             self.dispatch(now, event);
         }
         let report = self.metrics.report(self.config.cluster_size);
+        self.telemetry.flush();
         SimOutput {
             report,
             collector: self.metrics,
             rejected: self.rejected,
+            telemetry: self.telemetry.snapshot(),
         }
     }
 
@@ -301,13 +331,20 @@ impl QosSimulator {
             .iter()
             .find(|j| j.id() == id)
             .expect("arrival for unknown job");
+        self.telemetry.counter("jobs.submitted").inc();
+        self.telemetry.emit(|| TelemetryEvent::JobSubmitted {
+            at: now,
+            job: id.as_u64(),
+            size: job.nodes(),
+            runtime_secs: job.runtime().as_secs(),
+        });
         let plan = planned_execution(
             job.runtime(),
             self.config.checkpoint_interval,
             self.config.checkpoint_overhead,
         );
         let (down, horizon) = self.down_nodes();
-        let Some(outcome) = negotiate(
+        let Some(outcome) = negotiate_with_telemetry(
             &self.book,
             self.config.topology,
             self.config.placement,
@@ -323,11 +360,36 @@ impl QosSimulator {
             &self.config.user,
             self.config.max_negotiation_slots,
             self.config.max_probe_steps,
+            &self.telemetry,
         ) else {
+            self.telemetry.counter("jobs.rejected").inc();
+            self.telemetry.emit(|| TelemetryEvent::JobRejected {
+                at: now,
+                job: id.as_u64(),
+            });
             self.rejected.push(id);
             return;
         };
         let quote = outcome.accepted;
+        self.telemetry
+            .histogram("negotiate.quotes_examined")
+            .observe(outcome.quotes_examined as f64);
+        if !outcome.satisfied_threshold {
+            self.telemetry.counter("negotiate.fallbacks").inc();
+        }
+        self.telemetry.emit(|| TelemetryEvent::QuoteNegotiated {
+            at: now,
+            job: id.as_u64(),
+            start_secs: quote.start.as_secs(),
+            promised_secs: quote.deadline.as_secs(),
+            success_probability: quote.promised_success(),
+        });
+        self.telemetry.emit(|| TelemetryEvent::JobPlaced {
+            at: now,
+            job: id.as_u64(),
+            nodes: quote.partition.iter().map(|n| n.index() as u64).collect(),
+            failure_probability: quote.failure_probability,
+        });
         let reservation = self
             .book
             .add(
@@ -393,6 +455,15 @@ impl QosSimulator {
         state.attempt_start = now;
         state.rollback_anchor = now;
         state.skipped_since_last = 0;
+        self.telemetry.counter("jobs.started").inc();
+        self.telemetry.gauge("jobs.running").add(1);
+        let restarts = state.failures;
+        self.telemetry.emit(|| TelemetryEvent::JobStarted {
+            at: now,
+            job: id.as_u64(),
+            restarts,
+        });
+        let state = self.jobs.get_mut(&id).expect("checked above");
         // Restarted attempts pay the recovery overhead R before useful
         // work resumes (the paper uses R = 0; configurable for ablations).
         let recovery = if state.failures > 0 {
@@ -490,6 +561,27 @@ impl QosSimulator {
             CheckpointDecision::Skip => {
                 state.skipped_since_last += 1;
                 state.ckpt_skipped += 1;
+                self.telemetry.emit(|| {
+                    // Attribution mirrors the decision path: the deadline
+                    // override wins, then Eq. 1's expected-loss test, and
+                    // anything else is the policy's own business (periodic
+                    // phase, checkpointing disabled, ...).
+                    let eq1_low = pf * (ctx.at_risk().as_secs() as f64) < overhead.as_secs() as f64;
+                    let reason = if pressure == DeadlinePressure::SkipToMeet {
+                        SkipReason::DeadlinePressure
+                    } else if eq1_low {
+                        SkipReason::LowRisk
+                    } else {
+                        SkipReason::Policy
+                    };
+                    TelemetryEvent::CheckpointSkipped {
+                        at: now,
+                        job: id.as_u64(),
+                        reason,
+                        failure_probability: pf,
+                        at_risk_secs: ctx.at_risk().as_secs(),
+                    }
+                });
                 self.schedule_next_segment(id, now);
             }
         }
@@ -507,6 +599,12 @@ impl QosSimulator {
         state.rollback_anchor = state.segment_start;
         state.skipped_since_last = 0;
         state.phase = Phase::Running;
+        let overhead = self.config.checkpoint_overhead;
+        self.telemetry.emit(|| TelemetryEvent::CheckpointTaken {
+            at: now,
+            job: id.as_u64(),
+            overhead_secs: overhead.as_secs(),
+        });
         self.schedule_next_segment(id, now);
     }
 
@@ -546,6 +644,23 @@ impl QosSimulator {
             checkpoints_performed: state.ckpt_performed,
             checkpoints_skipped: state.ckpt_skipped,
         });
+        let deadline = state.deadline;
+        let met_deadline = now <= deadline;
+        self.telemetry.counter("jobs.completed").inc();
+        self.telemetry.gauge("jobs.running").add(-1);
+        self.telemetry.emit(|| TelemetryEvent::JobCompleted {
+            at: now,
+            job: id.as_u64(),
+            met_deadline,
+        });
+        if !met_deadline {
+            self.telemetry.counter("jobs.deadline_missed").inc();
+            self.telemetry.emit(|| TelemetryEvent::DeadlineMissed {
+                at: now,
+                job: id.as_u64(),
+                late_by_secs: now.saturating_since(deadline).as_secs(),
+            });
+        }
     }
 
     fn on_failure(&mut self, now: SimTime, index: usize) {
@@ -553,23 +668,54 @@ impl QosSimulator {
         if let Some(hook) = self.failure_hook.as_mut() {
             hook(node, now);
         }
+        let was_up = self.cluster.state(node).is_up();
         let until = now + self.config.node_downtime;
         self.cluster.mark_down(node, until);
         self.down_until[node.index()] = until;
         self.push_event(until, Event::NodeRecovery { node });
 
-        let Some(victim) = self.node_owner[node.index()] else {
-            return;
-        };
-        let state = self.jobs.get(&victim).expect("owner map tracks live jobs");
-        if !matches!(state.phase, Phase::Running | Phase::Checkpointing) {
-            return;
-        }
-        let partition = state.partition.clone().expect("running job has partition");
+        let victim_state = self.node_owner[node.index()]
+            .and_then(|id| self.jobs.get(&id).map(|s| (id, s)))
+            .filter(|(_, s)| matches!(s.phase, Phase::Running | Phase::Checkpointing));
         // ω_lost contribution: wall-clock since the last checkpoint started
         // (or the attempt began), times the job's size.
-        let lost =
-            now.saturating_since(state.rollback_anchor).as_secs() * u64::from(state.job.nodes());
+        let victim = victim_state.map(|(id, state)| {
+            let lost = now.saturating_since(state.rollback_anchor).as_secs()
+                * u64::from(state.job.nodes());
+            (id, lost)
+        });
+
+        if self.telemetry.is_enabled() {
+            if was_up {
+                self.telemetry.gauge("cluster.nodes_down").add(1);
+            }
+            // Hit/miss accounting: did the predictor flag this node for the
+            // instant the failure struck? (Pure query — safe to make on the
+            // telemetered path only.)
+            let strike = TimeWindow::starting_at(now, SimDuration::from_secs(1));
+            let predicted = self.predictor.node_failure_probability(node, strike) > 0.0;
+            self.telemetry
+                .counter(if predicted {
+                    "failures.predicted"
+                } else {
+                    "failures.missed"
+                })
+                .inc();
+            self.telemetry.emit(|| TelemetryEvent::NodeFailed {
+                at: now,
+                node: node.index() as u64,
+                victim_job: victim.map(|(id, _)| id.as_u64()),
+                lost_node_seconds: victim.map_or(0, |(_, lost)| lost),
+                predicted,
+            });
+        }
+
+        let Some((victim, lost)) = victim else {
+            return;
+        };
+        self.telemetry.gauge("jobs.running").add(-1);
+        let state = self.jobs.get(&victim).expect("owner map tracks live jobs");
+        let partition = state.partition.clone().expect("running job has partition");
         self.metrics.record_lost_work(LostWorkEvent {
             time: now,
             job: victim,
@@ -600,6 +746,12 @@ impl QosSimulator {
     fn requeue(&mut self, now: SimTime, id: JobId) {
         let state = self.jobs.get(&id).expect("requeue of unknown job");
         let remaining = state.job.runtime() - state.durable;
+        self.telemetry.counter("jobs.requeued").inc();
+        self.telemetry.emit(|| TelemetryEvent::JobRequeued {
+            at: now,
+            job: id.as_u64(),
+            remaining_secs: remaining.as_secs(),
+        });
         let mut plan = planned_execution(
             remaining,
             self.config.checkpoint_interval,
@@ -609,7 +761,7 @@ impl QosSimulator {
         let size = state.job.nodes();
         let epoch = state.epoch;
         let (down, horizon) = self.down_nodes();
-        let outcome = negotiate(
+        let outcome = negotiate_with_telemetry(
             &self.book,
             self.config.topology,
             self.config.placement,
@@ -627,6 +779,7 @@ impl QosSimulator {
             &UserStrategy::AlwaysEarliest,
             self.config.max_negotiation_slots,
             self.config.max_probe_steps,
+            &self.telemetry,
         )
         .expect("job fit the cluster at submission");
         let quote = outcome.accepted;
@@ -646,9 +799,15 @@ impl QosSimulator {
 
     fn on_recovery(&mut self, now: SimTime, node: NodeId) {
         // A newer failure may have extended the downtime; only the final
-        // recovery brings the node up.
-        if self.down_until[node.index()] <= now {
+        // recovery brings the node up. Coincident failures schedule duplicate
+        // recoveries at the same instant, so also skip nodes already up.
+        if self.down_until[node.index()] <= now && !self.cluster.state(node).is_up() {
             self.cluster.mark_up(node);
+            self.telemetry.gauge("cluster.nodes_down").add(-1);
+            self.telemetry.emit(|| TelemetryEvent::NodeRecovered {
+                at: now,
+                node: node.index() as u64,
+            });
         }
     }
 }
@@ -993,6 +1152,110 @@ mod tests {
             out.report.checkpoints_performed <= periodic.report.checkpoints_performed,
             "prior performs no more than periodic"
         );
+    }
+
+    #[test]
+    fn telemetry_captures_the_full_lifecycle() {
+        use pqos_telemetry::Telemetry;
+        // One failing restartable job + one oversized reject exercises
+        // every decision point except recovery-before-end (covered too:
+        // downtime elapses within the horizon).
+        let log = JobLog::new(vec![job(0, 0, 2, 100), job(1, 5, 99, 100)]).unwrap();
+        let telemetry = Telemetry::builder().ring_buffer(1024).build();
+        let out = QosSimulator::new(small_config().accuracy(0.0), log, trace(vec![(50, 0, 0.9)]))
+            .with_telemetry(telemetry.clone())
+            .run();
+        assert_eq!(out.report.jobs, 1);
+        assert_eq!(out.rejected.len(), 1);
+
+        let names: Vec<&str> = telemetry.ring_events().iter().map(|e| e.name()).collect();
+        for expected in [
+            "job_submitted",
+            "quote_negotiated",
+            "job_rejected",
+            "job_placed",
+            "job_started",
+            "node_failed",
+            "node_recovered",
+            "job_requeued",
+            "job_completed",
+            "deadline_missed",
+        ] {
+            assert!(names.contains(&expected), "missing {expected} in {names:?}");
+        }
+
+        let snap = out.telemetry.expect("telemetered run has a snapshot");
+        assert_eq!(snap.counter("jobs.submitted"), Some(2));
+        assert_eq!(snap.counter("jobs.rejected"), Some(1));
+        assert_eq!(snap.counter("jobs.completed"), Some(1));
+        assert_eq!(snap.counter("jobs.requeued"), Some(1));
+        assert_eq!(snap.counter("jobs.deadline_missed"), Some(1));
+        assert_eq!(snap.counter("failures.missed"), Some(1), "a=0 sees nothing");
+        assert_eq!(snap.gauge("jobs.running"), Some(0), "all segments ended");
+        assert_eq!(snap.gauge("cluster.nodes_down"), Some(0), "node recovered");
+        assert!(snap.counter("sched.placements").unwrap_or(0) >= 2);
+        assert!(snap.counter("predict.queries").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn telemetry_does_not_change_the_simulation() {
+        use pqos_telemetry::Telemetry;
+        let log = JobLog::new(
+            (0..20)
+                .map(|i| job(i, i * 50, (i % 3 + 1) as u32, 500))
+                .collect(),
+        )
+        .unwrap();
+        let t = trace(vec![(300, 0, 0.2), (800, 2, 0.6), (2000, 1, 0.9)]);
+        let plain = QosSimulator::new(small_config().accuracy(0.5), log.clone(), Arc::clone(&t));
+        let telemetered = QosSimulator::new(small_config().accuracy(0.5), log, t)
+            .with_telemetry(Telemetry::builder().ring_buffer(4096).build());
+        let a = plain.run();
+        let b = telemetered.run();
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.collector.outcomes(), b.collector.outcomes());
+        assert!(a.telemetry.is_none());
+        assert!(b.telemetry.is_some());
+    }
+
+    #[test]
+    fn identically_seeded_runs_journal_identically() {
+        use pqos_telemetry::Telemetry;
+        use std::io::Write;
+        use std::sync::Mutex;
+
+        #[derive(Clone, Default)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let run = || {
+            let log = JobLog::new(
+                (0..20)
+                    .map(|i| job(i, i * 50, (i % 3 + 1) as u32, 500))
+                    .collect(),
+            )
+            .unwrap();
+            let t = trace(vec![(300, 0, 0.2), (800, 2, 0.6), (2000, 1, 0.9)]);
+            let sink = Shared::default();
+            let telemetry = Telemetry::builder().jsonl_writer(sink.clone()).build();
+            QosSimulator::new(small_config().accuracy(0.5), log, t)
+                .with_telemetry(telemetry)
+                .run();
+            let bytes = sink.0.lock().unwrap().clone();
+            bytes
+        };
+        let a = run();
+        let b = run();
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "journals must be byte-identical across replays");
     }
 
     #[test]

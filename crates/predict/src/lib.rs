@@ -10,7 +10,8 @@
 //!   never returns `pf > a`);
 //! * [`online`] — practical online predictors (decayed-rate and
 //!   precursor-pattern models) standing in for the Sahoo et al. mechanism;
-//! * [`eval`] — sliding-window recall/precision evaluation.
+//! * [`eval`] — sliding-window recall/precision evaluation;
+//! * [`instrument`] — a transparent telemetry-counting wrapper.
 //!
 //! # Examples
 //!
@@ -35,8 +36,10 @@
 
 pub mod api;
 pub mod eval;
+pub mod instrument;
 pub mod online;
 pub mod oracle;
 
 pub use api::{NullPredictor, Predictor};
+pub use instrument::InstrumentedPredictor;
 pub use oracle::TraceOracle;

@@ -40,5 +40,8 @@
 pub mod place;
 pub mod reservation;
 
-pub use place::{choose_partition, PlacementChoice, PlacementStrategy};
+pub use place::{
+    choose_partition, choose_partition_with_telemetry, PlacementChoice, PlacementProbe,
+    PlacementStrategy,
+};
 pub use reservation::{Reservation, ReservationBook, ReservationError, ReservationId, Slot};

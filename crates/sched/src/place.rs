@@ -12,6 +12,7 @@ use pqos_cluster::partition::Partition;
 use pqos_cluster::topology::Topology;
 use pqos_predict::api::Predictor;
 use pqos_sim_core::time::TimeWindow;
+use pqos_telemetry::Telemetry;
 use std::fmt;
 
 /// How the scheduler picks among candidate partitions.
@@ -45,6 +46,17 @@ pub struct PlacementChoice {
     /// (`pf`). Zero under [`PlacementStrategy::FirstFit`]'s blind baseline
     /// only if the predictor says so — the quote is always honest.
     pub failure_probability: f64,
+}
+
+/// What the selection loop observed while ranking candidates; feeds the
+/// telemetry metrics without changing the decision itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlacementProbe {
+    /// Candidate partitions whose `pf` was evaluated.
+    pub candidates_examined: usize,
+    /// The winner predicted clean (`pf == 0`), so the tie-break to the
+    /// lowest node ids decided the placement rather than the predictor.
+    pub clean_tie_break: bool,
 }
 
 /// Selects a partition of `size` nodes from `free` for the interval
@@ -84,21 +96,72 @@ pub fn choose_partition<P: Predictor>(
     predictor: &P,
     strategy: PlacementStrategy,
 ) -> Option<PlacementChoice> {
+    choose_partition_inner(topology, free, size, window, predictor, strategy).0
+}
+
+/// [`choose_partition`] with the selection loop's observations recorded
+/// into `telemetry`'s metrics registry (`sched.*`).
+///
+/// The decision is identical to [`choose_partition`]; a disabled
+/// [`Telemetry`] handle makes the extra work a handful of dead branches.
+pub fn choose_partition_with_telemetry<P: Predictor>(
+    topology: Topology,
+    free: &[NodeId],
+    size: u32,
+    window: TimeWindow,
+    predictor: &P,
+    strategy: PlacementStrategy,
+    telemetry: &Telemetry,
+) -> Option<PlacementChoice> {
+    let (choice, probe) = choose_partition_inner(topology, free, size, window, predictor, strategy);
+    if telemetry.is_enabled() {
+        telemetry
+            .histogram("sched.candidates_examined")
+            .observe(probe.candidates_examined as f64);
+        match &choice {
+            Some(c) => {
+                telemetry.counter("sched.placements").inc();
+                if probe.clean_tie_break {
+                    telemetry.counter("sched.clean_tie_breaks").inc();
+                }
+                telemetry
+                    .histogram("sched.placement_pf")
+                    .observe(c.failure_probability);
+            }
+            None => telemetry.counter("sched.placement_misses").inc(),
+        }
+    }
+    choice
+}
+
+fn choose_partition_inner<P: Predictor>(
+    topology: Topology,
+    free: &[NodeId],
+    size: u32,
+    window: TimeWindow,
+    predictor: &P,
+    strategy: PlacementStrategy,
+) -> (Option<PlacementChoice>, PlacementProbe) {
+    let mut probe = PlacementProbe::default();
     if size == 0 || free.len() < size as usize {
-        return None;
+        return (None, probe);
     }
     let mut candidates = topology.candidate_partitions(free, size as usize);
     if candidates.is_empty() {
-        return None;
+        return (None, probe);
     }
     match strategy {
         PlacementStrategy::FirstFit => {
             let partition = candidates.swap_remove(0);
             let pf = predictor.failure_probability(partition.as_slice(), window);
-            Some(PlacementChoice {
-                partition,
-                failure_probability: pf,
-            })
+            probe.candidates_examined = 1;
+            (
+                Some(PlacementChoice {
+                    partition,
+                    failure_probability: pf,
+                }),
+                probe,
+            )
         }
         PlacementStrategy::MinFailureProbability => {
             if matches!(topology, Topology::Flat) {
@@ -109,6 +172,7 @@ pub fn choose_partition<P: Predictor>(
             let mut best: Option<PlacementChoice> = None;
             for partition in candidates {
                 let pf = predictor.failure_probability(partition.as_slice(), window);
+                probe.candidates_examined += 1;
                 let better = match &best {
                     None => true,
                     Some(b) => pf < b.failure_probability,
@@ -126,7 +190,8 @@ pub fn choose_partition<P: Predictor>(
                     }
                 }
             }
-            best
+            probe.clean_tie_break = best.as_ref().is_some_and(|b| b.failure_probability == 0.0);
+            (best, probe)
         }
     }
 }
@@ -330,6 +395,52 @@ mod tests {
             PlacementStrategy::default(),
             PlacementStrategy::MinFailureProbability
         );
+    }
+
+    #[test]
+    fn telemetry_wrapper_matches_plain_choice_and_records() {
+        let o = oracle(&[(50, 1, 0.3)], 1.0);
+        let telemetry = Telemetry::builder().build();
+        let plain = choose_partition(
+            Topology::Flat,
+            &ids(&[0, 1, 2, 3]),
+            2,
+            w(0, 100),
+            &o,
+            PlacementStrategy::MinFailureProbability,
+        );
+        let wrapped = choose_partition_with_telemetry(
+            Topology::Flat,
+            &ids(&[0, 1, 2, 3]),
+            2,
+            w(0, 100),
+            &o,
+            PlacementStrategy::MinFailureProbability,
+            &telemetry,
+        );
+        assert_eq!(plain, wrapped, "instrumentation must not change placement");
+        let snap = telemetry.snapshot().unwrap();
+        assert_eq!(snap.counter("sched.placements"), Some(1));
+        assert_eq!(snap.counter("sched.clean_tie_breaks"), Some(1));
+        assert!(snap.histogram("sched.candidates_examined").is_some());
+    }
+
+    #[test]
+    fn telemetry_wrapper_counts_misses() {
+        let telemetry = Telemetry::builder().build();
+        let choice = choose_partition_with_telemetry(
+            Topology::Flat,
+            &ids(&[0]),
+            2,
+            w(0, 100),
+            &NullPredictor,
+            PlacementStrategy::MinFailureProbability,
+            &telemetry,
+        );
+        assert!(choice.is_none());
+        let snap = telemetry.snapshot().unwrap();
+        assert_eq!(snap.counter("sched.placement_misses"), Some(1));
+        assert_eq!(snap.counter("sched.placements"), None);
     }
 
     #[test]

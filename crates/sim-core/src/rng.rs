@@ -6,9 +6,10 @@
 //! randomly" but fixed. [`DetRng`] is a seeded PRNG that can be *forked* into
 //! independent named substreams, so adding a consumer of randomness in one
 //! subsystem never perturbs another subsystem's stream.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (public-domain algorithm
+//! by Blackman & Vigna) seeded through splitmix64 — no external crates, so
+//! the repository builds offline and the stream is stable across toolchains.
 
 /// A deterministic, forkable random-number generator.
 ///
@@ -16,7 +17,6 @@ use rand::{Rng, RngCore, SeedableRng};
 ///
 /// ```
 /// use pqos_sim_core::rng::DetRng;
-/// use rand::RngCore;
 ///
 /// let mut a = DetRng::seed_from(42);
 /// let mut b = DetRng::seed_from(42);
@@ -30,15 +30,23 @@ use rand::{Rng, RngCore, SeedableRng};
 #[derive(Debug, Clone)]
 pub struct DetRng {
     seed: u64,
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 impl DetRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
+        // Expand the seed through splitmix64, the recommended seeding
+        // procedure for xoshiro: guarantees a non-zero state and decorrelates
+        // nearby seeds.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            splitmix(sm)
+        };
         DetRng {
             seed,
-            inner: StdRng::seed_from_u64(seed),
+            state: [next(), next(), next(), next()],
         }
     }
 
@@ -55,9 +63,37 @@ impl DetRng {
         self.seed
     }
 
+    /// Next raw 64-bit output (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Next raw 32-bit output (upper half of [`DetRng::next_u64`]).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
     /// Uniform sample in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits → uniform on [0, 1) at full f64 precision.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform sample in `[lo, hi)`. Returns `lo` when the range is empty.
@@ -75,7 +111,19 @@ impl DetRng {
     /// Panics if `lo > hi`.
     pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "uniform_u64 range is empty: [{lo}, {hi}]");
-        self.inner.gen_range(lo..=hi)
+        let range = hi.wrapping_sub(lo).wrapping_add(1);
+        if range == 0 {
+            // Full u64 range.
+            return self.next_u64();
+        }
+        // Rejection sampling to avoid modulo bias.
+        let zone = u64::MAX - (u64::MAX - range + 1) % range;
+        loop {
+            let x = self.next_u64();
+            if x <= zone {
+                return lo + x % range;
+            }
+        }
     }
 
     /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
@@ -179,21 +227,6 @@ impl DetRng {
     }
 }
 
-impl RngCore for DetRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
-    }
-}
-
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for b in bytes {
@@ -239,6 +272,27 @@ mod tests {
     fn forks_with_different_labels_differ() {
         let r = DetRng::seed_from(7);
         assert_ne!(r.fork("a").next_u64(), r.fork("b").next_u64());
+    }
+
+    #[test]
+    fn unit_stays_in_range() {
+        let mut r = DetRng::seed_from(3);
+        for _ in 0..100_000 {
+            let x = r.unit();
+            assert!((0.0..1.0).contains(&x), "unit sample {x} out of range");
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = DetRng::seed_from(5);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0), "13 zero bytes is implausible");
+        let mut again = DetRng::seed_from(5);
+        let mut buf2 = [0u8; 13];
+        again.fill_bytes(&mut buf2);
+        assert_eq!(buf, buf2);
     }
 
     #[test]
@@ -320,5 +374,28 @@ mod tests {
             seen[r.uniform_u64(0, 4) as usize] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn uniform_u64_full_range_does_not_hang() {
+        let mut r = DetRng::seed_from(41);
+        // Degenerate and full ranges both terminate.
+        assert_eq!(r.uniform_u64(9, 9), 9);
+        let _ = r.uniform_u64(0, u64::MAX);
+    }
+
+    #[test]
+    fn uniform_u64_is_unbiased_over_small_range() {
+        // 3 buckets over 300k draws: each within 1% of a third.
+        let mut r = DetRng::seed_from(43);
+        let mut counts = [0u64; 3];
+        let n = 300_000;
+        for _ in 0..n {
+            counts[r.uniform_u64(0, 2) as usize] += 1;
+        }
+        for c in counts {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 1.0 / 3.0).abs() < 0.01, "fraction {frac}");
+        }
     }
 }

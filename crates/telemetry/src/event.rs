@@ -1,0 +1,527 @@
+//! Typed lifecycle events and their JSONL encoding.
+//!
+//! One [`TelemetryEvent`] is emitted at each decision point of the
+//! simulator: job submission, quote negotiation, placement, start,
+//! checkpoint taken/skipped, node failure/recovery, requeue, completion and
+//! deadline miss. Every variant carries its simulation timestamp so a
+//! journal line is self-contained.
+
+use crate::json::{Json, ObjWriter};
+use pqos_sim_core::time::SimTime;
+
+/// Why a checkpoint request did not result in a checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkipReason {
+    /// Eq. 1 said the expected loss (`pf · d · I`) is below the overhead
+    /// `C`, so checkpointing is not worth it.
+    LowRisk,
+    /// Performing the checkpoint would push the job past its negotiated
+    /// deadline while skipping still meets it.
+    DeadlinePressure,
+    /// The configured policy declined for a reason of its own (periodic
+    /// phase, disabled checkpointing, ...).
+    Policy,
+}
+
+impl SkipReason {
+    /// Stable wire name used in the journal.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SkipReason::LowRisk => "low_risk",
+            SkipReason::DeadlinePressure => "deadline_pressure",
+            SkipReason::Policy => "policy",
+        }
+    }
+
+    /// Parses a wire name back into a reason.
+    pub fn parse(s: &str) -> Option<SkipReason> {
+        match s {
+            "low_risk" => Some(SkipReason::LowRisk),
+            "deadline_pressure" => Some(SkipReason::DeadlinePressure),
+            "policy" => Some(SkipReason::Policy),
+            _ => None,
+        }
+    }
+}
+
+/// A structured record of one simulator decision or state change.
+///
+/// Job and node identifiers are raw integers (not the simulator's typed
+/// ids) so lower layers can emit events without depending on the layers
+/// that define those types.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TelemetryEvent {
+    /// A job entered the system.
+    JobSubmitted {
+        /// Simulation time of the event.
+        at: SimTime,
+        /// Job identifier.
+        job: u64,
+        /// Requested partition size in nodes.
+        size: u32,
+        /// Requested runtime in seconds.
+        runtime_secs: u64,
+    },
+    /// Negotiation produced a quote the user accepted.
+    QuoteNegotiated {
+        /// Simulation time of the event.
+        at: SimTime,
+        /// Job identifier.
+        job: u64,
+        /// Promised start time (seconds since epoch).
+        start_secs: u64,
+        /// Promised completion time (seconds since epoch).
+        promised_secs: u64,
+        /// Probability of success quoted per Eq. 2.
+        success_probability: f64,
+    },
+    /// Negotiation failed; the job never ran.
+    JobRejected {
+        /// Simulation time of the event.
+        at: SimTime,
+        /// Job identifier.
+        job: u64,
+    },
+    /// The scheduler chose a partition for a job segment.
+    JobPlaced {
+        /// Simulation time of the event.
+        at: SimTime,
+        /// Job identifier.
+        job: u64,
+        /// Nodes of the chosen partition.
+        nodes: Vec<u64>,
+        /// Predicted failure probability of the partition over the
+        /// placement window.
+        failure_probability: f64,
+    },
+    /// A job segment began executing.
+    JobStarted {
+        /// Simulation time of the event.
+        at: SimTime,
+        /// Job identifier.
+        job: u64,
+        /// How many failures this job has absorbed so far (0 on first
+        /// start).
+        restarts: u32,
+    },
+    /// A checkpoint completed and advanced the job's durable progress.
+    CheckpointTaken {
+        /// Simulation time of the event.
+        at: SimTime,
+        /// Job identifier.
+        job: u64,
+        /// Checkpoint overhead paid, in seconds.
+        overhead_secs: u64,
+    },
+    /// A checkpoint request was declined.
+    CheckpointSkipped {
+        /// Simulation time of the event.
+        at: SimTime,
+        /// Job identifier.
+        job: u64,
+        /// Why the checkpoint was skipped.
+        reason: SkipReason,
+        /// Predicted failure probability over the risk window.
+        failure_probability: f64,
+        /// Work at risk had a failure occurred, in seconds.
+        at_risk_secs: u64,
+    },
+    /// A node failed.
+    NodeFailed {
+        /// Simulation time of the event.
+        at: SimTime,
+        /// Node identifier.
+        node: u64,
+        /// Job running on the node, if any.
+        victim_job: Option<u64>,
+        /// Work destroyed by the failure, in node-seconds.
+        lost_node_seconds: u64,
+        /// Whether the failure predictor flagged this node in advance.
+        predicted: bool,
+    },
+    /// A failed node came back.
+    NodeRecovered {
+        /// Simulation time of the event.
+        at: SimTime,
+        /// Node identifier.
+        node: u64,
+    },
+    /// A failed job re-entered the queue to resume from its last durable
+    /// checkpoint.
+    JobRequeued {
+        /// Simulation time of the event.
+        at: SimTime,
+        /// Job identifier.
+        job: u64,
+        /// Work remaining after rollback, in seconds.
+        remaining_secs: u64,
+    },
+    /// A job finished.
+    JobCompleted {
+        /// Simulation time of the event.
+        at: SimTime,
+        /// Job identifier.
+        job: u64,
+        /// Whether it met its negotiated deadline.
+        met_deadline: bool,
+    },
+    /// A job finished after its negotiated deadline.
+    DeadlineMissed {
+        /// Simulation time of the event.
+        at: SimTime,
+        /// Job identifier.
+        job: u64,
+        /// How late the job was, in seconds.
+        late_by_secs: u64,
+    },
+}
+
+impl TelemetryEvent {
+    /// Simulation time the event occurred.
+    pub fn at(&self) -> SimTime {
+        match self {
+            TelemetryEvent::JobSubmitted { at, .. }
+            | TelemetryEvent::QuoteNegotiated { at, .. }
+            | TelemetryEvent::JobRejected { at, .. }
+            | TelemetryEvent::JobPlaced { at, .. }
+            | TelemetryEvent::JobStarted { at, .. }
+            | TelemetryEvent::CheckpointTaken { at, .. }
+            | TelemetryEvent::CheckpointSkipped { at, .. }
+            | TelemetryEvent::NodeFailed { at, .. }
+            | TelemetryEvent::NodeRecovered { at, .. }
+            | TelemetryEvent::JobRequeued { at, .. }
+            | TelemetryEvent::JobCompleted { at, .. }
+            | TelemetryEvent::DeadlineMissed { at, .. } => *at,
+        }
+    }
+
+    /// Stable wire name of the variant (the `event` field in the journal).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TelemetryEvent::JobSubmitted { .. } => "job_submitted",
+            TelemetryEvent::QuoteNegotiated { .. } => "quote_negotiated",
+            TelemetryEvent::JobRejected { .. } => "job_rejected",
+            TelemetryEvent::JobPlaced { .. } => "job_placed",
+            TelemetryEvent::JobStarted { .. } => "job_started",
+            TelemetryEvent::CheckpointTaken { .. } => "checkpoint_taken",
+            TelemetryEvent::CheckpointSkipped { .. } => "checkpoint_skipped",
+            TelemetryEvent::NodeFailed { .. } => "node_failed",
+            TelemetryEvent::NodeRecovered { .. } => "node_recovered",
+            TelemetryEvent::JobRequeued { .. } => "job_requeued",
+            TelemetryEvent::JobCompleted { .. } => "job_completed",
+            TelemetryEvent::DeadlineMissed { .. } => "deadline_missed",
+        }
+    }
+
+    /// Encodes the event as a single JSON object (one journal line, without
+    /// the trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut w = ObjWriter::new();
+        w.str("event", self.name()).u64("at", self.at().as_secs());
+        match self {
+            TelemetryEvent::JobSubmitted {
+                job,
+                size,
+                runtime_secs,
+                ..
+            } => {
+                w.u64("job", *job)
+                    .u64("size", u64::from(*size))
+                    .u64("runtime_secs", *runtime_secs);
+            }
+            TelemetryEvent::QuoteNegotiated {
+                job,
+                start_secs,
+                promised_secs,
+                success_probability,
+                ..
+            } => {
+                w.u64("job", *job)
+                    .u64("start_secs", *start_secs)
+                    .u64("promised_secs", *promised_secs)
+                    .f64("success_probability", *success_probability);
+            }
+            TelemetryEvent::JobRejected { job, .. } => {
+                w.u64("job", *job);
+            }
+            TelemetryEvent::JobPlaced {
+                job,
+                nodes,
+                failure_probability,
+                ..
+            } => {
+                w.u64("job", *job)
+                    .arr_u64("nodes", nodes)
+                    .f64("failure_probability", *failure_probability);
+            }
+            TelemetryEvent::JobStarted { job, restarts, .. } => {
+                w.u64("job", *job).u64("restarts", u64::from(*restarts));
+            }
+            TelemetryEvent::CheckpointTaken {
+                job, overhead_secs, ..
+            } => {
+                w.u64("job", *job).u64("overhead_secs", *overhead_secs);
+            }
+            TelemetryEvent::CheckpointSkipped {
+                job,
+                reason,
+                failure_probability,
+                at_risk_secs,
+                ..
+            } => {
+                w.u64("job", *job)
+                    .str("reason", reason.as_str())
+                    .f64("failure_probability", *failure_probability)
+                    .u64("at_risk_secs", *at_risk_secs);
+            }
+            TelemetryEvent::NodeFailed {
+                node,
+                victim_job,
+                lost_node_seconds,
+                predicted,
+                ..
+            } => {
+                w.u64("node", *node)
+                    .opt_u64("victim_job", *victim_job)
+                    .u64("lost_node_seconds", *lost_node_seconds)
+                    .bool("predicted", *predicted);
+            }
+            TelemetryEvent::NodeRecovered { node, .. } => {
+                w.u64("node", *node);
+            }
+            TelemetryEvent::JobRequeued {
+                job,
+                remaining_secs,
+                ..
+            } => {
+                w.u64("job", *job).u64("remaining_secs", *remaining_secs);
+            }
+            TelemetryEvent::JobCompleted {
+                job, met_deadline, ..
+            } => {
+                w.u64("job", *job).bool("met_deadline", *met_deadline);
+            }
+            TelemetryEvent::DeadlineMissed {
+                job, late_by_secs, ..
+            } => {
+                w.u64("job", *job).u64("late_by_secs", *late_by_secs);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes one journal line. Returns `None` if the line is not valid
+    /// JSON or does not match the event schema.
+    pub fn from_jsonl(line: &str) -> Option<TelemetryEvent> {
+        let v = Json::parse(line.trim())?;
+        let at = SimTime::from_secs(v.get("at")?.as_u64()?);
+        let job = |v: &Json| v.get("job").and_then(Json::as_u64);
+        match v.get("event")?.as_str()? {
+            "job_submitted" => Some(TelemetryEvent::JobSubmitted {
+                at,
+                job: job(&v)?,
+                size: u32::try_from(v.get("size")?.as_u64()?).ok()?,
+                runtime_secs: v.get("runtime_secs")?.as_u64()?,
+            }),
+            "quote_negotiated" => Some(TelemetryEvent::QuoteNegotiated {
+                at,
+                job: job(&v)?,
+                start_secs: v.get("start_secs")?.as_u64()?,
+                promised_secs: v.get("promised_secs")?.as_u64()?,
+                success_probability: v.get("success_probability")?.as_f64()?,
+            }),
+            "job_rejected" => Some(TelemetryEvent::JobRejected { at, job: job(&v)? }),
+            "job_placed" => Some(TelemetryEvent::JobPlaced {
+                at,
+                job: job(&v)?,
+                nodes: v
+                    .get("nodes")?
+                    .as_arr()?
+                    .iter()
+                    .map(Json::as_u64)
+                    .collect::<Option<Vec<_>>>()?,
+                failure_probability: v.get("failure_probability")?.as_f64()?,
+            }),
+            "job_started" => Some(TelemetryEvent::JobStarted {
+                at,
+                job: job(&v)?,
+                restarts: u32::try_from(v.get("restarts")?.as_u64()?).ok()?,
+            }),
+            "checkpoint_taken" => Some(TelemetryEvent::CheckpointTaken {
+                at,
+                job: job(&v)?,
+                overhead_secs: v.get("overhead_secs")?.as_u64()?,
+            }),
+            "checkpoint_skipped" => Some(TelemetryEvent::CheckpointSkipped {
+                at,
+                job: job(&v)?,
+                reason: SkipReason::parse(v.get("reason")?.as_str()?)?,
+                failure_probability: v.get("failure_probability")?.as_f64()?,
+                at_risk_secs: v.get("at_risk_secs")?.as_u64()?,
+            }),
+            "node_failed" => Some(TelemetryEvent::NodeFailed {
+                at,
+                node: v.get("node")?.as_u64()?,
+                victim_job: {
+                    let vj = v.get("victim_job")?;
+                    if vj.is_null() {
+                        None
+                    } else {
+                        Some(vj.as_u64()?)
+                    }
+                },
+                lost_node_seconds: v.get("lost_node_seconds")?.as_u64()?,
+                predicted: v.get("predicted")?.as_bool()?,
+            }),
+            "node_recovered" => Some(TelemetryEvent::NodeRecovered {
+                at,
+                node: v.get("node")?.as_u64()?,
+            }),
+            "job_requeued" => Some(TelemetryEvent::JobRequeued {
+                at,
+                job: job(&v)?,
+                remaining_secs: v.get("remaining_secs")?.as_u64()?,
+            }),
+            "job_completed" => Some(TelemetryEvent::JobCompleted {
+                at,
+                job: job(&v)?,
+                met_deadline: v.get("met_deadline")?.as_bool()?,
+            }),
+            "deadline_missed" => Some(TelemetryEvent::DeadlineMissed {
+                at,
+                job: job(&v)?,
+                late_by_secs: v.get("late_by_secs")?.as_u64()?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// One instance of every variant, used by round-trip tests here and by the
+/// journal and handle modules.
+#[cfg(test)]
+pub(crate) fn one_of_each() -> Vec<TelemetryEvent> {
+    let t = SimTime::from_secs(3600);
+    vec![
+        TelemetryEvent::JobSubmitted {
+            at: t,
+            job: 1,
+            size: 16,
+            runtime_secs: 7200,
+        },
+        TelemetryEvent::QuoteNegotiated {
+            at: t,
+            job: 1,
+            start_secs: 3700,
+            promised_secs: 11_000,
+            success_probability: 0.987,
+        },
+        TelemetryEvent::JobRejected { at: t, job: 2 },
+        TelemetryEvent::JobPlaced {
+            at: t,
+            job: 1,
+            nodes: vec![4, 5, 6, 7],
+            failure_probability: 0.0125,
+        },
+        TelemetryEvent::JobStarted {
+            at: t,
+            job: 1,
+            restarts: 0,
+        },
+        TelemetryEvent::CheckpointTaken {
+            at: t,
+            job: 1,
+            overhead_secs: 720,
+        },
+        TelemetryEvent::CheckpointSkipped {
+            at: t,
+            job: 1,
+            reason: SkipReason::LowRisk,
+            failure_probability: 0.0003,
+            at_risk_secs: 3600,
+        },
+        TelemetryEvent::NodeFailed {
+            at: t,
+            node: 5,
+            victim_job: Some(1),
+            lost_node_seconds: 14_400,
+            predicted: true,
+        },
+        TelemetryEvent::NodeFailed {
+            at: t,
+            node: 99,
+            victim_job: None,
+            lost_node_seconds: 0,
+            predicted: false,
+        },
+        TelemetryEvent::NodeRecovered { at: t, node: 5 },
+        TelemetryEvent::JobRequeued {
+            at: t,
+            job: 1,
+            remaining_secs: 3600,
+        },
+        TelemetryEvent::JobCompleted {
+            at: t,
+            job: 1,
+            met_deadline: false,
+        },
+        TelemetryEvent::DeadlineMissed {
+            at: t,
+            job: 1,
+            late_by_secs: 480,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_round_trips_through_jsonl() {
+        for event in one_of_each() {
+            let line = event.to_jsonl();
+            let back = TelemetryEvent::from_jsonl(&line)
+                .unwrap_or_else(|| panic!("failed to parse {line}"));
+            assert_eq!(back, event, "round trip changed {line}");
+        }
+    }
+
+    #[test]
+    fn one_of_each_covers_every_variant_name() {
+        let names: std::collections::BTreeSet<&str> =
+            one_of_each().iter().map(|e| e.name()).collect();
+        assert_eq!(names.len(), 12, "update one_of_each() for new variants");
+    }
+
+    #[test]
+    fn skip_reason_wire_names_round_trip() {
+        for r in [
+            SkipReason::LowRisk,
+            SkipReason::DeadlinePressure,
+            SkipReason::Policy,
+        ] {
+            assert_eq!(SkipReason::parse(r.as_str()), Some(r));
+        }
+        assert_eq!(SkipReason::parse("bogus"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(TelemetryEvent::from_jsonl("").is_none());
+        assert!(TelemetryEvent::from_jsonl("not json").is_none());
+        assert!(TelemetryEvent::from_jsonl(r#"{"event":"unknown","at":1}"#).is_none());
+        assert!(TelemetryEvent::from_jsonl(r#"{"event":"job_rejected"}"#).is_none());
+        // Wrong field type.
+        assert!(
+            TelemetryEvent::from_jsonl(r#"{"event":"job_rejected","at":1,"job":"x"}"#).is_none()
+        );
+    }
+
+    #[test]
+    fn timestamps_are_preserved() {
+        for event in one_of_each() {
+            assert_eq!(event.at(), SimTime::from_secs(3600));
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! The [`Telemetry`] handle threaded through the simulator.
+//!
+//! A handle is either *disabled* (the default — one `Option` branch per
+//! emission site, no allocation, no locks) or *enabled*, in which case it
+//! fans events out to the configured sinks and owns a
+//! [`MetricsRegistry`]. Handles are cheap to clone; clones share the same
+//! sinks and registry.
+
+use crate::event::TelemetryEvent;
+use crate::journal::{EventSink, JsonlSink, RingBufferSink};
+use crate::metrics::{Counter, Gauge, Histogram, MetricsRegistry, Snapshot};
+use std::io::Write;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Shared state behind an enabled handle.
+struct Inner {
+    ring: Option<Mutex<RingBufferSink>>,
+    sinks: Mutex<Vec<Box<dyn EventSink>>>,
+    registry: MetricsRegistry,
+}
+
+/// Entry point for instrumentation: emit events, mint metric handles, take
+/// snapshots.
+///
+/// # Examples
+///
+/// ```
+/// use pqos_telemetry::{Telemetry, TelemetryEvent};
+/// use pqos_sim_core::time::SimTime;
+///
+/// // Disabled: every call is a no-op.
+/// let off = Telemetry::disabled();
+/// assert!(!off.is_enabled());
+/// off.emit(|| TelemetryEvent::JobRejected { at: SimTime::ZERO, job: 1 });
+///
+/// // Enabled with an in-memory ring journal.
+/// let on = Telemetry::builder().ring_buffer(64).build();
+/// on.emit(|| TelemetryEvent::JobRejected { at: SimTime::ZERO, job: 1 });
+/// on.counter("jobs.rejected").inc();
+/// assert_eq!(on.ring_events().len(), 1);
+/// assert_eq!(on.snapshot().unwrap().counter("jobs.rejected"), Some(1));
+/// ```
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// The no-op handle. Same as `Telemetry::default()`.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// Starts configuring an enabled handle.
+    pub fn builder() -> TelemetryBuilder {
+        TelemetryBuilder::default()
+    }
+
+    /// Whether events and metrics are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Emits an event. The closure runs only when telemetry is enabled, so
+    /// disabled emission costs one branch and never constructs the event.
+    pub fn emit(&self, make: impl FnOnce() -> TelemetryEvent) {
+        if let Some(inner) = &self.inner {
+            let event = make();
+            if let Some(ring) = &inner.ring {
+                ring.lock().expect("ring lock").record(&event);
+            }
+            for sink in inner.sinks.lock().expect("sinks lock").iter_mut() {
+                sink.record(&event);
+            }
+        }
+    }
+
+    /// A counter handle for `name` (no-op when disabled).
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.inner {
+            Some(inner) => inner.registry.counter(name),
+            None => Counter::noop(),
+        }
+    }
+
+    /// A gauge handle for `name` (no-op when disabled).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match &self.inner {
+            Some(inner) => inner.registry.gauge(name),
+            None => Gauge::noop(),
+        }
+    }
+
+    /// A histogram handle for `name` (no-op when disabled).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match &self.inner {
+            Some(inner) => inner.registry.histogram(name),
+            None => Histogram::noop(),
+        }
+    }
+
+    /// A copy of all metrics, or `None` when disabled.
+    pub fn snapshot(&self) -> Option<Snapshot> {
+        self.inner.as_ref().map(|inner| inner.registry.snapshot())
+    }
+
+    /// The events currently retained by the ring buffer (empty when there
+    /// is no ring or telemetry is disabled).
+    pub fn ring_events(&self) -> Vec<TelemetryEvent> {
+        match &self.inner {
+            Some(inner) => match &inner.ring {
+                Some(ring) => ring.lock().expect("ring lock").to_vec(),
+                None => Vec::new(),
+            },
+            None => Vec::new(),
+        }
+    }
+
+    /// Flushes every sink (fsync is left to the writer's drop).
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            for sink in inner.sinks.lock().expect("sinks lock").iter_mut() {
+                sink.flush();
+            }
+        }
+    }
+}
+
+/// Configures and builds an enabled [`Telemetry`] handle.
+#[derive(Default)]
+pub struct TelemetryBuilder {
+    ring_capacity: Option<usize>,
+    sinks: Vec<Box<dyn EventSink>>,
+}
+
+impl TelemetryBuilder {
+    /// Retains the last `capacity` events in memory, readable after the
+    /// run via [`Telemetry::ring_events`].
+    pub fn ring_buffer(mut self, capacity: usize) -> Self {
+        self.ring_capacity = Some(capacity);
+        self
+    }
+
+    /// Streams events as JSONL to an arbitrary writer.
+    pub fn jsonl_writer(mut self, writer: impl Write + Send + 'static) -> Self {
+        self.sinks.push(Box::new(JsonlSink::new(writer)));
+        self
+    }
+
+    /// Streams events as JSONL to a file (truncating it), buffered.
+    pub fn jsonl_path(self, path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(self.jsonl_writer(std::io::BufWriter::new(file)))
+    }
+
+    /// Adds a custom sink.
+    pub fn sink(mut self, sink: Box<dyn EventSink>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Builds the enabled handle.
+    pub fn build(self) -> Telemetry {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                ring: self
+                    .ring_capacity
+                    .map(|cap| Mutex::new(RingBufferSink::new(cap))),
+                sinks: Mutex::new(self.sinks),
+                registry: MetricsRegistry::new(),
+            })),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::one_of_each;
+    use pqos_sim_core::time::SimTime;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    #[test]
+    fn disabled_never_constructs_events() {
+        let constructed = AtomicBool::new(false);
+        let telemetry = Telemetry::disabled();
+        telemetry.emit(|| {
+            constructed.store(true, Ordering::Relaxed);
+            TelemetryEvent::JobRejected {
+                at: SimTime::ZERO,
+                job: 0,
+            }
+        });
+        assert!(!constructed.load(Ordering::Relaxed));
+        assert!(telemetry.snapshot().is_none());
+        assert!(telemetry.ring_events().is_empty());
+        telemetry.flush();
+    }
+
+    #[test]
+    fn clones_share_sinks_and_registry() {
+        let a = Telemetry::builder().ring_buffer(8).build();
+        let b = a.clone();
+        b.emit(|| TelemetryEvent::JobRejected {
+            at: SimTime::ZERO,
+            job: 7,
+        });
+        b.counter("x").inc();
+        assert_eq!(a.ring_events().len(), 1);
+        assert_eq!(a.snapshot().unwrap().counter("x"), Some(1));
+    }
+
+    #[test]
+    fn jsonl_sink_receives_all_events_in_order() {
+        let buffer: Arc<Mutex<Vec<u8>>> = Arc::default();
+
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let telemetry = Telemetry::builder()
+            .jsonl_writer(Shared(Arc::clone(&buffer)))
+            .build();
+        let events = one_of_each();
+        for event in &events {
+            let e = event.clone();
+            telemetry.emit(move || e);
+        }
+        telemetry.flush();
+        let text = String::from_utf8(buffer.lock().unwrap().clone()).unwrap();
+        let parsed: Vec<TelemetryEvent> = text
+            .lines()
+            .map(|l| TelemetryEvent::from_jsonl(l).expect("parses"))
+            .collect();
+        assert_eq!(parsed, events, "sink preserves emission order");
+    }
+
+    #[test]
+    fn ring_wraps_through_the_handle() {
+        let telemetry = Telemetry::builder().ring_buffer(2).build();
+        for job in 0..5 {
+            telemetry.emit(|| TelemetryEvent::JobRejected {
+                at: SimTime::ZERO,
+                job,
+            });
+        }
+        let events = telemetry.ring_events();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            events[1],
+            TelemetryEvent::JobRejected { job: 4, .. }
+        ));
+    }
+}

@@ -1,0 +1,378 @@
+//! Named counters, gauges, and streaming histograms.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap to clone and
+//! cheap to update: counters and gauges are single atomic adds, histograms
+//! take a short mutex around a Welford accumulator. A handle obtained from
+//! a disabled registry is a no-op, so instrumented code never branches on
+//! "is telemetry on" itself.
+//!
+//! Metric names are sorted (`BTreeMap`) so snapshots render in a stable
+//! order regardless of registration order.
+
+use pqos_sim_core::stats::OnlineStats;
+use pqos_sim_core::table::{fnum, Table};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonic counter. Cloning shares the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A counter that ignores updates (what disabled telemetry hands out).
+    pub fn noop() -> Self {
+        Counter(None)
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (zero for a no-op counter).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A gauge holding the latest value of a signed quantity.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicI64>>);
+
+impl Gauge {
+    /// A gauge that ignores updates.
+    pub fn noop() -> Self {
+        Gauge(None)
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        if let Some(cell) = &self.0 {
+            cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds a (possibly negative) delta.
+    pub fn add(&self, delta: i64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (zero for a no-op gauge).
+    pub fn get(&self) -> i64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A streaming histogram backed by [`OnlineStats`] (count/mean/stddev/
+/// min/max, no buckets to size).
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Option<Arc<Mutex<OnlineStats>>>);
+
+impl Histogram {
+    /// A histogram that ignores observations.
+    pub fn noop() -> Self {
+        Histogram(None)
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, x: f64) {
+        if let Some(cell) = &self.0 {
+            cell.lock().expect("histogram lock").push(x);
+        }
+    }
+
+    /// A copy of the accumulated statistics (empty for a no-op histogram).
+    pub fn stats(&self) -> OnlineStats {
+        self.0
+            .as_ref()
+            .map(|c| *c.lock().expect("histogram lock"))
+            .unwrap_or_default()
+    }
+}
+
+/// The set of all named metrics for one telemetry instance.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Mutex<OnlineStats>>>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it on first
+    /// use. Repeated calls with the same name share one cell.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock().expect("registry lock");
+        let cell = map.entry(name.to_string()).or_default();
+        Counter(Some(Arc::clone(cell)))
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.lock().expect("registry lock");
+        let cell = map.entry(name.to_string()).or_default();
+        Gauge(Some(Arc::clone(cell)))
+    }
+
+    /// Returns the histogram registered under `name`, creating it on first
+    /// use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.histograms.lock().expect("registry lock");
+        // OnlineStats::default() seeds min/max at 0.0; new() uses ±inf.
+        let cell = map
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Mutex::new(OnlineStats::new())));
+        Histogram(Some(Arc::clone(cell)))
+    }
+
+    /// A point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(name, cell)| {
+                let stats = *cell.lock().expect("histogram lock");
+                (name.clone(), HistogramSummary::from_stats(&stats))
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// Condensed view of one histogram at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Mean of the observations (0 when empty).
+    pub mean: f64,
+    /// Sample standard deviation (0 when empty).
+    pub std_dev: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+}
+
+impl HistogramSummary {
+    fn from_stats(stats: &OnlineStats) -> Self {
+        if stats.count() == 0 {
+            return HistogramSummary {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        HistogramSummary {
+            count: stats.count(),
+            mean: stats.mean(),
+            std_dev: stats.std_dev(),
+            min: stats.min().unwrap_or(0.0),
+            max: stats.max().unwrap_or(0.0),
+        }
+    }
+}
+
+/// A point-in-time copy of all metrics, detached from the registry.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Counter values, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram summaries, sorted by name.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl Snapshot {
+    /// Looks up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram summary by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Whether the snapshot holds no metrics at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Renders every metric as one aligned plain-text table.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(vec![
+            "metric".into(),
+            "kind".into(),
+            "value".into(),
+            "mean".into(),
+            "std".into(),
+            "min".into(),
+            "max".into(),
+        ]);
+        for (name, v) in &self.counters {
+            table.row(vec![
+                name.clone(),
+                "counter".into(),
+                v.to_string(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ]);
+        }
+        for (name, v) in &self.gauges {
+            table.row(vec![
+                name.clone(),
+                "gauge".into(),
+                v.to_string(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ]);
+        }
+        for (name, h) in &self.histograms {
+            table.row(vec![
+                name.clone(),
+                "histogram".into(),
+                h.count.to_string(),
+                fnum(h.mean, 4),
+                fnum(h.std_dev, 4),
+                fnum(h.min, 4),
+                fnum(h.max, 4),
+            ]);
+        }
+        table.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_share_state_by_name() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("jobs.completed");
+        let b = registry.counter("jobs.completed");
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5);
+        assert_eq!(registry.snapshot().counter("jobs.completed"), Some(5));
+    }
+
+    #[test]
+    fn gauges_set_and_add() {
+        let registry = MetricsRegistry::new();
+        let g = registry.gauge("nodes.free");
+        g.set(128);
+        g.add(-3);
+        assert_eq!(g.get(), 125);
+        assert_eq!(registry.snapshot().gauge("nodes.free"), Some(125));
+    }
+
+    #[test]
+    fn histograms_accumulate() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("ckpt.pf");
+        for x in [1.0, 2.0, 3.0] {
+            h.observe(x);
+        }
+        let snap = registry.snapshot();
+        let summary = snap.histogram("ckpt.pf").expect("registered");
+        assert_eq!(summary.count, 3);
+        assert!((summary.mean - 2.0).abs() < 1e-12);
+        assert_eq!(summary.min, 1.0);
+        assert_eq!(summary.max, 3.0);
+    }
+
+    #[test]
+    fn noop_handles_ignore_everything() {
+        let c = Counter::noop();
+        c.inc();
+        assert_eq!(c.get(), 0);
+        let g = Gauge::noop();
+        g.set(9);
+        assert_eq!(g.get(), 0);
+        let h = Histogram::noop();
+        h.observe(1.0);
+        assert_eq!(h.stats().count(), 0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_renders() {
+        let registry = MetricsRegistry::new();
+        registry.counter("zeta").inc();
+        registry.counter("alpha").inc();
+        registry.gauge("mid").set(1);
+        registry.histogram("hist").observe(0.5);
+        let snap = registry.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "zeta"], "BTreeMap order");
+        let text = snap.render();
+        assert!(text.contains("alpha"));
+        assert!(text.contains("histogram"));
+        assert!(!snap.is_empty());
+        assert!(Snapshot::default().is_empty());
+    }
+
+    #[test]
+    fn empty_histogram_summarizes_to_zeros() {
+        let registry = MetricsRegistry::new();
+        let _ = registry.histogram("empty");
+        let snap = registry.snapshot();
+        let h = snap.histogram("empty").unwrap();
+        assert_eq!(h.count, 0);
+        assert_eq!(h.mean, 0.0);
+    }
+}

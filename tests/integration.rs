@@ -141,18 +141,37 @@ fn results_insensitive_to_user_when_promises_always_clear_threshold() {
 }
 
 #[test]
-fn nasa_needs_higher_accuracy_than_sdsc() {
+fn sdsc_exploits_prediction_accuracy_more_than_nasa() {
     // §5.1: SDSC's odd sizes fragment the machine and give the fault-aware
-    // scheduler choices even at low accuracy; NASA's rigid power-of-two
-    // sizes do not. Check the lost-work benefit of a = 0.3 relative to the
-    // blind baseline is proportionally larger for SDSC.
-    let sdsc_gain = run(LogModel::SdscSp2, 0.0, 0.1).lost_work as f64
-        / run(LogModel::SdscSp2, 0.3, 0.1).lost_work.max(1) as f64;
-    let nasa_gain = run(LogModel::NasaIpsc, 0.0, 0.1).lost_work as f64
-        / run(LogModel::NasaIpsc, 0.3, 0.1).lost_work.max(1) as f64;
+    // scheduler choices; NASA's rigid power-of-two sizes leave little room
+    // (and its QoS baseline little headroom). Two checks at this scale:
+    // the QoS benefit of modest accuracy is larger for SDSC, and NASA
+    // saturates early — by a = 0.3 it is already at essentially its
+    // perfect-prediction QoS, while SDSC still has most of its gain ahead.
+    let s0 = run(LogModel::SdscSp2, 0.0, 0.1);
+    let s3 = run(LogModel::SdscSp2, 0.3, 0.1);
+    let s1 = run(LogModel::SdscSp2, 1.0, 0.1);
+    let n0 = run(LogModel::NasaIpsc, 0.0, 0.1);
+    let n3 = run(LogModel::NasaIpsc, 0.3, 0.1);
+    let n1 = run(LogModel::NasaIpsc, 1.0, 0.1);
+
+    let sdsc_gain = s3.qos - s0.qos;
+    let nasa_gain = n3.qos - n0.qos;
     assert!(
-        sdsc_gain > nasa_gain * 0.8,
-        "SDSC gain {sdsc_gain:.2} should not trail NASA gain {nasa_gain:.2}"
+        sdsc_gain > nasa_gain,
+        "QoS benefit of a = 0.3 should be larger for SDSC: {sdsc_gain:.4} vs {nasa_gain:.4}"
+    );
+    assert!(
+        n1.qos - n3.qos < 0.02,
+        "NASA should be nearly saturated at a = 0.3: {:.4} vs {:.4} at a = 1",
+        n3.qos,
+        n1.qos
+    );
+    assert!(
+        s1.qos - s3.qos > 0.1,
+        "SDSC should keep converting accuracy into QoS past a = 0.3: {:.4} vs {:.4} at a = 1",
+        s3.qos,
+        s1.qos
     );
 }
 

@@ -1,7 +1,11 @@
-//! Property-based tests (proptest) over the core data structures and the
+//! Randomized property tests over the core data structures and the
 //! simulator's invariants.
+//!
+//! Each test draws many random cases from a seeded [`DetRng`], so the suite
+//! is deterministic (reproducible failures, no flakes) while still covering
+//! a broad slice of the input space. Failure messages include the case
+//! index; re-running with the same seed replays the exact case.
 
-use proptest::prelude::*;
 use std::sync::Arc;
 
 use pqos_ckpt::model::planned_execution;
@@ -15,18 +19,44 @@ use pqos_predict::api::Predictor;
 use pqos_predict::oracle::TraceOracle;
 use pqos_sched::reservation::ReservationBook;
 use pqos_sim_core::queue::EventQueue;
+use pqos_sim_core::rng::DetRng;
 use pqos_sim_core::stats::OnlineStats;
 use pqos_sim_core::time::{SimDuration, SimTime, TimeWindow};
 use pqos_workload::job::{Job, JobId};
 use pqos_workload::log::JobLog;
 use pqos_workload::swf::{parse_swf, to_swf};
 
-proptest! {
-    /// The event queue pops in exact (time, priority, insertion) order.
-    #[test]
-    fn event_queue_is_a_stable_priority_queue(
-        entries in prop::collection::vec((0u64..1000, 0u8..4), 1..200)
-    ) {
+const SEED: u64 = 0xD5_2005;
+
+/// Draws `count` tuples via `draw`, one randomized case per tuple.
+fn cases<T>(label: &str, count: usize, mut draw: impl FnMut(&mut DetRng) -> T) -> Vec<T> {
+    let mut rng = DetRng::seed_from(SEED).fork(label);
+    (0..count).map(|_| draw(&mut rng)).collect()
+}
+
+fn random_failures(rng: &mut DetRng, max_count: u64, max_time: u64, nodes: u32) -> Vec<Failure> {
+    let count = rng.uniform_u64(0, max_count);
+    (0..count)
+        .map(|_| Failure {
+            time: SimTime::from_secs(rng.uniform_u64(0, max_time)),
+            node: NodeId::new(rng.uniform_u64(0, u64::from(nodes) - 1) as u32),
+            detectability: rng.unit(),
+        })
+        .collect()
+}
+
+/// The event queue pops in exact (time, priority, insertion) order.
+#[test]
+fn event_queue_is_a_stable_priority_queue() {
+    for (case, entries) in cases("event-queue", 64, |rng| {
+        let n = rng.uniform_u64(1, 200) as usize;
+        (0..n)
+            .map(|_| (rng.uniform_u64(0, 999), rng.uniform_u64(0, 3) as u8))
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .enumerate()
+    {
         let mut q = EventQueue::new();
         for (i, (t, p)) in entries.iter().enumerate() {
             q.push_with_priority(SimTime::from_secs(*t), *p, i);
@@ -35,60 +65,121 @@ proptest! {
         while let Some((t, i)) = q.pop() {
             popped.push((t, entries[i].1, i));
         }
-        prop_assert_eq!(popped.len(), entries.len());
+        assert_eq!(popped.len(), entries.len(), "case {case}");
         for w in popped.windows(2) {
-            let (t1, p1, s1) = w[0];
-            let (t2, p2, s2) = w[1];
-            prop_assert!(
-                (t1, p1, s1) < (t2, p2, s2),
-                "order violated: {:?} then {:?}", w[0], w[1]
+            assert!(
+                (w[0].0, w[0].1, w[0].2) < (w[1].0, w[1].1, w[1].2),
+                "case {case}: order violated: {:?} then {:?}",
+                w[0],
+                w[1]
             );
         }
     }
+}
 
-    /// Partitions are always sorted and duplicate-free regardless of input.
-    #[test]
-    fn partition_canonical_form(nodes in prop::collection::vec(0u32..64, 1..64)) {
+/// Partitions are always sorted and duplicate-free regardless of input.
+#[test]
+fn partition_canonical_form() {
+    for (case, nodes) in cases("partition-canonical", 128, |rng| {
+        let n = rng.uniform_u64(1, 63) as usize;
+        (0..n)
+            .map(|_| rng.uniform_u64(0, 63) as u32)
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .enumerate()
+    {
         let p = Partition::new(nodes.iter().copied().map(NodeId::new)).expect("non-empty");
         let slice = p.as_slice();
-        prop_assert!(slice.windows(2).all(|w| w[0] < w[1]));
+        assert!(
+            slice.windows(2).all(|w| w[0] < w[1]),
+            "case {case}: not strictly sorted"
+        );
         for n in &nodes {
-            prop_assert!(p.contains(NodeId::new(*n)));
+            assert!(p.contains(NodeId::new(*n)), "case {case}: lost node {n}");
         }
     }
+}
 
-    /// Overlap is symmetric and consistent with intersection of node sets.
-    #[test]
-    fn partition_overlap_matches_set_intersection(
-        a in prop::collection::vec(0u32..32, 1..16),
-        b in prop::collection::vec(0u32..32, 1..16),
-    ) {
+/// Overlap is symmetric and consistent with intersection of node sets.
+#[test]
+fn partition_overlap_matches_set_intersection() {
+    for (case, (a, b)) in cases("partition-overlap", 128, |rng| {
+        let draw = |rng: &mut DetRng| {
+            let n = rng.uniform_u64(1, 15) as usize;
+            (0..n)
+                .map(|_| rng.uniform_u64(0, 31) as u32)
+                .collect::<Vec<_>>()
+        };
+        let a = draw(rng);
+        (a, draw(rng))
+    })
+    .into_iter()
+    .enumerate()
+    {
         let pa = Partition::new(a.iter().copied().map(NodeId::new)).expect("non-empty");
         let pb = Partition::new(b.iter().copied().map(NodeId::new)).expect("non-empty");
         let expected = a.iter().any(|x| b.contains(x));
-        prop_assert_eq!(pa.overlaps(&pb), expected);
-        prop_assert_eq!(pa.overlaps(&pb), pb.overlaps(&pa));
+        assert_eq!(pa.overlaps(&pb), expected, "case {case}");
+        assert_eq!(
+            pa.overlaps(&pb),
+            pb.overlaps(&pa),
+            "case {case}: asymmetric"
+        );
     }
+}
 
-    /// Merging statistics accumulators matches single-pass accumulation.
-    #[test]
-    fn online_stats_merge_is_associative(
-        xs in prop::collection::vec(-1e6f64..1e6, 1..200),
-        split in 0usize..200,
-    ) {
+/// Merging statistics accumulators matches single-pass accumulation.
+#[test]
+fn online_stats_merge_is_associative() {
+    for (case, (xs, split)) in cases("stats-merge", 128, |rng| {
+        let n = rng.uniform_u64(1, 200) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| rng.uniform(-1e6, 1e6)).collect();
+        let split = rng.uniform_u64(0, 200) as usize;
+        (xs, split)
+    })
+    .into_iter()
+    .enumerate()
+    {
         let split = split.min(xs.len());
         let all: OnlineStats = xs.iter().copied().collect();
         let mut left: OnlineStats = xs[..split].iter().copied().collect();
         let right: OnlineStats = xs[split..].iter().copied().collect();
         left.merge(&right);
-        prop_assert_eq!(left.count(), all.count());
-        prop_assert!((left.mean() - all.mean()).abs() < 1e-6);
-        prop_assert!((left.population_variance() - all.population_variance()).abs() < 1e-3);
+        assert_eq!(left.count(), all.count(), "case {case}");
+        assert!(
+            (left.mean() - all.mean()).abs() < 1e-6,
+            "case {case}: mean {} vs {}",
+            left.mean(),
+            all.mean()
+        );
+        assert!(
+            (left.population_variance() - all.population_variance()).abs() < 1e-3,
+            "case {case}: variance {} vs {}",
+            left.population_variance(),
+            all.population_variance()
+        );
     }
+}
 
-    /// SWF serialization round-trips any valid job log.
-    #[test]
-    fn swf_round_trip(jobs in prop::collection::vec((0u64..100_000, 1u32..256, 1u64..1_000_000), 0..60)) {
+/// SWF serialization round-trips any valid job log.
+#[test]
+fn swf_round_trip() {
+    for (case, jobs) in cases("swf-round-trip", 64, |rng| {
+        let n = rng.uniform_u64(0, 59) as usize;
+        (0..n)
+            .map(|_| {
+                (
+                    rng.uniform_u64(0, 99_999),
+                    rng.uniform_u64(1, 255) as u32,
+                    rng.uniform_u64(1, 999_999),
+                )
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .enumerate()
+    {
         let jobs: Vec<Job> = jobs
             .iter()
             .enumerate()
@@ -104,57 +195,74 @@ proptest! {
             .collect();
         let log = JobLog::new(jobs).expect("unique ids");
         let parsed = parse_swf(&to_swf(&log)).expect("round trip");
-        prop_assert_eq!(parsed.log, log);
-        prop_assert_eq!(parsed.skipped, 0);
+        assert_eq!(parsed.log, log, "case {case}");
+        assert_eq!(parsed.skipped, 0, "case {case}");
     }
+}
 
-    /// The trace oracle never returns a probability above its accuracy,
-    /// never fires on an empty window, and fires only when a detectable
-    /// failure is inside the window.
-    #[test]
-    fn oracle_bounded_by_accuracy(
-        failures in prop::collection::vec((0u64..10_000, 0u32..16, 0.0f64..1.0), 0..100),
-        accuracy in 0.0f64..1.0,
-        start in 0u64..10_000,
-        len in 1u64..5_000,
-    ) {
-        let trace = Arc::new(FailureTrace::new(
-            failures
-                .iter()
-                .map(|&(t, n, px)| Failure {
-                    time: SimTime::from_secs(t),
-                    node: NodeId::new(n),
-                    detectability: px,
-                })
-                .collect(),
-        ).expect("valid detectabilities"));
+/// The trace oracle never returns a probability above its accuracy, never
+/// fires on an empty window, and fires only when a detectable failure is
+/// inside the window.
+#[test]
+fn oracle_bounded_by_accuracy() {
+    for (case, (failures, accuracy, start, len)) in cases("oracle-bound", 128, |rng| {
+        let failures = random_failures(rng, 100, 10_000, 16);
+        (
+            failures,
+            rng.unit(),
+            rng.uniform_u64(0, 9_999),
+            rng.uniform_u64(1, 4_999),
+        )
+    })
+    .into_iter()
+    .enumerate()
+    {
+        let trace = Arc::new(FailureTrace::new(failures.clone()).expect("valid detectabilities"));
         let oracle = TraceOracle::new(Arc::clone(&trace), accuracy).expect("valid accuracy");
         let nodes: Vec<NodeId> = (0..16).map(NodeId::new).collect();
-        let window = TimeWindow::new(
-            SimTime::from_secs(start),
-            SimTime::from_secs(start + len),
-        );
+        let window = TimeWindow::new(SimTime::from_secs(start), SimTime::from_secs(start + len));
         let pf = oracle.failure_probability(&nodes, window);
-        prop_assert!(pf <= accuracy + 1e-12, "pf {pf} > a {accuracy}");
-        let any_detectable = failures.iter().any(|&(t, _, px)| {
-            window.contains(SimTime::from_secs(t)) && px <= accuracy
-        });
-        prop_assert_eq!(pf > 0.0, any_detectable && pf > 0.0);
+        assert!(
+            pf <= accuracy + 1e-12,
+            "case {case}: pf {pf} > a {accuracy}"
+        );
+        let any_detectable = failures
+            .iter()
+            .any(|f| window.contains(f.time) && f.detectability <= accuracy);
         if !any_detectable {
-            prop_assert_eq!(pf, 0.0);
+            assert_eq!(pf, 0.0, "case {case}: fired without a detectable failure");
         }
         // Empty window never fires.
         let empty = TimeWindow::new(SimTime::from_secs(start), SimTime::from_secs(start));
-        prop_assert_eq!(oracle.failure_probability(&nodes, empty), 0.0);
+        assert_eq!(
+            oracle.failure_probability(&nodes, empty),
+            0.0,
+            "case {case}"
+        );
     }
+}
 
-    /// Reservation books never double-book: after any sequence of adds,
-    /// every pair of overlapping-time reservations is node-disjoint, and
-    /// `free_nodes_during` never reports a committed node.
-    #[test]
-    fn reservation_book_never_double_books(
-        requests in prop::collection::vec((0u32..16, 1u32..8, 0u64..500, 1u64..200), 1..40)
-    ) {
+/// Reservation books never double-book: after any sequence of adds, every
+/// pair of overlapping-time reservations is node-disjoint, and
+/// `free_nodes_during` never reports a committed node.
+#[test]
+fn reservation_book_never_double_books() {
+    for (case, requests) in cases("reservation-book", 64, |rng| {
+        let n = rng.uniform_u64(1, 40) as usize;
+        (0..n)
+            .map(|_| {
+                (
+                    rng.uniform_u64(0, 15) as u32,
+                    rng.uniform_u64(1, 7) as u32,
+                    rng.uniform_u64(0, 499),
+                    rng.uniform_u64(1, 199),
+                )
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .enumerate()
+    {
         let mut book = ReservationBook::new(16);
         for (i, (start_node, len, t, dur)) in requests.iter().enumerate() {
             let first = (*start_node).min(15);
@@ -163,60 +271,82 @@ proptest! {
                 continue;
             }
             let partition = Partition::contiguous(first, size);
-            let window = TimeWindow::new(
-                SimTime::from_secs(*t),
-                SimTime::from_secs(t + dur),
-            );
+            let window = TimeWindow::new(SimTime::from_secs(*t), SimTime::from_secs(t + dur));
             // Adds may fail with conflicts; that is the point.
             let _ = book.add(JobId::new(i as u64), partition, window);
         }
         let all: Vec<_> = book.iter().map(|(_, r)| r.clone()).collect();
         for (i, a) in all.iter().enumerate() {
             for b in &all[i + 1..] {
-                let time_overlap = a.interval.start() < b.interval.end()
-                    && b.interval.start() < a.interval.end();
+                let time_overlap =
+                    a.interval.start() < b.interval.end() && b.interval.start() < a.interval.end();
                 if time_overlap {
-                    prop_assert!(!a.partition.overlaps(&b.partition));
+                    assert!(
+                        !a.partition.overlaps(&b.partition),
+                        "case {case}: double-booked {} and {}",
+                        a.partition,
+                        b.partition
+                    );
                 }
             }
             let free = book.free_nodes_during(a.interval, &[]);
             for n in a.partition.iter() {
-                prop_assert!(!free.contains(&n));
+                assert!(!free.contains(&n), "case {case}: committed node {n} free");
             }
         }
     }
+}
 
-    /// Execution plans: totals are runtime plus one overhead per request,
-    /// and requests never reach the finish boundary.
-    #[test]
-    fn execution_plan_arithmetic(
-        runtime in 1u64..1_000_000,
-        interval in 1u64..100_000,
-        overhead in 0u64..10_000,
-    ) {
+/// Execution plans: totals are runtime plus one overhead per request, and
+/// requests never reach the finish boundary.
+#[test]
+fn execution_plan_arithmetic() {
+    for (case, (runtime, interval, overhead)) in cases("execution-plan", 256, |rng| {
+        (
+            rng.uniform_u64(1, 999_999),
+            rng.uniform_u64(1, 99_999),
+            rng.uniform_u64(0, 9_999),
+        )
+    })
+    .into_iter()
+    .enumerate()
+    {
         let plan = planned_execution(
             SimDuration::from_secs(runtime),
             SimDuration::from_secs(interval),
             SimDuration::from_secs(overhead),
         );
-        prop_assert_eq!(
+        assert_eq!(
             plan.total.as_secs(),
-            runtime + plan.requests * overhead
+            runtime + plan.requests * overhead,
+            "case {case}"
         );
-        prop_assert!(plan.requests * interval < runtime);
-        prop_assert!((plan.requests + 1) * interval >= runtime);
+        assert!(plan.requests * interval < runtime, "case {case}");
+        assert!((plan.requests + 1) * interval >= runtime, "case {case}");
     }
+}
 
-    /// End-to-end simulator invariants on arbitrary small workloads:
-    /// every job completes, metrics stay in range, and replay is
-    /// deterministic.
-    #[test]
-    fn simulator_invariants(
-        jobs in prop::collection::vec((0u64..5_000, 1u32..8, 30u64..7_000), 1..25),
-        failures in prop::collection::vec((0u64..20_000, 0u32..8, 0.0f64..1.0), 0..12),
-        accuracy in 0.0f64..1.0,
-        threshold in 0.0f64..1.0,
-    ) {
+/// End-to-end simulator invariants on arbitrary small workloads: every job
+/// completes, metrics stay in range, and replay is deterministic.
+#[test]
+fn simulator_invariants() {
+    for (case, (jobs, failures, accuracy, threshold)) in cases("simulator", 24, |rng| {
+        let n = rng.uniform_u64(1, 25) as usize;
+        let jobs: Vec<(u64, u32, u64)> = (0..n)
+            .map(|_| {
+                (
+                    rng.uniform_u64(0, 4_999),
+                    rng.uniform_u64(1, 7) as u32,
+                    rng.uniform_u64(30, 6_999),
+                )
+            })
+            .collect();
+        let failures = random_failures(rng, 12, 20_000, 8);
+        (jobs, failures, rng.unit(), rng.unit())
+    })
+    .into_iter()
+    .enumerate()
+    {
         let log = JobLog::new(
             jobs.iter()
                 .enumerate()
@@ -232,62 +362,94 @@ proptest! {
                 .collect(),
         )
         .expect("unique ids");
-        let trace = Arc::new(FailureTrace::new(
-            failures
-                .iter()
-                .map(|&(t, n, px)| Failure {
-                    time: SimTime::from_secs(t),
-                    node: NodeId::new(n),
-                    detectability: px,
-                })
-                .collect(),
-        ).expect("valid"));
+        let trace = Arc::new(FailureTrace::new(failures).expect("valid"));
         let config = SimConfig::paper_defaults()
             .cluster_size_nodes(8)
             .accuracy(accuracy)
             .user(UserStrategy::risk_threshold(threshold).expect("valid"));
         let out = QosSimulator::new(config.clone(), log.clone(), Arc::clone(&trace)).run();
-        prop_assert_eq!(out.report.jobs + out.rejected.len(), jobs.len());
-        prop_assert!(out.report.qos >= 0.0 && out.report.qos <= 1.0 + 1e-12);
-        prop_assert!(out.report.utilization >= 0.0 && out.report.utilization <= 1.0 + 1e-12);
-        prop_assert!(out.report.qos <= out.report.mean_promise + 1e-9);
+        assert_eq!(
+            out.report.jobs + out.rejected.len(),
+            jobs.len(),
+            "case {case}"
+        );
+        assert!(
+            out.report.qos >= 0.0 && out.report.qos <= 1.0 + 1e-12,
+            "case {case}: qos {}",
+            out.report.qos
+        );
+        assert!(
+            out.report.utilization >= 0.0 && out.report.utilization <= 1.0 + 1e-12,
+            "case {case}: utilization {}",
+            out.report.utilization
+        );
+        assert!(
+            out.report.qos <= out.report.mean_promise + 1e-9,
+            "case {case}"
+        );
         for o in out.collector.outcomes() {
-            prop_assert!(o.finish >= o.arrival);
-            prop_assert!(o.last_start >= o.arrival);
-            prop_assert!((0.0..=1.0).contains(&o.promised));
+            assert!(o.finish >= o.arrival, "case {case}");
+            assert!(o.last_start >= o.arrival, "case {case}");
+            assert!((0.0..=1.0).contains(&o.promised), "case {case}");
         }
         // Deterministic replay.
         let again = QosSimulator::new(config, log, trace).run();
-        prop_assert_eq!(out.report, again.report);
+        assert_eq!(out.report, again.report, "case {case}: replay diverged");
     }
 }
 
-proptest! {
-    /// The filtering pipeline's temporal invariant: no two kept failures on
-    /// the same node are closer than the coalescing window.
-    #[test]
-    fn filter_output_has_no_same_node_clusters(
-        events in prop::collection::vec((0u64..200_000, 0u32..8, 0u8..5, 0u8..5), 0..150)
-    ) {
-        use pqos_failures::event::{RawEvent, Severity, Subsystem};
-        use pqos_failures::filter::{filter_events, FilterConfig};
-        let sev = [Severity::Info, Severity::Warning, Severity::Error, Severity::Fatal, Severity::Failure];
-        let sub = [Subsystem::Memory, Subsystem::Network, Subsystem::Storage, Subsystem::NodeSoftware, Subsystem::Power];
+/// The filtering pipeline's temporal invariant: no two kept failures on the
+/// same node are closer than the coalescing window.
+#[test]
+fn filter_output_has_no_same_node_clusters() {
+    use pqos_failures::event::{RawEvent, Severity, Subsystem};
+    use pqos_failures::filter::{filter_events, FilterConfig};
+    let sev = [
+        Severity::Info,
+        Severity::Warning,
+        Severity::Error,
+        Severity::Fatal,
+        Severity::Failure,
+    ];
+    let sub = [
+        Subsystem::Memory,
+        Subsystem::Network,
+        Subsystem::Storage,
+        Subsystem::NodeSoftware,
+        Subsystem::Power,
+    ];
+    for (case, events) in cases("filter", 64, |rng| {
+        let n = rng.uniform_u64(0, 149) as usize;
+        (0..n)
+            .map(|_| {
+                (
+                    rng.uniform_u64(0, 199_999),
+                    rng.uniform_u64(0, 7) as u32,
+                    rng.uniform_u64(0, 4) as usize,
+                    rng.uniform_u64(0, 4) as usize,
+                )
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .enumerate()
+    {
         let raw: Vec<RawEvent> = events
             .iter()
             .map(|&(t, n, s, b)| RawEvent {
                 time: SimTime::from_secs(t),
                 node: NodeId::new(n),
-                severity: sev[s as usize],
-                subsystem: sub[b as usize],
+                severity: sev[s],
+                subsystem: sub[b],
             })
             .collect();
         let config = FilterConfig::default();
         let (kept, stats) = filter_events(&raw, config);
-        prop_assert_eq!(stats.kept, kept.len());
-        prop_assert_eq!(
+        assert_eq!(stats.kept, kept.len(), "case {case}");
+        assert_eq!(
             stats.raw,
-            stats.kept + stats.dropped_severity + stats.dropped_temporal + stats.dropped_spatial
+            stats.kept + stats.dropped_severity + stats.dropped_temporal + stats.dropped_spatial,
+            "case {case}"
         );
         // Per-node minimum spacing.
         for node in 0..8u32 {
@@ -297,22 +459,27 @@ proptest! {
                 .map(|f| f.time.as_secs())
                 .collect();
             for w in times.windows(2) {
-                prop_assert!(
+                assert!(
                     w[1] - w[0] >= config.temporal_window.as_secs(),
-                    "node {node}: kept failures {w:?} within the window"
+                    "case {case}: node {node}: kept failures {w:?} within the window"
                 );
             }
         }
     }
+}
 
-    /// Every candidate partition any topology produces is valid for that
-    /// topology, has the requested size, and uses only free nodes.
-    #[test]
-    fn topology_candidates_are_valid(
-        free_bits in prop::collection::vec(any::<bool>(), 64),
-        size in 1usize..16,
-    ) {
-        use pqos_cluster::topology::Topology;
+/// Every candidate partition any topology produces is valid for that
+/// topology, has the requested size, and uses only free nodes.
+#[test]
+fn topology_candidates_are_valid() {
+    use pqos_cluster::topology::Topology;
+    for (case, (free_bits, size)) in cases("topology", 64, |rng| {
+        let bits: Vec<bool> = (0..64).map(|_| rng.chance(0.5)).collect();
+        (bits, rng.uniform_u64(1, 15) as usize)
+    })
+    .into_iter()
+    .enumerate()
+    {
         let free: Vec<NodeId> = free_bits
             .iter()
             .enumerate()
@@ -325,40 +492,40 @@ proptest! {
             Topology::Torus3d { x: 4, y: 4, z: 4 },
         ] {
             for c in topology.candidate_partitions(&free, size) {
-                prop_assert_eq!(c.len(), size);
-                prop_assert!(topology.is_valid_partition(&c), "{c} invalid for {topology}");
+                assert_eq!(c.len(), size, "case {case}");
+                assert!(
+                    topology.is_valid_partition(&c),
+                    "case {case}: {c} invalid for {topology}"
+                );
                 for n in c.iter() {
-                    prop_assert!(free.contains(&n), "{n} not free");
+                    assert!(free.contains(&n), "case {case}: {n} not free");
                 }
             }
         }
     }
+}
 
-    /// Negotiation postconditions: the accepted quote starts no earlier
-    /// than `now`, its deadline is exactly `start + duration`, the quoted
-    /// probability is a probability, and a threshold-satisfied outcome
-    /// really satisfies the threshold.
-    #[test]
-    fn negotiation_postconditions(
-        size in 1u32..8,
-        duration in 1u64..10_000,
-        threshold in 0.0f64..1.0,
-        failures in prop::collection::vec((0u64..50_000, 0u32..8, 0.0f64..1.0), 0..20),
-    ) {
-        use pqos_core::negotiate::{negotiate, NegotiationRequest};
-        use pqos_cluster::topology::Topology;
-        use pqos_predict::oracle::TraceOracle;
-        use pqos_sched::place::PlacementStrategy;
-        let trace = Arc::new(FailureTrace::new(
-            failures
-                .iter()
-                .map(|&(t, n, px)| Failure {
-                    time: SimTime::from_secs(t),
-                    node: NodeId::new(n),
-                    detectability: px,
-                })
-                .collect(),
-        ).expect("valid"));
+/// Negotiation postconditions: the accepted quote starts no earlier than
+/// `now`, its deadline is exactly `start + duration`, the quoted
+/// probability is a probability, and a threshold-satisfied outcome really
+/// satisfies the threshold.
+#[test]
+fn negotiation_postconditions() {
+    use pqos_cluster::topology::Topology;
+    use pqos_core::negotiate::{negotiate, NegotiationRequest};
+    use pqos_sched::place::PlacementStrategy;
+    for (case, (size, duration, threshold, failures)) in cases("negotiation", 64, |rng| {
+        (
+            rng.uniform_u64(1, 7) as u32,
+            rng.uniform_u64(1, 9_999),
+            rng.unit(),
+            random_failures(rng, 20, 50_000, 8),
+        )
+    })
+    .into_iter()
+    .enumerate()
+    {
+        let trace = Arc::new(FailureTrace::new(failures).expect("valid"));
         let oracle = TraceOracle::new(trace, 1.0).expect("valid accuracy");
         let book = ReservationBook::new(8);
         let user = UserStrategy::risk_threshold(threshold).expect("valid");
@@ -381,13 +548,21 @@ proptest! {
         )
         .expect("job fits");
         let q = &outcome.accepted;
-        prop_assert!(q.start >= SimTime::from_secs(1000));
-        prop_assert_eq!(q.deadline, q.start + SimDuration::from_secs(duration));
-        prop_assert!((0.0..=1.0).contains(&q.failure_probability));
-        prop_assert_eq!(q.partition.len(), size as usize);
+        assert!(q.start >= SimTime::from_secs(1000), "case {case}");
+        assert_eq!(
+            q.deadline,
+            q.start + SimDuration::from_secs(duration),
+            "case {case}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&q.failure_probability),
+            "case {case}: pf {}",
+            q.failure_probability
+        );
+        assert_eq!(q.partition.len(), size as usize, "case {case}");
         if outcome.satisfied_threshold {
-            prop_assert!(q.promised_success() >= threshold);
+            assert!(q.promised_success() >= threshold, "case {case}");
         }
-        prop_assert!(outcome.quotes_examined >= 1);
+        assert!(outcome.quotes_examined >= 1, "case {case}");
     }
 }
