@@ -1,0 +1,290 @@
+//! Scaling benchmark for the reservation book rebuild.
+//!
+//! Builds a large backlog of accepted reservations by negotiating jobs one
+//! at a time against the incremental timeline [`ReservationBook`], mirrors
+//! the resulting commitments into the [`NaiveReservationBook`] reference,
+//! and then times a fixed set of probe negotiations against each book.
+//! The probes exercise the full `earliest_slots` → `choose_partition`
+//! path, so the measured ratio is the end-to-end speedup a saturated
+//! scheduler sees per negotiation.
+//!
+//! The backlog itself is only ever *built* through the timeline book: the
+//! naive book's quadratic probing makes a 5000-job sequential build take
+//! hours, which is exactly the pathology the timeline removes. Mirroring
+//! the accepted reservations via direct `add` calls keeps both books
+//! byte-identical in content (asserted via probe-outcome equality) while
+//! keeping the benchmark runnable.
+
+use pqos_cluster::topology::Topology;
+use pqos_core::negotiate::{negotiate, NegotiationOutcome, NegotiationRequest};
+use pqos_core::user::UserStrategy;
+use pqos_predict::api::NullPredictor;
+use pqos_sched::place::PlacementStrategy;
+use pqos_sched::reservation::{AvailabilityView, NaiveReservationBook, ReservationBook};
+use pqos_sim_core::rng::DetRng;
+use pqos_sim_core::time::{SimDuration, SimTime, TimeWindow};
+use pqos_workload::job::JobId;
+use std::time::Instant;
+
+/// Paper-scale cluster width used by the default benchmark.
+pub const DEFAULT_CLUSTER_SIZE: u32 = 128;
+/// Default backlog depth (accepted reservations) before probing.
+pub const DEFAULT_BACKLOG: usize = 5000;
+/// Default number of timed probe negotiations per book.
+pub const DEFAULT_PROBES: usize = 25;
+
+/// Knobs for [`run_sched_bench`].
+#[derive(Debug, Clone, Copy)]
+pub struct SchedBenchConfig {
+    /// Cluster width in nodes.
+    pub cluster_size: u32,
+    /// How many jobs to negotiate-and-commit before timing probes.
+    pub backlog: usize,
+    /// How many probe negotiations to time against each book.
+    pub probes: usize,
+}
+
+impl Default for SchedBenchConfig {
+    fn default() -> Self {
+        SchedBenchConfig {
+            cluster_size: DEFAULT_CLUSTER_SIZE,
+            backlog: DEFAULT_BACKLOG,
+            probes: DEFAULT_PROBES,
+        }
+    }
+}
+
+/// Before/after numbers from one benchmark run.
+#[derive(Debug, Clone)]
+pub struct SchedBenchReport {
+    /// Cluster width the run used.
+    pub cluster_size: u32,
+    /// Jobs offered while building the backlog.
+    pub backlog_jobs: usize,
+    /// Reservations actually committed (== jobs offered; every job lands).
+    pub accepted_reservations: usize,
+    /// Distinct change points in the committed schedule.
+    pub change_points: usize,
+    /// Probe negotiations timed per book.
+    pub probe_negotiations: usize,
+    /// Wall time to negotiate + commit the whole backlog on the timeline
+    /// book, in milliseconds.
+    pub timeline_build_ms: f64,
+    /// Wall time for the probe set against the naive book, in milliseconds.
+    pub naive_probe_ms: f64,
+    /// Wall time for the same probe set against the timeline book, in
+    /// milliseconds.
+    pub timeline_probe_ms: f64,
+    /// `naive_probe_ms / timeline_probe_ms`.
+    pub speedup: f64,
+}
+
+impl SchedBenchReport {
+    /// Mean microseconds per probe negotiation on the naive book.
+    pub fn naive_probe_per_negotiation_us(&self) -> f64 {
+        self.naive_probe_ms * 1000.0 / self.probe_negotiations.max(1) as f64
+    }
+
+    /// Mean microseconds per probe negotiation on the timeline book.
+    pub fn timeline_probe_per_negotiation_us(&self) -> f64 {
+        self.timeline_probe_ms * 1000.0 / self.probe_negotiations.max(1) as f64
+    }
+
+    /// Renders the report as a JSON object (hand-rolled; every field is a
+    /// number or string, so no escaping is needed).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"benchmark\": \"sched_negotiate_backlog\",\n",
+                "  \"cluster_size\": {},\n",
+                "  \"backlog_jobs\": {},\n",
+                "  \"accepted_reservations\": {},\n",
+                "  \"change_points\": {},\n",
+                "  \"probe_negotiations\": {},\n",
+                "  \"timeline_build_ms\": {:.3},\n",
+                "  \"naive_probe_ms\": {:.3},\n",
+                "  \"timeline_probe_ms\": {:.3},\n",
+                "  \"naive_probe_per_negotiation_us\": {:.1},\n",
+                "  \"timeline_probe_per_negotiation_us\": {:.1},\n",
+                "  \"speedup\": {:.1}\n",
+                "}}\n",
+            ),
+            self.cluster_size,
+            self.backlog_jobs,
+            self.accepted_reservations,
+            self.change_points,
+            self.probe_negotiations,
+            self.timeline_build_ms,
+            self.naive_probe_ms,
+            self.timeline_probe_ms,
+            self.naive_probe_per_negotiation_us(),
+            self.timeline_probe_per_negotiation_us(),
+            self.speedup,
+        )
+    }
+
+    /// One-line human summary for terminal output.
+    pub fn summary(&self) -> String {
+        format!(
+            "sched bench: backlog {} jobs ({} change points), probes {}: \
+             naive {:.1} ms vs timeline {:.1} ms per set ({:.1}x speedup)",
+            self.accepted_reservations,
+            self.change_points,
+            self.probe_negotiations,
+            self.naive_probe_ms,
+            self.timeline_probe_ms,
+            self.speedup,
+        )
+    }
+}
+
+/// One job offered to the negotiator: `size` nodes for `duration`.
+#[derive(Debug, Clone, Copy)]
+struct JobSpec {
+    size: u32,
+    duration: SimDuration,
+}
+
+fn draw_job(rng: &mut DetRng, cluster_size: u32) -> JobSpec {
+    // Power-of-two sizes, skewed small like real supercomputer mixes, and
+    // clamped so every job fits the cluster.
+    let size = (1u32 << rng.uniform_u64(0, 5)).min(cluster_size);
+    let duration = SimDuration::from_secs(rng.uniform_u64(600, 36_000));
+    JobSpec { size, duration }
+}
+
+fn probe<B: AvailabilityView>(book: &B, spec: JobSpec) -> Option<NegotiationOutcome> {
+    negotiate(
+        book,
+        Topology::Flat,
+        PlacementStrategy::MinFailureProbability,
+        &NullPredictor,
+        NegotiationRequest {
+            size: spec.size,
+            duration: spec.duration,
+            now: SimTime::ZERO,
+            down: &[],
+            recovery_horizon: SimTime::ZERO,
+            pre_start_risk: SimDuration::from_secs(120),
+        },
+        &UserStrategy::AlwaysEarliest,
+        4,
+        4,
+    )
+}
+
+/// Runs the benchmark: build the backlog on the timeline book, mirror it
+/// into the naive book, then time the same probe set against both.
+///
+/// Panics if the two books ever disagree on a probe outcome — the
+/// benchmark doubles as an end-to-end parity check.
+pub fn run_sched_bench(config: &SchedBenchConfig) -> SchedBenchReport {
+    let mut rng = DetRng::seed_from(crate::scenario::EXPERIMENT_SEED).fork("sched-bench");
+    let backlog: Vec<JobSpec> = (0..config.backlog)
+        .map(|_| draw_job(&mut rng, config.cluster_size))
+        .collect();
+    let probes: Vec<JobSpec> = (0..config.probes)
+        .map(|_| draw_job(&mut rng, config.cluster_size))
+        .collect();
+
+    // Build phase: negotiate + commit every backlog job on the timeline
+    // book, exactly as `System` does between arrivals.
+    let mut fast = ReservationBook::new(config.cluster_size);
+    let build_started = Instant::now();
+    for (i, spec) in backlog.iter().enumerate() {
+        let outcome = probe(&fast, *spec).expect("backlog job must fit the cluster");
+        let window = TimeWindow::new(outcome.accepted.start, outcome.accepted.deadline);
+        fast.add(JobId::new(i as u64), outcome.accepted.partition, window)
+            .expect("accepted quote must be addable");
+    }
+    let timeline_build_ms = build_started.elapsed().as_secs_f64() * 1000.0;
+
+    // Mirror the committed schedule into the naive reference book.
+    let mut naive = NaiveReservationBook::new(config.cluster_size);
+    for (_, r) in fast.iter() {
+        naive
+            .add(r.job, r.partition.clone(), r.interval)
+            .expect("mirrored reservation must be addable");
+    }
+    assert_eq!(fast.len(), naive.len());
+
+    // Probe phase: the same negotiations against each book, timed.
+    let naive_started = Instant::now();
+    let naive_outcomes: Vec<_> = probes.iter().map(|spec| probe(&naive, *spec)).collect();
+    let naive_probe_ms = naive_started.elapsed().as_secs_f64() * 1000.0;
+
+    let fast_started = Instant::now();
+    let fast_outcomes: Vec<_> = probes.iter().map(|spec| probe(&fast, *spec)).collect();
+    let timeline_probe_ms = fast_started.elapsed().as_secs_f64() * 1000.0;
+
+    assert_eq!(
+        naive_outcomes, fast_outcomes,
+        "naive and timeline books disagreed on a probe negotiation"
+    );
+
+    SchedBenchReport {
+        cluster_size: config.cluster_size,
+        backlog_jobs: config.backlog,
+        accepted_reservations: fast.len(),
+        change_points: fast.change_points(SimTime::ZERO).len(),
+        probe_negotiations: config.probes,
+        timeline_build_ms,
+        naive_probe_ms,
+        timeline_probe_ms,
+        speedup: if timeline_probe_ms > 0.0 {
+            naive_probe_ms / timeline_probe_ms
+        } else {
+            f64::INFINITY
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_run_is_consistent() {
+        let report = run_sched_bench(&SchedBenchConfig {
+            cluster_size: 16,
+            backlog: 40,
+            probes: 3,
+        });
+        assert_eq!(report.backlog_jobs, 40);
+        assert_eq!(report.accepted_reservations, 40);
+        assert_eq!(report.probe_negotiations, 3);
+        assert!(report.change_points > 0);
+        // No timing assertions: CI machines are noisy. The run itself
+        // already asserts probe-outcome parity between the books.
+        assert!(report.speedup > 0.0);
+        let json = report.to_json();
+        for key in [
+            "\"benchmark\"",
+            "\"backlog_jobs\"",
+            "\"naive_probe_ms\"",
+            "\"timeline_probe_ms\"",
+            "\"speedup\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn report_rates_divide_by_probe_count() {
+        let report = SchedBenchReport {
+            cluster_size: 8,
+            backlog_jobs: 1,
+            accepted_reservations: 1,
+            change_points: 2,
+            probe_negotiations: 4,
+            timeline_build_ms: 1.0,
+            naive_probe_ms: 8.0,
+            timeline_probe_ms: 2.0,
+            speedup: 4.0,
+        };
+        assert_eq!(report.naive_probe_per_negotiation_us(), 2000.0);
+        assert_eq!(report.timeline_probe_per_negotiation_us(), 500.0);
+        assert!(report.summary().contains("4.0x speedup"));
+    }
+}

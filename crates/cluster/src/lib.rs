@@ -6,6 +6,8 @@
 //!
 //! * [`node`] — [`node::NodeId`] and up/down [`node::NodeState`];
 //! * [`partition`] — sorted node sets, the unit of allocation;
+//! * [`mask`] — packed [`mask::NodeMask`] bitmasks for word-at-a-time set
+//!   algebra on node sets (the scheduler's availability timeline);
 //! * [`topology`] — allocation constraints and candidate-partition
 //!   enumeration for flat (all-to-all), contiguous (line), and 3-D torus
 //!   (sub-box) machines;
@@ -27,11 +29,13 @@
 #![warn(missing_docs)]
 
 pub mod machine;
+pub mod mask;
 pub mod node;
 pub mod partition;
 pub mod topology;
 
 pub use machine::Cluster;
+pub use mask::NodeMask;
 pub use node::{NodeId, NodeState};
 pub use partition::Partition;
 pub use topology::Topology;

@@ -20,7 +20,7 @@ use pqos_cluster::partition::Partition;
 use pqos_cluster::topology::Topology;
 use pqos_predict::api::Predictor;
 use pqos_sched::place::{choose_partition_with_telemetry, PlacementStrategy};
-use pqos_sched::reservation::ReservationBook;
+use pqos_sched::reservation::AvailabilityView;
 use pqos_sim_core::time::{SimDuration, SimTime, TimeWindow};
 use pqos_telemetry::Telemetry;
 use std::fmt;
@@ -131,8 +131,8 @@ pub struct NegotiationRequest<'a> {
 /// assert!(outcome.satisfied_threshold);
 /// ```
 #[allow(clippy::too_many_arguments)]
-pub fn negotiate<P: Predictor>(
-    book: &ReservationBook,
+pub fn negotiate<B: AvailabilityView, P: Predictor>(
+    book: &B,
     topology: Topology,
     placement: PlacementStrategy,
     predictor: &P,
@@ -158,8 +158,8 @@ pub fn negotiate<P: Predictor>(
 /// metrics registry (`sched.*` — see
 /// [`choose_partition_with_telemetry`]). The outcome is identical.
 #[allow(clippy::too_many_arguments)]
-pub fn negotiate_with_telemetry<P: Predictor>(
-    book: &ReservationBook,
+pub fn negotiate_with_telemetry<B: AvailabilityView, P: Predictor>(
+    book: &B,
     topology: Topology,
     placement: PlacementStrategy,
     predictor: &P,
@@ -246,7 +246,16 @@ pub fn negotiate_with_telemetry<P: Predictor>(
     for k in 1..=max_probe_steps {
         let start = probe_base.saturating_add(step.saturating_mul(k as u64));
         let window = TimeWindow::starting_at(start, request.duration);
-        let free = book.free_nodes_during(window, request.down);
+        // Down nodes are back up by the recovery horizon, so only probe
+        // windows that begin before it need the exclusion; keeping it for
+        // later windows makes quotes needlessly pessimistic and can leave
+        // every probe unplaceable on a small cluster.
+        let exclude: &[NodeId] = if start < request.recovery_horizon {
+            request.down
+        } else {
+            &[]
+        };
+        let free = book.free_nodes_during(window, exclude);
         let Some(choice) = choose_partition_with_telemetry(
             topology,
             &free,
@@ -332,6 +341,7 @@ mod tests {
     use pqos_failures::trace::{Failure, FailureTrace};
     use pqos_predict::api::NullPredictor;
     use pqos_predict::oracle::TraceOracle;
+    use pqos_sched::reservation::ReservationBook;
     use pqos_workload::job::JobId;
     use std::sync::Arc;
 
@@ -499,6 +509,44 @@ mod tests {
         )
         .unwrap();
         assert_eq!(o.accepted.start, SimTime::from_secs(120));
+    }
+
+    #[test]
+    fn probe_windows_past_recovery_horizon_include_recovered_nodes() {
+        // Both nodes of a 2-node cluster are down until t=120, and a
+        // detectable failure at t=150 poisons the first post-recovery
+        // window. A cautious user must wait for a later probe window —
+        // which only places if probes past the horizon stop excluding the
+        // recovered nodes.
+        let o = oracle(&[(150, 0, 0.5), (150, 1, 0.5)], 1.0);
+        let down = [NodeId::new(0), NodeId::new(1)];
+        let req = NegotiationRequest {
+            size: 2,
+            duration: SimDuration::from_secs(100),
+            now: SimTime::ZERO,
+            down: &down,
+            recovery_horizon: SimTime::from_secs(120),
+            pre_start_risk: SimDuration::from_secs(120),
+        };
+        let book = ReservationBook::new(2);
+        let user = UserStrategy::risk_threshold(0.9).unwrap();
+        let outcome = negotiate(
+            &book,
+            Topology::Flat,
+            PlacementStrategy::MinFailureProbability,
+            &o,
+            req,
+            &user,
+            4,
+            8,
+        )
+        .unwrap();
+        // The recovery-retry slot at t=120 still sees the t=150 failure in
+        // its risk window [0, 220); the first clean window starts at t=320
+        // (risk window [200, 420)), reachable only through the probes.
+        assert!(outcome.satisfied_threshold);
+        assert_eq!(outcome.accepted.start, SimTime::from_secs(320));
+        assert_eq!(outcome.accepted.failure_probability, 0.0);
     }
 
     #[test]

@@ -485,8 +485,7 @@ impl QosSimulator {
         if remaining <= interval {
             self.push_event(now + remaining, Event::Finish { job: id, epoch });
         } else {
-            self.events
-                .push(now + interval, Event::CheckpointRequest { job: id, epoch });
+            self.push_event(now + interval, Event::CheckpointRequest { job: id, epoch });
         }
     }
 
@@ -555,8 +554,7 @@ impl QosSimulator {
                 state.phase = Phase::Checkpointing;
                 state.segment_start = now;
                 state.ckpt_performed += 1;
-                self.events
-                    .push(now + overhead, Event::CheckpointFinish { job: id, epoch });
+                self.push_event(now + overhead, Event::CheckpointFinish { job: id, epoch });
             }
             CheckpointDecision::Skip => {
                 state.skipped_since_last += 1;
@@ -1024,9 +1022,10 @@ mod tests {
 
     #[test]
     fn node_recovers_after_downtime() {
-        // Failure at t=50 on the only node; job arrives at t=60 and must
-        // wait nothing (node back at t=170, before... actually negotiation
-        // sees the down node and pushes the start to the recovery horizon).
+        // Failure at t=50 on the only node, which stays down until t=170
+        // (120 s restart). The job arrives at t=60 while the node is down,
+        // so negotiation excludes it and pushes the start out to the
+        // recovery horizon at t=170.
         let log = JobLog::new(vec![job(0, 60, 1, 100)]).unwrap();
         let out = QosSimulator::new(
             SimConfig::paper_defaults()
@@ -1151,6 +1150,74 @@ mod tests {
         assert!(
             out.report.checkpoints_performed <= periodic.report.checkpoints_performed,
             "prior performs no more than periodic"
+        );
+    }
+
+    #[test]
+    fn same_instant_checkpoint_finish_precedes_start() {
+        use pqos_telemetry::Telemetry;
+        // Job 0 (periodic checkpoints, I=3600, C=720) finishes its first
+        // checkpoint at t=4320; job 1 arrives and starts on the other node
+        // at that same instant. The ordering table says CheckpointFinish
+        // (priority 2) resolves before Arrival (4) and Start (6), so the
+        // journal must show the checkpoint completing before the start —
+        // scheduling the finish at the default queue priority used to let
+        // the start jump ahead.
+        let config = SimConfig::paper_defaults()
+            .cluster_size_nodes(2)
+            .checkpoint_policy(CheckpointPolicyKind::Periodic);
+        let log = JobLog::new(vec![job(0, 0, 1, 7200), job(1, 4320, 1, 100)]).unwrap();
+        let telemetry = Telemetry::builder().ring_buffer(1024).build();
+        let out = QosSimulator::new(config, log, trace(vec![]))
+            .with_telemetry(telemetry.clone())
+            .run();
+        assert_eq!(out.report.jobs, 2);
+        assert_eq!(out.report.deadline_misses, 0);
+
+        let events = telemetry.ring_events();
+        let taken = events
+            .iter()
+            .position(|e| e.name() == "checkpoint_taken")
+            .expect("periodic job checkpoints once");
+        let started = events
+            .iter()
+            .position(|e| matches!(e, TelemetryEvent::JobStarted { job: 1, .. }))
+            .expect("job 1 starts");
+        assert!(
+            taken < started,
+            "checkpoint_taken (index {taken}) must precede job 1's start (index {started})"
+        );
+    }
+
+    #[test]
+    fn same_instant_checkpoint_request_precedes_start() {
+        use pqos_telemetry::Telemetry;
+        // Same collision on the request side: job 0's checkpoint request
+        // (skipped under the None policy) lands at t=3600, the instant job
+        // 1 arrives and starts. CheckpointRequest (priority 5) must resolve
+        // before Start (6), so the skip is journaled before the start.
+        let config = SimConfig::paper_defaults()
+            .cluster_size_nodes(2)
+            .checkpoint_policy(CheckpointPolicyKind::None);
+        let log = JobLog::new(vec![job(0, 0, 1, 7200), job(1, 3600, 1, 100)]).unwrap();
+        let telemetry = Telemetry::builder().ring_buffer(1024).build();
+        let out = QosSimulator::new(config, log, trace(vec![]))
+            .with_telemetry(telemetry.clone())
+            .run();
+        assert_eq!(out.report.jobs, 2);
+
+        let events = telemetry.ring_events();
+        let skipped = events
+            .iter()
+            .position(|e| e.name() == "checkpoint_skipped")
+            .expect("the None policy skips the request");
+        let started = events
+            .iter()
+            .position(|e| matches!(e, TelemetryEvent::JobStarted { job: 1, .. }))
+            .expect("job 1 starts");
+        assert!(
+            skipped < started,
+            "checkpoint_skipped (index {skipped}) must precede job 1's start (index {started})"
         );
     }
 

@@ -7,7 +7,10 @@
 //!
 //! * [`reservation`] — the [`reservation::ReservationBook`] availability
 //!   profile: commitments, conflict detection, hole enumeration
-//!   ([`reservation::ReservationBook::earliest_slots`]);
+//!   ([`reservation::ReservationBook::earliest_slots`]), maintained as an
+//!   incremental timeline of busy-node bitmasks, with a scan-everything
+//!   [`reservation::NaiveReservationBook`] kept as the executable
+//!   specification;
 //! * [`place`] — fault-aware partition selection
 //!   ([`place::choose_partition`]) minimizing the predicted failure
 //!   probability `pf`, with a prediction-blind first-fit baseline.
@@ -44,4 +47,7 @@ pub use place::{
     choose_partition, choose_partition_with_telemetry, PlacementChoice, PlacementProbe,
     PlacementStrategy,
 };
-pub use reservation::{Reservation, ReservationBook, ReservationError, ReservationId, Slot};
+pub use reservation::{
+    AvailabilityView, NaiveReservationBook, Reservation, ReservationBook, ReservationError,
+    ReservationId, Slot,
+};

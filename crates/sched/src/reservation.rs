@@ -8,13 +8,41 @@
 //! existing commitments. That is *conservative* backfilling: the book below
 //! is the profile of commitments, and [`ReservationBook::earliest_slots`]
 //! enumerates the candidate start times a new job could take.
+//!
+//! # Data structure
+//!
+//! [`ReservationBook`] maintains the availability profile *incrementally*:
+//! a piecewise-constant timeline of busy-node bitmasks keyed by change
+//! point (`BTreeMap<SimTime, Segment>`). A segment at key `t` records the
+//! union of all committed partitions over `[t, next key)`, plus a refcount
+//! of how many live reservation endpoints sit exactly at `t` (so the key
+//! is dropped when the last reservation touching it is released). With `R`
+//! live reservations and `W = ⌈cluster/64⌉` mask words:
+//!
+//! * `add`/`remove`/`truncate` — `O(log R + K·W)` where `K` is the number
+//!   of segments the interval overlaps;
+//! * `free_nodes_during` — `O(log R + K·W)` instead of a full `O(R·P)`
+//!   scan;
+//! * `change_points` — `O(log R + K)` (a range read of the key set);
+//! * `earliest_slots` — one sliding-window walk of the profile,
+//!   `O(R·W + output)`, instead of re-scanning every reservation at every
+//!   change point (`O(R²·P)`).
+//!
+//! [`NaiveReservationBook`] preserves the original scan-everything
+//! implementation. It is the executable specification: the property harness
+//! in `tests/properties.rs` replays randomized add/remove/truncate/query
+//! workloads against both books and asserts they answer identically, and
+//! the scheduler scaling benchmark (`--bench-sched`) uses it as the
+//! before-side baseline.
 
+use pqos_cluster::mask::NodeMask;
 use pqos_cluster::node::NodeId;
 use pqos_cluster::partition::Partition;
 use pqos_sim_core::time::{SimDuration, SimTime, TimeWindow};
 use pqos_workload::job::JobId;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::ops::Bound;
 
 /// Identifier of a reservation within a [`ReservationBook`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -76,7 +104,51 @@ pub struct Slot {
     pub free: Vec<NodeId>,
 }
 
-/// The availability profile: every commitment made and not yet released.
+/// Read-only availability queries shared by the timeline book and the
+/// naive reference implementation.
+///
+/// Negotiation (`pqos-core`) is generic over this trait, so benchmarks and
+/// parity tests can drive either book through the real quoting path.
+pub trait AvailabilityView {
+    /// The cluster size this book plans for.
+    fn cluster_size(&self) -> u32;
+
+    /// Nodes free (uncommitted and not in `exclude`) for the *entire*
+    /// `window`, sorted.
+    fn free_nodes_during(&self, window: TimeWindow, exclude: &[NodeId]) -> Vec<NodeId>;
+
+    /// Sorted, deduplicated candidate start times at or after `from`:
+    /// `from` itself plus every reservation start/end after it.
+    fn change_points(&self, from: SimTime) -> Vec<SimTime>;
+
+    /// Enumerates up to `max_slots` feasible placement opportunities for a
+    /// job of `size` nodes and `duration`, starting at or after `from`,
+    /// treating `exclude` as unusable. Slots are in increasing start-time
+    /// order.
+    fn earliest_slots(
+        &self,
+        size: u32,
+        duration: SimDuration,
+        from: SimTime,
+        exclude: &[NodeId],
+        max_slots: usize,
+    ) -> Vec<Slot>;
+}
+
+/// One piece of the piecewise-constant profile: the busy mask in effect
+/// over `[key, next key)`, the nodes of reservations starting exactly at
+/// the key (needed for point-instant queries), plus how many live
+/// reservation endpoints sit exactly at the key (the key is removed when
+/// this reaches zero).
+#[derive(Debug, Clone)]
+struct Segment {
+    busy: NodeMask,
+    starts: NodeMask,
+    bounds: u32,
+}
+
+/// The availability profile: every commitment made and not yet released,
+/// indexed as an incremental timeline of busy-node bitmasks.
 ///
 /// # Examples
 ///
@@ -102,6 +174,13 @@ pub struct ReservationBook {
     cluster_size: u32,
     reservations: BTreeMap<ReservationId, Reservation>,
     next_id: u64,
+    /// Invariant: keys are exactly the distinct start/end instants of live
+    /// reservations; `busy` at key `t` is the union of the partitions of
+    /// every reservation whose interval covers `[t, next key)`. The profile
+    /// is implicitly all-free before the first key and after the last
+    /// (every reservation has ended by the last key, so the final
+    /// segment's mask is always empty).
+    timeline: BTreeMap<SimTime, Segment>,
 }
 
 impl ReservationBook {
@@ -116,6 +195,7 @@ impl ReservationBook {
             cluster_size,
             reservations: BTreeMap::new(),
             next_id: 0,
+            timeline: BTreeMap::new(),
         }
     }
 
@@ -162,6 +242,419 @@ impl ReservationBook {
         {
             return Err(ReservationError::UnknownNode(n));
         }
+        let mask = NodeMask::from_partition(&partition, self.cluster_size);
+        if self.occupied_during(interval, &mask) {
+            // Error path only: recover the colliding id with a scan, giving
+            // the same lowest-id answer the naive book reports.
+            let existing = self
+                .reservations
+                .iter()
+                .find(|(_, r)| {
+                    windows_overlap(r.interval, interval) && r.partition.overlaps(&partition)
+                })
+                .map(|(id, _)| *id)
+                .expect("timeline conflict implies a colliding reservation");
+            return Err(ReservationError::Conflict { existing });
+        }
+        self.occupy(interval, &mask);
+        let id = ReservationId(self.next_id);
+        self.next_id += 1;
+        self.reservations.insert(
+            id,
+            Reservation {
+                job,
+                partition,
+                interval,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Releases a reservation, returning it if it existed.
+    pub fn remove(&mut self, id: ReservationId) -> Option<Reservation> {
+        let r = self.reservations.remove(&id)?;
+        let mask = NodeMask::from_partition(&r.partition, self.cluster_size);
+        self.vacate(r.interval, &mask);
+        Some(r)
+    }
+
+    /// Truncates a reservation's end to `end` (used when a job finishes
+    /// early thanks to skipped checkpoints). Removes it entirely if `end`
+    /// precedes its start. Never extends.
+    pub fn truncate(&mut self, id: ReservationId, end: SimTime) {
+        let (old, mask) = match self.reservations.get(&id) {
+            Some(r) => (
+                r.interval,
+                NodeMask::from_partition(&r.partition, self.cluster_size),
+            ),
+            None => return,
+        };
+        if end <= old.start() {
+            self.remove(id);
+            return;
+        }
+        if end >= old.end() {
+            return;
+        }
+        // Shrinking cannot create a conflict, so re-occupy directly.
+        let new = TimeWindow::new(old.start(), end);
+        self.vacate(old, &mask);
+        self.occupy(new, &mask);
+        self.reservations
+            .get_mut(&id)
+            .expect("still present")
+            .interval = new;
+    }
+
+    /// Nodes free (uncommitted and not in `exclude`) for the *entire*
+    /// `window`, sorted.
+    pub fn free_nodes_during(&self, window: TimeWindow, exclude: &[NodeId]) -> Vec<NodeId> {
+        let mut busy = NodeMask::from_nodes(exclude.iter().copied(), self.cluster_size);
+        if window.is_empty() {
+            // Degenerate point query: an empty window `[t, t)` reports the
+            // nodes of reservations *strictly* spanning the instant `t`
+            // (start < t < end) — matching the reference book, whose
+            // overlap test admits such reservations even for an empty
+            // window. No reservation can both start at `t` and strictly
+            // span it on the same node (that would be a double booking), so
+            // subtracting the starts mask is exact.
+            let t = window.start();
+            if let Some((key, seg)) = self.timeline.range(..=t).next_back() {
+                let mut spanning = seg.busy.clone();
+                if *key == t {
+                    spanning.and_not_assign(&seg.starts);
+                }
+                busy.or_assign(&spanning);
+            }
+        } else {
+            if let Some((_, seg)) = self.timeline.range(..=window.start()).next_back() {
+                busy.or_assign(&seg.busy);
+            }
+            let inside = (
+                Bound::Excluded(window.start()),
+                Bound::Excluded(window.end()),
+            );
+            for (_, seg) in self.timeline.range(inside) {
+                busy.or_assign(&seg.busy);
+            }
+        }
+        busy.complement_nodes()
+    }
+
+    /// Sorted, deduplicated candidate start times at or after `from`:
+    /// `from` itself plus every reservation start/end after it.
+    pub fn change_points(&self, from: SimTime) -> Vec<SimTime> {
+        let mut points = Vec::with_capacity(1 + self.timeline.len());
+        points.push(from);
+        let after = (Bound::Excluded(from), Bound::Unbounded);
+        points.extend(self.timeline.range(after).map(|(t, _)| *t));
+        points
+    }
+
+    /// Enumerates up to `max_slots` feasible placement opportunities for a
+    /// job of `size` nodes and `duration`, starting at or after `from`,
+    /// treating `exclude` as unusable (e.g. currently-down nodes when
+    /// `from` is "now").
+    ///
+    /// Slots are returned in increasing start-time order. The final change
+    /// point (after which the machine is idle) guarantees at least one slot
+    /// whenever `size ≤ cluster_size − exclude.len()`.
+    ///
+    /// This is a single forward walk of the profile: the busy union over
+    /// each candidate window `[t, t + duration)` is maintained with a
+    /// two-stack sliding-window aggregation (union is associative but not
+    /// invertible, so plain running state would not support eviction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0` or `duration` is zero.
+    pub fn earliest_slots(
+        &self,
+        size: u32,
+        duration: SimDuration,
+        from: SimTime,
+        exclude: &[NodeId],
+        max_slots: usize,
+    ) -> Vec<Slot> {
+        assert!(size > 0, "job size must be positive");
+        assert!(!duration.is_zero(), "duration must be positive");
+        let mut out = Vec::new();
+        if max_slots == 0 {
+            return out;
+        }
+        let exclude_mask = NodeMask::from_nodes(exclude.iter().copied(), self.cluster_size);
+
+        // Materialize the profile from `from` on: segment i spans
+        // [segs[i].0, segs[i+1].0), and the last runs to infinity with an
+        // always-empty mask.
+        let all_free = NodeMask::empty(self.cluster_size);
+        let mut segs: Vec<(SimTime, &NodeMask)> = Vec::with_capacity(self.timeline.len() + 1);
+        let head = self
+            .timeline
+            .range(..=from)
+            .next_back()
+            .map(|(_, seg)| &seg.busy)
+            .unwrap_or(&all_free);
+        segs.push((from, head));
+        let after = (Bound::Excluded(from), Bound::Unbounded);
+        segs.extend(self.timeline.range(after).map(|(t, seg)| (*t, &seg.busy)));
+
+        // Every segment start is a candidate window start. Both window
+        // endpoints only move forward, so segments enter and leave the
+        // sliding union at most once each.
+        let mut win = SlidingUnion::new(self.cluster_size);
+        let mut lo = 0usize;
+        let mut hi = 0usize;
+        let mut busy = NodeMask::empty(self.cluster_size);
+        for (i, &(t, _)) in segs.iter().enumerate() {
+            let end = t.saturating_add(duration);
+            while lo < i {
+                win.pop();
+                lo += 1;
+            }
+            while hi < segs.len() && segs[hi].0 < end {
+                win.push(segs[hi].1);
+                hi += 1;
+            }
+            win.union_into(&mut busy);
+            busy.or_assign(&exclude_mask);
+            if busy.count_zeros() >= size {
+                out.push(Slot {
+                    start: t,
+                    free: busy.complement_nodes(),
+                });
+                if out.len() >= max_slots {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether any node of `mask` is committed somewhere in `interval`.
+    fn occupied_during(&self, interval: TimeWindow, mask: &NodeMask) -> bool {
+        if let Some((_, seg)) = self.timeline.range(..=interval.start()).next_back() {
+            if seg.busy.intersects(mask) {
+                return true;
+            }
+        }
+        let inside = (
+            Bound::Excluded(interval.start()),
+            Bound::Excluded(interval.end()),
+        );
+        self.timeline
+            .range(inside)
+            .any(|(_, seg)| seg.busy.intersects(mask))
+    }
+
+    /// Marks `mask` busy across `interval`, creating boundary keys as
+    /// needed and bumping their endpoint refcounts.
+    fn occupy(&mut self, interval: TimeWindow, mask: &NodeMask) {
+        self.ensure_boundary(interval.start());
+        self.ensure_boundary(interval.end());
+        for (_, seg) in self.timeline.range_mut(interval.start()..interval.end()) {
+            seg.busy.or_assign(mask);
+        }
+        let head = self
+            .timeline
+            .get_mut(&interval.start())
+            .expect("boundary ensured");
+        head.starts.or_assign(mask);
+        head.bounds += 1;
+        self.timeline
+            .get_mut(&interval.end())
+            .expect("boundary ensured")
+            .bounds += 1;
+    }
+
+    /// Clears `mask` across `interval` and drops boundary keys whose
+    /// endpoint refcount reaches zero.
+    fn vacate(&mut self, interval: TimeWindow, mask: &NodeMask) {
+        for (_, seg) in self.timeline.range_mut(interval.start()..interval.end()) {
+            seg.busy.and_not_assign(mask);
+        }
+        self.timeline
+            .get_mut(&interval.start())
+            .expect("endpoint is tracked")
+            .starts
+            .and_not_assign(mask);
+        for t in [interval.start(), interval.end()] {
+            let seg = self.timeline.get_mut(&t).expect("endpoint is tracked");
+            seg.bounds -= 1;
+            if seg.bounds == 0 {
+                // No live endpoint remains here, so the profile is constant
+                // across `t` and the key can be merged away.
+                self.timeline.remove(&t);
+            }
+        }
+    }
+
+    /// Inserts a key at `t` (splitting the segment in effect there) if one
+    /// does not already exist. Does not touch refcounts.
+    fn ensure_boundary(&mut self, t: SimTime) {
+        if self.timeline.contains_key(&t) {
+            return;
+        }
+        let busy = self
+            .timeline
+            .range(..t)
+            .next_back()
+            .map(|(_, seg)| seg.busy.clone())
+            .unwrap_or_else(|| NodeMask::empty(self.cluster_size));
+        // A split point has no reservation starting exactly at it (that
+        // would have made it a key already).
+        self.timeline.insert(
+            t,
+            Segment {
+                busy,
+                starts: NodeMask::empty(self.cluster_size),
+                bounds: 0,
+            },
+        );
+    }
+}
+
+impl AvailabilityView for ReservationBook {
+    fn cluster_size(&self) -> u32 {
+        ReservationBook::cluster_size(self)
+    }
+    fn free_nodes_during(&self, window: TimeWindow, exclude: &[NodeId]) -> Vec<NodeId> {
+        ReservationBook::free_nodes_during(self, window, exclude)
+    }
+    fn change_points(&self, from: SimTime) -> Vec<SimTime> {
+        ReservationBook::change_points(self, from)
+    }
+    fn earliest_slots(
+        &self,
+        size: u32,
+        duration: SimDuration,
+        from: SimTime,
+        exclude: &[NodeId],
+        max_slots: usize,
+    ) -> Vec<Slot> {
+        ReservationBook::earliest_slots(self, size, duration, from, exclude, max_slots)
+    }
+}
+
+/// Two-stack sliding-window union of node masks.
+///
+/// `push` admits the next segment, `pop` evicts the oldest, and `union_into`
+/// reads the union of everything currently admitted — all amortized one
+/// mask operation each. Entries in `front` store the union of themselves
+/// and every younger entry below them, so the top of `front` plus the
+/// running `back_agg` covers the whole window.
+struct SlidingUnion {
+    front: Vec<NodeMask>,
+    back: Vec<NodeMask>,
+    back_agg: NodeMask,
+    width: u32,
+}
+
+impl SlidingUnion {
+    fn new(width: u32) -> Self {
+        SlidingUnion {
+            front: Vec::new(),
+            back: Vec::new(),
+            back_agg: NodeMask::empty(width),
+            width,
+        }
+    }
+
+    fn push(&mut self, mask: &NodeMask) {
+        self.back.push(mask.clone());
+        self.back_agg.or_assign(mask);
+    }
+
+    fn pop(&mut self) {
+        if self.front.is_empty() {
+            // Flip: drain `back` newest-first so the oldest element ends up
+            // on top of `front`, each entry carrying the union of itself
+            // and everything younger.
+            let mut agg = NodeMask::empty(self.width);
+            while let Some(mask) = self.back.pop() {
+                agg.or_assign(&mask);
+                self.front.push(agg.clone());
+            }
+            self.back_agg.clear_all();
+        }
+        self.front.pop();
+    }
+
+    fn union_into(&self, out: &mut NodeMask) {
+        out.clear_all();
+        if let Some(top) = self.front.last() {
+            out.or_assign(top);
+        }
+        out.or_assign(&self.back_agg);
+    }
+}
+
+/// The original scan-everything reservation book, kept as the executable
+/// specification for [`ReservationBook`].
+///
+/// Every query walks all live reservations: `free_nodes_during` and `add`
+/// are `O(R·P)` and `earliest_slots` is `O(R²·P)`. Parity between the two
+/// books over randomized workloads is asserted in `tests/properties.rs`,
+/// and the scheduler scaling benchmark uses this book as its before-side
+/// baseline.
+#[derive(Debug, Clone)]
+pub struct NaiveReservationBook {
+    cluster_size: u32,
+    reservations: BTreeMap<ReservationId, Reservation>,
+    next_id: u64,
+}
+
+impl NaiveReservationBook {
+    /// Creates an empty book over a cluster of `cluster_size` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster_size == 0`.
+    pub fn new(cluster_size: u32) -> Self {
+        assert!(cluster_size > 0, "cluster must have at least one node");
+        NaiveReservationBook {
+            cluster_size,
+            reservations: BTreeMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// The cluster size this book plans for.
+    pub fn cluster_size(&self) -> u32 {
+        self.cluster_size
+    }
+
+    /// Number of live reservations.
+    pub fn len(&self) -> usize {
+        self.reservations.len()
+    }
+
+    /// Whether the book is empty.
+    pub fn is_empty(&self) -> bool {
+        self.reservations.is_empty()
+    }
+
+    /// Commits `partition` to `job` over `interval`, scanning every live
+    /// reservation for conflicts.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ReservationBook::add`].
+    pub fn add(
+        &mut self,
+        job: JobId,
+        partition: Partition,
+        interval: TimeWindow,
+    ) -> Result<ReservationId, ReservationError> {
+        if interval.is_empty() {
+            return Err(ReservationError::EmptyInterval);
+        }
+        if let Some(n) = partition
+            .iter()
+            .find(|n| n.index() >= self.cluster_size as usize)
+        {
+            return Err(ReservationError::UnknownNode(n));
+        }
         for (id, r) in &self.reservations {
             if windows_overlap(r.interval, interval) && r.partition.overlaps(&partition) {
                 return Err(ReservationError::Conflict { existing: *id });
@@ -185,9 +678,8 @@ impl ReservationBook {
         self.reservations.remove(&id)
     }
 
-    /// Truncates a reservation's end to `end` (used when a job finishes
-    /// early thanks to skipped checkpoints). Removes it entirely if `end`
-    /// precedes its start.
+    /// Truncates a reservation's end to `end`; removes it entirely if `end`
+    /// precedes its start. Never extends.
     pub fn truncate(&mut self, id: ReservationId, end: SimTime) {
         let remove = match self.reservations.get_mut(&id) {
             Some(r) if end <= r.interval.start() => true,
@@ -201,10 +693,14 @@ impl ReservationBook {
             self.reservations.remove(&id);
         }
     }
+}
 
-    /// Nodes free (uncommitted and not in `exclude`) for the *entire*
-    /// `window`, sorted.
-    pub fn free_nodes_during(&self, window: TimeWindow, exclude: &[NodeId]) -> Vec<NodeId> {
+impl AvailabilityView for NaiveReservationBook {
+    fn cluster_size(&self) -> u32 {
+        self.cluster_size
+    }
+
+    fn free_nodes_during(&self, window: TimeWindow, exclude: &[NodeId]) -> Vec<NodeId> {
         let mut busy = vec![false; self.cluster_size as usize];
         for n in exclude {
             if n.index() < busy.len() {
@@ -224,9 +720,7 @@ impl ReservationBook {
             .collect()
     }
 
-    /// Sorted, deduplicated candidate start times at or after `from`:
-    /// `from` itself plus every reservation start/end after it.
-    pub fn change_points(&self, from: SimTime) -> Vec<SimTime> {
+    fn change_points(&self, from: SimTime) -> Vec<SimTime> {
         let mut points = vec![from];
         for r in self.reservations.values() {
             for t in [r.interval.start(), r.interval.end()] {
@@ -240,19 +734,7 @@ impl ReservationBook {
         points
     }
 
-    /// Enumerates up to `max_slots` feasible placement opportunities for a
-    /// job of `size` nodes and `duration`, starting at or after `from`,
-    /// treating `exclude` as unusable (e.g. currently-down nodes when
-    /// `from` is "now").
-    ///
-    /// Slots are returned in increasing start-time order. The final change
-    /// point (after which the machine is idle) guarantees at least one slot
-    /// whenever `size ≤ cluster_size − exclude.len()`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `size == 0` or `duration` is zero.
-    pub fn earliest_slots(
+    fn earliest_slots(
         &self,
         size: u32,
         duration: SimDuration,
@@ -300,6 +782,8 @@ mod tests {
         assert_eq!(r.job, JobId::new(1));
         assert!(book.is_empty());
         assert!(book.remove(id).is_none());
+        // Releasing the last reservation leaves an empty profile behind.
+        assert!(book.timeline.is_empty());
     }
 
     #[test]
@@ -406,6 +890,7 @@ mod tests {
         // Truncating to before the start removes it.
         book.truncate(id, SimTime::from_secs(5));
         assert!(book.is_empty());
+        assert!(book.timeline.is_empty());
         // Truncating a missing id is a no-op.
         book.truncate(id, SimTime::from_secs(5));
     }
@@ -447,5 +932,106 @@ mod tests {
     fn zero_size_slot_query_panics() {
         let book = ReservationBook::new(2);
         let _ = book.earliest_slots(0, SimDuration::from_secs(1), SimTime::ZERO, &[], 1);
+    }
+
+    #[test]
+    fn shared_boundaries_are_refcounted() {
+        let mut book = ReservationBook::new(4);
+        // Two reservations sharing the boundary t=20: one ends there, one
+        // starts there.
+        let a = book
+            .add(JobId::new(1), Partition::contiguous(0, 1), w(10, 20))
+            .unwrap();
+        let b = book
+            .add(JobId::new(2), Partition::contiguous(1, 1), w(20, 30))
+            .unwrap();
+        assert_eq!(
+            book.timeline.get(&SimTime::from_secs(20)).unwrap().bounds,
+            2
+        );
+        // Removing one keeps the shared key alive for the other.
+        book.remove(a);
+        assert_eq!(
+            book.change_points(SimTime::ZERO),
+            vec![
+                SimTime::ZERO,
+                SimTime::from_secs(20),
+                SimTime::from_secs(30)
+            ]
+        );
+        book.remove(b);
+        assert!(book.timeline.is_empty());
+    }
+
+    #[test]
+    fn timeline_profile_matches_recomputed_masks() {
+        // After an arbitrary mutation sequence, every segment's mask must
+        // equal the union of live partitions covering it.
+        let mut book = ReservationBook::new(6);
+        let a = book
+            .add(JobId::new(1), Partition::contiguous(0, 2), w(0, 50))
+            .unwrap();
+        let _b = book
+            .add(JobId::new(2), Partition::contiguous(2, 2), w(25, 75))
+            .unwrap();
+        let c = book
+            .add(JobId::new(3), Partition::contiguous(4, 2), w(50, 100))
+            .unwrap();
+        book.truncate(c, SimTime::from_secs(80));
+        book.remove(a);
+        let keys: Vec<SimTime> = book.timeline.keys().copied().collect();
+        for (i, &t) in keys.iter().enumerate() {
+            let seg_end = keys.get(i + 1).copied().unwrap_or(SimTime::MAX);
+            let mut expect = NodeMask::empty(6);
+            for (_, r) in book.iter() {
+                if windows_overlap(r.interval, TimeWindow::new(t, seg_end)) {
+                    for n in r.partition.iter() {
+                        expect.set(n);
+                    }
+                }
+            }
+            assert_eq!(book.timeline[&t].busy, expect, "segment at {t}");
+        }
+    }
+
+    #[test]
+    fn naive_book_answers_like_the_doc_examples() {
+        let mut naive = NaiveReservationBook::new(4);
+        assert_eq!(naive.cluster_size(), 4);
+        let id = naive
+            .add(JobId::new(1), Partition::contiguous(0, 4), w(100, 200))
+            .unwrap();
+        assert_eq!(naive.len(), 1);
+        assert!(!naive.is_empty());
+        let slots = naive.earliest_slots(2, SimDuration::from_secs(150), SimTime::ZERO, &[], 1);
+        assert_eq!(slots[0].start, SimTime::from_secs(200));
+        naive.truncate(id, SimTime::from_secs(150));
+        assert_eq!(naive.free_nodes_during(w(150, 160), &[]).len(), 4);
+        assert_eq!(
+            naive.change_points(SimTime::ZERO),
+            vec![
+                SimTime::ZERO,
+                SimTime::from_secs(100),
+                SimTime::from_secs(150)
+            ]
+        );
+        assert!(naive.remove(id).is_some());
+        assert!(naive.is_empty());
+    }
+
+    #[test]
+    fn both_books_reject_conflicts_identically() {
+        let mut fast = ReservationBook::new(4);
+        let mut naive = NaiveReservationBook::new(4);
+        for (job, part, window) in [
+            (1, Partition::contiguous(0, 2), w(0, 10)),
+            (2, Partition::contiguous(1, 2), w(5, 15)), // conflict
+            (3, Partition::contiguous(2, 2), w(0, 10)),
+            (4, Partition::contiguous(0, 4), w(9, 11)), // conflict
+        ] {
+            let a = fast.add(JobId::new(job), part.clone(), window);
+            let b = naive.add(JobId::new(job), part, window);
+            assert_eq!(a, b);
+        }
     }
 }

@@ -297,6 +297,195 @@ fn reservation_book_never_double_books() {
     }
 }
 
+/// The timeline-indexed book and the naive scan-everything reference answer
+/// every query identically across randomized add/remove/truncate histories:
+/// same add outcomes (including which conflict is reported), same removed
+/// reservations, and bit-identical `free_nodes_during`, `change_points`,
+/// and `earliest_slots` answers throughout.
+#[test]
+fn timeline_reservation_book_matches_naive_reference() {
+    use pqos_sched::reservation::{AvailabilityView, NaiveReservationBook};
+
+    const NODES: u32 = 24;
+
+    enum Op {
+        Add {
+            nodes: Vec<u32>,
+            start: u64,
+            dur: u64,
+        },
+        Remove {
+            pick: u64,
+        },
+        Truncate {
+            pick: u64,
+            end: u64,
+        },
+        Query {
+            window: (u64, u64),
+            exclude: Vec<u32>,
+            from: u64,
+            size: u32,
+            dur: u64,
+            max_slots: usize,
+        },
+    }
+
+    for (case, ops) in cases("book-parity", 48, |rng| {
+        let n = rng.uniform_u64(4, 48) as usize;
+        (0..n)
+            .map(|_| match rng.uniform_u64(0, 9) {
+                0..=3 => Op::Add {
+                    nodes: {
+                        // Mostly scattered partitions, occasionally dense.
+                        let k = rng.uniform_u64(1, 8);
+                        (0..k)
+                            .map(|_| rng.uniform_u64(0, u64::from(NODES) - 1) as u32)
+                            .collect()
+                    },
+                    start: rng.uniform_u64(0, 600),
+                    dur: rng.uniform_u64(1, 250),
+                },
+                4 => Op::Remove {
+                    pick: rng.next_u64(),
+                },
+                5 => Op::Truncate {
+                    pick: rng.next_u64(),
+                    // Sometimes before the start (removal), sometimes past
+                    // the end (no-op).
+                    end: rng.uniform_u64(0, 950),
+                },
+                _ => Op::Query {
+                    window: (rng.uniform_u64(0, 900), rng.uniform_u64(0, 900)),
+                    exclude: {
+                        // Includes out-of-range node ids on purpose.
+                        let k = rng.uniform_u64(0, 4);
+                        (0..k)
+                            .map(|_| rng.uniform_u64(0, u64::from(NODES) + 6) as u32)
+                            .collect()
+                    },
+                    from: rng.uniform_u64(0, 900),
+                    size: rng.uniform_u64(1, u64::from(NODES)) as u32,
+                    dur: rng.uniform_u64(1, 300),
+                    max_slots: rng.uniform_u64(1, 6) as usize,
+                },
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .enumerate()
+    {
+        let mut fast = ReservationBook::new(NODES);
+        let mut naive = NaiveReservationBook::new(NODES);
+        let mut issued = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                Op::Add { nodes, start, dur } => {
+                    let partition =
+                        Partition::new(nodes.iter().copied().map(NodeId::new)).expect("non-empty");
+                    let window = TimeWindow::new(
+                        SimTime::from_secs(*start),
+                        SimTime::from_secs(start + dur),
+                    );
+                    let a = fast.add(JobId::new(i as u64), partition.clone(), window);
+                    let b = naive.add(JobId::new(i as u64), partition, window);
+                    assert_eq!(a, b, "case {case} op {i}: add outcomes diverge");
+                    if let Ok(id) = a {
+                        issued.push(id);
+                    }
+                }
+                Op::Remove { pick } => {
+                    let Some(id) = pick_id(&issued, *pick) else {
+                        continue;
+                    };
+                    assert_eq!(
+                        fast.remove(id),
+                        naive.remove(id),
+                        "case {case} op {i}: removals diverge"
+                    );
+                }
+                Op::Truncate { pick, end } => {
+                    let Some(id) = pick_id(&issued, *pick) else {
+                        continue;
+                    };
+                    fast.truncate(id, SimTime::from_secs(*end));
+                    naive.truncate(id, SimTime::from_secs(*end));
+                }
+                Op::Query {
+                    window,
+                    exclude,
+                    from,
+                    size,
+                    dur,
+                    max_slots,
+                } => {
+                    let w =
+                        TimeWindow::new(SimTime::from_secs(window.0), SimTime::from_secs(window.1));
+                    let excl: Vec<NodeId> = exclude.iter().copied().map(NodeId::new).collect();
+                    assert_eq!(
+                        fast.free_nodes_during(w, &excl),
+                        naive.free_nodes_during(w, &excl),
+                        "case {case} op {i}: free_nodes_during({w:?}) diverges"
+                    );
+                    let from = SimTime::from_secs(*from);
+                    assert_eq!(
+                        fast.change_points(from),
+                        naive.change_points(from),
+                        "case {case} op {i}: change_points({from}) diverges"
+                    );
+                    assert_eq!(
+                        fast.earliest_slots(
+                            *size,
+                            SimDuration::from_secs(*dur),
+                            from,
+                            &excl,
+                            *max_slots
+                        ),
+                        naive.earliest_slots(
+                            *size,
+                            SimDuration::from_secs(*dur),
+                            from,
+                            &excl,
+                            *max_slots
+                        ),
+                        "case {case} op {i}: earliest_slots(size={size}) diverges"
+                    );
+                }
+            }
+            assert_eq!(
+                fast.len(),
+                naive.len(),
+                "case {case} op {i}: live counts diverge"
+            );
+        }
+        // Final sweep from several origins, including past every commitment.
+        for from in [0u64, 450, 2000] {
+            let from = SimTime::from_secs(from);
+            assert_eq!(
+                fast.change_points(from),
+                naive.change_points(from),
+                "case {case}: final change_points({from}) diverges"
+            );
+            assert_eq!(
+                fast.earliest_slots(3, SimDuration::from_secs(120), from, &[], 8),
+                naive.earliest_slots(3, SimDuration::from_secs(120), from, &[], 8),
+                "case {case}: final earliest_slots({from}) diverges"
+            );
+        }
+    }
+
+    fn pick_id(
+        issued: &[pqos_sched::reservation::ReservationId],
+        pick: u64,
+    ) -> Option<pqos_sched::reservation::ReservationId> {
+        if issued.is_empty() {
+            None
+        } else {
+            Some(issued[(pick % issued.len() as u64) as usize])
+        }
+    }
+}
+
 /// Execution plans: totals are runtime plus one overhead per request, and
 /// requests never reach the finish boundary.
 #[test]
