@@ -139,10 +139,27 @@ fn telemetry_run(jobs: usize, journal: Option<&str>, metrics: bool, trace: &Arc<
         .user(UserStrategy::risk_threshold(0.5).expect("valid"));
     eprintln!("[telemetry] instrumented run: SDSC, {jobs} jobs, a=0.7, U=0.5");
     let out = QosSimulator::new(config, log, Arc::clone(trace))
-        .with_telemetry(telemetry)
+        .with_telemetry(telemetry.clone())
         .run();
+    let health = telemetry.sink_health();
     if let Some(path) = journal {
-        eprintln!("[telemetry] journal written to {path}");
+        eprintln!(
+            "[telemetry] journal written to {path} ({} events)",
+            health.events_written
+        );
+    }
+    if health.write_errors > 0 {
+        eprintln!(
+            "[telemetry] WARNING: {} events lost to journal write errors — \
+             the journal is incomplete",
+            health.write_errors
+        );
+    }
+    if health.ring_dropped > 0 {
+        eprintln!(
+            "[telemetry] note: ring buffer evicted {} events (holds the last 4096)",
+            health.ring_dropped
+        );
     }
     if metrics {
         let snapshot = out.telemetry.expect("telemetered run has a snapshot");

@@ -34,7 +34,7 @@ use pqos_predict::oracle::TraceOracle;
 use pqos_sched::reservation::{ReservationBook, ReservationId};
 use pqos_sim_core::queue::EventQueue;
 use pqos_sim_core::time::{SimDuration, SimTime, TimeWindow};
-use pqos_telemetry::{SkipReason, Snapshot, Telemetry, TelemetryEvent};
+use pqos_telemetry::{Histogram, SkipReason, Snapshot, Telemetry, TelemetryEvent, Timer};
 use pqos_workload::job::{Job, JobId};
 use pqos_workload::log::JobLog;
 use std::collections::HashMap;
@@ -87,6 +87,54 @@ enum Event {
     Finish { job: JobId, epoch: u32 },
     NodeFailure { index: usize },
     NodeRecovery { node: NodeId },
+}
+
+/// Wall-clock self-profiler for the dispatch loop: one histogram per event
+/// kind (`dispatch.arrival`, `dispatch.finish`, ...), recording nanoseconds
+/// per dispatched event so the `--metrics` snapshot answers "which event
+/// kind costs the most sim wall-clock".
+///
+/// Histogram handles are minted once at construction; with disabled
+/// telemetry they are all no-ops and [`DispatchProfiler::timer`] returns an
+/// inert guard, so the untelemetered hot loop pays only an `Option` check
+/// and never calls `Instant::now`.
+struct DispatchProfiler {
+    arrival: Histogram,
+    start: Histogram,
+    ckpt_request: Histogram,
+    ckpt_finish: Histogram,
+    finish: Histogram,
+    node_failure: Histogram,
+    node_recovery: Histogram,
+}
+
+impl DispatchProfiler {
+    fn new(telemetry: &Telemetry) -> Self {
+        DispatchProfiler {
+            arrival: telemetry.histogram("dispatch.arrival_ns"),
+            start: telemetry.histogram("dispatch.start_ns"),
+            ckpt_request: telemetry.histogram("dispatch.ckpt_request_ns"),
+            ckpt_finish: telemetry.histogram("dispatch.ckpt_finish_ns"),
+            finish: telemetry.histogram("dispatch.finish_ns"),
+            node_failure: telemetry.histogram("dispatch.node_failure_ns"),
+            node_recovery: telemetry.histogram("dispatch.node_recovery_ns"),
+        }
+    }
+
+    /// A scoped timer for one event: starts now, records into the kind's
+    /// histogram when dropped (i.e. when the dispatch returns).
+    fn timer(&self, event: &Event) -> Timer {
+        let hist = match event {
+            Event::Arrival(_) => &self.arrival,
+            Event::Start { .. } => &self.start,
+            Event::CheckpointRequest { .. } => &self.ckpt_request,
+            Event::CheckpointFinish { .. } => &self.ckpt_finish,
+            Event::Finish { .. } => &self.finish,
+            Event::NodeFailure { .. } => &self.node_failure,
+            Event::NodeRecovery { .. } => &self.node_recovery,
+        };
+        hist.start_timer()
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -165,6 +213,7 @@ pub struct QosSimulator {
     rejected: Vec<JobId>,
     failure_hook: Option<Box<dyn FnMut(NodeId, SimTime) + Send>>,
     telemetry: Telemetry,
+    profiler: DispatchProfiler,
 }
 
 impl std::fmt::Debug for QosSimulator {
@@ -229,6 +278,7 @@ impl QosSimulator {
             rejected: Vec::new(),
             failure_hook: None,
             telemetry: Telemetry::disabled(),
+            profiler: DispatchProfiler::new(&Telemetry::disabled()),
             config,
         }
     }
@@ -260,6 +310,7 @@ impl QosSimulator {
             ));
             self.policy = Box::new(InstrumentedPolicy::new(self.policy, telemetry.clone()));
         }
+        self.profiler = DispatchProfiler::new(&telemetry);
         self.telemetry = telemetry;
         self
     }
@@ -285,7 +336,9 @@ impl QosSimulator {
             self.push_event(job.arrival(), Event::Arrival(job.id()));
         }
         while let Some((now, event)) = self.events.pop() {
+            let timer = self.profiler.timer(&event);
             self.dispatch(now, event);
+            timer.stop();
         }
         let report = self.metrics.report(self.config.cluster_size);
         self.telemetry.flush();
@@ -377,11 +430,19 @@ impl QosSimulator {
         if !outcome.satisfied_threshold {
             self.telemetry.counter("negotiate.fallbacks").inc();
         }
+        // The effective deadline the system holds itself to: the quoted
+        // promise plus configured slack. Journaled so consumers can check
+        // recorded outcomes against the commitment without re-deriving it.
+        let slack = SimDuration::from_secs(
+            (plan.total.as_secs() as f64 * self.config.deadline_slack) as u64,
+        );
+        let deadline = quote.deadline + slack;
         self.telemetry.emit(|| TelemetryEvent::QuoteNegotiated {
             at: now,
             job: id.as_u64(),
             start_secs: quote.start.as_secs(),
             promised_secs: quote.deadline.as_secs(),
+            deadline_secs: deadline.as_secs(),
             success_probability: quote.promised_success(),
         });
         self.telemetry.emit(|| TelemetryEvent::JobPlaced {
@@ -399,15 +460,12 @@ impl QosSimulator {
             )
             .expect("negotiated slot must be reservable");
         let epoch = 0;
-        let slack = SimDuration::from_secs(
-            (plan.total.as_secs() as f64 * self.config.deadline_slack) as u64,
-        );
         self.jobs.insert(
             id,
             JobState {
                 job,
                 promised: quote.promised_success(),
-                deadline: quote.deadline + slack,
+                deadline,
                 satisfied_threshold: outcome.satisfied_threshold,
                 epoch,
                 phase: Phase::Pending,
@@ -500,6 +558,11 @@ impl QosSimulator {
         if state.epoch != epoch || state.phase != Phase::Running {
             return;
         }
+        self.telemetry.emit(|| TelemetryEvent::CheckpointRequested {
+            at: now,
+            job: id.as_u64(),
+        });
+        let state = self.jobs.get(&id).expect("checked above");
         let partition = state.partition.clone().expect("running job has partition");
         // One interval of work has just completed.
         let done = state.done + (now - state.segment_start);
@@ -781,6 +844,14 @@ impl QosSimulator {
         )
         .expect("job fit the cluster at submission");
         let quote = outcome.accepted;
+        // Journal the new placement: the doctor's node-occupancy check
+        // needs to know which partition this attempt will run on.
+        self.telemetry.emit(|| TelemetryEvent::JobPlaced {
+            at: now,
+            job: id.as_u64(),
+            nodes: quote.partition.iter().map(|n| n.index() as u64).collect(),
+            failure_probability: quote.failure_probability,
+        });
         let reservation = self
             .book
             .add(
@@ -1262,6 +1333,59 @@ mod tests {
         assert_eq!(snap.gauge("cluster.nodes_down"), Some(0), "node recovered");
         assert!(snap.counter("sched.placements").unwrap_or(0) >= 2);
         assert!(snap.counter("predict.queries").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn dispatch_profile_appears_in_snapshot() {
+        use pqos_telemetry::Telemetry;
+        // One periodic-checkpointing job exercises arrival, start, request,
+        // checkpoint-finish, and finish dispatches exactly once each.
+        let config = SimConfig::paper_defaults()
+            .cluster_size_nodes(2)
+            .checkpoint_policy(CheckpointPolicyKind::Periodic);
+        let log = JobLog::new(vec![job(0, 0, 1, 7200)]).unwrap();
+        let out = QosSimulator::new(config, log, trace(vec![]))
+            .with_telemetry(Telemetry::builder().build())
+            .run();
+        let snap = out.telemetry.expect("telemetered run has a snapshot");
+        for (name, expected) in [
+            ("dispatch.arrival_ns", 1),
+            ("dispatch.start_ns", 1),
+            ("dispatch.ckpt_request_ns", 1),
+            ("dispatch.ckpt_finish_ns", 1),
+            ("dispatch.finish_ns", 1),
+        ] {
+            let h = snap.histogram(name).expect(name);
+            assert_eq!(h.count, expected, "{name}");
+            assert!(h.max >= 0.0, "{name} records nanoseconds");
+        }
+        assert!(snap.render().contains("dispatch.arrival_ns"));
+        // The request itself is journaled ahead of its resolution.
+        let events = Telemetry::disabled().ring_events();
+        assert!(events.is_empty(), "disabled handle journals nothing");
+    }
+
+    #[test]
+    fn checkpoint_request_event_precedes_its_resolution() {
+        use pqos_telemetry::Telemetry;
+        let config = SimConfig::paper_defaults()
+            .cluster_size_nodes(2)
+            .checkpoint_policy(CheckpointPolicyKind::Periodic);
+        let log = JobLog::new(vec![job(0, 0, 1, 7200)]).unwrap();
+        let telemetry = Telemetry::builder().ring_buffer(1024).build();
+        QosSimulator::new(config, log, trace(vec![]))
+            .with_telemetry(telemetry.clone())
+            .run();
+        let names: Vec<&str> = telemetry.ring_events().iter().map(|e| e.name()).collect();
+        let requested = names
+            .iter()
+            .position(|n| *n == "checkpoint_requested")
+            .expect("request journaled");
+        let taken = names
+            .iter()
+            .position(|n| *n == "checkpoint_taken")
+            .expect("periodic policy performs");
+        assert!(requested < taken, "request precedes completion");
     }
 
     #[test]

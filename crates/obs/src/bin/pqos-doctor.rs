@@ -1,0 +1,169 @@
+//! `pqos-doctor`: journal analysis from the command line.
+//!
+//! ```text
+//! pqos-doctor check  <journal> [--json]      invariant findings; exit 1 on errors
+//! pqos-doctor spans  <journal>               per-job phase accounting table
+//! pqos-doctor trace  <journal> [-o FILE]     Chrome trace_event JSON (stdout default)
+//! pqos-doctor diff   <a> <b>                 first divergence; exit 1 if any
+//! ```
+//!
+//! `--check` is accepted as an alias for `check` so CI invocations read
+//! naturally (`pqos-doctor --check journal.jsonl`).
+
+use pqos_obs::doctor::Doctor;
+use pqos_obs::span::SpanForest;
+use pqos_obs::{chrome_trace, first_divergence};
+use pqos_telemetry::TelemetryEvent;
+use std::fs::File;
+use std::io::{BufRead, BufReader, Write};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  pqos-doctor check  <journal.jsonl> [--json]   report invariant violations (exit 1 on errors)
+  pqos-doctor spans  <journal.jsonl>            per-job phase accounting table
+  pqos-doctor trace  <journal.jsonl> [-o FILE]  export Chrome trace_event JSON
+  pqos-doctor diff   <a.jsonl> <b.jsonl>        explain the first divergence (exit 1 if any)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, rest)) => (c.as_str(), rest),
+        None => {
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd {
+        "check" | "--check" => cmd_check(rest),
+        "spans" | "--spans" => cmd_spans(rest),
+        "trace" | "--trace" => cmd_trace(rest),
+        "diff" | "--diff" => cmd_diff(rest),
+        "-h" | "--help" | "help" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => {
+            eprintln!("unknown command: {other}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(code) => code,
+        // Downstream closing the pipe (`pqos-doctor spans j | head`) is a
+        // normal way to consume tabular output, not an error.
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("pqos-doctor: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Writes to stdout, propagating errors (notably `BrokenPipe`) instead of
+/// panicking like the `print!` macro does.
+fn emit(text: &str) -> std::io::Result<()> {
+    std::io::stdout().lock().write_all(text.as_bytes())
+}
+
+fn cmd_check(args: &[String]) -> std::io::Result<ExitCode> {
+    let json = args.iter().any(|a| a == "--json");
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or_else(|| std::io::Error::other("check: missing journal path"))?;
+    let report = Doctor::check_reader(BufReader::new(File::open(path)?))?;
+    if json {
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        for f in &report.findings {
+            writeln!(out, "{}", f.to_jsonl())?;
+        }
+    } else {
+        emit(&report.render())?;
+    }
+    Ok(if report.errors() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn read_events(path: &str) -> std::io::Result<Vec<TelemetryEvent>> {
+    let mut events = Vec::new();
+    for line in BufReader::new(File::open(path)?).lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        // Unparseable lines are the doctor's department; skip them here.
+        if let Some(e) = TelemetryEvent::from_jsonl(&line) {
+            events.push(e);
+        }
+    }
+    Ok(events)
+}
+
+fn cmd_spans(args: &[String]) -> std::io::Result<ExitCode> {
+    let path = args
+        .first()
+        .ok_or_else(|| std::io::Error::other("spans: missing journal path"))?;
+    let events = read_events(path)?;
+    let forest = SpanForest::from_events(&events);
+    emit(&forest.render())?;
+    if forest.orphan_events > 0 {
+        eprintln!(
+            "warning: {} events referenced jobs never submitted (run `pqos-doctor check`)",
+            forest.orphan_events
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_trace(args: &[String]) -> std::io::Result<ExitCode> {
+    let o_index = args.iter().position(|a| a == "-o");
+    let out_path = o_index.and_then(|i| args.get(i + 1));
+    let path = args
+        .iter()
+        .enumerate()
+        .find(|(i, _)| o_index.is_none_or(|o| *i != o && *i != o + 1))
+        .map(|(_, a)| a)
+        .ok_or_else(|| std::io::Error::other("trace: missing journal path"))?;
+    let events = read_events(path)?;
+    let doc = chrome_trace(&events);
+    match out_path {
+        Some(p) => {
+            std::fs::write(p, doc)?;
+            eprintln!("trace written to {p} ({} events)", events.len());
+        }
+        None => emit(&doc)?,
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_diff(args: &[String]) -> std::io::Result<ExitCode> {
+    let (a, b) = match args {
+        [a, b] => (a, b),
+        _ => {
+            return Err(std::io::Error::other(
+                "diff: need exactly two journal paths",
+            ))
+        }
+    };
+    let a_text = std::fs::read_to_string(a)?;
+    let b_text = std::fs::read_to_string(b)?;
+    match first_divergence(&a_text, &b_text) {
+        None => {
+            emit(&format!(
+                "journals are identical ({} lines)\n",
+                a_text.lines().count()
+            ))?;
+            Ok(ExitCode::SUCCESS)
+        }
+        Some(d) => {
+            emit(&d.explain())?;
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}

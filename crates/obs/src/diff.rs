@@ -1,0 +1,102 @@
+//! Journal diff: explain the first divergence between two runs.
+//!
+//! Identically seeded runs journal byte-identically, so the *first*
+//! differing line of two journals is where their histories forked — the
+//! right place to start when a code change moves results or determinism
+//! breaks. This module finds that line and explains it in event terms
+//! rather than raw JSON.
+
+use pqos_telemetry::TelemetryEvent;
+
+/// The first point where two journals disagree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// 1-based line number of the first difference.
+    pub line: u64,
+    /// The line in journal A (`None` when A ended first).
+    pub a: Option<String>,
+    /// The line in journal B (`None` when B ended first).
+    pub b: Option<String>,
+}
+
+impl Divergence {
+    /// Explains the divergence in event terms: what each run did at the
+    /// fork point.
+    pub fn explain(&self) -> String {
+        let describe = |line: &Option<String>, label: &str| match line {
+            None => format!("run {label} has no line here (journal ended)"),
+            Some(raw) => match TelemetryEvent::from_jsonl(raw) {
+                Some(e) => format!("run {label}: {} at t={}  {raw}", e.name(), e.at().as_secs()),
+                None => format!("run {label}: unparseable line  {raw}"),
+            },
+        };
+        format!(
+            "journals diverge at line {}\n  {}\n  {}\n",
+            self.line,
+            describe(&self.a, "A"),
+            describe(&self.b, "B"),
+        )
+    }
+}
+
+/// Compares two journals line by line and returns the first divergence,
+/// or `None` when they are identical.
+pub fn first_divergence(a: &str, b: &str) -> Option<Divergence> {
+    let mut a_lines = a.lines();
+    let mut b_lines = b.lines();
+    let mut line = 0u64;
+    loop {
+        line += 1;
+        match (a_lines.next(), b_lines.next()) {
+            (None, None) => return None,
+            (la, lb) if la == lb => {}
+            (la, lb) => {
+                return Some(Divergence {
+                    line,
+                    a: la.map(str::to_string),
+                    b: lb.map(str::to_string),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: &str = "{\"event\":\"job_rejected\",\"at\":1,\"job\":1}\n{\"event\":\"job_rejected\",\"at\":2,\"job\":2}\n";
+
+    #[test]
+    fn identical_journals_have_no_divergence() {
+        assert_eq!(first_divergence(A, A), None);
+        assert_eq!(first_divergence("", ""), None);
+    }
+
+    #[test]
+    fn differing_line_is_located_and_explained() {
+        let b = A.replace("\"job\":2", "\"job\":3");
+        let d = first_divergence(A, &b).expect("diverges");
+        assert_eq!(d.line, 2);
+        let text = d.explain();
+        assert!(text.contains("line 2"));
+        assert!(text.contains("job_rejected"));
+        assert!(text.contains("t=2"));
+    }
+
+    #[test]
+    fn truncation_is_a_divergence() {
+        let b = A.lines().next().unwrap().to_string() + "\n";
+        let d = first_divergence(A, &b).expect("diverges");
+        assert_eq!(d.line, 2);
+        assert!(d.b.is_none());
+        assert!(d.explain().contains("journal ended"));
+    }
+
+    #[test]
+    fn unparseable_fork_is_still_explained() {
+        let b = A.replace("{\"event\":\"job_rejected\",\"at\":2,\"job\":2}", "garbage");
+        let d = first_divergence(A, &b).expect("diverges");
+        assert!(d.explain().contains("unparseable"));
+    }
+}

@@ -1,0 +1,849 @@
+//! The journal invariant doctor: streams a journal and reports every way
+//! it contradicts the simulator's own rules.
+//!
+//! A journal that passes the doctor is internally consistent: time never
+//! runs backwards, every lifecycle edge has its prerequisite, no two jobs
+//! occupy a node at once, and every recorded verdict matches the recorded
+//! commitment. A journal that fails pinpoints the first line where the
+//! simulator (or a hand-edited journal) broke its word — which is exactly
+//! where debugging should start.
+//!
+//! Findings are machine-readable ([`Finding::to_jsonl`]) so CI can gate on
+//! them and humans can grep them.
+
+use pqos_telemetry::json::ObjWriter;
+use pqos_telemetry::TelemetryEvent;
+use std::collections::HashMap;
+use std::io::BufRead;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but explainable (e.g. a truncated journal).
+    Warning,
+    /// The journal is inconsistent with the simulator's invariants.
+    Error,
+}
+
+impl Severity {
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One invariant violation, anchored to a journal line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Stable machine-readable code (e.g. `out_of_time_order`).
+    pub code: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// 1-based journal line the finding anchors to (0 = end of journal).
+    pub line: u64,
+    /// Sim time of the offending event, when applicable.
+    pub at: Option<u64>,
+    /// Job involved, when applicable.
+    pub job: Option<u64>,
+    /// Node involved, when applicable.
+    pub node: Option<u64>,
+    /// Human-readable explanation with the concrete numbers.
+    pub detail: String,
+}
+
+impl Finding {
+    /// Encodes the finding as one JSON line.
+    pub fn to_jsonl(&self) -> String {
+        let mut w = ObjWriter::new();
+        w.str("code", self.code)
+            .str("severity", self.severity.as_str())
+            .u64("line", self.line)
+            .opt_u64("at", self.at)
+            .opt_u64("job", self.job)
+            .opt_u64("node", self.node)
+            .str("detail", &self.detail);
+        w.finish()
+    }
+}
+
+/// Everything the doctor found in one journal.
+#[derive(Debug, Clone, Default)]
+pub struct DoctorReport {
+    /// All findings, in journal order.
+    pub findings: Vec<Finding>,
+    /// Journal lines examined.
+    pub lines: u64,
+    /// Lines that parsed into events.
+    pub events: u64,
+}
+
+impl DoctorReport {
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Whether the journal is clean (no findings at all).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders a human-readable summary, one line per finding.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{} [{}] line {}: {}\n",
+                f.severity.as_str(),
+                f.code,
+                f.line,
+                f.detail
+            ));
+        }
+        out.push_str(&format!(
+            "{} lines, {} events, {} errors, {} warnings\n",
+            self.lines,
+            self.events,
+            self.errors(),
+            self.warnings()
+        ));
+        out
+    }
+}
+
+/// Per-job bookkeeping while streaming.
+#[derive(Debug, Default)]
+struct JobTrack {
+    negotiated: bool,
+    /// Effective deadline (secs) from the quote.
+    deadline: Option<u64>,
+    running: bool,
+    done: bool,
+    /// A checkpoint request is outstanding (unresolved).
+    pending_request: bool,
+    /// Current placement (most recent `job_placed`).
+    nodes: Vec<u64>,
+    /// Set when `job_completed` said `met_deadline: false`: a
+    /// `deadline_missed` for this job is now owed.
+    owes_missed: Option<u64>,
+}
+
+/// The streaming invariant checker. Feed it lines (or events), then call
+/// [`Doctor::finish`].
+#[derive(Debug, Default)]
+pub struct Doctor {
+    report: DoctorReport,
+    last_at: u64,
+    jobs: HashMap<u64, JobTrack>,
+    /// node -> job currently occupying it.
+    owner: HashMap<u64, u64>,
+}
+
+impl Doctor {
+    /// A fresh doctor.
+    pub fn new() -> Self {
+        Doctor::default()
+    }
+
+    /// Checks everything a reader yields and returns the report.
+    pub fn check_reader(reader: impl BufRead) -> std::io::Result<DoctorReport> {
+        let mut doctor = Doctor::new();
+        for line in reader.lines() {
+            doctor.feed_line(&line?);
+        }
+        Ok(doctor.finish())
+    }
+
+    /// Checks a full journal held in memory.
+    pub fn check_str(journal: &str) -> DoctorReport {
+        let mut doctor = Doctor::new();
+        for line in journal.lines() {
+            doctor.feed_line(line);
+        }
+        doctor.finish()
+    }
+
+    /// Feeds one raw journal line.
+    pub fn feed_line(&mut self, line: &str) {
+        self.report.lines += 1;
+        if line.trim().is_empty() {
+            return;
+        }
+        match TelemetryEvent::from_jsonl(line) {
+            Some(event) => self.feed_event(&event),
+            None => {
+                let shown: String = line.chars().take(80).collect();
+                self.finding(
+                    "unparseable_line",
+                    Severity::Error,
+                    None,
+                    None,
+                    None,
+                    format!("line does not parse as a journal event: {shown:?}"),
+                );
+            }
+        }
+    }
+
+    /// Feeds one already-parsed event (counts as one line).
+    pub fn feed_event(&mut self, event: &TelemetryEvent) {
+        self.report.events += 1;
+        let at = event.at().as_secs();
+        if at < self.last_at {
+            self.finding(
+                "out_of_time_order",
+                Severity::Error,
+                Some(at),
+                None,
+                None,
+                format!(
+                    "{} at t={at} precedes the previous event at t={}",
+                    event.name(),
+                    self.last_at
+                ),
+            );
+        }
+        self.last_at = self.last_at.max(at);
+        match event {
+            TelemetryEvent::JobSubmitted { job, .. } => {
+                let track = self.jobs.entry(*job).or_default();
+                if track.negotiated || track.done {
+                    let detail = format!("job {job} submitted twice");
+                    self.finding(
+                        "duplicate_submit",
+                        Severity::Error,
+                        Some(at),
+                        Some(*job),
+                        None,
+                        detail,
+                    );
+                }
+            }
+            TelemetryEvent::QuoteNegotiated {
+                job, deadline_secs, ..
+            } => {
+                if !self.jobs.contains_key(job) {
+                    self.finding(
+                        "negotiate_before_submit",
+                        Severity::Error,
+                        Some(at),
+                        Some(*job),
+                        None,
+                        format!("quote for job {job} with no prior job_submitted"),
+                    );
+                }
+                let track = self.jobs.entry(*job).or_default();
+                track.negotiated = true;
+                track.deadline = Some(*deadline_secs);
+            }
+            TelemetryEvent::JobRejected { job, .. } => {
+                self.jobs.entry(*job).or_default().done = true;
+            }
+            TelemetryEvent::JobPlaced { job, nodes, .. } => {
+                let known = self.jobs.get(job).is_some_and(|t| t.negotiated);
+                if !known {
+                    self.finding(
+                        "place_before_negotiate",
+                        Severity::Error,
+                        Some(at),
+                        Some(*job),
+                        None,
+                        format!("placement for job {job} with no prior quote_negotiated"),
+                    );
+                }
+                self.jobs.entry(*job).or_default().nodes = nodes.clone();
+            }
+            TelemetryEvent::JobStarted { job, .. } => {
+                let track = self.jobs.entry(*job).or_default();
+                if !track.negotiated {
+                    let detail = format!("job {job} started with no prior quote_negotiated");
+                    self.finding(
+                        "start_before_negotiate",
+                        Severity::Error,
+                        Some(at),
+                        Some(*job),
+                        None,
+                        detail,
+                    );
+                }
+                let track = self.jobs.entry(*job).or_default();
+                if track.running {
+                    let detail = format!("job {job} started while already running");
+                    self.finding(
+                        "double_start",
+                        Severity::Error,
+                        Some(at),
+                        Some(*job),
+                        None,
+                        detail,
+                    );
+                }
+                let track = self.jobs.entry(*job).or_default();
+                track.running = true;
+                track.pending_request = false;
+                // Occupancy: this attempt claims its placed partition.
+                let nodes = track.nodes.clone();
+                for node in nodes {
+                    let occupier = self.owner.get(&node).copied();
+                    if let Some(other) = occupier {
+                        if other != *job {
+                            let detail = format!(
+                                "job {job} started on node {node} still occupied by job {other}"
+                            );
+                            self.finding(
+                                "overlapping_runs",
+                                Severity::Error,
+                                Some(at),
+                                Some(*job),
+                                Some(node),
+                                detail,
+                            );
+                        }
+                    }
+                    self.owner.insert(node, *job);
+                }
+            }
+            TelemetryEvent::CheckpointRequested { job, .. } => {
+                let track = self.jobs.entry(*job).or_default();
+                if !track.running {
+                    let detail = format!("checkpoint requested for job {job} that is not running");
+                    self.finding(
+                        "ckpt_outside_run",
+                        Severity::Error,
+                        Some(at),
+                        Some(*job),
+                        None,
+                        detail,
+                    );
+                }
+                let track = self.jobs.entry(*job).or_default();
+                if track.pending_request {
+                    let detail =
+                        format!("job {job} requested a checkpoint with one already outstanding");
+                    self.finding(
+                        "double_request",
+                        Severity::Error,
+                        Some(at),
+                        Some(*job),
+                        None,
+                        detail,
+                    );
+                }
+                self.jobs.entry(*job).or_default().pending_request = true;
+            }
+            TelemetryEvent::CheckpointTaken { job, .. } => {
+                let track = self.jobs.entry(*job).or_default();
+                if !track.pending_request {
+                    let detail = format!(
+                        "checkpoint finished for job {job} with no outstanding checkpoint_requested"
+                    );
+                    self.finding(
+                        "ckpt_finish_without_request",
+                        Severity::Error,
+                        Some(at),
+                        Some(*job),
+                        None,
+                        detail,
+                    );
+                }
+                self.jobs.entry(*job).or_default().pending_request = false;
+            }
+            TelemetryEvent::CheckpointSkipped { job, .. } => {
+                let track = self.jobs.entry(*job).or_default();
+                if !track.pending_request {
+                    let detail = format!(
+                        "checkpoint skipped for job {job} with no outstanding checkpoint_requested"
+                    );
+                    self.finding(
+                        "ckpt_finish_without_request",
+                        Severity::Error,
+                        Some(at),
+                        Some(*job),
+                        None,
+                        detail,
+                    );
+                }
+                self.jobs.entry(*job).or_default().pending_request = false;
+            }
+            TelemetryEvent::NodeFailed {
+                node, victim_job, ..
+            } => {
+                if let Some(victim) = victim_job {
+                    let track = self.jobs.entry(*victim).or_default();
+                    if !track.running {
+                        let detail =
+                            format!("node {node} failure names victim job {victim}, not running");
+                        self.finding(
+                            "victim_not_running",
+                            Severity::Error,
+                            Some(at),
+                            Some(*victim),
+                            Some(*node),
+                            detail,
+                        );
+                    }
+                    let track = self.jobs.entry(*victim).or_default();
+                    track.running = false;
+                    // The pending checkpoint (if any) dies with the attempt.
+                    track.pending_request = false;
+                    self.owner.retain(|_, j| j != victim);
+                }
+            }
+            TelemetryEvent::NodeRecovered { .. } => {}
+            TelemetryEvent::JobRequeued { job, .. } => {
+                let track = self.jobs.entry(*job).or_default();
+                if track.running {
+                    let detail = format!("job {job} requeued while still running");
+                    self.finding(
+                        "requeue_while_running",
+                        Severity::Error,
+                        Some(at),
+                        Some(*job),
+                        None,
+                        detail,
+                    );
+                }
+            }
+            TelemetryEvent::JobCompleted {
+                job, met_deadline, ..
+            } => {
+                let track = self.jobs.entry(*job).or_default();
+                if !track.running {
+                    let detail = format!("job {job} completed without a running attempt");
+                    self.finding(
+                        "complete_without_start",
+                        Severity::Error,
+                        Some(at),
+                        Some(*job),
+                        None,
+                        detail,
+                    );
+                }
+                let deadline = self.jobs.get(job).and_then(|t| t.deadline);
+                if let Some(d) = deadline {
+                    let should_meet = at <= d;
+                    if should_meet != *met_deadline {
+                        let detail = format!(
+                            "job {job} finished at t={at} against deadline {d} but journal says \
+                             met_deadline={met_deadline}"
+                        );
+                        self.finding(
+                            "deadline_mismatch",
+                            Severity::Error,
+                            Some(at),
+                            Some(*job),
+                            None,
+                            detail,
+                        );
+                    }
+                }
+                let track = self.jobs.entry(*job).or_default();
+                track.running = false;
+                track.done = true;
+                track.owes_missed = (!met_deadline).then_some(at);
+                self.owner.retain(|_, j| j != job);
+            }
+            TelemetryEvent::DeadlineMissed {
+                job, late_by_secs, ..
+            } => {
+                let track = self.jobs.entry(*job).or_default();
+                let owed = track.owes_missed.take();
+                if owed.is_none() {
+                    let detail = format!(
+                        "deadline_missed for job {job} without a preceding late job_completed"
+                    );
+                    self.finding(
+                        "orphan_deadline_missed",
+                        Severity::Error,
+                        Some(at),
+                        Some(*job),
+                        None,
+                        detail,
+                    );
+                }
+                let deadline = self.jobs.get(job).and_then(|t| t.deadline);
+                if let Some(d) = deadline {
+                    let expected = at.saturating_sub(d);
+                    if expected != *late_by_secs {
+                        let detail = format!(
+                            "job {job} finished at t={at} with deadline {d}: late_by should be \
+                             {expected}, journal says {late_by_secs}"
+                        );
+                        self.finding(
+                            "late_by_mismatch",
+                            Severity::Error,
+                            Some(at),
+                            Some(*job),
+                            None,
+                            detail,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Ends the stream: reports owed `deadline_missed` events and jobs the
+    /// journal left mid-flight.
+    pub fn finish(mut self) -> DoctorReport {
+        let mut jobs: Vec<(u64, JobTrack)> = self.jobs.drain().collect();
+        jobs.sort_by_key(|(id, _)| *id);
+        for (id, track) in jobs {
+            if let Some(finished_at) = track.owes_missed {
+                self.report.findings.push(Finding {
+                    code: "missed_deadline_not_journaled",
+                    severity: Severity::Error,
+                    line: 0,
+                    at: Some(finished_at),
+                    job: Some(id),
+                    node: None,
+                    detail: format!(
+                        "job {id} completed late at t={finished_at} but no deadline_missed follows"
+                    ),
+                });
+            }
+            if !track.done {
+                self.report.findings.push(Finding {
+                    code: "unfinished_job",
+                    severity: Severity::Warning,
+                    line: 0,
+                    at: None,
+                    job: Some(id),
+                    node: None,
+                    detail: format!(
+                        "job {id} never completed or was rejected (truncated journal?)"
+                    ),
+                });
+            }
+        }
+        self.report
+    }
+
+    fn finding(
+        &mut self,
+        code: &'static str,
+        severity: Severity,
+        at: Option<u64>,
+        job: Option<u64>,
+        node: Option<u64>,
+        detail: String,
+    ) {
+        self.report.findings.push(Finding {
+            code,
+            severity,
+            line: self.report.lines.max(self.report.events),
+            at,
+            job,
+            node,
+            detail,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqos_sim_core::time::SimTime;
+    use pqos_telemetry::TelemetryEvent as E;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn clean_life() -> Vec<TelemetryEvent> {
+        vec![
+            E::JobSubmitted {
+                at: t(0),
+                job: 1,
+                size: 2,
+                runtime_secs: 7200,
+            },
+            E::QuoteNegotiated {
+                at: t(0),
+                job: 1,
+                start_secs: 0,
+                promised_secs: 8000,
+                deadline_secs: 8000,
+                success_probability: 1.0,
+            },
+            E::JobPlaced {
+                at: t(0),
+                job: 1,
+                nodes: vec![0, 1],
+                failure_probability: 0.0,
+            },
+            E::JobStarted {
+                at: t(0),
+                job: 1,
+                restarts: 0,
+            },
+            E::CheckpointRequested {
+                at: t(3600),
+                job: 1,
+            },
+            E::CheckpointTaken {
+                at: t(4320),
+                job: 1,
+                overhead_secs: 720,
+            },
+            E::JobCompleted {
+                at: t(7920),
+                job: 1,
+                met_deadline: true,
+            },
+        ]
+    }
+
+    fn check(events: &[TelemetryEvent]) -> DoctorReport {
+        let journal: String = events
+            .iter()
+            .map(|e| e.to_jsonl() + "\n")
+            .collect::<String>();
+        Doctor::check_str(&journal)
+    }
+
+    #[test]
+    fn a_clean_journal_has_no_findings() {
+        let report = check(&clean_life());
+        assert!(report.is_clean(), "unexpected: {}", report.render());
+        assert_eq!(report.events, 7);
+        assert_eq!(report.lines, 7);
+    }
+
+    #[test]
+    fn detects_out_of_time_order() {
+        let mut events = clean_life();
+        events.swap(4, 5); // checkpoint_taken before its request, time runs backwards
+        let report = check(&events);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.code == "out_of_time_order"));
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.code == "ckpt_finish_without_request"));
+        assert!(report.errors() >= 2);
+    }
+
+    #[test]
+    fn detects_start_before_negotiate() {
+        let events = vec![
+            E::JobSubmitted {
+                at: t(0),
+                job: 1,
+                size: 1,
+                runtime_secs: 10,
+            },
+            E::JobStarted {
+                at: t(0),
+                job: 1,
+                restarts: 0,
+            },
+            E::JobCompleted {
+                at: t(10),
+                job: 1,
+                met_deadline: true,
+            },
+        ];
+        let report = check(&events);
+        let f = report
+            .findings
+            .iter()
+            .find(|f| f.code == "start_before_negotiate")
+            .expect("finding emitted");
+        assert_eq!(f.severity, Severity::Error);
+        assert_eq!(f.job, Some(1));
+        assert_eq!(f.line, 2);
+    }
+
+    #[test]
+    fn detects_overlapping_runs_on_one_partition() {
+        let mut events = clean_life();
+        // A second job placed onto node 1 while job 1 still runs (inserted
+        // between job 1's start at t=0 and its request at t=3600, keeping
+        // the journal time-ordered).
+        events.splice(
+            4..4,
+            vec![
+                E::JobSubmitted {
+                    at: t(100),
+                    job: 2,
+                    size: 1,
+                    runtime_secs: 100,
+                },
+                E::QuoteNegotiated {
+                    at: t(100),
+                    job: 2,
+                    start_secs: 100,
+                    promised_secs: 300,
+                    deadline_secs: 300,
+                    success_probability: 1.0,
+                },
+                E::JobPlaced {
+                    at: t(100),
+                    job: 2,
+                    nodes: vec![1],
+                    failure_probability: 0.0,
+                },
+                E::JobStarted {
+                    at: t(100),
+                    job: 2,
+                    restarts: 0,
+                },
+                E::JobCompleted {
+                    at: t(200),
+                    job: 2,
+                    met_deadline: true,
+                },
+            ],
+        );
+        let report = check(&events);
+        let f = report
+            .findings
+            .iter()
+            .find(|f| f.code == "overlapping_runs")
+            .expect("overlap detected");
+        assert_eq!(f.node, Some(1));
+        assert_eq!(f.job, Some(2));
+        // Everything else about that journal is well-formed.
+        assert_eq!(report.errors(), 1);
+    }
+
+    #[test]
+    fn detects_deadline_verdict_mismatches() {
+        let mut events = clean_life();
+        // Flip the verdict: finished at 7920 <= 8000 but claims a miss.
+        events[6] = E::JobCompleted {
+            at: t(7920),
+            job: 1,
+            met_deadline: false,
+        };
+        let report = check(&events);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.code == "deadline_mismatch"));
+        // A late verdict also owes a deadline_missed event.
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.code == "missed_deadline_not_journaled"));
+    }
+
+    #[test]
+    fn detects_wrong_late_by() {
+        let mut events = clean_life();
+        events[6] = E::JobCompleted {
+            at: t(9000),
+            job: 1,
+            met_deadline: false,
+        };
+        events.push(E::DeadlineMissed {
+            at: t(9000),
+            job: 1,
+            late_by_secs: 1, // should be 1000
+        });
+        let report = check(&events);
+        let f = report
+            .findings
+            .iter()
+            .find(|f| f.code == "late_by_mismatch")
+            .expect("late_by checked");
+        assert!(f.detail.contains("1000"));
+        assert!(!report
+            .findings
+            .iter()
+            .any(|f| f.code == "missed_deadline_not_journaled"));
+    }
+
+    #[test]
+    fn detects_orphan_deadline_missed() {
+        let mut events = clean_life();
+        events.push(E::DeadlineMissed {
+            at: t(7920),
+            job: 1,
+            late_by_secs: 0,
+        });
+        let report = check(&events);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.code == "orphan_deadline_missed"));
+    }
+
+    #[test]
+    fn warns_on_truncated_journals() {
+        let mut events = clean_life();
+        events.truncate(5); // chop off the checkpoint completion + finish
+        let report = check(&events);
+        assert_eq!(report.errors(), 0);
+        let f = report
+            .findings
+            .iter()
+            .find(|f| f.code == "unfinished_job")
+            .expect("truncation warned");
+        assert_eq!(f.severity, Severity::Warning);
+        assert_eq!(f.line, 0, "end-of-journal finding");
+    }
+
+    #[test]
+    fn reports_unparseable_lines_with_position() {
+        let mut journal: String = clean_life()
+            .iter()
+            .map(|e| e.to_jsonl() + "\n")
+            .collect::<String>();
+        journal.push_str("{\"event\":\"garbage\"}\n");
+        let report = Doctor::check_str(&journal);
+        let f = report
+            .findings
+            .iter()
+            .find(|f| f.code == "unparseable_line")
+            .expect("garbage flagged");
+        assert_eq!(f.line, 8);
+        assert!(f.detail.contains("garbage"));
+    }
+
+    #[test]
+    fn findings_serialize_as_jsonl() {
+        let f = Finding {
+            code: "overlapping_runs",
+            severity: Severity::Error,
+            line: 42,
+            at: Some(100),
+            job: Some(2),
+            node: Some(1),
+            detail: "job 2 started on node 1 still occupied by job 1".into(),
+        };
+        let line = f.to_jsonl();
+        let v = pqos_telemetry::json::Json::parse(&line).expect("valid json");
+        assert_eq!(v.get("code").unwrap().as_str(), Some("overlapping_runs"));
+        assert_eq!(v.get("severity").unwrap().as_str(), Some("error"));
+        assert_eq!(v.get("line").unwrap().as_u64(), Some(42));
+        assert_eq!(v.get("node").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn check_reader_streams() {
+        let journal: String = clean_life()
+            .iter()
+            .map(|e| e.to_jsonl() + "\n")
+            .collect::<String>();
+        let report = Doctor::check_reader(std::io::Cursor::new(journal)).unwrap();
+        assert!(report.is_clean());
+    }
+}

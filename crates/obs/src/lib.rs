@@ -1,0 +1,66 @@
+//! Journal analysis for the QoS simulator: the consume side of
+//! `pqos-telemetry`.
+//!
+//! The telemetry crate records what the simulator *did*; this crate turns
+//! that record into answers:
+//!
+//! * [`span`] — folds the flat event stream into per-job causal span
+//!   trees (negotiating → queued → running → checkpointing → downtime),
+//!   with phase durations that sum to each job's wall interval by
+//!   construction.
+//! * [`doctor`] — streams a journal and reports every invariant violation
+//!   (time running backwards, starts without quotes, two jobs on one
+//!   node, checkpoint completions without requests, verdicts that
+//!   contradict the recorded commitment) as machine-readable findings.
+//! * [`trace`] — exports any journal as Chrome `trace_event` JSON, one
+//!   track per job and per node, openable in `about://tracing` or
+//!   <https://ui.perfetto.dev>.
+//! * [`diff`] — locates and explains the first line where two journals
+//!   fork (seed-determinism debugging).
+//!
+//! The `pqos-doctor` binary wraps all four for the command line:
+//!
+//! ```text
+//! pqos-doctor check  journal.jsonl        # invariant findings, exit 1 on errors
+//! pqos-doctor spans  journal.jsonl        # per-job phase accounting table
+//! pqos-doctor trace  journal.jsonl -o t.json   # Perfetto export
+//! pqos-doctor diff   a.jsonl b.jsonl      # first divergence, exit 1 if any
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use pqos_obs::doctor::Doctor;
+//! use pqos_obs::span::SpanForest;
+//! use pqos_telemetry::one_of_each;
+//!
+//! let journal: String = one_of_each()
+//!     .iter()
+//!     .map(|e| e.to_jsonl() + "\n")
+//!     .collect();
+//! // one_of_each() is a schema sampler, not a causal story — the doctor
+//! // has plenty to say about it; every line still parses.
+//! let report = Doctor::check_str(&journal);
+//! assert!(!report.findings.iter().any(|f| f.code == "unparseable_line"));
+//!
+//! // Span reconstruction over the same events:
+//! let events: Vec<_> = journal
+//!     .lines()
+//!     .filter_map(pqos_telemetry::TelemetryEvent::from_jsonl)
+//!     .collect();
+//! let forest = SpanForest::from_events(&events);
+//! assert!(!forest.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod doctor;
+pub mod span;
+pub mod trace;
+
+pub use diff::{first_divergence, Divergence};
+pub use doctor::{Doctor, DoctorReport, Finding, Severity};
+pub use span::{JobSpan, Outcome, PhaseKind, PhaseSpan, SpanForest};
+pub use trace::chrome_trace;

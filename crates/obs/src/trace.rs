@@ -1,0 +1,396 @@
+//! Chrome `trace_event` / Perfetto export.
+//!
+//! Converts a journal into the JSON Object Format consumed by
+//! `about://tracing`, Perfetto, and Speedscope: one track ("thread") per
+//! job on the `jobs` process showing its reconstructed phases, one track
+//! per node on the `nodes` process showing which job occupied it, instant
+//! markers for skips / failures / missed deadlines, and a counter track
+//! for the number of running jobs. Sim seconds map to trace microseconds,
+//! so one sim second renders as 1 µs — Perfetto's zoom handles the rest.
+
+use crate::span::{Outcome, SpanForest};
+use pqos_telemetry::json::ObjWriter;
+use pqos_telemetry::TelemetryEvent;
+use std::collections::BTreeMap;
+
+/// Process id used for per-job phase tracks.
+const PID_JOBS: u64 = 1;
+/// Process id used for per-node occupancy tracks.
+const PID_NODES: u64 = 2;
+
+fn micros(secs: u64) -> u64 {
+    secs.saturating_mul(1_000_000)
+}
+
+/// One `ph:"X"` complete-span event.
+fn complete(name: &str, pid: u64, tid: u64, start_secs: u64, dur_secs: u64, args: &str) -> String {
+    let mut w = ObjWriter::new();
+    w.str("name", name)
+        .str("ph", "X")
+        .u64("ts", micros(start_secs))
+        .u64("dur", micros(dur_secs))
+        .u64("pid", pid)
+        .u64("tid", tid)
+        .raw("args", args);
+    w.finish()
+}
+
+/// One `ph:"i"` instant event (thread scope).
+fn instant(name: &str, pid: u64, tid: u64, at_secs: u64, args: &str) -> String {
+    let mut w = ObjWriter::new();
+    w.str("name", name)
+        .str("ph", "i")
+        .str("s", "t")
+        .u64("ts", micros(at_secs))
+        .u64("pid", pid)
+        .u64("tid", tid)
+        .raw("args", args);
+    w.finish()
+}
+
+/// One `ph:"M"` metadata event naming a process or thread.
+fn metadata(kind: &str, pid: u64, tid: Option<u64>, label: &str) -> String {
+    let mut w = ObjWriter::new();
+    w.str("name", kind).str("ph", "M").u64("pid", pid);
+    if let Some(tid) = tid {
+        w.u64("tid", tid);
+    }
+    let mut args = ObjWriter::new();
+    args.str("name", label);
+    w.raw("args", &args.finish());
+    w.finish()
+}
+
+/// One `ph:"C"` counter sample.
+fn counter(name: &str, at_secs: u64, value: u64) -> String {
+    let mut w = ObjWriter::new();
+    let mut args = ObjWriter::new();
+    args.u64("running", value);
+    w.str("name", name)
+        .str("ph", "C")
+        .u64("ts", micros(at_secs))
+        .u64("pid", PID_JOBS)
+        .raw("args", &args.finish());
+    w.finish()
+}
+
+/// Renders a journal as a complete Chrome trace JSON document.
+///
+/// The output is a single `{"traceEvents":[...]}` object — save it with a
+/// `.json` extension and open it in `about://tracing` or
+/// <https://ui.perfetto.dev>.
+pub fn chrome_trace<'a>(events: impl IntoIterator<Item = &'a TelemetryEvent> + Clone) -> String {
+    let forest = SpanForest::from_events(events.clone());
+    let mut out: Vec<String> = Vec::new();
+
+    out.push(metadata("process_name", PID_JOBS, None, "jobs"));
+    out.push(metadata("process_name", PID_NODES, None, "nodes"));
+
+    // --- Per-job phase tracks (tid = job id) -------------------------------
+    for span in forest.iter() {
+        out.push(metadata(
+            "thread_name",
+            PID_JOBS,
+            Some(span.job),
+            &format!("job {}", span.job),
+        ));
+        for phase in &span.phases {
+            let mut args = ObjWriter::new();
+            args.u64("job", span.job);
+            if let Some(d) = span.deadline {
+                args.u64("deadline_secs", d.as_secs());
+            }
+            out.push(complete(
+                phase.kind.as_str(),
+                PID_JOBS,
+                span.job,
+                phase.start.as_secs(),
+                phase.secs(),
+                &args.finish(),
+            ));
+        }
+        if let (Some(finish), Outcome::Completed { met_deadline }) = (span.finish, span.outcome) {
+            let mut args = ObjWriter::new();
+            args.bool("met_deadline", met_deadline);
+            out.push(instant(
+                "completed",
+                PID_JOBS,
+                span.job,
+                finish.as_secs(),
+                &args.finish(),
+            ));
+        }
+    }
+
+    // --- Per-node occupancy + instants + running counter -------------------
+    // Walk the stream once, tracking each job's current placement so a
+    // start opens an occupancy span on each member node and the matching
+    // completion/failure closes it.
+    let mut placement: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    let mut occupied_since: BTreeMap<u64, (u64, u64)> = BTreeMap::new(); // node -> (job, start)
+    let mut named_nodes: BTreeMap<u64, ()> = BTreeMap::new();
+    let mut running = 0u64;
+
+    let close_job = |job: u64,
+                     end: u64,
+                     occupied_since: &mut BTreeMap<u64, (u64, u64)>,
+                     out: &mut Vec<String>| {
+        let nodes: Vec<u64> = occupied_since
+            .iter()
+            .filter(|(_, (j, _))| *j == job)
+            .map(|(n, _)| *n)
+            .collect();
+        for node in nodes {
+            let (_, since) = occupied_since.remove(&node).expect("node listed");
+            let mut args = ObjWriter::new();
+            args.u64("job", job);
+            out.push(complete(
+                &format!("job {job}"),
+                PID_NODES,
+                node,
+                since,
+                end.saturating_sub(since),
+                &args.finish(),
+            ));
+        }
+    };
+
+    for event in events {
+        let at = event.at().as_secs();
+        match event {
+            TelemetryEvent::JobPlaced { job, nodes, .. } => {
+                placement.insert(*job, nodes.clone());
+            }
+            TelemetryEvent::JobStarted { job, .. } => {
+                for &node in placement.get(job).map(Vec::as_slice).unwrap_or(&[]) {
+                    if named_nodes.insert(node, ()).is_none() {
+                        out.push(metadata(
+                            "thread_name",
+                            PID_NODES,
+                            Some(node),
+                            &format!("node {node}"),
+                        ));
+                    }
+                    occupied_since.insert(node, (*job, at));
+                }
+                running += 1;
+                out.push(counter("jobs running", at, running));
+            }
+            TelemetryEvent::JobCompleted { job, .. } => {
+                close_job(*job, at, &mut occupied_since, &mut out);
+                running = running.saturating_sub(1);
+                out.push(counter("jobs running", at, running));
+            }
+            TelemetryEvent::NodeFailed {
+                node, victim_job, ..
+            } => {
+                if let Some(victim) = victim_job {
+                    close_job(*victim, at, &mut occupied_since, &mut out);
+                    running = running.saturating_sub(1);
+                    out.push(counter("jobs running", at, running));
+                }
+                if named_nodes.insert(*node, ()).is_none() {
+                    out.push(metadata(
+                        "thread_name",
+                        PID_NODES,
+                        Some(*node),
+                        &format!("node {node}"),
+                    ));
+                }
+                let mut args = ObjWriter::new();
+                args.opt_u64("victim_job", *victim_job);
+                out.push(instant("node_failed", PID_NODES, *node, at, &args.finish()));
+            }
+            TelemetryEvent::CheckpointSkipped { job, reason, .. } => {
+                let mut args = ObjWriter::new();
+                args.str("reason", reason.as_str());
+                out.push(instant(
+                    "checkpoint_skipped",
+                    PID_JOBS,
+                    *job,
+                    at,
+                    &args.finish(),
+                ));
+            }
+            TelemetryEvent::DeadlineMissed {
+                job, late_by_secs, ..
+            } => {
+                let mut args = ObjWriter::new();
+                args.u64("late_by_secs", *late_by_secs);
+                out.push(instant(
+                    "deadline_missed",
+                    PID_JOBS,
+                    *job,
+                    at,
+                    &args.finish(),
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    let mut doc = String::from("{\"traceEvents\":[\n");
+    doc.push_str(&out.join(",\n"));
+    doc.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqos_sim_core::time::SimTime;
+    use pqos_telemetry::json::Json;
+    use pqos_telemetry::TelemetryEvent as E;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn life() -> Vec<TelemetryEvent> {
+        vec![
+            E::JobSubmitted {
+                at: t(0),
+                job: 1,
+                size: 2,
+                runtime_secs: 100,
+            },
+            E::QuoteNegotiated {
+                at: t(0),
+                job: 1,
+                start_secs: 10,
+                promised_secs: 300,
+                deadline_secs: 300,
+                success_probability: 1.0,
+            },
+            E::JobPlaced {
+                at: t(0),
+                job: 1,
+                nodes: vec![3, 4],
+                failure_probability: 0.0,
+            },
+            E::JobStarted {
+                at: t(10),
+                job: 1,
+                restarts: 0,
+            },
+            E::JobCompleted {
+                at: t(110),
+                job: 1,
+                met_deadline: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn trace_is_well_formed_json() {
+        let doc = chrome_trace(&life());
+        let v = Json::parse(doc.trim()).expect("trace parses as JSON");
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(!events.is_empty());
+        // Every element is an object with a ph field.
+        for e in events {
+            assert!(e.get("ph").unwrap().as_str().is_some());
+        }
+    }
+
+    #[test]
+    fn job_phases_become_complete_spans() {
+        let doc = chrome_trace(&life());
+        let v = Json::parse(doc.trim()).unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        let running: Vec<&Json> = events
+            .iter()
+            .filter(|e| {
+                e.get("name").and_then(Json::as_str) == Some("running")
+                    && e.get("ph").and_then(Json::as_str) == Some("X")
+            })
+            .collect();
+        assert_eq!(running.len(), 1);
+        assert_eq!(running[0].get("ts").unwrap().as_u64(), Some(10_000_000));
+        assert_eq!(running[0].get("dur").unwrap().as_u64(), Some(100_000_000));
+        assert_eq!(running[0].get("pid").unwrap().as_u64(), Some(1));
+        assert_eq!(running[0].get("tid").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn node_tracks_show_occupancy() {
+        let doc = chrome_trace(&life());
+        let v = Json::parse(doc.trim()).unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        // Both nodes 3 and 4 get an occupancy span for job 1.
+        let node_spans: Vec<u64> = events
+            .iter()
+            .filter(|e| {
+                e.get("pid").and_then(Json::as_u64) == Some(2)
+                    && e.get("ph").and_then(Json::as_str) == Some("X")
+            })
+            .map(|e| e.get("tid").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(node_spans, vec![3, 4]);
+        // And thread_name metadata for each.
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .filter_map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+            })
+            .collect();
+        assert!(names.contains(&"node 3"));
+        assert!(names.contains(&"node 4"));
+        assert!(names.contains(&"job 1"));
+        assert!(names.contains(&"jobs"));
+    }
+
+    #[test]
+    fn counter_tracks_running_jobs() {
+        let doc = chrome_trace(&life());
+        let v = Json::parse(doc.trim()).unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        let samples: Vec<u64> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+            .map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("running"))
+                    .and_then(Json::as_u64)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(samples, vec![1, 0]);
+    }
+
+    #[test]
+    fn instants_mark_failures_and_misses() {
+        let mut events = life();
+        events[4] = E::JobCompleted {
+            at: t(400),
+            job: 1,
+            met_deadline: false,
+        };
+        events.push(E::DeadlineMissed {
+            at: t(400),
+            job: 1,
+            late_by_secs: 100,
+        });
+        let doc = chrome_trace(&events);
+        let v = Json::parse(doc.trim()).unwrap();
+        let names: Vec<&str> = v
+            .get("traceEvents")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("i"))
+            .map(|e| e.get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert!(names.contains(&"deadline_missed"));
+    }
+
+    #[test]
+    fn huge_timestamps_saturate_instead_of_wrapping() {
+        assert_eq!(micros(u64::MAX), u64::MAX);
+        assert_eq!(micros(7), 7_000_000);
+    }
+}

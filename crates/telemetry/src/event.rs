@@ -72,6 +72,10 @@ pub enum TelemetryEvent {
         start_secs: u64,
         /// Promised completion time (seconds since epoch).
         promised_secs: u64,
+        /// Effective deadline the system holds itself to (promise plus any
+        /// configured slack), seconds since epoch. Downstream tools check
+        /// recorded outcomes against this, not the raw promise.
+        deadline_secs: u64,
         /// Probability of success quoted per Eq. 2.
         success_probability: f64,
     },
@@ -103,6 +107,18 @@ pub enum TelemetryEvent {
         /// How many failures this job has absorbed so far (0 on first
         /// start).
         restarts: u32,
+    },
+    /// A checkpoint request fired after an interval `I` of useful work and
+    /// is about to be granted or denied. Every [`CheckpointTaken`] and
+    /// [`CheckpointSkipped`] is preceded by one of these.
+    ///
+    /// [`CheckpointTaken`]: TelemetryEvent::CheckpointTaken
+    /// [`CheckpointSkipped`]: TelemetryEvent::CheckpointSkipped
+    CheckpointRequested {
+        /// Simulation time of the event.
+        at: SimTime,
+        /// Job identifier.
+        job: u64,
     },
     /// A checkpoint completed and advanced the job's durable progress.
     CheckpointTaken {
@@ -185,6 +201,7 @@ impl TelemetryEvent {
             | TelemetryEvent::JobRejected { at, .. }
             | TelemetryEvent::JobPlaced { at, .. }
             | TelemetryEvent::JobStarted { at, .. }
+            | TelemetryEvent::CheckpointRequested { at, .. }
             | TelemetryEvent::CheckpointTaken { at, .. }
             | TelemetryEvent::CheckpointSkipped { at, .. }
             | TelemetryEvent::NodeFailed { at, .. }
@@ -203,6 +220,7 @@ impl TelemetryEvent {
             TelemetryEvent::JobRejected { .. } => "job_rejected",
             TelemetryEvent::JobPlaced { .. } => "job_placed",
             TelemetryEvent::JobStarted { .. } => "job_started",
+            TelemetryEvent::CheckpointRequested { .. } => "checkpoint_requested",
             TelemetryEvent::CheckpointTaken { .. } => "checkpoint_taken",
             TelemetryEvent::CheckpointSkipped { .. } => "checkpoint_skipped",
             TelemetryEvent::NodeFailed { .. } => "node_failed",
@@ -233,12 +251,14 @@ impl TelemetryEvent {
                 job,
                 start_secs,
                 promised_secs,
+                deadline_secs,
                 success_probability,
                 ..
             } => {
                 w.u64("job", *job)
                     .u64("start_secs", *start_secs)
                     .u64("promised_secs", *promised_secs)
+                    .u64("deadline_secs", *deadline_secs)
                     .f64("success_probability", *success_probability);
             }
             TelemetryEvent::JobRejected { job, .. } => {
@@ -256,6 +276,9 @@ impl TelemetryEvent {
             }
             TelemetryEvent::JobStarted { job, restarts, .. } => {
                 w.u64("job", *job).u64("restarts", u64::from(*restarts));
+            }
+            TelemetryEvent::CheckpointRequested { job, .. } => {
+                w.u64("job", *job);
             }
             TelemetryEvent::CheckpointTaken {
                 job, overhead_secs, ..
@@ -328,6 +351,7 @@ impl TelemetryEvent {
                 job: job(&v)?,
                 start_secs: v.get("start_secs")?.as_u64()?,
                 promised_secs: v.get("promised_secs")?.as_u64()?,
+                deadline_secs: v.get("deadline_secs")?.as_u64()?,
                 success_probability: v.get("success_probability")?.as_f64()?,
             }),
             "job_rejected" => Some(TelemetryEvent::JobRejected { at, job: job(&v)? }),
@@ -347,6 +371,9 @@ impl TelemetryEvent {
                 job: job(&v)?,
                 restarts: u32::try_from(v.get("restarts")?.as_u64()?).ok()?,
             }),
+            "checkpoint_requested" => {
+                Some(TelemetryEvent::CheckpointRequested { at, job: job(&v)? })
+            }
             "checkpoint_taken" => Some(TelemetryEvent::CheckpointTaken {
                 at,
                 job: job(&v)?,
@@ -397,10 +424,12 @@ impl TelemetryEvent {
     }
 }
 
-/// One instance of every variant, used by round-trip tests here and by the
-/// journal and handle modules.
-#[cfg(test)]
-pub(crate) fn one_of_each() -> Vec<TelemetryEvent> {
+/// One instance of every variant, in a plausible order.
+///
+/// Exposed (not just for this crate's tests) so downstream crates —
+/// property tests, the `pqos-obs` tooling — can exercise every wire shape
+/// without re-enumerating the schema by hand.
+pub fn one_of_each() -> Vec<TelemetryEvent> {
     let t = SimTime::from_secs(3600);
     vec![
         TelemetryEvent::JobSubmitted {
@@ -414,6 +443,7 @@ pub(crate) fn one_of_each() -> Vec<TelemetryEvent> {
             job: 1,
             start_secs: 3700,
             promised_secs: 11_000,
+            deadline_secs: 11_000,
             success_probability: 0.987,
         },
         TelemetryEvent::JobRejected { at: t, job: 2 },
@@ -428,6 +458,7 @@ pub(crate) fn one_of_each() -> Vec<TelemetryEvent> {
             job: 1,
             restarts: 0,
         },
+        TelemetryEvent::CheckpointRequested { at: t, job: 1 },
         TelemetryEvent::CheckpointTaken {
             at: t,
             job: 1,
@@ -491,7 +522,7 @@ mod tests {
     fn one_of_each_covers_every_variant_name() {
         let names: std::collections::BTreeSet<&str> =
             one_of_each().iter().map(|e| e.name()).collect();
-        assert_eq!(names.len(), 12, "update one_of_each() for new variants");
+        assert_eq!(names.len(), 13, "update one_of_each() for new variants");
     }
 
     #[test]

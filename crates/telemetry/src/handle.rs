@@ -11,6 +11,7 @@ use crate::journal::{EventSink, JsonlSink, RingBufferSink};
 use crate::metrics::{Counter, Gauge, Histogram, MetricsRegistry, Snapshot};
 use std::io::Write;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Shared state behind an enabled handle.
@@ -18,6 +19,27 @@ struct Inner {
     ring: Option<Mutex<RingBufferSink>>,
     sinks: Mutex<Vec<Box<dyn EventSink>>>,
     registry: MetricsRegistry,
+    /// Auto-flush the sinks every this many events (0 = never). Bounds how
+    /// much journal tail an abort can lose to writer buffering.
+    flush_every: u64,
+    since_flush: AtomicU64,
+}
+
+/// End-of-run health of a handle's sinks: how much of the event stream
+/// actually survived.
+///
+/// `ring_dropped > 0` means the in-memory ring holds only a suffix of the
+/// run; `write_errors > 0` means the durable journal is missing lines (a
+/// full disk, a closed pipe). Consumers like `pqos-doctor` need to know
+/// either before trusting a journal.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SinkHealth {
+    /// Events evicted from the ring buffer to make room.
+    pub ring_dropped: u64,
+    /// Events durably recorded across all non-ring sinks.
+    pub events_written: u64,
+    /// Events lost to sink I/O errors.
+    pub write_errors: u64,
 }
 
 /// Entry point for instrumentation: emit events, mint metric handles, take
@@ -72,14 +94,28 @@ impl Telemetry {
 
     /// Emits an event. The closure runs only when telemetry is enabled, so
     /// disabled emission costs one branch and never constructs the event.
+    ///
+    /// Sinks are flushed through automatically every
+    /// [`flush_every`](TelemetryBuilder::flush_every) events, so an
+    /// aborted run loses at most that much journal tail to buffering.
     pub fn emit(&self, make: impl FnOnce() -> TelemetryEvent) {
         if let Some(inner) = &self.inner {
             let event = make();
             if let Some(ring) = &inner.ring {
                 ring.lock().expect("ring lock").record(&event);
             }
-            for sink in inner.sinks.lock().expect("sinks lock").iter_mut() {
+            let mut sinks = inner.sinks.lock().expect("sinks lock");
+            for sink in sinks.iter_mut() {
                 sink.record(&event);
+            }
+            if inner.flush_every > 0 && !sinks.is_empty() {
+                let n = inner.since_flush.fetch_add(1, Ordering::Relaxed) + 1;
+                if n >= inner.flush_every {
+                    inner.since_flush.store(0, Ordering::Relaxed);
+                    for sink in sinks.iter_mut() {
+                        sink.flush();
+                    }
+                }
             }
         }
     }
@@ -125,24 +161,86 @@ impl Telemetry {
         }
     }
 
-    /// Flushes every sink (fsync is left to the writer's drop).
+    /// Flushes every sink through to its underlying writer (for the file
+    /// sinks built by [`TelemetryBuilder::jsonl_path`] that means the
+    /// `BufWriter` contents reach the file *now*, not at drop). Also
+    /// publishes the current [`SinkHealth`] counters as
+    /// `telemetry.ring_dropped` / `telemetry.write_errors` gauges when
+    /// they are nonzero, so end-of-run snapshots show journal loss.
     pub fn flush(&self) {
         if let Some(inner) = &self.inner {
             for sink in inner.sinks.lock().expect("sinks lock").iter_mut() {
                 sink.flush();
             }
+            let health = self.sink_health();
+            if health.ring_dropped > 0 {
+                inner
+                    .registry
+                    .gauge("telemetry.ring_dropped")
+                    .set(health.ring_dropped as i64);
+            }
+            if health.write_errors > 0 {
+                inner
+                    .registry
+                    .gauge("telemetry.write_errors")
+                    .set(health.write_errors as i64);
+            }
+        }
+    }
+
+    /// The current health of this handle's sinks (all zeros when
+    /// disabled). See [`SinkHealth`].
+    pub fn sink_health(&self) -> SinkHealth {
+        let Some(inner) = &self.inner else {
+            return SinkHealth::default();
+        };
+        let ring_dropped = match &inner.ring {
+            Some(ring) => ring.lock().expect("ring lock").dropped(),
+            None => 0,
+        };
+        let (mut events_written, mut write_errors) = (0, 0);
+        for sink in inner.sinks.lock().expect("sinks lock").iter() {
+            events_written += sink.written();
+            write_errors += sink.errors();
+        }
+        SinkHealth {
+            ring_dropped,
+            events_written,
+            write_errors,
         }
     }
 }
 
+/// Default auto-flush interval: bounded tail loss without measurable cost
+/// (one `BufWriter::flush` per this many journal lines).
+const DEFAULT_FLUSH_EVERY: u64 = 1024;
+
 /// Configures and builds an enabled [`Telemetry`] handle.
-#[derive(Default)]
 pub struct TelemetryBuilder {
     ring_capacity: Option<usize>,
     sinks: Vec<Box<dyn EventSink>>,
+    flush_every: u64,
+}
+
+impl Default for TelemetryBuilder {
+    fn default() -> Self {
+        TelemetryBuilder {
+            ring_capacity: None,
+            sinks: Vec::new(),
+            flush_every: DEFAULT_FLUSH_EVERY,
+        }
+    }
 }
 
 impl TelemetryBuilder {
+    /// Auto-flushes the sinks every `n` emitted events (default 1024);
+    /// `0` disables auto-flush entirely, leaving flushing to explicit
+    /// [`Telemetry::flush`] calls and writer drops.
+    pub fn flush_every(mut self, n: u64) -> Self {
+        self.flush_every = n;
+        self
+    }
+
     /// Retains the last `capacity` events in memory, readable after the
     /// run via [`Telemetry::ring_events`].
     pub fn ring_buffer(mut self, capacity: usize) -> Self {
@@ -177,6 +275,8 @@ impl TelemetryBuilder {
                     .map(|cap| Mutex::new(RingBufferSink::new(cap))),
                 sinks: Mutex::new(self.sinks),
                 registry: MetricsRegistry::new(),
+                flush_every: self.flush_every,
+                since_flush: AtomicU64::new(0),
             })),
         }
     }
@@ -249,6 +349,104 @@ mod tests {
             .map(|l| TelemetryEvent::from_jsonl(l).expect("parses"))
             .collect();
         assert_eq!(parsed, events, "sink preserves emission order");
+    }
+
+    #[test]
+    fn flush_reaches_the_underlying_file_before_drop() {
+        let dir = std::env::temp_dir().join(format!("pqos_flush_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let telemetry = Telemetry::builder()
+            .flush_every(0) // isolate the explicit flush path
+            .jsonl_path(&path)
+            .unwrap()
+            .build();
+        telemetry.emit(|| TelemetryEvent::JobRejected {
+            at: SimTime::ZERO,
+            job: 1,
+        });
+        telemetry.flush();
+        // The handle is still alive (no drop yet): the line must already
+        // be on disk — this is the tail the doctor needs after a crash.
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(on_disk.lines().count(), 1, "flush must write through");
+        drop(telemetry);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn auto_flush_bounds_the_unflushed_tail() {
+        let dir = std::env::temp_dir().join(format!("pqos_autoflush_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let telemetry = Telemetry::builder()
+            .flush_every(10)
+            .jsonl_path(&path)
+            .unwrap()
+            .build();
+        for job in 0..25 {
+            telemetry.emit(|| TelemetryEvent::JobRejected {
+                at: SimTime::ZERO,
+                job,
+            });
+        }
+        // 25 events with flush_every=10: at least 20 are on disk without
+        // any explicit flush or drop.
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            on_disk.lines().count() >= 20,
+            "auto-flush left {} lines",
+            on_disk.lines().count()
+        );
+        drop(telemetry);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sink_health_reports_drops_and_errors() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let telemetry = Telemetry::builder()
+            .ring_buffer(2)
+            .jsonl_writer(Broken)
+            .build();
+        for job in 0..5 {
+            telemetry.emit(|| TelemetryEvent::JobRejected {
+                at: SimTime::ZERO,
+                job,
+            });
+        }
+        let health = telemetry.sink_health();
+        assert_eq!(health.ring_dropped, 3);
+        assert_eq!(health.events_written, 0);
+        assert_eq!(health.write_errors, 5);
+        // flush surfaces the loss as gauges in the snapshot.
+        telemetry.flush();
+        let snap = telemetry.snapshot().unwrap();
+        assert_eq!(snap.gauge("telemetry.ring_dropped"), Some(3));
+        assert_eq!(snap.gauge("telemetry.write_errors"), Some(5));
+        // Disabled handles report all zeros.
+        assert_eq!(Telemetry::disabled().sink_health(), SinkHealth::default());
+    }
+
+    #[test]
+    fn clean_runs_do_not_grow_loss_gauges() {
+        let telemetry = Telemetry::builder().ring_buffer(64).build();
+        telemetry.emit(|| TelemetryEvent::JobRejected {
+            at: SimTime::ZERO,
+            job: 0,
+        });
+        telemetry.flush();
+        let snap = telemetry.snapshot().unwrap();
+        assert_eq!(snap.gauge("telemetry.ring_dropped"), None);
+        assert_eq!(snap.gauge("telemetry.write_errors"), None);
     }
 
     #[test]

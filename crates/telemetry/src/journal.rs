@@ -21,6 +21,17 @@ pub trait EventSink: Send {
 
     /// Flushes any buffered output. The default does nothing.
     fn flush(&mut self) {}
+
+    /// Number of events durably recorded so far. The default reports zero
+    /// for sinks that do not track it.
+    fn written(&self) -> u64 {
+        0
+    }
+
+    /// Number of events lost to I/O errors. The default reports zero.
+    fn errors(&self) -> u64 {
+        0
+    }
 }
 
 /// A bounded in-memory sink that keeps the most recent events.
@@ -156,7 +167,17 @@ impl<W: Write + Send> EventSink for JsonlSink<W> {
     }
 
     fn flush(&mut self) {
-        let _ = self.writer.flush();
+        if self.writer.flush().is_err() {
+            self.errors += 1;
+        }
+    }
+
+    fn written(&self) -> u64 {
+        self.written
+    }
+
+    fn errors(&self) -> u64 {
+        self.errors
     }
 }
 

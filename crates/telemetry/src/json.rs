@@ -341,6 +341,15 @@ impl ObjWriter {
         self
     }
 
+    /// Writes a pre-serialized JSON value verbatim (for nested objects or
+    /// arrays the typed methods do not cover). The caller is responsible
+    /// for `json` being valid JSON.
+    pub fn raw(&mut self, key: &str, json: &str) -> &mut Self {
+        self.key(key);
+        self.out.push_str(json);
+        self
+    }
+
     /// Closes the object and returns the JSON text.
     pub fn finish(mut self) -> String {
         self.out.push('}');

@@ -18,10 +18,11 @@
 //! | `event`              | fields                                                              |
 //! |----------------------|---------------------------------------------------------------------|
 //! | `job_submitted`      | `job`, `size` (nodes), `runtime_secs`                               |
-//! | `quote_negotiated`   | `job`, `start_secs`, `promised_secs`, `success_probability` (Eq. 2) |
+//! | `quote_negotiated`   | `job`, `start_secs`, `promised_secs`, `deadline_secs` (promise + slack), `success_probability` (Eq. 2) |
 //! | `job_rejected`       | `job`                                                               |
 //! | `job_placed`         | `job`, `nodes` (array), `failure_probability` (placement window)    |
 //! | `job_started`        | `job`, `restarts` (0 on first start)                                |
+//! | `checkpoint_requested` | `job`                                                             |
 //! | `checkpoint_taken`   | `job`, `overhead_secs`                                              |
 //! | `checkpoint_skipped` | `job`, `reason` (`low_risk` \| `deadline_pressure` \| `policy`), `failure_probability`, `at_risk_secs` |
 //! | `node_failed`        | `node`, `victim_job` (or `null`), `lost_node_seconds`, `predicted`  |
@@ -68,7 +69,7 @@ pub mod journal;
 pub mod json;
 pub mod metrics;
 
-pub use event::{SkipReason, TelemetryEvent};
-pub use handle::{Telemetry, TelemetryBuilder};
+pub use event::{one_of_each, SkipReason, TelemetryEvent};
+pub use handle::{SinkHealth, Telemetry, TelemetryBuilder};
 pub use journal::{EventSink, JsonlSink, RingBufferSink};
-pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, MetricsRegistry, Snapshot};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, MetricsRegistry, Snapshot, Timer};

@@ -2,9 +2,16 @@
 //!
 //! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap to clone and
 //! cheap to update: counters and gauges are single atomic adds, histograms
-//! take a short mutex around a Welford accumulator. A handle obtained from
-//! a disabled registry is a no-op, so instrumented code never branches on
+//! take a short mutex around a Welford accumulator plus a small
+//! deterministic reservoir for tail quantiles. A handle obtained from a
+//! disabled registry is a no-op, so instrumented code never branches on
 //! "is telemetry on" itself.
+//!
+//! Histograms also double as scoped wall-clock timers via
+//! [`Histogram::start_timer`]: the returned [`Timer`] observes the elapsed
+//! nanoseconds when dropped (or [`Timer::stop`]ped), and costs nothing —
+//! not even a clock read — on a no-op histogram. The simulator uses this
+//! to self-profile its event dispatch loop per event kind.
 //!
 //! Metric names are sorted (`BTreeMap`) so snapshots render in a stable
 //! order regardless of registration order.
@@ -14,6 +21,7 @@ use pqos_sim_core::table::{fnum, Table};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// A monotonic counter. Cloning shares the underlying cell.
 #[derive(Debug, Clone, Default)]
@@ -73,10 +81,77 @@ impl Gauge {
     }
 }
 
-/// A streaming histogram backed by [`OnlineStats`] (count/mean/stddev/
-/// min/max, no buckets to size).
+/// Maximum number of samples a histogram's quantile reservoir retains.
+/// When full it is decimated to half and the keep-stride doubles, so the
+/// reservoir is always a uniform systematic sample of the whole stream.
+const RESERVOIR_CAPACITY: usize = 512;
+
+/// A deterministic decimating reservoir: keeps every `stride`-th
+/// observation, halving itself (and doubling the stride) whenever it
+/// fills. No randomness, so identically fed histograms report identical
+/// quantiles.
+#[derive(Debug, Clone)]
+struct Reservoir {
+    samples: Vec<f64>,
+    stride: u64,
+    /// Observations to skip before the next one is kept.
+    skip: u64,
+}
+
+impl Default for Reservoir {
+    fn default() -> Self {
+        Reservoir {
+            samples: Vec::new(),
+            stride: 1,
+            skip: 0,
+        }
+    }
+}
+
+impl Reservoir {
+    fn push(&mut self, x: f64) {
+        if self.skip > 0 {
+            self.skip -= 1;
+            return;
+        }
+        self.samples.push(x);
+        if self.samples.len() >= RESERVOIR_CAPACITY {
+            // Keep every other retained sample; the survivors are exactly
+            // the observations at multiples of the doubled stride.
+            let mut keep = false;
+            self.samples.retain(|_| {
+                keep = !keep;
+                keep
+            });
+            self.stride *= 2;
+        }
+        self.skip = self.stride - 1;
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) of the retained sample, or `None`
+    /// when empty.
+    fn quantile(&self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(sorted[idx])
+    }
+}
+
+/// Shared state behind an enabled histogram handle.
 #[derive(Debug, Clone, Default)]
-pub struct Histogram(Option<Arc<Mutex<OnlineStats>>>);
+struct HistState {
+    stats: OnlineStats,
+    reservoir: Reservoir,
+}
+
+/// A streaming histogram: Welford accumulator (count/mean/stddev/min/max)
+/// plus a fixed-size deterministic reservoir for p50/p90/p99.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Option<Arc<Mutex<HistState>>>);
 
 impl Histogram {
     /// A histogram that ignores observations.
@@ -87,7 +162,9 @@ impl Histogram {
     /// Records one observation.
     pub fn observe(&self, x: f64) {
         if let Some(cell) = &self.0 {
-            cell.lock().expect("histogram lock").push(x);
+            let mut state = cell.lock().expect("histogram lock");
+            state.stats.push(x);
+            state.reservoir.push(x);
         }
     }
 
@@ -95,8 +172,53 @@ impl Histogram {
     pub fn stats(&self) -> OnlineStats {
         self.0
             .as_ref()
-            .map(|c| *c.lock().expect("histogram lock"))
+            .map(|c| c.lock().expect("histogram lock").stats)
             .unwrap_or_default()
+    }
+
+    /// The `q`-quantile estimate from the reservoir, or `None` when the
+    /// histogram is empty or a no-op.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.0
+            .as_ref()
+            .and_then(|c| c.lock().expect("histogram lock").reservoir.quantile(q))
+    }
+
+    /// Starts a scoped wall-clock timer. The elapsed time is recorded in
+    /// **nanoseconds** when the returned guard drops (or is
+    /// [`stop`](Timer::stop)ped). On a no-op histogram the clock is never
+    /// read, so disabled instrumentation costs one branch.
+    pub fn start_timer(&self) -> Timer {
+        Timer {
+            start: self.0.is_some().then(Instant::now),
+            hist: self.clone(),
+        }
+    }
+}
+
+/// Guard returned by [`Histogram::start_timer`]; observes the elapsed
+/// nanoseconds into its histogram when dropped.
+#[derive(Debug)]
+pub struct Timer {
+    hist: Histogram,
+    start: Option<Instant>,
+}
+
+impl Timer {
+    /// Stops the timer now (equivalent to dropping it).
+    pub fn stop(self) {}
+
+    /// Abandons the timer without recording anything.
+    pub fn cancel(mut self) {
+        self.start = None;
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            self.hist.observe(start.elapsed().as_nanos() as f64);
+        }
     }
 }
 
@@ -105,7 +227,7 @@ impl Histogram {
 pub struct MetricsRegistry {
     counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
-    histograms: Mutex<BTreeMap<String, Arc<Mutex<OnlineStats>>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Mutex<HistState>>>>,
 }
 
 impl MetricsRegistry {
@@ -134,9 +256,12 @@ impl MetricsRegistry {
     pub fn histogram(&self, name: &str) -> Histogram {
         let mut map = self.histograms.lock().expect("registry lock");
         // OnlineStats::default() seeds min/max at 0.0; new() uses ±inf.
-        let cell = map
-            .entry(name.to_string())
-            .or_insert_with(|| Arc::new(Mutex::new(OnlineStats::new())));
+        let cell = map.entry(name.to_string()).or_insert_with(|| {
+            Arc::new(Mutex::new(HistState {
+                stats: OnlineStats::new(),
+                reservoir: Reservoir::default(),
+            }))
+        });
         Histogram(Some(Arc::clone(cell)))
     }
 
@@ -162,8 +287,8 @@ impl MetricsRegistry {
             .expect("registry lock")
             .iter()
             .map(|(name, cell)| {
-                let stats = *cell.lock().expect("histogram lock");
-                (name.clone(), HistogramSummary::from_stats(&stats))
+                let state = cell.lock().expect("histogram lock");
+                (name.clone(), HistogramSummary::from_state(&state))
             })
             .collect();
         Snapshot {
@@ -187,10 +312,17 @@ pub struct HistogramSummary {
     pub min: f64,
     /// Largest observation (0 when empty).
     pub max: f64,
+    /// Median estimate from the reservoir (0 when empty).
+    pub p50: f64,
+    /// 90th-percentile estimate from the reservoir (0 when empty).
+    pub p90: f64,
+    /// 99th-percentile estimate from the reservoir (0 when empty).
+    pub p99: f64,
 }
 
 impl HistogramSummary {
-    fn from_stats(stats: &OnlineStats) -> Self {
+    fn from_state(state: &HistState) -> Self {
+        let stats = &state.stats;
         if stats.count() == 0 {
             return HistogramSummary {
                 count: 0,
@@ -198,15 +330,28 @@ impl HistogramSummary {
                 std_dev: 0.0,
                 min: 0.0,
                 max: 0.0,
+                p50: 0.0,
+                p90: 0.0,
+                p99: 0.0,
             };
         }
+        let q = |q: f64| state.reservoir.quantile(q).unwrap_or(0.0);
         HistogramSummary {
             count: stats.count(),
             mean: stats.mean(),
             std_dev: stats.std_dev(),
             min: stats.min().unwrap_or(0.0),
             max: stats.max().unwrap_or(0.0),
+            p50: q(0.5),
+            p90: q(0.9),
+            p99: q(0.99),
         }
+    }
+
+    /// Approximate sum of all observations (`mean × count`), useful for
+    /// "where does the time go" questions on timer histograms.
+    pub fn total(&self) -> f64 {
+        self.mean * self.count as f64
     }
 }
 
@@ -248,7 +393,9 @@ impl Snapshot {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
 
-    /// Renders every metric as one aligned plain-text table.
+    /// Renders every metric as one aligned plain-text table. Histogram rows
+    /// carry tail quantiles and a total column (`mean × count`), so timer
+    /// histograms directly answer "which of these costs the most".
     pub fn render(&self) -> String {
         let mut table = Table::new(vec![
             "metric".into(),
@@ -257,29 +404,22 @@ impl Snapshot {
             "mean".into(),
             "std".into(),
             "min".into(),
+            "p50".into(),
+            "p90".into(),
+            "p99".into(),
             "max".into(),
+            "total".into(),
         ]);
+        let scalar = |name: &str, kind: &str, value: String| {
+            let mut row = vec![name.to_string(), kind.to_string(), value];
+            row.resize(11, String::new());
+            row
+        };
         for (name, v) in &self.counters {
-            table.row(vec![
-                name.clone(),
-                "counter".into(),
-                v.to_string(),
-                String::new(),
-                String::new(),
-                String::new(),
-                String::new(),
-            ]);
+            table.row(scalar(name, "counter", v.to_string()));
         }
         for (name, v) in &self.gauges {
-            table.row(vec![
-                name.clone(),
-                "gauge".into(),
-                v.to_string(),
-                String::new(),
-                String::new(),
-                String::new(),
-                String::new(),
-            ]);
+            table.row(scalar(name, "gauge", v.to_string()));
         }
         for (name, h) in &self.histograms {
             table.row(vec![
@@ -289,7 +429,11 @@ impl Snapshot {
                 fnum(h.mean, 4),
                 fnum(h.std_dev, 4),
                 fnum(h.min, 4),
+                fnum(h.p50, 4),
+                fnum(h.p90, 4),
+                fnum(h.p99, 4),
                 fnum(h.max, 4),
+                fnum(h.total(), 4),
             ]);
         }
         table.render()
@@ -374,5 +518,94 @@ mod tests {
         let h = snap.histogram("empty").unwrap();
         assert_eq!(h.count, 0);
         assert_eq!(h.mean, 0.0);
+        assert_eq!(h.p99, 0.0);
+    }
+
+    #[test]
+    fn small_histogram_quantiles_are_exact() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("lat");
+        for x in 1..=100 {
+            h.observe(x as f64);
+        }
+        // Below reservoir capacity every sample is retained.
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(1.0), Some(100.0));
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((49.0..=52.0).contains(&p50), "p50 {p50}");
+        let snap = registry.snapshot();
+        let s = snap.histogram("lat").unwrap();
+        assert!((s.p90 - 90.0).abs() <= 2.0, "p90 {}", s.p90);
+        assert!((s.p99 - 99.0).abs() <= 2.0, "p99 {}", s.p99);
+        assert!((s.total() - 5050.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn large_histogram_quantiles_stay_bounded_and_sane() {
+        // 100k observations of a known shape: uniform 0..1000. The
+        // decimating reservoir must stay within capacity and still place
+        // p50/p90 near the true quantiles.
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("big");
+        for i in 0..100_000u64 {
+            // Deterministic low-discrepancy-ish sequence over [0, 1000).
+            h.observe(((i * 617) % 1000) as f64);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        let p90 = h.quantile(0.9).unwrap();
+        assert!((p50 - 500.0).abs() < 50.0, "p50 {p50}");
+        assert!((p90 - 900.0).abs() < 50.0, "p90 {p90}");
+        assert!(h.quantile(0.99).unwrap() <= 1000.0);
+    }
+
+    #[test]
+    fn identical_streams_give_identical_quantiles() {
+        let feed = |h: &Histogram| {
+            for i in 0..10_000u64 {
+                h.observe(((i * 7919) % 4096) as f64);
+            }
+        };
+        let r1 = MetricsRegistry::new();
+        let r2 = MetricsRegistry::new();
+        let h1 = r1.histogram("x");
+        let h2 = r2.histogram("x");
+        feed(&h1);
+        feed(&h2);
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(h1.quantile(q), h2.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn timer_records_elapsed_nanos() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("dispatch.arrival");
+        {
+            let _t = h.start_timer();
+            std::hint::black_box(());
+        }
+        let t = h.start_timer();
+        t.stop();
+        assert_eq!(h.stats().count(), 2);
+        assert!(h.stats().min().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn timer_on_noop_histogram_records_nothing() {
+        let h = Histogram::noop();
+        {
+            let _t = h.start_timer();
+        }
+        h.start_timer().cancel();
+        assert_eq!(h.stats().count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn timer_cancel_discards_the_measurement() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("t");
+        h.start_timer().cancel();
+        assert_eq!(h.stats().count(), 0);
     }
 }

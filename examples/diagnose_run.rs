@@ -1,0 +1,96 @@
+//! Diagnosing a run end-to-end: simulate, journal, doctor, reconstruct
+//! spans, and export a Perfetto trace — the workflow DESIGN.md's
+//! "Diagnosing a run" section walks through.
+//!
+//! ```sh
+//! cargo run --release -p pqos-obs --example diagnose_run
+//! ```
+
+use pqos_core::config::SimConfig;
+use pqos_core::system::QosSimulator;
+use pqos_core::user::UserStrategy;
+use pqos_failures::synthetic::AixLikeTrace;
+use pqos_obs::chrome_trace;
+use pqos_obs::doctor::Doctor;
+use pqos_obs::span::{Outcome, PhaseKind, SpanForest};
+use pqos_telemetry::{Telemetry, TelemetryEvent};
+use std::sync::Arc;
+
+fn main() -> std::io::Result<()> {
+    let journal_path = std::env::temp_dir().join("pqos_diagnose_run.jsonl");
+    let trace_path = std::env::temp_dir().join("pqos_diagnose_run.trace.json");
+
+    // A workload with enough failures that some deadlines are missed.
+    let log =
+        pqos_workload::synthetic::SyntheticLog::new(pqos_workload::synthetic::LogModel::SdscSp2)
+            .jobs(300)
+            .seed(7)
+            .build();
+    let trace = Arc::new(AixLikeTrace::new().days(365.0).seed(7).build());
+    let config = SimConfig::paper_defaults()
+        .accuracy(0.5)
+        .user(UserStrategy::risk_threshold(0.5).expect("valid"));
+
+    let telemetry = Telemetry::builder().jsonl_path(&journal_path)?.build();
+    let output = QosSimulator::new(config, log, trace)
+        .with_telemetry(telemetry.clone())
+        .run();
+    telemetry.flush();
+    println!(
+        "simulated {} jobs: QoS {:.3}, {} deadline misses",
+        output.report.jobs, output.report.qos, output.report.deadline_misses
+    );
+
+    // Step 1: is the journal internally consistent?
+    let journal = std::fs::read_to_string(&journal_path)?;
+    let report = Doctor::check_str(&journal);
+    println!(
+        "doctor: {} errors, {} warnings over {} events",
+        report.errors(),
+        report.warnings(),
+        report.events
+    );
+    assert_eq!(report.errors(), 0, "a real journal must be clean");
+
+    // Step 2: where did the late jobs spend their time?
+    let events: Vec<TelemetryEvent> = journal
+        .lines()
+        .filter_map(TelemetryEvent::from_jsonl)
+        .collect();
+    let forest = SpanForest::from_events(&events);
+    let mut shown = 0;
+    for span in forest.iter() {
+        if span.outcome
+            != (Outcome::Completed {
+                met_deadline: false,
+            })
+        {
+            continue;
+        }
+        // Every finished job's phases sum to its wall interval.
+        assert_eq!(span.accounting_gap(), Some(0));
+        if shown < 5 {
+            println!(
+                "  late job {}: wall {}s = queued {}s + running {}s + ckpt {}s + downtime {}s \
+                 ({} restarts)",
+                span.job,
+                span.wall_secs().unwrap(),
+                span.secs_in(PhaseKind::Queued),
+                span.secs_in(PhaseKind::Running),
+                span.secs_in(PhaseKind::Checkpointing),
+                span.secs_in(PhaseKind::Downtime),
+                span.restarts
+            );
+            shown += 1;
+        }
+    }
+
+    // Step 3: export for about://tracing or ui.perfetto.dev.
+    std::fs::write(&trace_path, chrome_trace(&events))?;
+    println!(
+        "journal: {}\ntrace:   {} (open in https://ui.perfetto.dev)",
+        journal_path.display(),
+        trace_path.display()
+    );
+    Ok(())
+}

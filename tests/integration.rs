@@ -247,3 +247,185 @@ fn perfect_system_keeps_every_promise() {
     assert!((r.qos - 1.0).abs() < 1e-9, "QoS {}", r.qos);
     assert!((r.mean_promise - 1.0).abs() < 1e-9);
 }
+
+// --- Observability: the journal → doctor / spans / trace pipeline. ---
+
+/// Collects JSONL journal bytes in memory so tests need no temp files.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<std::sync::Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("buf lock").extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// One §4.1-style run with journaling on: 300 SDSC jobs over a year of
+/// AIX-like failures, accuracy 0.5, risk threshold 0.5.
+fn journaled_run() -> (String, pqos_core::system::SimOutput) {
+    use pqos_telemetry::Telemetry;
+    let buf = SharedBuf::default();
+    let telemetry = Telemetry::builder().jsonl_writer(buf.clone()).build();
+    let log = SyntheticLog::new(LogModel::SdscSp2)
+        .jobs(300)
+        .seed(SEED)
+        .build();
+    let config = SimConfig::paper_defaults()
+        .accuracy(0.5)
+        .user(UserStrategy::risk_threshold(0.5).expect("valid"));
+    let out = QosSimulator::new(config, log, trace())
+        .with_telemetry(telemetry.clone())
+        .run();
+    telemetry.flush();
+    let journal = String::from_utf8(buf.0.lock().expect("buf lock").clone()).expect("utf8");
+    (journal, out)
+}
+
+#[test]
+fn doctor_certifies_a_real_journal() {
+    use pqos_obs::doctor::Doctor;
+    let (journal, _) = journaled_run();
+    let report = Doctor::check_str(&journal);
+    assert!(report.events > 1000, "journal too small: {}", report.events);
+    assert_eq!(
+        report.errors(),
+        0,
+        "real journal must have no invariant violations:\n{}",
+        report.render()
+    );
+    assert_eq!(report.warnings(), 0, "every job should reach a verdict");
+    assert!(report.is_clean());
+}
+
+#[test]
+fn doctor_catches_seeded_corruption() {
+    use pqos_obs::doctor::Doctor;
+    let (journal, _) = journaled_run();
+    let lines: Vec<&str> = journal.lines().collect();
+
+    // Time running backwards: swap an early line with a late one.
+    let mut swapped = lines.clone();
+    let (a, b) = (5, lines.len() - 5);
+    swapped.swap(a, b);
+    let report = Doctor::check_str(&swapped.join("\n"));
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.code == "out_of_time_order"),
+        "swapped lines must break time order:\n{}",
+        report.render()
+    );
+
+    // A duplicated start: the same segment cannot begin twice.
+    let started = lines
+        .iter()
+        .position(|l| l.contains(r#""event":"job_started""#))
+        .expect("some job started");
+    let mut doubled = lines.clone();
+    doubled.insert(started + 1, lines[started]);
+    let report = Doctor::check_str(&doubled.join("\n"));
+    assert!(
+        report.findings.iter().any(|f| f.code == "double_start"),
+        "duplicated start must be flagged:\n{}",
+        report.render()
+    );
+
+    // A flipped verdict: the recorded outcome contradicts the timestamps.
+    let flipped = journal.replacen(r#""met_deadline":true"#, r#""met_deadline":false"#, 1);
+    assert_ne!(flipped, journal, "expected at least one met deadline");
+    let report = Doctor::check_str(&flipped);
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.code == "deadline_mismatch"),
+        "contradictory verdict must be flagged:\n{}",
+        report.render()
+    );
+
+    // Bit rot: a line that is not JSON at all.
+    let report = Doctor::check_str(&format!("{journal}\nnot json at all\n"));
+    assert!(
+        report.findings.iter().any(|f| f.code == "unparseable_line"),
+        "garbage line must be flagged:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn span_reconstruction_accounts_every_second_of_every_job() {
+    use pqos_obs::span::{Outcome, SpanForest};
+    use pqos_telemetry::TelemetryEvent;
+    let (journal, out) = journaled_run();
+    let events: Vec<TelemetryEvent> = journal
+        .lines()
+        .filter_map(TelemetryEvent::from_jsonl)
+        .collect();
+    let forest = SpanForest::from_events(&events);
+    assert_eq!(forest.orphan_events, 0, "every event belongs to a job");
+    assert_eq!(
+        forest.len(),
+        out.report.jobs + out.rejected.len(),
+        "one span tree per submitted job"
+    );
+    let mut completed = 0;
+    let mut missed = 0;
+    for span in forest.iter() {
+        match span.outcome {
+            Outcome::Completed { met_deadline } => {
+                completed += 1;
+                missed += usize::from(!met_deadline);
+                // The tentpole invariant: phases tile the wall interval, so
+                // queued + running + checkpointing + downtime is exactly
+                // submit → finish with nothing unexplained.
+                assert_eq!(
+                    span.accounting_gap(),
+                    Some(0),
+                    "job {}: phases do not sum to the wall interval",
+                    span.job
+                );
+            }
+            Outcome::Rejected => {}
+            Outcome::Unfinished => panic!("job {} never finished", span.job),
+        }
+    }
+    assert_eq!(completed, out.report.jobs);
+    assert_eq!(missed, out.report.deadline_misses);
+}
+
+#[test]
+fn chrome_trace_export_is_wellformed_json() {
+    use pqos_obs::chrome_trace;
+    use pqos_telemetry::json::Json;
+    use pqos_telemetry::TelemetryEvent;
+    let (journal, _) = journaled_run();
+    let events: Vec<TelemetryEvent> = journal
+        .lines()
+        .filter_map(TelemetryEvent::from_jsonl)
+        .collect();
+    let doc = chrome_trace(&events);
+    let v = Json::parse(&doc).expect("trace must be valid JSON");
+    let entries = v
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(
+        entries.len() > events.len() / 2,
+        "suspiciously sparse trace"
+    );
+    for e in entries {
+        let ph = e.get("ph").and_then(Json::as_str).expect("phase");
+        assert!(matches!(ph, "X" | "i" | "C" | "M"), "unexpected phase {ph}");
+        assert!(e.get("pid").and_then(Json::as_u64).is_some());
+        if ph == "X" {
+            // Complete events carry both a timestamp and a duration.
+            assert!(e.get("ts").and_then(Json::as_u64).is_some());
+            assert!(e.get("dur").and_then(Json::as_u64).is_some());
+        }
+    }
+}

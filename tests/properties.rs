@@ -694,6 +694,175 @@ fn topology_candidates_are_valid() {
     }
 }
 
+/// Every journal line `to_jsonl` produces parses back to the identical
+/// event, across all 13 variants and hostile field values: `u64::MAX`
+/// timestamps and counters, huge node arrays, and floats from the full
+/// finite range (subnormals through `f64::MAX`, negative zero included).
+#[test]
+fn telemetry_jsonl_round_trips_any_event() {
+    use pqos_telemetry::{one_of_each, SkipReason, TelemetryEvent};
+
+    // The curated sampler first: one of every wire shape.
+    for event in one_of_each() {
+        let line = event.to_jsonl();
+        assert_eq!(
+            TelemetryEvent::from_jsonl(&line),
+            Some(event),
+            "one_of_each round trip changed {line}"
+        );
+    }
+
+    // A u64 biased toward the edges where encodings break.
+    fn hostile_u64(rng: &mut DetRng) -> u64 {
+        match rng.uniform_u64(0, 4) {
+            0 => rng.uniform_u64(0, 1_000_000),
+            1 => u64::MAX - rng.uniform_u64(0, 9),
+            2 => (1u64 << 53) + rng.uniform_u64(0, 9), // beyond f64 integer precision
+            3 => rng.next_u64(),
+            _ => 0,
+        }
+    }
+    // Any finite f64; `{v:?}` uses the shortest round-trippable form, so
+    // subnormals and extremes must survive too. NaN/±inf are excluded by
+    // contract: the writer encodes them as `null` (tested elsewhere).
+    fn hostile_f64(rng: &mut DetRng) -> f64 {
+        match rng.uniform_u64(0, 5) {
+            0 => rng.unit(),
+            1 => -0.0,
+            2 => f64::MIN_POSITIVE * rng.unit(), // subnormal territory
+            3 => f64::MAX * (rng.unit() * 2.0 - 1.0),
+            4 => rng.uniform(-1e-300, 1e-300),
+            _ => 1.0,
+        }
+    }
+    let reasons = [
+        SkipReason::LowRisk,
+        SkipReason::DeadlinePressure,
+        SkipReason::Policy,
+    ];
+
+    for (case, event) in cases("jsonl-roundtrip", 512, |rng| {
+        let at = SimTime::from_secs(hostile_u64(rng));
+        let job = hostile_u64(rng);
+        match rng.uniform_u64(0, 12) {
+            0 => TelemetryEvent::JobSubmitted {
+                at,
+                job,
+                size: hostile_u64(rng) as u32,
+                runtime_secs: hostile_u64(rng),
+            },
+            1 => TelemetryEvent::QuoteNegotiated {
+                at,
+                job,
+                start_secs: hostile_u64(rng),
+                promised_secs: hostile_u64(rng),
+                deadline_secs: hostile_u64(rng),
+                success_probability: hostile_f64(rng),
+            },
+            2 => TelemetryEvent::JobRejected { at, job },
+            3 => TelemetryEvent::JobPlaced {
+                at,
+                job,
+                nodes: {
+                    let n = rng.uniform_u64(0, 300) as usize;
+                    (0..n).map(|_| hostile_u64(rng)).collect()
+                },
+                failure_probability: hostile_f64(rng),
+            },
+            4 => TelemetryEvent::JobStarted {
+                at,
+                job,
+                restarts: hostile_u64(rng) as u32,
+            },
+            5 => TelemetryEvent::CheckpointRequested { at, job },
+            6 => TelemetryEvent::CheckpointTaken {
+                at,
+                job,
+                overhead_secs: hostile_u64(rng),
+            },
+            7 => TelemetryEvent::CheckpointSkipped {
+                at,
+                job,
+                reason: reasons[rng.uniform_u64(0, 2) as usize],
+                failure_probability: hostile_f64(rng),
+                at_risk_secs: hostile_u64(rng),
+            },
+            8 => TelemetryEvent::NodeFailed {
+                at,
+                node: hostile_u64(rng),
+                victim_job: rng.chance(0.5).then(|| hostile_u64(rng)),
+                lost_node_seconds: hostile_u64(rng),
+                predicted: rng.chance(0.5),
+            },
+            9 => TelemetryEvent::NodeRecovered {
+                at,
+                node: hostile_u64(rng),
+            },
+            10 => TelemetryEvent::JobRequeued {
+                at,
+                job,
+                remaining_secs: hostile_u64(rng),
+            },
+            11 => TelemetryEvent::JobCompleted {
+                at,
+                job,
+                met_deadline: rng.chance(0.5),
+            },
+            _ => TelemetryEvent::DeadlineMissed {
+                at,
+                job,
+                late_by_secs: hostile_u64(rng),
+            },
+        }
+    })
+    .into_iter()
+    .enumerate()
+    {
+        let line = event.to_jsonl();
+        assert!(
+            !line.contains('\n'),
+            "case {case}: journal line must be newline-free: {line}"
+        );
+        let back = TelemetryEvent::from_jsonl(&line)
+            .unwrap_or_else(|| panic!("case {case}: failed to parse {line}"));
+        assert_eq!(back, event, "case {case}: round trip changed {line}");
+    }
+}
+
+/// The hand-rolled JSON writer and parser round-trip arbitrary strings:
+/// quotes, backslashes, control characters, multi-byte unicode, and long
+/// runs all survive `escape_into` → `Json::parse` unchanged.
+#[test]
+fn telemetry_json_string_escaping_round_trips() {
+    use pqos_telemetry::json::{Json, ObjWriter};
+
+    const PALETTE: &[char] = &[
+        'a', 'Z', '0', ' ', '"', '\\', '/', '\n', '\t', '\r', '\u{0}', '\u{1}', '\u{1f}', '\u{7f}',
+        'é', '中', '🚀', '\u{2028}', '{', '}', '[', ']', ':', ',',
+    ];
+    for (case, s) in cases("json-escaping", 256, |rng| {
+        let n = rng.uniform_u64(0, 400) as usize;
+        (0..n)
+            .map(|_| PALETTE[rng.uniform_u64(0, PALETTE.len() as u64 - 1) as usize])
+            .collect::<String>()
+    })
+    .into_iter()
+    .enumerate()
+    {
+        let mut w = ObjWriter::new();
+        w.str("s", &s).u64("tail", 7);
+        let text = w.finish();
+        let v = Json::parse(&text)
+            .unwrap_or_else(|| panic!("case {case}: emitted invalid JSON: {text}"));
+        assert_eq!(
+            v.get("s").and_then(Json::as_str),
+            Some(s.as_str()),
+            "case {case}: string mangled through {text}"
+        );
+        assert_eq!(v.get("tail").and_then(Json::as_u64), Some(7), "case {case}");
+    }
+}
+
 /// Negotiation postconditions: the accepted quote starts no earlier than
 /// `now`, its deadline is exactly `start + duration`, the quoted
 /// probability is a probability, and a threshold-satisfied outcome really
