@@ -81,8 +81,82 @@ impl Harness {
     }
 }
 
-fn emit(id: &str, caption: &str, table: &Table) {
-    println!("== {id}: {caption} ==");
+/// Single source of truth for experiment ids and captions: drives the
+/// emitted table headings, the `--list` JSON index, and the usage text.
+const INDEX: &[(&str, &str)] = &[
+    ("table1", "job log characteristics"),
+    ("table2", "simulation parameters"),
+    ("fig1", "QoS vs accuracy, SDSC"),
+    ("fig2", "QoS vs accuracy, NASA"),
+    ("fig3", "utilization vs accuracy, SDSC"),
+    ("fig4", "utilization vs accuracy, NASA"),
+    ("fig5", "lost work vs accuracy, SDSC"),
+    ("fig6", "lost work vs accuracy, NASA"),
+    (
+        "fig7",
+        "QoS vs user behavior, SDSC, a=0.5 (insensitivity knee)",
+    ),
+    ("fig8", "QoS vs user behavior, a=1"),
+    ("fig9", "utilization vs U, SDSC, a=1"),
+    ("fig10", "utilization vs U, NASA, a=1"),
+    ("fig11", "lost work vs U, SDSC, a=1"),
+    ("fig12", "lost work vs U, NASA, a=1"),
+    ("headline", "no-prediction baseline vs perfect prediction"),
+    ("ablation-ckpt", "checkpoint policy ablation, SDSC, U=0.5"),
+    (
+        "ablation-sched",
+        "fault-aware vs first-fit placement, SDSC, a=1",
+    ),
+    (
+        "ablation-slack",
+        "quoted deadline slack vs QoS range, SDSC, U=0.5",
+    ),
+    (
+        "ablation-interval",
+        "checkpoint interval sweep incl. Young's optimum, SDSC, a=0, periodic",
+    ),
+    (
+        "ablation-topology",
+        "flat vs contiguous (line) allocation, SDSC",
+    ),
+    ("ablation-diurnal", "poisson vs diurnal arrivals, SDSC"),
+    (
+        "online-predictor",
+        "practical rate predictor vs oracle, SDSC, U=0.5",
+    ),
+    (
+        "calibration",
+        "promised vs realized success, SDSC, a=0.7, U=0.1",
+    ),
+];
+
+fn caption(id: &str) -> &'static str {
+    INDEX
+        .iter()
+        .find(|(i, _)| *i == id)
+        .map(|(_, c)| *c)
+        .unwrap_or_else(|| panic!("experiment {id} missing from INDEX"))
+}
+
+/// Prints the machine-readable experiment index: a JSON array of
+/// `{"id", "caption", "csv"}` objects, one per experiment id.
+fn list_experiments() {
+    let mut out = String::from("[\n");
+    for (i, (id, caption)) in INDEX.iter().enumerate() {
+        let mut w = pqos_telemetry::json::ObjWriter::new();
+        w.str("id", id)
+            .str("caption", caption)
+            .str("csv", &format!("results/{id}.csv"));
+        out.push_str("  ");
+        out.push_str(&w.finish());
+        out.push_str(if i + 1 < INDEX.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    print!("{out}");
+}
+
+fn emit(id: &str, table: &Table) {
+    println!("== {id}: {} ==", caption(id));
     println!("{}", table.render());
     let path = format!("results/{id}.csv");
     if let Err(e) =
@@ -220,6 +294,10 @@ fn main() {
                     .next()
                     .unwrap_or_else(|| die("--bench-out needs a path"));
             }
+            "--list" => {
+                list_experiments();
+                return;
+            }
             "--help" | "-h" => {
                 usage();
                 return;
@@ -259,183 +337,94 @@ fn main() {
     let mut h = Harness::new(opts);
 
     if want("table1") {
-        emit("table1", "job log characteristics", &table1(&opts));
+        emit("table1", &table1(&opts));
     }
     if want("table2") {
-        emit("table2", "simulation parameters", &table2());
+        emit("table2", &table2());
     }
-    let figs: [(&str, LogModel, Metric, &str); 6] = [
-        (
-            "fig1",
-            LogModel::SdscSp2,
-            Metric::Qos,
-            "QoS vs accuracy, SDSC",
-        ),
-        (
-            "fig2",
-            LogModel::NasaIpsc,
-            Metric::Qos,
-            "QoS vs accuracy, NASA",
-        ),
-        (
-            "fig3",
-            LogModel::SdscSp2,
-            Metric::Utilization,
-            "utilization vs accuracy, SDSC",
-        ),
-        (
-            "fig4",
-            LogModel::NasaIpsc,
-            Metric::Utilization,
-            "utilization vs accuracy, NASA",
-        ),
-        (
-            "fig5",
-            LogModel::SdscSp2,
-            Metric::LostWork,
-            "lost work vs accuracy, SDSC",
-        ),
-        (
-            "fig6",
-            LogModel::NasaIpsc,
-            Metric::LostWork,
-            "lost work vs accuracy, NASA",
-        ),
+    let figs: [(&str, LogModel, Metric); 6] = [
+        ("fig1", LogModel::SdscSp2, Metric::Qos),
+        ("fig2", LogModel::NasaIpsc, Metric::Qos),
+        ("fig3", LogModel::SdscSp2, Metric::Utilization),
+        ("fig4", LogModel::NasaIpsc, Metric::Utilization),
+        ("fig5", LogModel::SdscSp2, Metric::LostWork),
+        ("fig6", LogModel::NasaIpsc, Metric::LostWork),
     ];
-    for (id, model, metric, caption) in figs {
+    for (id, model, metric) in figs {
         if want(id) {
             let grid = h.accuracy(model).to_vec();
-            emit(id, caption, &accuracy_figure(&grid, metric));
+            emit(id, &accuracy_figure(&grid, metric));
         }
     }
     if want("fig7") {
         eprintln!("[sweep] U grid at a=0.5 for SDSC");
         let grid = user_grid(LogModel::SdscSp2, 0.5, &opts, &h.trace);
-        emit(
-            "fig7",
-            "QoS vs user behavior, SDSC, a=0.5 (insensitivity knee)",
-            &user_figure(&grid, Metric::Qos),
-        );
+        emit("fig7", &user_figure(&grid, Metric::Qos));
     }
     if want("fig8") {
         let sdsc = h.user_a1(LogModel::SdscSp2).to_vec();
         let nasa = h.user_a1(LogModel::NasaIpsc).to_vec();
-        emit("fig8", "QoS vs user behavior, a=1", &figure8(&sdsc, &nasa));
+        emit("fig8", &figure8(&sdsc, &nasa));
     }
-    let ufigs: [(&str, LogModel, Metric, &str); 4] = [
-        (
-            "fig9",
-            LogModel::SdscSp2,
-            Metric::Utilization,
-            "utilization vs U, SDSC, a=1",
-        ),
-        (
-            "fig10",
-            LogModel::NasaIpsc,
-            Metric::Utilization,
-            "utilization vs U, NASA, a=1",
-        ),
-        (
-            "fig11",
-            LogModel::SdscSp2,
-            Metric::LostWork,
-            "lost work vs U, SDSC, a=1",
-        ),
-        (
-            "fig12",
-            LogModel::NasaIpsc,
-            Metric::LostWork,
-            "lost work vs U, NASA, a=1",
-        ),
+    let ufigs: [(&str, LogModel, Metric); 4] = [
+        ("fig9", LogModel::SdscSp2, Metric::Utilization),
+        ("fig10", LogModel::NasaIpsc, Metric::Utilization),
+        ("fig11", LogModel::SdscSp2, Metric::LostWork),
+        ("fig12", LogModel::NasaIpsc, Metric::LostWork),
     ];
-    for (id, model, metric, caption) in ufigs {
+    for (id, model, metric) in ufigs {
         if want(id) {
             let grid = h.user_a1(model).to_vec();
-            emit(id, caption, &user_figure(&grid, metric));
+            emit(id, &user_figure(&grid, metric));
         }
     }
     if want("headline") {
         eprintln!("[sweep] headline comparison");
-        emit(
-            "headline",
-            "no-prediction baseline vs perfect prediction",
-            &headline(&opts, &h.trace),
-        );
+        emit("headline", &headline(&opts, &h.trace));
     }
     if want("ablation-ckpt") {
         eprintln!("[sweep] checkpoint-policy ablation");
-        emit(
-            "ablation-ckpt",
-            "checkpoint policy ablation, SDSC, U=0.5",
-            &ablation_checkpoint(&opts, &h.trace),
-        );
+        emit("ablation-ckpt", &ablation_checkpoint(&opts, &h.trace));
     }
     if want("ablation-sched") {
         eprintln!("[sweep] scheduler ablation");
-        emit(
-            "ablation-sched",
-            "fault-aware vs first-fit placement, SDSC, a=1",
-            &ablation_scheduler(&opts, &h.trace),
-        );
+        emit("ablation-sched", &ablation_scheduler(&opts, &h.trace));
     }
     if want("calibration") {
         eprintln!("[sweep] promise calibration");
-        emit(
-            "calibration",
-            "promised vs realized success, SDSC, a=0.7, U=0.1",
-            &calibration(&opts, &h.trace),
-        );
+        emit("calibration", &calibration(&opts, &h.trace));
     }
     if want("ablation-interval") {
         eprintln!("[sweep] checkpoint-interval ablation");
-        emit(
-            "ablation-interval",
-            "checkpoint interval sweep incl. Young's optimum, SDSC, a=0, periodic",
-            &ablation_interval(&opts, &h.trace),
-        );
+        emit("ablation-interval", &ablation_interval(&opts, &h.trace));
     }
     if want("ablation-topology") {
         eprintln!("[sweep] topology ablation");
-        emit(
-            "ablation-topology",
-            "flat vs contiguous (line) allocation, SDSC",
-            &ablation_topology(&opts, &h.trace),
-        );
+        emit("ablation-topology", &ablation_topology(&opts, &h.trace));
     }
     if want("ablation-diurnal") {
         eprintln!("[sweep] diurnal-arrival ablation");
-        emit(
-            "ablation-diurnal",
-            "poisson vs diurnal arrivals, SDSC",
-            &ablation_diurnal(&opts, &h.trace),
-        );
+        emit("ablation-diurnal", &ablation_diurnal(&opts, &h.trace));
     }
     if want("online-predictor") {
         eprintln!("[sweep] online-predictor end-to-end");
-        emit(
-            "online-predictor",
-            "practical rate predictor vs oracle, SDSC, U=0.5",
-            &online_predictor(&opts, &h.trace),
-        );
+        emit("online-predictor", &online_predictor(&opts, &h.trace));
     }
     if want("ablation-slack") {
         eprintln!("[sweep] deadline-slack ablation");
-        emit(
-            "ablation-slack",
-            "quoted deadline slack vs QoS range, SDSC, U=0.5",
-            &ablation_slack(&opts, &h.trace),
-        );
+        emit("ablation-slack", &ablation_slack(&opts, &h.trace));
     }
 }
 
 fn usage() {
     eprintln!(
-        "usage: experiments [--jobs N] [--threads K] [--journal PATH] [--metrics]\n\
+        "usage: experiments [--jobs N] [--threads K] [--journal PATH] [--metrics] [--list]\n\
                     [--bench-sched [--bench-backlog N] [--bench-probes N] [--bench-out PATH]]\n\
                     <ids...>\n\
          ids: all table1 table2 fig1..fig12 headline ablation-ckpt ablation-sched\n\
               ablation-slack ablation-interval ablation-topology ablation-diurnal\n\
               online-predictor calibration\n\
+         --list          print the experiment index (id, caption, CSV path) as JSON\n\
          --journal PATH  stream lifecycle events of one instrumented run as JSONL\n\
          --metrics       print the metrics snapshot of that run\n\
          --bench-sched   time probe negotiations against a committed backlog on the\n\

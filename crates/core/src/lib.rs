@@ -12,7 +12,9 @@
 //!   user;
 //! * [`metrics`] — QoS (Eq. 2), utilization, and lost work;
 //! * [`system`] — the event-driven trace simulator tying everything to the
-//!   `pqos-*` substrate crates.
+//!   `pqos-*` substrate crates;
+//! * [`session`] — the quote → accept → run lifecycle as a reusable state
+//!   machine, for online services that negotiate request-by-request.
 //!
 //! # Quickstart
 //!
@@ -40,11 +42,16 @@
 pub mod config;
 pub mod metrics;
 pub mod negotiate;
+pub mod session;
 pub mod system;
 pub mod user;
 
 pub use config::{CheckpointPolicyKind, SimConfig};
 pub use metrics::{CalibrationBucket, JobOutcome, LostWorkEvent, MetricsCollector, SimReport};
-pub use negotiate::{NegotiationOutcome, Quote};
+pub use negotiate::{negotiate_batch, NegotiationOutcome, Quote};
+pub use session::{
+    AcceptError, AdmissionRequest, CancelError, HeldQuote, NegotiationSession, QuoteDecision,
+    SessionStats, SessionStatus,
+};
 pub use system::{QosSimulator, SimOutput};
 pub use user::UserStrategy;

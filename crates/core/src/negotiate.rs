@@ -335,6 +335,69 @@ pub fn negotiate_with_telemetry<B: AvailabilityView, P: Predictor>(
     })
 }
 
+/// Runs many independent negotiations against one shared availability
+/// snapshot, fanning out across `threads` OS threads.
+///
+/// Quoting never mutates the book, so every request sees the identical
+/// snapshot and the result is *defined* to equal calling [`negotiate`]
+/// serially on each request in order — the parity the online service's
+/// batched admission pipeline depends on (asserted by randomized
+/// interleaving tests in `tests/properties.rs`). The fan-out only changes
+/// wall-clock time: requests are split into contiguous chunks, one chunk
+/// per worker, and results land in request order.
+///
+/// `threads == 0` or `1`, or a batch smaller than two requests, short-
+/// circuits to the serial loop.
+#[allow(clippy::too_many_arguments)]
+pub fn negotiate_batch<B, P>(
+    book: &B,
+    topology: Topology,
+    placement: PlacementStrategy,
+    predictor: &P,
+    requests: &[NegotiationRequest<'_>],
+    user: &UserStrategy,
+    max_slots: usize,
+    max_probe_steps: usize,
+    threads: usize,
+) -> Vec<Option<NegotiationOutcome>>
+where
+    B: AvailabilityView + Sync,
+    P: Predictor + Sync,
+{
+    let serial = |reqs: &[NegotiationRequest<'_>]| -> Vec<Option<NegotiationOutcome>> {
+        reqs.iter()
+            .map(|req| {
+                negotiate(
+                    book,
+                    topology,
+                    placement,
+                    predictor,
+                    *req,
+                    user,
+                    max_slots,
+                    max_probe_steps,
+                )
+            })
+            .collect()
+    };
+    let workers = threads.min(requests.len());
+    if workers <= 1 {
+        return serial(requests);
+    }
+    let chunk = requests.len().div_ceil(workers);
+    let mut results: Vec<Vec<Option<NegotiationOutcome>>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = requests
+            .chunks(chunk)
+            .map(|reqs| scope.spawn(move || serial(reqs)))
+            .collect();
+        for handle in handles {
+            results.push(handle.join().expect("negotiation worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -609,6 +672,51 @@ mod tests {
         // first — and not the px=0.5 one at t=450 — is t=600.
         assert_eq!(outcome.accepted.start, SimTime::from_secs(600));
         assert_eq!(outcome.accepted.failure_probability, 0.2);
+    }
+
+    #[test]
+    fn batch_matches_serial_on_a_committed_backlog() {
+        let o = oracle(&[(500, 0, 0.4), (2000, 3, 0.7)], 1.0);
+        let mut book = ReservationBook::new(8);
+        book.add(
+            JobId::new(1),
+            Partition::contiguous(0, 8),
+            TimeWindow::new(SimTime::ZERO, SimTime::from_secs(900)),
+        )
+        .unwrap();
+        let requests: Vec<NegotiationRequest<'_>> = (1..=9u32)
+            .map(|k| request((k % 4) + 1, 300 * u64::from(k)))
+            .collect();
+        let user = UserStrategy::risk_threshold(0.5).unwrap();
+        let serial: Vec<_> = requests
+            .iter()
+            .map(|req| {
+                negotiate(
+                    &book,
+                    Topology::Flat,
+                    PlacementStrategy::MinFailureProbability,
+                    &o,
+                    *req,
+                    &user,
+                    8,
+                    8,
+                )
+            })
+            .collect();
+        for threads in [0, 1, 3, 16] {
+            let batched = negotiate_batch(
+                &book,
+                Topology::Flat,
+                PlacementStrategy::MinFailureProbability,
+                &o,
+                &requests,
+                &user,
+                8,
+                8,
+                threads,
+            );
+            assert_eq!(batched, serial, "threads={threads}");
+        }
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! ```
 //!
 //! `--check` is accepted as an alias for `check` so CI invocations read
-//! naturally (`pqos-doctor --check journal.jsonl`).
+//! naturally (`pqos-doctor --check journal.jsonl`). `check` and `spans`
+//! accept `-` as the journal path to read from stdin, so a live service
+//! journal can be piped straight in (`pqos-qosd ... | pqos-doctor check -`).
 
 use pqos_obs::doctor::Doctor;
 use pqos_obs::span::SpanForest;
@@ -23,6 +25,7 @@ const USAGE: &str = "usage:
   pqos-doctor spans  <journal.jsonl>            per-job phase accounting table
   pqos-doctor trace  <journal.jsonl> [-o FILE]  export Chrome trace_event JSON
   pqos-doctor diff   <a.jsonl> <b.jsonl>        explain the first divergence (exit 1 if any)
+check and spans accept '-' as the journal path to read from stdin.
 ";
 
 fn main() -> ExitCode {
@@ -67,13 +70,22 @@ fn emit(text: &str) -> std::io::Result<()> {
     std::io::stdout().lock().write_all(text.as_bytes())
 }
 
+/// Opens `path` for buffered line reading, with `-` meaning stdin.
+fn open_journal(path: &str) -> std::io::Result<Box<dyn BufRead>> {
+    if path == "-" {
+        Ok(Box::new(BufReader::new(std::io::stdin())))
+    } else {
+        Ok(Box::new(BufReader::new(File::open(path)?)))
+    }
+}
+
 fn cmd_check(args: &[String]) -> std::io::Result<ExitCode> {
     let json = args.iter().any(|a| a == "--json");
     let path = args
         .iter()
         .find(|a| !a.starts_with("--"))
         .ok_or_else(|| std::io::Error::other("check: missing journal path"))?;
-    let report = Doctor::check_reader(BufReader::new(File::open(path)?))?;
+    let report = Doctor::check_reader(open_journal(path)?)?;
     if json {
         let stdout = std::io::stdout();
         let mut out = stdout.lock();
@@ -92,7 +104,7 @@ fn cmd_check(args: &[String]) -> std::io::Result<ExitCode> {
 
 fn read_events(path: &str) -> std::io::Result<Vec<TelemetryEvent>> {
     let mut events = Vec::new();
-    for line in BufReader::new(File::open(path)?).lines() {
+    for line in open_journal(path)?.lines() {
         let line = line?;
         if line.trim().is_empty() {
             continue;

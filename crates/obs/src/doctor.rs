@@ -457,6 +457,47 @@ impl Doctor {
                 track.owes_missed = (!met_deadline).then_some(at);
                 self.owner.retain(|_, j| j != job);
             }
+            TelemetryEvent::JobCancelled { job, .. } => {
+                if !self.jobs.contains_key(job) {
+                    self.finding(
+                        "cancel_without_submit",
+                        Severity::Error,
+                        Some(at),
+                        Some(*job),
+                        None,
+                        format!("job {job} cancelled with no prior job_submitted"),
+                    );
+                }
+                let track = self.jobs.entry(*job).or_default();
+                if track.running {
+                    let detail = format!("job {job} cancelled while running");
+                    self.finding(
+                        "cancel_while_running",
+                        Severity::Error,
+                        Some(at),
+                        Some(*job),
+                        None,
+                        detail,
+                    );
+                }
+                let track = self.jobs.entry(*job).or_default();
+                if track.done {
+                    let detail = format!("job {job} cancelled after it already finished");
+                    self.finding(
+                        "cancel_after_done",
+                        Severity::Error,
+                        Some(at),
+                        Some(*job),
+                        None,
+                        detail,
+                    );
+                }
+                let track = self.jobs.entry(*job).or_default();
+                track.done = true;
+                track.running = false;
+                track.pending_request = false;
+                self.owner.retain(|_, j| j != job);
+            }
             TelemetryEvent::DeadlineMissed {
                 job, late_by_secs, ..
             } => {
@@ -784,6 +825,70 @@ mod tests {
             .findings
             .iter()
             .any(|f| f.code == "orphan_deadline_missed"));
+    }
+
+    #[test]
+    fn a_cancelled_job_is_a_clean_lifecycle() {
+        let events = vec![
+            E::JobSubmitted {
+                at: t(0),
+                job: 1,
+                size: 2,
+                runtime_secs: 7200,
+            },
+            E::QuoteNegotiated {
+                at: t(0),
+                job: 1,
+                start_secs: 100,
+                promised_secs: 8000,
+                deadline_secs: 8000,
+                success_probability: 1.0,
+            },
+            E::JobPlaced {
+                at: t(0),
+                job: 1,
+                nodes: vec![0, 1],
+                failure_probability: 0.0,
+            },
+            E::JobCancelled { at: t(50), job: 1 },
+        ];
+        let report = check(&events);
+        assert!(report.is_clean(), "unexpected: {}", report.render());
+    }
+
+    #[test]
+    fn detects_invalid_cancels() {
+        // Cancel of a never-submitted job.
+        let report = check(&[E::JobCancelled { at: t(0), job: 9 }]);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.code == "cancel_without_submit"));
+
+        // Cancel while the job is running.
+        let mut events = clean_life();
+        events.truncate(5); // up to checkpoint_requested; job 1 is running
+        events.push(E::JobCancelled {
+            at: t(3600),
+            job: 1,
+        });
+        let report = check(&events);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.code == "cancel_while_running"));
+
+        // Cancel after completion.
+        let mut events = clean_life();
+        events.push(E::JobCancelled {
+            at: t(7920),
+            job: 1,
+        });
+        let report = check(&events);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.code == "cancel_after_done"));
     }
 
     #[test]

@@ -73,6 +73,8 @@ pub enum Outcome {
     },
     /// Negotiation failed; the job never ran.
     Rejected,
+    /// The submitter withdrew the job before it started running.
+    Cancelled,
     /// The journal ended mid-flight (truncated journal or still-running
     /// job).
     Unfinished,
@@ -285,6 +287,14 @@ impl SpanForest {
                 };
             }
             TelemetryEvent::DeadlineMissed { .. } => {}
+            TelemetryEvent::JobCancelled { at, job } => {
+                let s = span!(job);
+                // Closes Negotiating for never-quoted jobs, Queued for jobs
+                // holding a reservation.
+                s.close(*at, PhaseKind::Queued);
+                s.finish = Some(*at);
+                s.outcome = Outcome::Cancelled;
+            }
         }
     }
 
@@ -331,6 +341,7 @@ impl SpanForest {
                     met_deadline: false,
                 } => "LATE",
                 Outcome::Rejected => "rejected",
+                Outcome::Cancelled => "cancelled",
                 Outcome::Unfinished => "unfinished",
             };
             table.row(vec![

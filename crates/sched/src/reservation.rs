@@ -351,6 +351,37 @@ impl ReservationBook {
         points
     }
 
+    /// Number of nodes committed at the instant `t` (reservations whose
+    /// interval `[start, end)` contains `t`). An O(log R) point probe of
+    /// the availability profile, used by live status reporting.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pqos_cluster::partition::Partition;
+    /// use pqos_sched::reservation::ReservationBook;
+    /// use pqos_sim_core::time::{SimTime, TimeWindow};
+    /// use pqos_workload::job::JobId;
+    ///
+    /// let mut book = ReservationBook::new(8);
+    /// book.add(
+    ///     JobId::new(1),
+    ///     Partition::contiguous(0, 3),
+    ///     TimeWindow::new(SimTime::from_secs(10), SimTime::from_secs(20)),
+    /// )?;
+    /// assert_eq!(book.occupied_at(SimTime::from_secs(5)), 0);
+    /// assert_eq!(book.occupied_at(SimTime::from_secs(10)), 3);
+    /// assert_eq!(book.occupied_at(SimTime::from_secs(19)), 3);
+    /// assert_eq!(book.occupied_at(SimTime::from_secs(20)), 0);
+    /// # Ok::<(), pqos_sched::reservation::ReservationError>(())
+    /// ```
+    pub fn occupied_at(&self, t: SimTime) -> u32 {
+        self.timeline
+            .range(..=t)
+            .next_back()
+            .map_or(0, |(_, seg)| seg.busy.count_ones())
+    }
+
     /// Enumerates up to `max_slots` feasible placement opportunities for a
     /// job of `size` nodes and `duration`, starting at or after `from`,
     /// treating `exclude` as unusable (e.g. currently-down nodes when

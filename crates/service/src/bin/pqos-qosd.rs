@@ -1,0 +1,183 @@
+//! `pqos-qosd`: the online QoS negotiation daemon.
+//!
+//! ```text
+//! pqos-qosd [--addr HOST:PORT] [--cluster-size N] [--journal PATH]
+//!           [--time-scale F] [--queue-depth N] [--batch-threads N]
+//!           [--timeout-ms N] [--no-verify-parity] [--synthetic-failures]
+//! ```
+//!
+//! Binds, prints `listening on HOST:PORT` (port 0 in `--addr` picks a free
+//! one — scrape the printed line), then serves the JSON-lines negotiation
+//! protocol until a client sends `{"verb":"shutdown"}`. With `--journal`
+//! every served lifecycle is written as a telemetry journal that
+//! `pqos-doctor check` certifies clean.
+
+use pqos_core::config::SimConfig;
+use pqos_core::session::NegotiationSession;
+use pqos_failures::synthetic::AixLikeTrace;
+use pqos_predict::api::{NullPredictor, Predictor};
+use pqos_predict::oracle::TraceOracle;
+use pqos_service::engine::EngineConfig;
+use pqos_service::server::serve;
+use pqos_sim_core::time::SimDuration;
+use pqos_telemetry::Telemetry;
+use std::io::Write;
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+const USAGE: &str = "usage: pqos-qosd [options]
+  --addr HOST:PORT      bind address (default 127.0.0.1:0 = free port; scrape stdout)
+  --cluster-size N      nodes in the served cluster (default 64)
+  --journal PATH        write the telemetry journal (JSONL) here
+  --time-scale F        virtual seconds per wall second (default 1.0)
+  --queue-depth N       engine queue capacity before `overloaded` (default 1024)
+  --batch-threads N     fan-out width for batched quoting (default: cores)
+  --timeout-ms N        per-request queue-wait budget (default 5000)
+  --quote-horizon-secs N  reject quotes starting more than N virtual seconds
+                        out; bounds the reservation backlog (default: none)
+  --no-verify-parity    skip the live batched-vs-serial quote re-check
+  --synthetic-failures  predict from a synthetic AIX-like failure trace
+                        instead of the null predictor
+";
+
+fn die(msg: &str) -> ExitCode {
+    eprintln!("pqos-qosd: {msg}");
+    eprint!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = String::from("127.0.0.1:0");
+    let mut cluster_size: u32 = 64;
+    let mut journal: Option<String> = None;
+    let mut engine = EngineConfig::default();
+    let mut synthetic_failures = false;
+    let mut quote_horizon: Option<u64> = None;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .map(|v| v.to_string())
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        let result: Result<(), String> = match flag.as_str() {
+            "--addr" => value("--addr").map(|v| addr = v),
+            "--cluster-size" => value("--cluster-size").and_then(|v| {
+                v.parse()
+                    .map(|n| cluster_size = n)
+                    .map_err(|_| "--cluster-size: not a node count".into())
+            }),
+            "--journal" => value("--journal").map(|v| journal = Some(v)),
+            "--time-scale" => value("--time-scale").and_then(|v| {
+                v.parse()
+                    .ok()
+                    .filter(|s: &f64| s.is_finite() && *s > 0.0)
+                    .map(|s| engine.time_scale = s)
+                    .ok_or_else(|| "--time-scale: need a positive number".into())
+            }),
+            "--queue-depth" => value("--queue-depth").and_then(|v| {
+                v.parse()
+                    .map(|n| engine.queue_depth = n)
+                    .map_err(|_| "--queue-depth: not a count".into())
+            }),
+            "--batch-threads" => value("--batch-threads").and_then(|v| {
+                v.parse()
+                    .map(|n| engine.batch_threads = n)
+                    .map_err(|_| "--batch-threads: not a count".into())
+            }),
+            "--timeout-ms" => value("--timeout-ms").and_then(|v| {
+                v.parse()
+                    .map(|ms| engine.request_timeout = Duration::from_millis(ms))
+                    .map_err(|_| "--timeout-ms: not a duration".into())
+            }),
+            "--quote-horizon-secs" => value("--quote-horizon-secs").and_then(|v| {
+                v.parse()
+                    .map(|n| quote_horizon = Some(n))
+                    .map_err(|_| "--quote-horizon-secs: not a duration".into())
+            }),
+            "--no-verify-parity" => {
+                engine.verify_parity = false;
+                Ok(())
+            }
+            "--synthetic-failures" => {
+                synthetic_failures = true;
+                Ok(())
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown flag: {other}")),
+        };
+        if let Err(msg) = result {
+            return die(&msg);
+        }
+    }
+    if cluster_size == 0 {
+        return die("--cluster-size: need at least one node");
+    }
+
+    let telemetry = match &journal {
+        None => Telemetry::disabled(),
+        Some(path) => match Telemetry::builder().flush_every(1024).jsonl_path(path) {
+            Ok(builder) => builder.build(),
+            Err(e) => {
+                eprintln!("pqos-qosd: cannot open journal {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let predictor: Box<dyn Predictor + Send + Sync> = if synthetic_failures {
+        let trace = Arc::new(
+            AixLikeTrace::new()
+                .days(365.0)
+                .seed(0xD5_2005)
+                .nodes(cluster_size)
+                .build(),
+        );
+        Box::new(TraceOracle::new(trace, 0.9).expect("accuracy in range"))
+    } else {
+        Box::new(NullPredictor)
+    };
+    let config = SimConfig::paper_defaults().cluster_size_nodes(cluster_size);
+    let mut session =
+        NegotiationSession::new(config, predictor, telemetry).verify_parity(engine.verify_parity);
+    if let Some(secs) = quote_horizon {
+        session = session.quote_horizon(SimDuration::from_secs(secs));
+    }
+
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("pqos-qosd: cannot bind {addr}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let bound = match listener.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("pqos-qosd: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // A closed stdout (spawner went away after scraping the port) must not
+    // kill the daemon; only report write errors that are not broken pipes.
+    if let Err(e) = writeln!(std::io::stdout().lock(), "listening on {bound}")
+        .and_then(|()| std::io::stdout().lock().flush())
+    {
+        if e.kind() != std::io::ErrorKind::BrokenPipe {
+            eprintln!("pqos-qosd: stdout: {e}");
+        }
+    }
+    match serve(listener, session, engine) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("pqos-qosd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

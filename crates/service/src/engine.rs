@@ -1,0 +1,463 @@
+//! The single-writer admission engine.
+//!
+//! One OS thread owns the whole mutable service state — the
+//! [`NegotiationSession`] with its reservation book, predictor, virtual
+//! clock, and telemetry journal. Connection threads never share it; they
+//! enqueue ([`EngineHandle::submit`]) onto a *bounded* channel and receive
+//! replies on their own per-connection channel. Backpressure is therefore
+//! explicit: a full queue earns the client an `overloaded` response
+//! immediately, instead of unbounded buffering or a lock convoy.
+//!
+//! The engine loop blocks on the queue, then drains everything already
+//! waiting into one *tick*. Within a tick it:
+//!
+//! 1. advances virtual time (wall-clock elapsed × `time_scale`), firing
+//!    due job starts/completions into the journal;
+//! 2. expires requests that waited past their deadline (`timeout`);
+//! 3. coalesces every `negotiate` into one
+//!    [`negotiate_batch`](pqos_core::negotiate::negotiate_batch) call
+//!    fanned across threads — quoting is read-only over the book, so the
+//!    batch is exactly what serial calls against the same snapshot would
+//!    produce (re-checked live when [`EngineConfig::verify_parity`] is
+//!    on);
+//! 4. applies accepts/cancels/status in arrival order;
+//! 5. on `shutdown`, drains the queue with `shutting_down` replies,
+//!    flushes the journal, and exits.
+//!
+//! There is no fixed tick interval: an idle engine wakes per request, a
+//! busy one amortizes whole queue-fulls into one snapshot, which is what
+//! keeps quote latency in microseconds at tens of thousands of requests
+//! per second.
+
+use crate::protocol::{ErrorCode, Request, Response, StatusBody};
+use pqos_core::session::{AcceptError, CancelError, NegotiationSession, QuoteDecision};
+use pqos_core::session::{AdmissionRequest, SessionStatus};
+use pqos_predict::api::Predictor;
+use pqos_sim_core::time::{SimDuration, SimTime};
+use pqos_workload::job::JobId;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning for the engine thread.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Bounded request-queue capacity; a full queue answers `overloaded`.
+    pub queue_depth: usize,
+    /// Fan-out width for batched quoting.
+    pub batch_threads: usize,
+    /// Virtual seconds that elapse per wall-clock second.
+    pub time_scale: f64,
+    /// Queue-wait budget per request; exceeded requests answer `timeout`.
+    pub request_timeout: Duration,
+    /// Most requests coalesced into one tick.
+    pub max_batch: usize,
+    /// Re-check every batched quote against a serial negotiation and
+    /// count disagreements (surfaced via `status`).
+    pub verify_parity: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            queue_depth: 1024,
+            batch_threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            time_scale: 1.0,
+            request_timeout: Duration::from_secs(5),
+            max_batch: 256,
+            verify_parity: true,
+        }
+    }
+}
+
+/// One queued unit of work: the request plus the connection's reply lane.
+struct EngineRequest {
+    request: Request,
+    reply: Sender<Response>,
+    enqueued: Instant,
+}
+
+/// Cheap clonable front door to the engine thread. Dropping every handle
+/// (and the queue emptying) stops the engine.
+#[derive(Clone)]
+pub struct EngineHandle {
+    tx: SyncSender<EngineRequest>,
+    draining: Arc<AtomicBool>,
+}
+
+impl EngineHandle {
+    /// Enqueues `request`; its reply will arrive on `reply`. When the
+    /// engine cannot take it, the error response to send back is returned
+    /// instead (`overloaded` on a full queue, `shutting_down` during
+    /// drain).
+    pub fn submit(&self, request: Request, reply: &Sender<Response>) -> Result<(), Response> {
+        let refusal = |code: ErrorCode| Response::Error {
+            id: request.id(),
+            code,
+            detail: match code {
+                ErrorCode::Overloaded => "engine queue full; retry".into(),
+                _ => "daemon is draining".into(),
+            },
+        };
+        if self.draining.load(Ordering::Acquire) {
+            return Err(refusal(ErrorCode::ShuttingDown));
+        }
+        let item = EngineRequest {
+            request,
+            reply: reply.clone(),
+            enqueued: Instant::now(),
+        };
+        match self.tx.try_send(item) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => Err(refusal(ErrorCode::Overloaded)),
+            Err(TrySendError::Disconnected(_)) => Err(refusal(ErrorCode::ShuttingDown)),
+        }
+    }
+
+    /// Whether a shutdown verb has been observed.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+}
+
+/// Starts the engine thread around `session`. Returns the handle
+/// connections submit through and the join handle to await drain.
+pub fn spawn<P>(
+    session: NegotiationSession<P>,
+    config: EngineConfig,
+) -> (EngineHandle, JoinHandle<()>)
+where
+    P: Predictor + Send + Sync + 'static,
+{
+    let (tx, rx) = std::sync::mpsc::sync_channel(config.queue_depth.max(1));
+    let draining = Arc::new(AtomicBool::new(false));
+    let handle = EngineHandle {
+        tx,
+        draining: Arc::clone(&draining),
+    };
+    let join = std::thread::Builder::new()
+        .name("pqos-engine".into())
+        .spawn(move || run(session, config, rx, draining))
+        .expect("spawn engine thread");
+    (handle, join)
+}
+
+fn run<P: Predictor + Sync>(
+    mut session: NegotiationSession<P>,
+    config: EngineConfig,
+    rx: Receiver<EngineRequest>,
+    draining: Arc<AtomicBool>,
+) {
+    let session = &mut session;
+    let epoch = Instant::now();
+    let mut next_job: u64 = 1;
+    'serve: loop {
+        let Ok(first) = rx.recv() else {
+            break; // every handle dropped; nothing more can arrive
+        };
+        let mut tick = vec![first];
+        while tick.len() < config.max_batch.max(1) {
+            match rx.try_recv() {
+                Ok(item) => tick.push(item),
+                Err(_) => break,
+            }
+        }
+        let virtual_now = (epoch.elapsed().as_secs_f64() * config.time_scale) as u64;
+        session.advance_to(SimTime::from_secs(virtual_now));
+
+        let mut live = Vec::with_capacity(tick.len());
+        for item in tick {
+            if item.enqueued.elapsed() > config.request_timeout {
+                respond(
+                    &item.reply,
+                    Response::Error {
+                        id: item.request.id(),
+                        code: ErrorCode::Timeout,
+                        detail: "request waited past its deadline; retry".into(),
+                    },
+                );
+            } else {
+                live.push(item);
+            }
+        }
+
+        // Pass 1: coalesce every negotiate into one batched quote call
+        // against this tick's book snapshot.
+        let quote_items: Vec<&EngineRequest> = live
+            .iter()
+            .filter(|i| matches!(i.request, Request::Negotiate { .. }))
+            .collect();
+        if !quote_items.is_empty() {
+            let batch: Vec<(JobId, AdmissionRequest)> = quote_items
+                .iter()
+                .map(|i| {
+                    let Request::Negotiate {
+                        size, runtime_secs, ..
+                    } = i.request
+                    else {
+                        unreachable!("filtered above");
+                    };
+                    let id = JobId::new(next_job);
+                    next_job += 1;
+                    (
+                        id,
+                        AdmissionRequest {
+                            size,
+                            runtime: SimDuration::from_secs(runtime_secs),
+                        },
+                    )
+                })
+                .collect();
+            let decisions = session.quote_batch(&batch, config.batch_threads);
+            for ((item, (job, _)), decision) in quote_items.iter().zip(&batch).zip(decisions) {
+                respond(
+                    &item.reply,
+                    quote_response(item.request.id(), job.as_u64(), decision),
+                );
+            }
+        }
+
+        // Pass 2: mutations and queries in arrival order.
+        for item in &live {
+            let id = item.request.id();
+            match item.request {
+                Request::Negotiate { .. } => {}
+                Request::Accept { job, .. } => {
+                    respond(&item.reply, accept_response(session, id, job));
+                }
+                Request::Cancel { job, .. } => {
+                    respond(&item.reply, cancel_response(session, id, job));
+                }
+                Request::Status { .. } => {
+                    respond(
+                        &item.reply,
+                        Response::Status {
+                            id,
+                            body: status_body(&session.status()),
+                        },
+                    );
+                }
+                Request::Shutdown { .. } => {
+                    draining.store(true, Ordering::Release);
+                    respond(&item.reply, Response::Ok { id });
+                    while let Ok(stale) = rx.try_recv() {
+                        respond(
+                            &stale.reply,
+                            Response::Error {
+                                id: stale.request.id(),
+                                code: ErrorCode::ShuttingDown,
+                                detail: "daemon is draining".into(),
+                            },
+                        );
+                    }
+                    break 'serve;
+                }
+            }
+        }
+    }
+    session.flush();
+}
+
+/// Replies are best-effort: a gone client (dropped receiver) is a clean
+/// disconnect, not an engine error.
+fn respond(reply: &Sender<Response>, response: Response) {
+    let _ = reply.send(response);
+}
+
+fn quote_response(id: u64, job: u64, decision: QuoteDecision) -> Response {
+    match decision {
+        QuoteDecision::Quoted(held) => Response::Quote {
+            id,
+            job,
+            start_secs: held.quote.start.as_secs(),
+            promised_secs: held.quote.deadline.as_secs(),
+            deadline_secs: held.deadline.as_secs(),
+            success_probability: held.quote.promised_success(),
+            satisfied_threshold: held.satisfied_threshold,
+        },
+        QuoteDecision::Rejected => Response::Error {
+            id,
+            code: ErrorCode::Rejected,
+            detail: "job cannot fit the cluster".into(),
+        },
+    }
+}
+
+fn accept_response<P: Predictor + Sync>(
+    session: &mut NegotiationSession<P>,
+    id: u64,
+    job: u64,
+) -> Response {
+    match session.accept(JobId::new(job)) {
+        Ok(_) => Response::Ok { id },
+        Err(e) => Response::Error {
+            id,
+            code: match e {
+                AcceptError::UnknownQuote => ErrorCode::UnknownQuote,
+                AcceptError::QuoteExpired => ErrorCode::QuoteExpired,
+            },
+            detail: e.to_string(),
+        },
+    }
+}
+
+fn cancel_response<P: Predictor + Sync>(
+    session: &mut NegotiationSession<P>,
+    id: u64,
+    job: u64,
+) -> Response {
+    match session.cancel(JobId::new(job)) {
+        Ok(()) => Response::Ok { id },
+        Err(e) => Response::Error {
+            id,
+            code: match e {
+                CancelError::UnknownJob => ErrorCode::UnknownJob,
+                CancelError::AlreadyStarted => ErrorCode::AlreadyStarted,
+            },
+            detail: e.to_string(),
+        },
+    }
+}
+
+fn status_body(status: &SessionStatus) -> StatusBody {
+    StatusBody {
+        now_secs: status.now.as_secs(),
+        cluster_size: status.cluster_size,
+        occupied_nodes: status.occupied_nodes,
+        reservations: status.reservations as u64,
+        quoted: status.stats.quoted,
+        rejected: status.stats.rejected,
+        accepted: status.stats.accepted,
+        expired: status.stats.expired,
+        cancelled: status.stats.cancelled,
+        started: status.stats.started,
+        completed: status.stats.completed,
+        parity_checked: status.stats.parity_checked,
+        parity_violations: status.stats.parity_violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqos_core::config::SimConfig;
+    use pqos_predict::api::NullPredictor;
+    use pqos_telemetry::Telemetry;
+
+    fn engine(nodes: u32, config: EngineConfig) -> (EngineHandle, JoinHandle<()>) {
+        let session = NegotiationSession::new(
+            SimConfig::paper_defaults().cluster_size_nodes(nodes),
+            NullPredictor,
+            Telemetry::disabled(),
+        )
+        .verify_parity(config.verify_parity);
+        spawn(session, config)
+    }
+
+    fn ask(handle: &EngineHandle, request: Request) -> Response {
+        let (tx, rx) = std::sync::mpsc::channel();
+        handle.submit(request, &tx).expect("engine accepts");
+        rx.recv_timeout(Duration::from_secs(5)).expect("reply")
+    }
+
+    #[test]
+    fn negotiate_accept_status_shutdown() {
+        let (handle, join) = engine(16, EngineConfig::default());
+        let Response::Quote { id, job, .. } = ask(
+            &handle,
+            Request::Negotiate {
+                id: 1,
+                size: 4,
+                runtime_secs: 3600,
+            },
+        ) else {
+            panic!("expected a quote");
+        };
+        assert_eq!(id, 1);
+        assert_eq!(
+            ask(&handle, Request::Accept { id: 2, job }),
+            Response::Ok { id: 2 }
+        );
+        let Response::Status { body, .. } = ask(&handle, Request::Status { id: 3 }) else {
+            panic!("expected status");
+        };
+        assert_eq!(body.quoted, 1);
+        assert_eq!(body.accepted, 1);
+        assert_eq!(body.parity_violations, 0);
+        assert_eq!(
+            ask(&handle, Request::Shutdown { id: 4 }),
+            Response::Ok { id: 4 }
+        );
+        join.join().unwrap();
+        // Post-drain submissions are refused, not queued.
+        let (tx, _rx) = std::sync::mpsc::channel();
+        let refused = handle.submit(Request::Status { id: 5 }, &tx).unwrap_err();
+        assert!(matches!(
+            refused,
+            Response::Error {
+                code: ErrorCode::ShuttingDown,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn a_full_queue_answers_overloaded() {
+        // Hand-build a handle whose queue nobody drains.
+        let (tx, _rx) = std::sync::mpsc::sync_channel(1);
+        let handle = EngineHandle {
+            tx,
+            draining: Arc::new(AtomicBool::new(false)),
+        };
+        let (reply, _) = std::sync::mpsc::channel();
+        assert!(handle.submit(Request::Status { id: 1 }, &reply).is_ok());
+        let refused = handle
+            .submit(Request::Status { id: 2 }, &reply)
+            .unwrap_err();
+        assert!(matches!(
+            refused,
+            Response::Error {
+                id: 2,
+                code: ErrorCode::Overloaded,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn pipelined_negotiates_coalesce_and_stay_consistent() {
+        let (handle, join) = engine(32, EngineConfig::default());
+        let (reply, rx) = std::sync::mpsc::channel();
+        for k in 0..20u64 {
+            handle
+                .submit(
+                    Request::Negotiate {
+                        id: k,
+                        size: 1 + (k % 4) as u32,
+                        runtime_secs: 600,
+                    },
+                    &reply,
+                )
+                .unwrap();
+        }
+        let mut jobs = Vec::new();
+        for _ in 0..20 {
+            match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+                Response::Quote { job, .. } => jobs.push(job),
+                other => panic!("expected quotes, got {other:?}"),
+            }
+        }
+        jobs.sort_unstable();
+        jobs.dedup();
+        assert_eq!(jobs.len(), 20, "job ids must be unique");
+        let Response::Status { body, .. } = ask(&handle, Request::Status { id: 99 }) else {
+            panic!();
+        };
+        assert_eq!(body.quoted, 20);
+        assert_eq!(body.parity_violations, 0);
+        ask(&handle, Request::Shutdown { id: 100 });
+        join.join().unwrap();
+    }
+}

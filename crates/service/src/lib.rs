@@ -1,0 +1,49 @@
+//! # pqos-service
+//!
+//! The paper's negotiation protocol, served live: a TCP daemon
+//! (`pqos-qosd`) that quotes (deadline, probability) pairs to concurrent
+//! clients, and a load generator (`pqos-loadgen`) that drives it with
+//! synthetic NASA/SDSC arrival streams and reports quote throughput and
+//! latency percentiles.
+//!
+//! The trace simulator in `pqos-core` answers "what QoS would this system
+//! have delivered on a recorded week?"; this crate answers "can the same
+//! negotiation machinery keep its promises *online*, under concurrent
+//! request pressure?" Three design rules make that tractable without any
+//! async runtime:
+//!
+//! 1. **Single-writer state.** One engine thread owns the
+//!    [`NegotiationSession`](pqos_core::session::NegotiationSession) —
+//!    reservation book, predictor, virtual clock, journal. Connections
+//!    never touch shared state; they exchange messages with the engine
+//!    over a bounded channel, so overload is an explicit `overloaded`
+//!    response instead of a lock convoy.
+//! 2. **Batched quoting.** The engine drains its queue and coalesces all
+//!    pending `negotiate` verbs into one
+//!    [`negotiate_batch`](pqos_core::negotiate::negotiate_batch) call
+//!    fanned out across threads against a single book snapshot. Quoting is
+//!    read-only, so batched quotes are *identical* to serial ones — a
+//!    guarantee the engine can re-check at runtime
+//!    ([`EngineConfig::verify_parity`](engine::EngineConfig)) and the
+//!    property suite checks offline.
+//! 3. **JSON-lines protocol.** One request object per line, one response
+//!    per request, correlated by caller-chosen `id` so clients can
+//!    pipeline. Malformed input gets a `bad_request` response, never a
+//!    disconnect or a panic — the parser is the same fuzz-hardened one the
+//!    journal uses.
+//!
+//! See `DESIGN.md` ("The online service") for the wire protocol and
+//! threading model, and the README for a runnable walkthrough.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+
+pub use engine::{EngineConfig, EngineHandle};
+pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use protocol::{ErrorCode, Request, Response};
+pub use server::serve;

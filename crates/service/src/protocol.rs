@@ -1,0 +1,529 @@
+//! The JSON-lines wire protocol between clients and `pqos-qosd`.
+//!
+//! One JSON object per line in each direction. Every request carries a
+//! caller-chosen `id`; every response echoes it, so clients may pipeline
+//! any number of requests on one connection and match replies by id.
+//!
+//! Requests (`verb` selects the operation):
+//!
+//! ```text
+//! {"id":1,"verb":"negotiate","size":4,"runtime_secs":3600}
+//! {"id":2,"verb":"accept","job":17}
+//! {"id":3,"verb":"cancel","job":17}
+//! {"id":4,"verb":"status"}
+//! {"id":5,"verb":"shutdown"}
+//! ```
+//!
+//! Successful responses carry `"ok":true` plus verb-specific fields;
+//! failures carry `"ok":false` and a stable `error` code (see
+//! [`ErrorCode`]). Malformed lines are answered with `bad_request` — the
+//! connection stays open.
+//!
+//! Parsing reuses the journal's hand-rolled [`Json`] parser, which returns
+//! `None` on any syntax error, so arbitrary garbage on the wire can at
+//! worst earn a `bad_request` reply (the fuzz test in `tests/service.rs`
+//! holds the daemon to that).
+
+use pqos_telemetry::json::{Json, ObjWriter};
+
+/// Stable error codes carried in `"error"` fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line was not a valid protocol message.
+    BadRequest,
+    /// The engine queue was full; retry later.
+    Overloaded,
+    /// The request waited in the queue past its deadline; retry.
+    Timeout,
+    /// The job cannot fit the cluster at any time (negotiate).
+    Rejected,
+    /// No quote is held for this job (accept).
+    UnknownQuote,
+    /// The quoted slot is gone; negotiate again (accept).
+    QuoteExpired,
+    /// The job id is unknown (cancel).
+    UnknownJob,
+    /// The job already started; too late to cancel.
+    AlreadyStarted,
+    /// The daemon is draining; no new work is accepted.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// The wire spelling of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::Rejected => "rejected",
+            ErrorCode::UnknownQuote => "unknown_quote",
+            ErrorCode::QuoteExpired => "quote_expired",
+            ErrorCode::UnknownJob => "unknown_job",
+            ErrorCode::AlreadyStarted => "already_started",
+            ErrorCode::ShuttingDown => "shutting_down",
+        }
+    }
+
+    /// Parses a wire spelling back to a code.
+    pub fn parse(s: &str) -> Option<ErrorCode> {
+        Some(match s {
+            "bad_request" => ErrorCode::BadRequest,
+            "overloaded" => ErrorCode::Overloaded,
+            "timeout" => ErrorCode::Timeout,
+            "rejected" => ErrorCode::Rejected,
+            "unknown_quote" => ErrorCode::UnknownQuote,
+            "quote_expired" => ErrorCode::QuoteExpired,
+            "unknown_job" => ErrorCode::UnknownJob,
+            "already_started" => ErrorCode::AlreadyStarted,
+            "shutting_down" => ErrorCode::ShuttingDown,
+            _ => return None,
+        })
+    }
+
+    /// Whether the client may usefully retry the same request.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, ErrorCode::Overloaded | ErrorCode::Timeout)
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// Ask for a (deadline, probability) quote for `size` nodes running
+    /// `runtime_secs` of useful work. The reply assigns the job id.
+    Negotiate {
+        /// Correlation id, echoed in the reply.
+        id: u64,
+        /// Requested partition size in nodes.
+        size: u32,
+        /// Requested useful runtime in seconds.
+        runtime_secs: u64,
+    },
+    /// Commit the held quote for `job`.
+    Accept {
+        /// Correlation id, echoed in the reply.
+        id: u64,
+        /// Job id from the negotiate reply.
+        job: u64,
+    },
+    /// Withdraw `job` (drops a held quote or releases a not-yet-started
+    /// reservation).
+    Cancel {
+        /// Correlation id, echoed in the reply.
+        id: u64,
+        /// Job id from the negotiate reply.
+        job: u64,
+    },
+    /// Ask for a state snapshot (virtual time, occupancy, counters).
+    Status {
+        /// Correlation id, echoed in the reply.
+        id: u64,
+    },
+    /// Drain and stop the daemon.
+    Shutdown {
+        /// Correlation id, echoed in the reply.
+        id: u64,
+    },
+}
+
+/// Why a request line failed to parse, with the correlation id when one
+/// could still be recovered (so the error reply reaches the right caller).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// The request's `id`, when the line was valid JSON carrying one.
+    pub id: Option<u64>,
+    /// Human-readable cause for the `detail` field of the reply.
+    pub detail: &'static str,
+}
+
+impl Request {
+    /// The correlation id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Request::Negotiate { id, .. }
+            | Request::Accept { id, .. }
+            | Request::Cancel { id, .. }
+            | Request::Status { id }
+            | Request::Shutdown { id } => *id,
+        }
+    }
+
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseError`] describing the first problem found; `id` is
+    /// populated whenever the line was well-formed JSON with a numeric
+    /// `id`, letting the server answer `bad_request` to the right caller.
+    pub fn parse(line: &str) -> Result<Request, ParseError> {
+        let fail = |id, detail| Err(ParseError { id, detail });
+        let Some(v) = Json::parse(line.trim()) else {
+            return fail(None, "not valid JSON");
+        };
+        let id = v.get("id").and_then(Json::as_u64);
+        let Some(verb) = v.get("verb").and_then(Json::as_str) else {
+            return fail(id, "missing verb");
+        };
+        let Some(id) = id else {
+            return fail(None, "missing numeric id");
+        };
+        match verb {
+            "negotiate" => {
+                let Some(size) = v.get("size").and_then(Json::as_u64) else {
+                    return fail(Some(id), "negotiate: missing size");
+                };
+                let Some(runtime_secs) = v.get("runtime_secs").and_then(Json::as_u64) else {
+                    return fail(Some(id), "negotiate: missing runtime_secs");
+                };
+                let Ok(size) = u32::try_from(size) else {
+                    return fail(Some(id), "negotiate: size out of range");
+                };
+                if size == 0 || runtime_secs == 0 {
+                    return fail(
+                        Some(id),
+                        "negotiate: size and runtime_secs must be positive",
+                    );
+                }
+                Ok(Request::Negotiate {
+                    id,
+                    size,
+                    runtime_secs,
+                })
+            }
+            "accept" | "cancel" => {
+                let Some(job) = v.get("job").and_then(Json::as_u64) else {
+                    return fail(Some(id), "missing job");
+                };
+                Ok(if verb == "accept" {
+                    Request::Accept { id, job }
+                } else {
+                    Request::Cancel { id, job }
+                })
+            }
+            "status" => Ok(Request::Status { id }),
+            "shutdown" => Ok(Request::Shutdown { id }),
+            _ => fail(Some(id), "unknown verb"),
+        }
+    }
+
+    /// Encodes the request as one JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let mut w = ObjWriter::new();
+        match self {
+            Request::Negotiate {
+                id,
+                size,
+                runtime_secs,
+            } => {
+                w.u64("id", *id)
+                    .str("verb", "negotiate")
+                    .u64("size", u64::from(*size))
+                    .u64("runtime_secs", *runtime_secs);
+            }
+            Request::Accept { id, job } => {
+                w.u64("id", *id).str("verb", "accept").u64("job", *job);
+            }
+            Request::Cancel { id, job } => {
+                w.u64("id", *id).str("verb", "cancel").u64("job", *job);
+            }
+            Request::Status { id } => {
+                w.u64("id", *id).str("verb", "status");
+            }
+            Request::Shutdown { id } => {
+                w.u64("id", *id).str("verb", "shutdown");
+            }
+        }
+        w.finish()
+    }
+}
+
+/// Counters and occupancy in a `status` reply.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StatusBody {
+    /// Virtual time in seconds.
+    pub now_secs: u64,
+    /// Cluster width in nodes.
+    pub cluster_size: u32,
+    /// Nodes committed at the current virtual time.
+    pub occupied_nodes: u32,
+    /// Live reservations.
+    pub reservations: u64,
+    /// Negotiations answered with a quote.
+    pub quoted: u64,
+    /// Negotiations answered `rejected`.
+    pub rejected: u64,
+    /// Quotes committed.
+    pub accepted: u64,
+    /// Accepts refused as `quote_expired`.
+    pub expired: u64,
+    /// Jobs cancelled.
+    pub cancelled: u64,
+    /// Jobs started.
+    pub started: u64,
+    /// Jobs completed.
+    pub completed: u64,
+    /// Batched quotes re-checked against serial negotiation.
+    pub parity_checked: u64,
+    /// Re-checks that disagreed (must be zero).
+    pub parity_violations: u64,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A successful `negotiate`: the offered quote and its job id.
+    Quote {
+        /// Correlation id of the request.
+        id: u64,
+        /// Server-assigned job id for accept/cancel.
+        job: u64,
+        /// Quoted start time (virtual seconds).
+        start_secs: u64,
+        /// Promised completion (virtual seconds).
+        promised_secs: u64,
+        /// Effective deadline after slack (virtual seconds).
+        deadline_secs: u64,
+        /// Promised probability of meeting the deadline (Eq. 2).
+        success_probability: f64,
+        /// Whether the quote met the configured user threshold.
+        satisfied_threshold: bool,
+    },
+    /// A successful `accept`, `cancel`, or `shutdown`.
+    Ok {
+        /// Correlation id of the request.
+        id: u64,
+    },
+    /// A successful `status`.
+    Status {
+        /// Correlation id of the request.
+        id: u64,
+        /// The snapshot.
+        body: StatusBody,
+    },
+    /// Any failure; `code` is stable, `detail` is advisory.
+    Error {
+        /// Correlation id of the request (0 when unrecoverable).
+        id: u64,
+        /// Stable error code.
+        code: ErrorCode,
+        /// Human-readable explanation.
+        detail: String,
+    },
+}
+
+impl Response {
+    /// The correlation id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Response::Quote { id, .. }
+            | Response::Ok { id }
+            | Response::Status { id, .. }
+            | Response::Error { id, .. } => *id,
+        }
+    }
+
+    /// Encodes the response as one JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let mut w = ObjWriter::new();
+        match self {
+            Response::Quote {
+                id,
+                job,
+                start_secs,
+                promised_secs,
+                deadline_secs,
+                success_probability,
+                satisfied_threshold,
+            } => {
+                w.u64("id", *id)
+                    .bool("ok", true)
+                    .u64("job", *job)
+                    .u64("start_secs", *start_secs)
+                    .u64("promised_secs", *promised_secs)
+                    .u64("deadline_secs", *deadline_secs)
+                    .f64("success_probability", *success_probability)
+                    .bool("satisfied_threshold", *satisfied_threshold);
+            }
+            Response::Ok { id } => {
+                w.u64("id", *id).bool("ok", true);
+            }
+            Response::Status { id, body } => {
+                w.u64("id", *id)
+                    .bool("ok", true)
+                    .u64("now_secs", body.now_secs)
+                    .u64("cluster_size", u64::from(body.cluster_size))
+                    .u64("occupied_nodes", u64::from(body.occupied_nodes))
+                    .u64("reservations", body.reservations)
+                    .u64("quoted", body.quoted)
+                    .u64("rejected", body.rejected)
+                    .u64("accepted", body.accepted)
+                    .u64("expired", body.expired)
+                    .u64("cancelled", body.cancelled)
+                    .u64("started", body.started)
+                    .u64("completed", body.completed)
+                    .u64("parity_checked", body.parity_checked)
+                    .u64("parity_violations", body.parity_violations);
+            }
+            Response::Error { id, code, detail } => {
+                w.u64("id", *id)
+                    .bool("ok", false)
+                    .str("error", code.as_str())
+                    .str("detail", detail);
+            }
+        }
+        w.finish()
+    }
+
+    /// Parses one response line (the client side of the protocol).
+    /// Returns `None` for anything that is not a well-formed response.
+    pub fn parse(line: &str) -> Option<Response> {
+        let v = Json::parse(line.trim())?;
+        let id = v.get("id").and_then(Json::as_u64)?;
+        let ok = v.get("ok").and_then(Json::as_bool)?;
+        if !ok {
+            let code = ErrorCode::parse(v.get("error").and_then(Json::as_str)?)?;
+            let detail = v
+                .get("detail")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string();
+            return Some(Response::Error { id, code, detail });
+        }
+        if let Some(job) = v.get("job").and_then(Json::as_u64) {
+            return Some(Response::Quote {
+                id,
+                job,
+                start_secs: v.get("start_secs").and_then(Json::as_u64)?,
+                promised_secs: v.get("promised_secs").and_then(Json::as_u64)?,
+                deadline_secs: v.get("deadline_secs").and_then(Json::as_u64)?,
+                success_probability: v.get("success_probability").and_then(Json::as_f64)?,
+                satisfied_threshold: v.get("satisfied_threshold").and_then(Json::as_bool)?,
+            });
+        }
+        if v.get("now_secs").is_some() {
+            let u = |key: &str| v.get(key).and_then(Json::as_u64);
+            return Some(Response::Status {
+                id,
+                body: StatusBody {
+                    now_secs: u("now_secs")?,
+                    cluster_size: u32::try_from(u("cluster_size")?).ok()?,
+                    occupied_nodes: u32::try_from(u("occupied_nodes")?).ok()?,
+                    reservations: u("reservations")?,
+                    quoted: u("quoted")?,
+                    rejected: u("rejected")?,
+                    accepted: u("accepted")?,
+                    expired: u("expired")?,
+                    cancelled: u("cancelled")?,
+                    started: u("started")?,
+                    completed: u("completed")?,
+                    parity_checked: u("parity_checked")?,
+                    parity_violations: u("parity_violations")?,
+                },
+            });
+        }
+        Some(Response::Ok { id })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = [
+            Request::Negotiate {
+                id: 1,
+                size: 4,
+                runtime_secs: 3600,
+            },
+            Request::Accept { id: 2, job: 17 },
+            Request::Cancel { id: 3, job: 17 },
+            Request::Status { id: 4 },
+            Request::Shutdown { id: 5 },
+        ];
+        for r in requests {
+            assert_eq!(Request::parse(&r.encode()), Ok(r));
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = [
+            Response::Quote {
+                id: 1,
+                job: 9,
+                start_secs: 0,
+                promised_secs: 4000,
+                deadline_secs: 4800,
+                success_probability: 0.93,
+                satisfied_threshold: true,
+            },
+            Response::Ok { id: 2 },
+            Response::Status {
+                id: 3,
+                body: StatusBody {
+                    now_secs: 120,
+                    cluster_size: 64,
+                    occupied_nodes: 12,
+                    reservations: 3,
+                    quoted: 40,
+                    rejected: 1,
+                    accepted: 30,
+                    expired: 2,
+                    cancelled: 4,
+                    started: 20,
+                    completed: 15,
+                    parity_checked: 40,
+                    parity_violations: 0,
+                },
+            },
+            Response::Error {
+                id: 4,
+                code: ErrorCode::QuoteExpired,
+                detail: "quote expired; negotiate again".into(),
+            },
+        ];
+        for r in responses {
+            assert_eq!(Response::parse(&r.encode()), Some(r));
+        }
+    }
+
+    #[test]
+    fn malformed_requests_fail_softly_with_recovered_ids() {
+        // Not JSON at all: no id to correlate.
+        assert_eq!(Request::parse("}{").unwrap_err().id, None);
+        // Valid JSON, bad verb: the id survives for the error reply.
+        let err = Request::parse(r#"{"id":7,"verb":"frobnicate"}"#).unwrap_err();
+        assert_eq!(err.id, Some(7));
+        // Missing fields.
+        assert!(Request::parse(r#"{"id":1,"verb":"negotiate","size":4}"#).is_err());
+        assert!(Request::parse(r#"{"id":1,"verb":"accept"}"#).is_err());
+        // Zero-size and zero-runtime jobs are protocol errors, not quotes.
+        assert!(
+            Request::parse(r#"{"id":1,"verb":"negotiate","size":0,"runtime_secs":10}"#).is_err()
+        );
+        assert!(
+            Request::parse(r#"{"id":1,"verb":"negotiate","size":4,"runtime_secs":0}"#).is_err()
+        );
+    }
+
+    #[test]
+    fn error_codes_round_trip() {
+        for code in [
+            ErrorCode::BadRequest,
+            ErrorCode::Overloaded,
+            ErrorCode::Timeout,
+            ErrorCode::Rejected,
+            ErrorCode::UnknownQuote,
+            ErrorCode::QuoteExpired,
+            ErrorCode::UnknownJob,
+            ErrorCode::AlreadyStarted,
+            ErrorCode::ShuttingDown,
+        ] {
+            assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
+        }
+        assert_eq!(ErrorCode::parse("nope"), None);
+    }
+}

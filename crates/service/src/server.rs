@@ -1,0 +1,166 @@
+//! TCP front end: accept loop and per-connection relay threads.
+//!
+//! Each connection gets a *reader* thread (parses request lines, submits
+//! to the engine) and a *writer* thread (drains the connection's reply
+//! channel back onto the socket). Neither touches shared state; the
+//! engine's bounded queue is the only coupling, so a slow client can
+//! stall only itself.
+//!
+//! Disconnect handling mirrors `pqos-doctor`'s broken-pipe policy: a peer
+//! that closes its socket mid-stream is a *clean* disconnect — the writer
+//! stops, the reader sees EOF (or an error) and stops, pending replies
+//! are dropped. Malformed request lines (bad JSON, unknown verbs, invalid
+//! UTF-8) earn a `bad_request` reply and the connection stays open.
+//!
+//! Shutdown is graceful: the `shutdown` verb makes the engine drain and
+//! flush its journal, readers notice within one poll interval and stop,
+//! and a waker connection unblocks the accept loop so [`serve`] returns.
+
+use crate::engine::{self, EngineConfig, EngineHandle};
+use crate::protocol::{ErrorCode, Request, Response};
+use pqos_core::session::NegotiationSession;
+use pqos_predict::api::Predictor;
+use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc::{Receiver, Sender};
+use std::time::Duration;
+
+/// How often parked readers check whether the daemon is draining.
+const DRAIN_POLL: Duration = Duration::from_millis(200);
+
+/// Serves `session` on `listener` until a client sends `shutdown`.
+///
+/// Blocks the calling thread for the daemon's lifetime. On return the
+/// engine has drained, the telemetry journal is flushed, and every
+/// connection thread has been joined.
+///
+/// # Errors
+///
+/// Only binding-level failures (accepting on a dead listener) surface as
+/// `Err`; per-connection I/O errors are handled as clean disconnects.
+pub fn serve<P>(
+    listener: TcpListener,
+    session: NegotiationSession<P>,
+    config: EngineConfig,
+) -> std::io::Result<()>
+where
+    P: Predictor + Send + Sync + 'static,
+{
+    let local_addr = listener.local_addr()?;
+    let (handle, engine_join) = engine::spawn(session, config);
+    // The accept loop blocks in `accept`; once the engine drains, this
+    // waker connection is what knocks it loose.
+    let waker = std::thread::spawn(move || {
+        let _ = engine_join.join();
+        let _ = TcpStream::connect(local_addr);
+    });
+    let mut connections = Vec::new();
+    for stream in listener.incoming() {
+        if handle.is_draining() {
+            break;
+        }
+        let Ok(stream) = stream else {
+            continue; // transient accept error; keep serving
+        };
+        let engine = handle.clone();
+        connections.push(std::thread::spawn(move || serve_connection(stream, engine)));
+    }
+    for conn in connections {
+        let _ = conn.join();
+    }
+    waker.join().expect("waker thread");
+    Ok(())
+}
+
+/// Runs one connection to completion (EOF, error, or daemon drain).
+fn serve_connection(stream: TcpStream, engine: EngineHandle) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (reply_tx, reply_rx) = std::sync::mpsc::channel::<Response>();
+    let writer = std::thread::spawn(move || write_replies(write_half, &reply_rx));
+    // A timeout, not blocking reads, so an idle connection still notices
+    // the daemon draining and lets `serve` join it.
+    let _ = stream.set_read_timeout(Some(DRAIN_POLL));
+    read_requests(stream, &engine, &reply_tx);
+    drop(reply_tx); // writer exits once the engine's clones are gone too
+    let _ = writer.join();
+}
+
+fn read_requests(stream: TcpStream, engine: &EngineHandle, reply: &Sender<Response>) {
+    let mut reader = BufReader::new(stream);
+    // Raw bytes, not `read_line`: invalid UTF-8 must earn `bad_request`,
+    // not kill the connection.
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        match reader.read_until(b'\n', &mut line) {
+            Ok(0) => break, // EOF: client is done
+            Ok(_) if !line.ends_with(b"\n") => {
+                // Partial line at a timeout boundary; keep accumulating.
+                if engine.is_draining() {
+                    break;
+                }
+            }
+            Ok(_) => {
+                dispatch_line(&line, engine, reply);
+                line.clear();
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if engine.is_draining() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => break, // peer reset or similar: clean disconnect
+        }
+    }
+}
+
+fn dispatch_line(raw: &[u8], engine: &EngineHandle, reply: &Sender<Response>) {
+    let text = String::from_utf8_lossy(raw);
+    let text = text.trim();
+    if text.is_empty() {
+        return;
+    }
+    match Request::parse(text) {
+        Ok(request) => {
+            if let Err(refusal) = engine.submit(request, reply) {
+                let _ = reply.send(refusal);
+            }
+        }
+        Err(parse_error) => {
+            let _ = reply.send(Response::Error {
+                id: parse_error.id.unwrap_or(0),
+                code: ErrorCode::BadRequest,
+                detail: parse_error.detail.into(),
+            });
+        }
+    }
+}
+
+fn write_replies(stream: TcpStream, replies: &Receiver<Response>) {
+    let mut out = BufWriter::new(stream);
+    while let Ok(response) = replies.recv() {
+        // A closed peer is a clean disconnect; stop relaying. Everything
+        // already queued goes out under one flush — at high request rates
+        // the engine answers in batches, and one syscall per batch instead
+        // of one per response is a large share of the throughput budget.
+        if writeln!(out, "{}", response.encode()).is_err() {
+            break;
+        }
+        let mut more = true;
+        while more {
+            match replies.try_recv() {
+                Ok(next) => {
+                    if writeln!(out, "{}", next.encode()).is_err() {
+                        return;
+                    }
+                }
+                Err(_) => more = false,
+            }
+        }
+        if out.flush().is_err() {
+            break;
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! End-to-end tests: a real daemon on a loopback socket, driven by the
+//! load generator and by a protocol fuzzer, with the resulting journal
+//! certified by the doctor.
+
+use pqos_core::config::SimConfig;
+use pqos_core::session::NegotiationSession;
+use pqos_obs::doctor::Doctor;
+use pqos_predict::api::NullPredictor;
+use pqos_service::engine::EngineConfig;
+use pqos_service::loadgen::{self, LoadgenConfig};
+use pqos_service::protocol::{Request, Response};
+use pqos_service::server::serve;
+use pqos_sim_core::rng::DetRng;
+use pqos_telemetry::Telemetry;
+use pqos_workload::synthetic::LogModel;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A journal sink the test can read back after the daemon drains.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Starts a daemon on a free loopback port; returns its address and the
+/// shared journal buffer. The server thread exits after a shutdown verb.
+fn start_daemon(
+    cluster_size: u32,
+    time_scale: f64,
+) -> (String, SharedBuf, std::thread::JoinHandle<()>) {
+    let journal = SharedBuf::default();
+    let telemetry = Telemetry::builder()
+        .jsonl_writer(journal.clone())
+        .flush_every(64)
+        .build();
+    let session = NegotiationSession::new(
+        SimConfig::paper_defaults().cluster_size_nodes(cluster_size),
+        NullPredictor,
+        telemetry,
+    )
+    .verify_parity(true);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let config = EngineConfig {
+        time_scale,
+        verify_parity: true,
+        ..EngineConfig::default()
+    };
+    let server = std::thread::spawn(move || {
+        serve(listener, session, config).expect("serve");
+    });
+    (addr, journal, server)
+}
+
+#[test]
+fn loadgen_drives_a_daemon_and_the_journal_passes_the_doctor() {
+    // Aggressive time scaling so accepted jobs start and complete while
+    // the generator is still running — the journal then exercises every
+    // lifecycle edge, not just submissions and quotes.
+    let (addr, journal, server) = start_daemon(64, 50_000.0);
+    let report = loadgen::run(&LoadgenConfig {
+        addr,
+        threads: 3,
+        requests: 600,
+        pipeline_depth: 8,
+        model: LogModel::NasaIpsc,
+        seed: 0xD5_2005,
+        accept_probability: 0.7,
+        cancel_probability: 0.15,
+        shutdown: true,
+        connect_timeout: Duration::from_secs(10),
+    })
+    .expect("loadgen run");
+    server.join().expect("server thread");
+
+    assert_eq!(report.requests, 600, "every negotiate reached an outcome");
+    assert!(report.quoted > 0, "some quotes must succeed");
+    assert!(report.accepted > 0, "some quotes must be accepted");
+    assert_eq!(report.parity_violations, 0, "batched == serial quotes");
+    assert!(
+        report.parity_checked >= report.quoted,
+        "every quote was re-checked"
+    );
+    assert!(report.throughput_rps > 0.0);
+
+    let bytes = journal.0.lock().unwrap().clone();
+    let text = String::from_utf8(bytes).expect("journal is UTF-8");
+    assert!(!text.is_empty(), "journal must have been written");
+    let doctor = Doctor::check_str(&text);
+    assert_eq!(
+        doctor.errors(),
+        0,
+        "served journal must be certifiably clean:\n{}",
+        doctor.render()
+    );
+
+    // The BENCH_service.json document is valid JSON with the agreed keys.
+    let json = pqos_telemetry::json::Json::parse(&report.to_json()).expect("report is valid JSON");
+    for key in [
+        "bench",
+        "threads",
+        "requests",
+        "throughput_rps",
+        "quote_latency_us",
+        "parity_violations",
+    ] {
+        assert!(json.get(key).is_some(), "report is missing {key}");
+    }
+    assert_eq!(
+        json.get("quote_latency_us")
+            .and_then(|q| q.get("p99"))
+            .and_then(|v| v.as_u64()),
+        Some(report.p99_latency_us)
+    );
+}
+
+#[test]
+fn malformed_and_truncated_lines_never_kill_the_connection() {
+    let (addr, _journal, server) = start_daemon(16, 1.0);
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+    let mut reader = BufReader::new(stream);
+    let mut rng = DetRng::seed_from(0xD5_2005).fork("protocol-fuzz");
+
+    let templates = [
+        Request::Negotiate {
+            id: 1,
+            size: 4,
+            runtime_secs: 3600,
+        }
+        .encode(),
+        Request::Accept { id: 2, job: 1 }.encode(),
+        Request::Status { id: 3 }.encode(),
+    ];
+    let await_reply =
+        |writer: &mut BufWriter<TcpStream>, reader: &mut BufReader<TcpStream>, sentinel: u64| {
+            // A status probe with a unique id; every fuzz volley must leave
+            // the daemon able to answer it.
+            writeln!(writer, "{}", Request::Status { id: sentinel }.encode()).expect("write probe");
+            writer.flush().expect("flush probe");
+            let mut line = String::new();
+            loop {
+                line.clear();
+                let n = reader.read_line(&mut line).expect("daemon must stay up");
+                assert!(n > 0, "daemon closed the connection mid-fuzz");
+                match Response::parse(&line) {
+                    Some(response) if response.id() == sentinel => {
+                        assert!(matches!(response, Response::Status { .. }));
+                        break;
+                    }
+                    // Replies to garbage (bad_request) or to mutated lines
+                    // that happened to stay valid; either way: a reply, not a
+                    // disconnect.
+                    Some(_) => {}
+                    None => panic!("daemon produced an unparseable line: {line:?}"),
+                }
+            }
+        };
+
+    for round in 0..200u64 {
+        let template = templates[(rng.uniform_u64(0, templates.len() as u64 - 1)) as usize].clone();
+        let mut bytes = template.into_bytes();
+        match rng.uniform_u64(0, 3) {
+            // Truncate mid-object.
+            0 => {
+                let cut = rng.uniform_u64(1, bytes.len() as u64 - 1) as usize;
+                bytes.truncate(cut);
+            }
+            // Flip one byte (newlines excluded by construction).
+            1 => {
+                let at = rng.uniform_u64(0, bytes.len() as u64 - 1) as usize;
+                bytes[at] = bytes[at].wrapping_add(1 + rng.uniform_u64(0, 250) as u8);
+            }
+            // Pure binary garbage, possibly invalid UTF-8.
+            2 => {
+                bytes = (0..rng.uniform_u64(1, 64))
+                    .map(|_| {
+                        let b = rng.uniform_u64(0, 255) as u8;
+                        if b == b'\n' {
+                            b'x'
+                        } else {
+                            b
+                        }
+                    })
+                    .collect();
+            }
+            // Valid JSON, nonsense protocol.
+            _ => {
+                bytes = format!(r#"{{"id":{round},"verb":"explode","job":[1,2]}}"#).into_bytes();
+            }
+        }
+        bytes.push(b'\n');
+        writer.write_all(&bytes).expect("write garbage");
+        writer.flush().expect("flush garbage");
+        if round % 20 == 19 {
+            await_reply(&mut writer, &mut reader, 1_000_000 + round);
+        }
+    }
+    await_reply(&mut writer, &mut reader, 2_000_000);
+
+    // A valid negotiation still works after all that.
+    writeln!(
+        writer,
+        "{}",
+        Request::Negotiate {
+            id: 3_000_000,
+            size: 2,
+            runtime_secs: 600,
+        }
+        .encode()
+    )
+    .expect("write negotiate");
+    writer.flush().expect("flush negotiate");
+    let quote = loop {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).expect("read") > 0);
+        if let Some(r) = Response::parse(&line) {
+            if r.id() == 3_000_000 {
+                break r;
+            }
+        }
+    };
+    assert!(
+        matches!(quote, Response::Quote { .. }),
+        "expected a quote, got {quote:?}"
+    );
+
+    writeln!(writer, "{}", Request::Shutdown { id: 4_000_000 }.encode()).expect("write shutdown");
+    writer.flush().expect("flush shutdown");
+    server.join().expect("server thread");
+}
+
+#[test]
+fn shutdown_drains_gracefully_and_later_clients_are_refused() {
+    let (addr, _journal, server) = start_daemon(8, 1.0);
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, "{}", Request::Shutdown { id: 1 }.encode()).expect("write");
+    writer.flush().expect("flush");
+    let mut line = String::new();
+    assert!(reader.read_line(&mut line).expect("read") > 0);
+    assert_eq!(Response::parse(&line), Some(Response::Ok { id: 1 }));
+    server.join().expect("server drains");
+    // The listener is gone; new connections are refused or reset.
+    match TcpStream::connect(&addr) {
+        Err(_) => {}
+        Ok(s) => {
+            // Accepted by a lingering backlog entry at worst; it must not
+            // serve anything.
+            let mut w = BufWriter::new(s.try_clone().expect("clone"));
+            let _ = writeln!(w, "{}", Request::Status { id: 2 }.encode());
+            let _ = w.flush();
+            let mut r = BufReader::new(s);
+            let mut reply = String::new();
+            assert_eq!(
+                r.read_line(&mut reply).unwrap_or(0),
+                0,
+                "no service after drain"
+            );
+        }
+    }
+}

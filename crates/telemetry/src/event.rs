@@ -2,9 +2,9 @@
 //!
 //! One [`TelemetryEvent`] is emitted at each decision point of the
 //! simulator: job submission, quote negotiation, placement, start,
-//! checkpoint taken/skipped, node failure/recovery, requeue, completion and
-//! deadline miss. Every variant carries its simulation timestamp so a
-//! journal line is self-contained.
+//! checkpoint taken/skipped, node failure/recovery, requeue, completion,
+//! deadline miss and cancellation. Every variant carries its simulation
+//! timestamp so a journal line is self-contained.
 
 use crate::json::{Json, ObjWriter};
 use pqos_sim_core::time::SimTime;
@@ -190,6 +190,15 @@ pub enum TelemetryEvent {
         /// How late the job was, in seconds.
         late_by_secs: u64,
     },
+    /// The submitter withdrew the job before it started running; any held
+    /// reservation was released. Emitted by the online service (the trace
+    /// simulator's workloads never cancel).
+    JobCancelled {
+        /// Simulation time of the event.
+        at: SimTime,
+        /// Job identifier.
+        job: u64,
+    },
 }
 
 impl TelemetryEvent {
@@ -208,7 +217,8 @@ impl TelemetryEvent {
             | TelemetryEvent::NodeRecovered { at, .. }
             | TelemetryEvent::JobRequeued { at, .. }
             | TelemetryEvent::JobCompleted { at, .. }
-            | TelemetryEvent::DeadlineMissed { at, .. } => *at,
+            | TelemetryEvent::DeadlineMissed { at, .. }
+            | TelemetryEvent::JobCancelled { at, .. } => *at,
         }
     }
 
@@ -228,6 +238,7 @@ impl TelemetryEvent {
             TelemetryEvent::JobRequeued { .. } => "job_requeued",
             TelemetryEvent::JobCompleted { .. } => "job_completed",
             TelemetryEvent::DeadlineMissed { .. } => "deadline_missed",
+            TelemetryEvent::JobCancelled { .. } => "job_cancelled",
         }
     }
 
@@ -329,6 +340,9 @@ impl TelemetryEvent {
             } => {
                 w.u64("job", *job).u64("late_by_secs", *late_by_secs);
             }
+            TelemetryEvent::JobCancelled { job, .. } => {
+                w.u64("job", *job);
+            }
         }
         w.finish()
     }
@@ -419,6 +433,7 @@ impl TelemetryEvent {
                 job: job(&v)?,
                 late_by_secs: v.get("late_by_secs")?.as_u64()?,
             }),
+            "job_cancelled" => Some(TelemetryEvent::JobCancelled { at, job: job(&v)? }),
             _ => None,
         }
     }
@@ -501,6 +516,7 @@ pub fn one_of_each() -> Vec<TelemetryEvent> {
             job: 1,
             late_by_secs: 480,
         },
+        TelemetryEvent::JobCancelled { at: t, job: 3 },
     ]
 }
 
@@ -522,7 +538,7 @@ mod tests {
     fn one_of_each_covers_every_variant_name() {
         let names: std::collections::BTreeSet<&str> =
             one_of_each().iter().map(|e| e.name()).collect();
-        assert_eq!(names.len(), 13, "update one_of_each() for new variants");
+        assert_eq!(names.len(), 14, "update one_of_each() for new variants");
     }
 
     #[test]

@@ -30,6 +30,7 @@
 //! | `job_requeued`       | `job`, `remaining_secs` (after rollback)                            |
 //! | `job_completed`      | `job`, `met_deadline`                                               |
 //! | `deadline_missed`    | `job`, `late_by_secs`                                               |
+//! | `job_cancelled`      | `job` (withdrawn before starting; reservation released)             |
 //!
 //! Events are emitted in the simulator's deterministic dispatch order, so
 //! two runs with the same seed produce byte-identical journals — the

@@ -391,6 +391,7 @@ fn span_reconstruction_accounts_every_second_of_every_job() {
                 );
             }
             Outcome::Rejected => {}
+            Outcome::Cancelled => panic!("job {} cancelled in a simulator run", span.job),
             Outcome::Unfinished => panic!("job {} never finished", span.job),
         }
     }

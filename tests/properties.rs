@@ -863,6 +863,119 @@ fn telemetry_json_string_escaping_round_trips() {
     }
 }
 
+/// Batched quoting is observationally identical to serial quoting: two
+/// sessions fed the same randomized interleaving of quote batches,
+/// accepts, cancels, and clock advances — one negotiating on a single
+/// thread, one fanned out — answer every operation identically and agree
+/// on the full status snapshot (clock, occupancy, reservations, stats)
+/// after each step. Both run the live parity self-check and must finish
+/// with zero recorded violations.
+#[test]
+fn batched_negotiation_matches_serial_interleavings() {
+    use pqos_core::session::{AdmissionRequest, NegotiationSession};
+    use pqos_predict::api::NullPredictor;
+    use pqos_telemetry::Telemetry;
+
+    enum Op {
+        Quotes(Vec<(u64, u32, u64)>), // (job, size, runtime_secs)
+        Accept(u64),
+        Cancel(u64),
+        Advance(u64),
+    }
+
+    for (case, ops) in cases("batch-parity", 24, |rng| {
+        let mut next_job = 0u64;
+        let n = rng.uniform_u64(8, 40) as usize;
+        (0..n)
+            .map(|_| match rng.uniform_u64(0, 9) {
+                0..=4 => Op::Quotes(
+                    (0..rng.uniform_u64(1, 8))
+                        .map(|_| {
+                            next_job += 1;
+                            (
+                                next_job,
+                                rng.uniform_u64(1, 12) as u32,
+                                rng.uniform_u64(60, 20_000),
+                            )
+                        })
+                        .collect(),
+                ),
+                // Accept/cancel ids may be unissued or repeated on purpose;
+                // the error paths must agree too.
+                5 | 6 => Op::Accept(rng.uniform_u64(0, next_job.max(1))),
+                7 => Op::Cancel(rng.uniform_u64(0, next_job.max(1))),
+                _ => Op::Advance(rng.uniform_u64(1, 5_000)),
+            })
+            .collect::<Vec<Op>>()
+    })
+    .into_iter()
+    .enumerate()
+    {
+        let config = SimConfig::paper_defaults().cluster_size_nodes(16);
+        let mut serial =
+            NegotiationSession::new(config.clone(), NullPredictor, Telemetry::disabled())
+                .verify_parity(true);
+        let mut batched = NegotiationSession::new(config, NullPredictor, Telemetry::disabled())
+            .verify_parity(true);
+        let mut now = 0u64;
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                Op::Quotes(reqs) => {
+                    let reqs: Vec<(JobId, AdmissionRequest)> = reqs
+                        .iter()
+                        .map(|&(job, size, runtime)| {
+                            (
+                                JobId::new(job),
+                                AdmissionRequest {
+                                    size,
+                                    runtime: SimDuration::from_secs(runtime),
+                                },
+                            )
+                        })
+                        .collect();
+                    let a = serial.quote_batch(&reqs, 1);
+                    let b = batched.quote_batch(&reqs, 4);
+                    assert_eq!(a, b, "case {case} op {i}: quote decisions diverge");
+                }
+                Op::Accept(job) => {
+                    assert_eq!(
+                        serial.accept(JobId::new(*job)),
+                        batched.accept(JobId::new(*job)),
+                        "case {case} op {i}: accept({job}) diverges"
+                    );
+                }
+                Op::Cancel(job) => {
+                    assert_eq!(
+                        serial.cancel(JobId::new(*job)),
+                        batched.cancel(JobId::new(*job)),
+                        "case {case} op {i}: cancel({job}) diverges"
+                    );
+                }
+                Op::Advance(by) => {
+                    now += by;
+                    serial.advance_to(SimTime::from_secs(now));
+                    batched.advance_to(SimTime::from_secs(now));
+                }
+            }
+            assert_eq!(
+                serial.status(),
+                batched.status(),
+                "case {case} op {i}: status snapshots diverge"
+            );
+        }
+        let stats = batched.status().stats;
+        assert_eq!(
+            stats.parity_violations, 0,
+            "case {case}: live parity self-check reported violations"
+        );
+        assert_eq!(
+            stats.parity_checked,
+            stats.quoted + stats.rejected,
+            "case {case}: self-check did not cover every negotiation"
+        );
+    }
+}
+
 /// Negotiation postconditions: the accepted quote starts no earlier than
 /// `now`, its deadline is exactly `start + duration`, the quoted
 /// probability is a probability, and a threshold-satisfied outcome really
