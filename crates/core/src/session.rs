@@ -259,6 +259,29 @@ impl<P: Predictor + Sync> NegotiationSession<P> {
         self.now
     }
 
+    /// The telemetry handle this session journals through. The service
+    /// layer uses it to register its own engine/server metrics against the
+    /// same registry the session's hooks populate.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Jobs currently alive in this session: quoted (awaiting a decision),
+    /// accepted (reservation held), or running. Finished and cancelled
+    /// jobs are excluded; expired quotes were dropped entirely (they show
+    /// up in [`SessionStats::expired`]).
+    pub fn live_jobs(&self) -> usize {
+        self.jobs
+            .values()
+            .filter(|j| {
+                matches!(
+                    j.phase,
+                    JobPhase::Quoted | JobPhase::Accepted | JobPhase::Running
+                )
+            })
+            .count()
+    }
+
     /// Advances virtual time to `to` (monotone; earlier instants are
     /// ignored), journaling every start and completion that falls due.
     /// Completed jobs release their reservations.
@@ -304,6 +327,10 @@ impl<P: Predictor + Sync> NegotiationSession<P> {
             .iter()
             .map(|(_, req)| self.negotiation_request(*req))
             .collect();
+        let negotiate_timer = self
+            .telemetry
+            .histogram("session.negotiate_ns")
+            .start_timer();
         let outcomes = negotiate_batch(
             &self.book,
             self.config.topology,
@@ -315,8 +342,11 @@ impl<P: Predictor + Sync> NegotiationSession<P> {
             self.config.max_probe_steps,
             threads,
         );
+        negotiate_timer.stop();
         if self.verify_parity {
+            let parity_timer = self.telemetry.histogram("session.parity_ns").start_timer();
             self.check_parity(&negotiation_requests, &outcomes, threads);
+            parity_timer.stop();
         }
         requests
             .iter()
@@ -793,6 +823,31 @@ mod tests {
         let stats = s.status().stats;
         assert_eq!(stats.cancelled, 1);
         assert_eq!(stats.completed, 2);
+    }
+
+    #[test]
+    fn live_jobs_and_stage_histograms_track_activity() {
+        let telemetry = Telemetry::builder().ring_buffer(64).build();
+        let mut s = NegotiationSession::new(
+            SimConfig::paper_defaults().cluster_size_nodes(8),
+            NullPredictor,
+            telemetry,
+        )
+        .verify_parity(true);
+        assert_eq!(s.live_jobs(), 0);
+        s.quote_batch(
+            &[(JobId::new(1), req(4, 3600)), (JobId::new(2), req(2, 600))],
+            1,
+        );
+        assert_eq!(s.live_jobs(), 2, "held quotes are live");
+        s.accept(JobId::new(1)).unwrap();
+        s.cancel(JobId::new(2)).unwrap();
+        assert_eq!(s.live_jobs(), 1, "cancellation retires a job");
+        s.advance_to(SimTime::from_secs(1_000_000));
+        assert_eq!(s.live_jobs(), 0, "completed jobs are no longer live");
+        let snap = s.telemetry().snapshot().unwrap();
+        assert!(snap.histogram("session.negotiate_ns").unwrap().count >= 1);
+        assert!(snap.histogram("session.parity_ns").unwrap().count >= 1);
     }
 
     #[test]

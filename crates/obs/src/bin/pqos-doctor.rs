@@ -4,18 +4,22 @@
 //! pqos-doctor check  <journal> [--json]      invariant findings; exit 1 on errors
 //! pqos-doctor spans  <journal>               per-job phase accounting table
 //! pqos-doctor trace  <journal> [-o FILE]     Chrome trace_event JSON (stdout default)
+//! pqos-doctor trace-check <trace.json>       validate a Chrome trace document
 //! pqos-doctor diff   <a> <b>                 first divergence; exit 1 if any
+//! pqos-doctor crosscheck <journal> <metrics.json> [--json]
+//!                                            journal vs exported counters
 //! ```
 //!
 //! `--check` is accepted as an alias for `check` so CI invocations read
-//! naturally (`pqos-doctor --check journal.jsonl`). `check` and `spans`
-//! accept `-` as the journal path to read from stdin, so a live service
-//! journal can be piped straight in (`pqos-qosd ... | pqos-doctor check -`).
+//! naturally (`pqos-doctor --check journal.jsonl`). `check`, `spans`, and
+//! `crosscheck` accept `-` as the journal path to read from stdin, so a
+//! live service journal can be piped straight in
+//! (`pqos-qosd ... | pqos-doctor check -`).
 
 use pqos_obs::doctor::Doctor;
 use pqos_obs::span::SpanForest;
-use pqos_obs::{chrome_trace, first_divergence};
-use pqos_telemetry::TelemetryEvent;
+use pqos_obs::{chrome_trace, crosscheck, first_divergence, load_chrome_trace};
+use pqos_telemetry::{Snapshot, TelemetryEvent};
 use std::fs::File;
 use std::io::{BufRead, BufReader, Write};
 use std::process::ExitCode;
@@ -24,8 +28,12 @@ const USAGE: &str = "usage:
   pqos-doctor check  <journal.jsonl> [--json]   report invariant violations (exit 1 on errors)
   pqos-doctor spans  <journal.jsonl>            per-job phase accounting table
   pqos-doctor trace  <journal.jsonl> [-o FILE]  export Chrome trace_event JSON
+  pqos-doctor trace-check <trace.json>          validate a Chrome trace document (exit 1 if invalid)
   pqos-doctor diff   <a.jsonl> <b.jsonl>        explain the first divergence (exit 1 if any)
-check and spans accept '-' as the journal path to read from stdin.
+  pqos-doctor crosscheck <journal.jsonl> <metrics.json> [--json]
+                                                verify journal event counts against the
+                                                exported metrics snapshot (exit 1 on errors)
+check, spans, and crosscheck accept '-' as the journal path to read from stdin.
 ";
 
 fn main() -> ExitCode {
@@ -41,7 +49,9 @@ fn main() -> ExitCode {
         "check" | "--check" => cmd_check(rest),
         "spans" | "--spans" => cmd_spans(rest),
         "trace" | "--trace" => cmd_trace(rest),
+        "trace-check" | "--trace-check" => cmd_trace_check(rest),
         "diff" | "--diff" => cmd_diff(rest),
+        "crosscheck" | "--crosscheck" => cmd_crosscheck(rest),
         "-h" | "--help" | "help" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -152,6 +162,55 @@ fn cmd_trace(args: &[String]) -> std::io::Result<ExitCode> {
         None => emit(&doc)?,
     }
     Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_trace_check(args: &[String]) -> std::io::Result<ExitCode> {
+    let path = args
+        .first()
+        .ok_or_else(|| std::io::Error::other("trace-check: missing trace path"))?;
+    let text = std::fs::read_to_string(path)?;
+    match load_chrome_trace(&text) {
+        Some(summary) => {
+            emit(&summary.render())?;
+            Ok(ExitCode::SUCCESS)
+        }
+        None => {
+            eprintln!("trace-check: {path} is not a valid Chrome trace_event document");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn cmd_crosscheck(args: &[String]) -> std::io::Result<ExitCode> {
+    let json = args.iter().any(|a| a == "--json");
+    let mut paths = args.iter().filter(|a| !a.starts_with("--"));
+    let (journal, metrics) = match (paths.next(), paths.next()) {
+        (Some(j), Some(m)) => (j, m),
+        _ => {
+            return Err(std::io::Error::other(
+                "crosscheck: need a journal path and a metrics snapshot path",
+            ))
+        }
+    };
+    let snapshot_text = std::fs::read_to_string(metrics)?;
+    let snapshot = Snapshot::from_json(&snapshot_text).ok_or_else(|| {
+        std::io::Error::other(format!("{metrics}: not a metrics snapshot document"))
+    })?;
+    let report = crosscheck::crosscheck(open_journal(journal)?, &snapshot)?;
+    if json {
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        for f in &report.findings {
+            writeln!(out, "{}", f.to_jsonl())?;
+        }
+    } else {
+        emit(&report.render())?;
+    }
+    Ok(if report.errors() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 fn cmd_diff(args: &[String]) -> std::io::Result<ExitCode> {

@@ -14,17 +14,23 @@
 //!   contradict the recorded commitment) as machine-readable findings.
 //! * [`trace`] — exports any journal as Chrome `trace_event` JSON, one
 //!   track per job and per node, openable in `about://tracing` or
-//!   <https://ui.perfetto.dev>.
+//!   <https://ui.perfetto.dev> — and loads/validates any such document,
+//!   including the daemon flight recorder's `dump` payload.
 //! * [`diff`] — locates and explains the first line where two journals
 //!   fork (seed-determinism debugging).
+//! * [`crosscheck`] — verifies a journal against the daemon's exported
+//!   metrics snapshot: every `journal.<kind>` gauge must agree with the
+//!   journal's own per-kind event counts, in both directions.
 //!
-//! The `pqos-doctor` binary wraps all four for the command line:
+//! The `pqos-doctor` binary wraps all of it for the command line:
 //!
 //! ```text
 //! pqos-doctor check  journal.jsonl        # invariant findings, exit 1 on errors
 //! pqos-doctor spans  journal.jsonl        # per-job phase accounting table
 //! pqos-doctor trace  journal.jsonl -o t.json   # Perfetto export
+//! pqos-doctor trace-check t.json          # validate a Chrome trace document
 //! pqos-doctor diff   a.jsonl b.jsonl      # first divergence, exit 1 if any
+//! pqos-doctor crosscheck journal.jsonl metrics.json   # journal vs counters
 //! ```
 //!
 //! # Example
@@ -55,6 +61,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crosscheck;
 pub mod diff;
 pub mod doctor;
 pub mod span;
@@ -63,4 +70,4 @@ pub mod trace;
 pub use diff::{first_divergence, Divergence};
 pub use doctor::{Doctor, DoctorReport, Finding, Severity};
 pub use span::{JobSpan, Outcome, PhaseKind, PhaseSpan, SpanForest};
-pub use trace::chrome_trace;
+pub use trace::{chrome_trace, load_chrome_trace, ChromeTraceSummary};

@@ -9,9 +9,9 @@
 //! so one sim second renders as 1 µs — Perfetto's zoom handles the rest.
 
 use crate::span::{Outcome, SpanForest};
-use pqos_telemetry::json::ObjWriter;
+use pqos_telemetry::json::{Json, ObjWriter};
 use pqos_telemetry::TelemetryEvent;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Process id used for per-job phase tracks.
 const PID_JOBS: u64 = 1;
@@ -235,6 +235,107 @@ pub fn chrome_trace<'a>(events: impl IntoIterator<Item = &'a TelemetryEvent> + C
     doc
 }
 
+/// What a loaded Chrome trace document contains, by event phase.
+///
+/// Produced by [`load_chrome_trace`]; a populated summary is proof the
+/// document is structurally valid `trace_event` JSON — every viewer
+/// requirement the loader enforces held for every event.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChromeTraceSummary {
+    /// Total events in `traceEvents`.
+    pub events: usize,
+    /// `ph:"X"` complete spans.
+    pub spans: usize,
+    /// `ph:"i"` instant markers.
+    pub instants: usize,
+    /// `ph:"M"` metadata records (process / thread names).
+    pub metadata: usize,
+    /// `ph:"C"` counter samples.
+    pub counters: usize,
+    /// Distinct `(pid, tid)` pairs among spans — the tracks a viewer draws.
+    pub tracks: usize,
+    /// Distinct span names, sorted.
+    pub span_names: Vec<String>,
+    /// Largest `ts + dur` over all spans, in trace microseconds.
+    pub end_us: u64,
+}
+
+impl ChromeTraceSummary {
+    /// One-line human summary for CLI output. A journal export has one
+    /// span name per job, so the listing is capped; the counts are exact.
+    pub fn render(&self) -> String {
+        const SHOW: usize = 8;
+        let names = if self.span_names.is_empty() {
+            String::from("(none)")
+        } else if self.span_names.len() <= SHOW {
+            self.span_names.join(", ")
+        } else {
+            format!(
+                "{}, … and {} more",
+                self.span_names[..SHOW].join(", "),
+                self.span_names.len() - SHOW
+            )
+        };
+        format!(
+            "{} events: {} spans on {} tracks, {} instants, {} counters, {} metadata; span names: {}; ends at {}us\n",
+            self.events,
+            self.spans,
+            self.tracks,
+            self.instants,
+            self.counters,
+            self.metadata,
+            names,
+            self.end_us,
+        )
+    }
+}
+
+/// Loads and validates a Chrome `trace_event` JSON document.
+///
+/// Accepts both shapes this workspace emits — the journal export above and
+/// the daemon flight recorder's `dump` payload — and any other JSON Object
+/// Format document. Returns `None` when the document is not what a trace
+/// viewer would accept: not JSON, no `traceEvents` array, an event without
+/// a string `ph`, or a complete span (`ph:"X"`) missing any of the integer
+/// `ts`, `dur`, `pid`, `tid` fields.
+pub fn load_chrome_trace(text: &str) -> Option<ChromeTraceSummary> {
+    let doc = Json::parse(text.trim())?;
+    let events = match doc.get("traceEvents")? {
+        Json::Arr(events) => events,
+        _ => return None,
+    };
+    let mut summary = ChromeTraceSummary {
+        events: events.len(),
+        ..ChromeTraceSummary::default()
+    };
+    let mut tracks: BTreeSet<(u64, u64)> = BTreeSet::new();
+    let mut names: BTreeSet<String> = BTreeSet::new();
+    for event in events {
+        match event.get("ph")?.as_str()? {
+            "X" => {
+                let ts = event.get("ts")?.as_u64()?;
+                let dur = event.get("dur")?.as_u64()?;
+                let pid = event.get("pid")?.as_u64()?;
+                let tid = event.get("tid")?.as_u64()?;
+                summary.spans += 1;
+                summary.end_us = summary.end_us.max(ts.saturating_add(dur));
+                tracks.insert((pid, tid));
+                if let Some(name) = event.get("name").and_then(Json::as_str) {
+                    names.insert(name.to_string());
+                }
+            }
+            "i" | "I" => summary.instants += 1,
+            "M" => summary.metadata += 1,
+            "C" => summary.counters += 1,
+            // Begin/end pairs, flow arrows, samples: legal, just untallied.
+            _ => {}
+        }
+    }
+    summary.tracks = tracks.len();
+    summary.span_names = names.into_iter().collect();
+    Some(summary)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -392,5 +493,59 @@ mod tests {
     fn huge_timestamps_saturate_instead_of_wrapping() {
         assert_eq!(micros(u64::MAX), u64::MAX);
         assert_eq!(micros(7), 7_000_000);
+    }
+
+    #[test]
+    fn loader_round_trips_our_own_export() {
+        let doc = chrome_trace(&life());
+        let summary = load_chrome_trace(&doc).expect("our export loads");
+        assert_eq!(summary.spans, 5, "three job phases + two node occupancies");
+        assert!(summary.span_names.iter().any(|n| n == "running"));
+        assert!(summary.metadata >= 4, "process + thread names");
+        assert_eq!(summary.counters, 2);
+        assert!(summary.end_us >= 110_000_000);
+        // tracks: (jobs, job 1), (nodes, node 3), (nodes, node 4)
+        assert_eq!(summary.tracks, 3);
+    }
+
+    #[test]
+    fn loader_accepts_a_flight_recorder_style_dump() {
+        // The daemon's dump verb emits this shape: pid 1, tid = connection.
+        let doc = r#"{"traceEvents":[
+            {"name":"process_name","ph":"M","pid":1,"args":{"name":"pqos-qosd requests"}},
+            {"name":"negotiate","ph":"X","ts":10,"dur":250,"pid":1,"tid":3,"args":{"seq":1}},
+            {"name":"negotiate:parse","ph":"X","ts":10,"dur":5,"pid":1,"tid":3,"args":{}}
+        ]}"#;
+        let summary = load_chrome_trace(doc).expect("dump loads");
+        assert_eq!(summary.events, 3);
+        assert_eq!(summary.spans, 2);
+        assert_eq!(summary.tracks, 1);
+        assert_eq!(summary.end_us, 260);
+        assert_eq!(summary.span_names, vec!["negotiate", "negotiate:parse"]);
+    }
+
+    #[test]
+    fn loader_rejects_structurally_broken_documents() {
+        assert!(load_chrome_trace("not json").is_none());
+        assert!(
+            load_chrome_trace(r#"{"events":[]}"#).is_none(),
+            "no traceEvents"
+        );
+        assert!(
+            load_chrome_trace(r#"{"traceEvents":{}}"#).is_none(),
+            "not an array"
+        );
+        assert!(
+            load_chrome_trace(r#"{"traceEvents":[{"name":"x"}]}"#).is_none(),
+            "event without ph"
+        );
+        assert!(
+            load_chrome_trace(r#"{"traceEvents":[{"ph":"X","ts":1,"dur":2,"pid":1}]}"#).is_none(),
+            "span without tid"
+        );
+        // The empty trace is valid — a disabled flight recorder dumps it.
+        let empty = load_chrome_trace(r#"{"traceEvents":[]}"#).expect("empty is valid");
+        assert_eq!(empty.events, 0);
+        assert_eq!(empty.render().chars().next(), Some('0'));
     }
 }

@@ -4,7 +4,14 @@
 //! pqos-loadgen --addr HOST:PORT [--threads N] [--requests N] [--depth N]
 //!              [--model nasa|sdsc] [--seed N] [--accept-prob F]
 //!              [--cancel-prob F] [--out BENCH_service.json] [--shutdown]
+//!              [--metrics HOST:PORT] [--baseline-rps F]
 //! ```
+//!
+//! With `--metrics`, the run ends with a `/metrics` scrape and the report
+//! embeds the daemon's own stage-latency decomposition and overload
+//! counts next to the client-side percentiles. `--baseline-rps` (the
+//! throughput of a reference run with tracing off) makes the report also
+//! state the tracing overhead this run paid.
 //!
 //! Exit status is nonzero when the daemon reports any batched-vs-serial
 //! parity violation — the load generator doubles as the online parity
@@ -25,6 +32,10 @@ const USAGE: &str = "usage: pqos-loadgen --addr HOST:PORT [options]
   --cancel-prob F   probability an accepted job is cancelled (default 0.1)
   --out PATH        write the JSON report here (BENCH_service.json schema)
   --shutdown        send the shutdown verb when done
+  --metrics HOST:PORT  scrape the daemon's /metrics endpoint at the end of
+                    the run and embed server-side numbers in the report
+  --baseline-rps F  reference throughput (tracing off); embeds the tracing
+                    overhead in the report
 ";
 
 fn die(msg: &str) -> ExitCode {
@@ -98,6 +109,14 @@ fn main() -> ExitCode {
                 Ok(())
             }
             "--out" => value("--out").map(|v| out = Some(v)),
+            "--metrics" => value("--metrics").map(|v| config.metrics_addr = Some(v)),
+            "--baseline-rps" => value("--baseline-rps").and_then(|v| {
+                v.parse()
+                    .ok()
+                    .filter(|r: &f64| r.is_finite() && *r > 0.0)
+                    .map(|r| config.baseline_rps = Some(r))
+                    .ok_or_else(|| "--baseline-rps: need a positive rate".into())
+            }),
             "-h" | "--help" => {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;

@@ -1,9 +1,12 @@
 //! `pqos-qosd`: the online QoS negotiation daemon.
 //!
 //! ```text
-//! pqos-qosd [--addr HOST:PORT] [--cluster-size N] [--journal PATH]
+//! pqos-qosd [--addr HOST:PORT] [--metrics-addr HOST:PORT]
+//!           [--cluster-size N] [--journal PATH]
 //!           [--time-scale F] [--queue-depth N] [--batch-threads N]
 //!           [--timeout-ms N] [--no-verify-parity] [--synthetic-failures]
+//!           [--flight-capacity N] [--no-flight] [--flight-dump PATH]
+//!           [--metrics-dump PATH]
 //! ```
 //!
 //! Binds, prints `listening on HOST:PORT` (port 0 in `--addr` picks a free
@@ -11,6 +14,13 @@
 //! protocol until a client sends `{"verb":"shutdown"}`. With `--journal`
 //! every served lifecycle is written as a telemetry journal that
 //! `pqos-doctor check` certifies clean.
+//!
+//! The observability plane rides along: `--metrics-addr` serves the
+//! metrics registry in Prometheus text format (`metrics on HOST:PORT` is
+//! printed the same way), request tracing into the flight recorder is on
+//! by default (`--no-flight` to opt out), and `--flight-dump` /
+//! `--metrics-dump` write the Chrome trace and the final metrics snapshot
+//! when the daemon drains.
 
 use pqos_core::config::SimConfig;
 use pqos_core::session::NegotiationSession;
@@ -18,7 +28,7 @@ use pqos_failures::synthetic::AixLikeTrace;
 use pqos_predict::api::{NullPredictor, Predictor};
 use pqos_predict::oracle::TraceOracle;
 use pqos_service::engine::EngineConfig;
-use pqos_service::server::serve;
+use pqos_service::server::{serve, ServerConfig, DEFAULT_FLIGHT_CAPACITY};
 use pqos_sim_core::time::SimDuration;
 use pqos_telemetry::Telemetry;
 use std::io::Write;
@@ -40,6 +50,15 @@ const USAGE: &str = "usage: pqos-qosd [options]
   --no-verify-parity    skip the live batched-vs-serial quote re-check
   --synthetic-failures  predict from a synthetic AIX-like failure trace
                         instead of the null predictor
+  --metrics-addr HOST:PORT  serve Prometheus /metrics here (port 0 = free
+                        port; scrape the `metrics on HOST:PORT` line)
+  --flight-capacity N   completed request traces the flight recorder keeps
+                        (default 256)
+  --no-flight           disable request tracing and the flight recorder
+  --flight-dump PATH    write the flight recorder's Chrome trace here on
+                        graceful shutdown
+  --metrics-dump PATH   write the final metrics snapshot (JSON) here on
+                        graceful shutdown
 ";
 
 fn die(msg: &str) -> ExitCode {
@@ -56,6 +75,10 @@ fn main() -> ExitCode {
     let mut engine = EngineConfig::default();
     let mut synthetic_failures = false;
     let mut quote_horizon: Option<u64> = None;
+    let mut metrics_addr: Option<String> = None;
+    let mut flight_capacity: usize = DEFAULT_FLIGHT_CAPACITY;
+    let mut flight_dump: Option<String> = None;
+    let mut metrics_dump: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -99,6 +122,18 @@ fn main() -> ExitCode {
                     .map(|n| quote_horizon = Some(n))
                     .map_err(|_| "--quote-horizon-secs: not a duration".into())
             }),
+            "--metrics-addr" => value("--metrics-addr").map(|v| metrics_addr = Some(v)),
+            "--flight-capacity" => value("--flight-capacity").and_then(|v| {
+                v.parse()
+                    .map(|n| flight_capacity = n)
+                    .map_err(|_| "--flight-capacity: not a count".into())
+            }),
+            "--no-flight" => {
+                flight_capacity = 0;
+                Ok(())
+            }
+            "--flight-dump" => value("--flight-dump").map(|v| flight_dump = Some(v)),
+            "--metrics-dump" => value("--metrics-dump").map(|v| metrics_dump = Some(v)),
             "--no-verify-parity" => {
                 engine.verify_parity = false;
                 Ok(())
@@ -121,8 +156,11 @@ fn main() -> ExitCode {
         return die("--cluster-size: need at least one node");
     }
 
+    // Telemetry is always enabled: the /metrics endpoint and the stage
+    // histograms need a live registry even when no journal is written.
+    // Without --journal there are no event sinks, so emits stay cheap.
     let telemetry = match &journal {
-        None => Telemetry::disabled(),
+        None => Telemetry::builder().build(),
         Some(path) => match Telemetry::builder().flush_every(1024).jsonl_path(path) {
             Ok(builder) => builder.build(),
             Err(e) => {
@@ -164,16 +202,39 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let metrics = match &metrics_addr {
+        None => None,
+        Some(addr) => match TcpListener::bind(addr) {
+            Ok(l) => Some(l),
+            Err(e) => {
+                eprintln!("pqos-qosd: cannot bind metrics {addr}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
     // A closed stdout (spawner went away after scraping the port) must not
     // kill the daemon; only report write errors that are not broken pipes.
-    if let Err(e) = writeln!(std::io::stdout().lock(), "listening on {bound}")
-        .and_then(|()| std::io::stdout().lock().flush())
+    let mut banner = format!("listening on {bound}\n");
+    if let Some(l) = &metrics {
+        if let Ok(a) = l.local_addr() {
+            banner.push_str(&format!("metrics on {a}\n"));
+        }
+    }
+    if let Err(e) =
+        write!(std::io::stdout().lock(), "{banner}").and_then(|()| std::io::stdout().lock().flush())
     {
         if e.kind() != std::io::ErrorKind::BrokenPipe {
             eprintln!("pqos-qosd: stdout: {e}");
         }
     }
-    match serve(listener, session, engine) {
+    let config = ServerConfig {
+        engine,
+        metrics,
+        flight_capacity,
+        flight_dump: flight_dump.map(Into::into),
+        metrics_dump: metrics_dump.map(Into::into),
+    };
+    match serve(listener, session, config) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("pqos-qosd: {e}");

@@ -1,0 +1,248 @@
+//! `pqos-top`: one-screen live status for a running `pqos-qosd`.
+//!
+//! ```text
+//! pqos-top --metrics HOST:PORT [--interval-ms N] [--once]
+//! ```
+//!
+//! Polls the daemon's `/metrics` endpoint and renders the scrape as a
+//! terminal dashboard: request rates per verb (from counter deltas
+//! between polls), per-verb p50/p99 latency (interpolated from the
+//! exported histogram buckets), engine queue depth, live jobs, session
+//! counters, and the overload rate. `--once` prints a single snapshot
+//! without clearing the screen — the mode CI and scripts use.
+//!
+//! No raw-terminal games: the repaint is ANSI clear-home
+//! (`ESC[2J ESC[H`), so any terminal (or `watch`-style pager) works, and
+//! piping to a file degrades to one frame per poll.
+
+use pqos_service::scrape;
+use pqos_telemetry::expo::{self, Sample};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "usage: pqos-top --metrics HOST:PORT [options]
+  --interval-ms N   poll interval (default 1000)
+  --once            print one snapshot and exit (no screen clearing)
+";
+
+const VERBS: [&str; 6] = [
+    "negotiate",
+    "accept",
+    "cancel",
+    "status",
+    "dump",
+    "shutdown",
+];
+
+fn die(msg: &str) -> ExitCode {
+    eprintln!("pqos-top: {msg}");
+    eprint!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut metrics: Option<String> = None;
+    let mut interval = Duration::from_millis(1000);
+    let mut once = false;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .map(|v| v.to_string())
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        let result: Result<(), String> = match flag.as_str() {
+            "--metrics" => value("--metrics").map(|v| metrics = Some(v)),
+            "--interval-ms" => value("--interval-ms").and_then(|v| {
+                v.parse()
+                    .map(|ms: u64| interval = Duration::from_millis(ms.max(100)))
+                    .map_err(|_| "--interval-ms: not a duration".into())
+            }),
+            "--once" => {
+                once = true;
+                Ok(())
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown flag: {other}")),
+        };
+        if let Err(msg) = result {
+            return die(&msg);
+        }
+    }
+    let Some(addr) = metrics else {
+        return die("--metrics is required");
+    };
+
+    let timeout = Duration::from_secs(5);
+    let mut previous: Option<(Instant, BTreeMap<String, f64>)> = None;
+    loop {
+        let samples = match scrape::scrape_metrics(&addr, timeout) {
+            Ok(samples) => samples,
+            Err(e) => {
+                if once {
+                    eprintln!("pqos-top: {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("pqos-top: {addr}: {e} (retrying)");
+                std::thread::sleep(interval);
+                continue;
+            }
+        };
+        let now = Instant::now();
+        let counters = verb_counters(&samples);
+        let frame = render_frame(&addr, &samples, &counters, previous.as_ref(), now);
+        let mut stdout = std::io::stdout().lock();
+        let payload = if once {
+            frame
+        } else {
+            format!("\x1b[2J\x1b[H{frame}")
+        };
+        if write!(stdout, "{payload}")
+            .and_then(|()| stdout.flush())
+            .is_err()
+        {
+            return ExitCode::SUCCESS; // pipe closed: done
+        }
+        if once {
+            return ExitCode::SUCCESS;
+        }
+        previous = Some((now, counters));
+        std::thread::sleep(interval);
+    }
+}
+
+/// Completed-request counters per verb, for rate deltas between polls.
+fn verb_counters(samples: &[Sample]) -> BTreeMap<String, f64> {
+    let mut map = BTreeMap::new();
+    for s in samples {
+        if s.name != "pqos_rpc_requests_total" {
+            continue;
+        }
+        if let Some((_, verb)) = s.labels.iter().find(|(k, _)| k == "verb") {
+            map.insert(verb.clone(), s.value);
+        }
+    }
+    map
+}
+
+/// Cumulative buckets for one verb's total-latency histogram.
+fn latency_buckets(samples: &[Sample], verb: &str) -> Vec<(f64, u64)> {
+    samples
+        .iter()
+        .filter(|s| {
+            s.name == "pqos_rpc_request_ns_bucket"
+                && s.labels.iter().any(|(k, v)| k == "verb" && v == verb)
+        })
+        .map(|s| {
+            let le = s
+                .labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .map(|(_, v)| {
+                    if v == "+Inf" {
+                        f64::INFINITY
+                    } else {
+                        v.parse().unwrap_or(f64::INFINITY)
+                    }
+                })
+                .unwrap_or(f64::INFINITY);
+            (le, s.value as u64)
+        })
+        .collect()
+}
+
+fn fmt_us(ns: Option<f64>) -> String {
+    match ns {
+        Some(ns) if ns >= 1e9 => format!("{:.1}s", ns / 1e9),
+        Some(ns) if ns >= 1e6 => format!("{:.1}ms", ns / 1e6),
+        Some(ns) => format!("{:.0}us", ns / 1e3),
+        None => String::from("-"),
+    }
+}
+
+fn render_frame(
+    addr: &str,
+    samples: &[Sample],
+    counters: &BTreeMap<String, f64>,
+    previous: Option<&(Instant, BTreeMap<String, f64>)>,
+    now: Instant,
+) -> String {
+    let gauge = |name: &str| expo::find(samples, name, &[]).unwrap_or(0.0);
+    let uptime = gauge("pqos_process_uptime_seconds") as u64;
+    let queue = gauge("pqos_engine_queue_depth") as u64;
+    let live = gauge("pqos_engine_live_jobs") as u64;
+    let overloaded = gauge("pqos_engine_overloaded_total") as u64;
+    let total_requests: f64 = counters.values().sum();
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "pqos-qosd @ {addr} | up {}h{:02}m{:02}s | queue {queue} | live jobs {live} | overloaded {overloaded}\n",
+        uptime / 3600,
+        (uptime % 3600) / 60,
+        uptime % 60,
+    ));
+    let rate_window = previous.map(|(t, _)| now.duration_since(*t).as_secs_f64());
+    let total_rate: Option<f64> = rate_window.map(|dt| {
+        let prev_total: f64 = previous.map(|(_, c)| c.values().sum()).unwrap_or(0.0);
+        ((total_requests - prev_total) / dt.max(1e-9)).max(0.0)
+    });
+    match total_rate {
+        Some(rate) => out.push_str(&format!(
+            "{total_requests:.0} requests served | {rate:.0} req/s\n\n"
+        )),
+        None => out.push_str(&format!("{total_requests:.0} requests served\n\n")),
+    }
+
+    out.push_str(&format!(
+        "{:<10} {:>12} {:>10} {:>10} {:>10}\n",
+        "verb", "total", "req/s", "p50", "p99"
+    ));
+    for verb in VERBS {
+        let Some(&total) = counters.get(verb) else {
+            continue;
+        };
+        let rate = match (rate_window, previous) {
+            (Some(dt), Some((_, prev))) => {
+                let before = prev.get(verb).copied().unwrap_or(0.0);
+                format!("{:.0}", ((total - before) / dt.max(1e-9)).max(0.0))
+            }
+            _ => String::from("-"),
+        };
+        let buckets = latency_buckets(samples, verb);
+        let p50 = expo::quantile_from_buckets(&buckets, 0.50);
+        let p99 = expo::quantile_from_buckets(&buckets, 0.99);
+        out.push_str(&format!(
+            "{verb:<10} {total:>12.0} {rate:>10} {:>10} {:>10}\n",
+            fmt_us(p50),
+            fmt_us(p99),
+        ));
+    }
+
+    out.push_str(&format!(
+        "\nsessions: quoted {} placed {} started {} completed {} rejected {} cancelled {}\n",
+        gauge("pqos_journal_quote_negotiated") as u64,
+        gauge("pqos_journal_job_placed") as u64,
+        gauge("pqos_journal_job_started") as u64,
+        gauge("pqos_journal_job_completed") as u64,
+        gauge("pqos_journal_job_rejected") as u64,
+        gauge("pqos_journal_job_cancelled") as u64,
+    ));
+    let overload_rate = if total_requests + overloaded as f64 > 0.0 {
+        overloaded as f64 / (total_requests + overloaded as f64) * 100.0
+    } else {
+        0.0
+    };
+    out.push_str(&format!(
+        "engine: ticks {} timeouts {} | overload rate {overload_rate:.2}%\n",
+        gauge("pqos_engine_ticks") as u64,
+        gauge("pqos_engine_timeouts") as u64,
+    ));
+    out
+}

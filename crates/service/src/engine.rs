@@ -29,17 +29,24 @@
 //! keeps quote latency in microseconds at tens of thousands of requests
 //! per second.
 
+use crate::flight::{FlightRecorder, TraceCtx};
 use crate::protocol::{ErrorCode, Request, Response, StatusBody};
 use pqos_core::session::{AcceptError, CancelError, NegotiationSession, QuoteDecision};
 use pqos_core::session::{AdmissionRequest, SessionStatus};
 use pqos_predict::api::Predictor;
 use pqos_sim_core::time::{SimDuration, SimTime};
+use pqos_telemetry::Telemetry;
 use pqos_workload::job::JobId;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// What travels back to a connection's writer thread: the response plus
+/// the request's trace (marked `write` and finished once the bytes are
+/// flushed to the socket).
+pub type ReplySender = Sender<(Response, Option<TraceCtx>)>;
 
 /// Tuning for the engine thread.
 #[derive(Debug, Clone)]
@@ -72,11 +79,26 @@ impl Default for EngineConfig {
     }
 }
 
-/// One queued unit of work: the request plus the connection's reply lane.
+/// One queued unit of work: the request plus the connection's reply lane
+/// and its trace (if the flight recorder is on).
 struct EngineRequest {
     request: Request,
-    reply: Sender<Response>,
+    reply: ReplySender,
     enqueued: Instant,
+    trace: Option<TraceCtx>,
+}
+
+/// State shared between every handle, the engine thread, and the metrics
+/// endpoint: cheap atomics that are meaningful even while the engine is
+/// busy inside a tick.
+struct EngineShared {
+    draining: AtomicBool,
+    /// Requests sitting in the bounded queue right now.
+    queue_len: AtomicI64,
+    /// Requests refused with `overloaded` since startup.
+    overloaded: AtomicU64,
+    /// When the engine started (uptime basis).
+    epoch: Instant,
 }
 
 /// Cheap clonable front door to the engine thread. Dropping every handle
@@ -84,15 +106,26 @@ struct EngineRequest {
 #[derive(Clone)]
 pub struct EngineHandle {
     tx: SyncSender<EngineRequest>,
-    draining: Arc<AtomicBool>,
+    shared: Arc<EngineShared>,
+    telemetry: Telemetry,
 }
 
 impl EngineHandle {
-    /// Enqueues `request`; its reply will arrive on `reply`. When the
-    /// engine cannot take it, the error response to send back is returned
-    /// instead (`overloaded` on a full queue, `shutting_down` during
-    /// drain).
-    pub fn submit(&self, request: Request, reply: &Sender<Response>) -> Result<(), Response> {
+    /// Enqueues `request`; its reply (and `trace`, marked and finished by
+    /// the writer) will arrive on `reply`. When the engine cannot take it,
+    /// the error response to send back — and the trace, returned so the
+    /// caller can still finish it — comes back instead (`overloaded` on a
+    /// full queue, `shutting_down` during drain).
+    // The Err payload is large but is consumed immediately by the caller
+    // to send the refusal; boxing it would put an allocation on the
+    // overload path, which is exactly when we want to shed load cheaply.
+    #[allow(clippy::result_large_err)]
+    pub fn submit(
+        &self,
+        request: Request,
+        reply: &ReplySender,
+        trace: Option<TraceCtx>,
+    ) -> Result<(), (Response, Option<TraceCtx>)> {
         let refusal = |code: ErrorCode| Response::Error {
             id: request.id(),
             code,
@@ -101,45 +134,91 @@ impl EngineHandle {
                 _ => "daemon is draining".into(),
             },
         };
-        if self.draining.load(Ordering::Acquire) {
-            return Err(refusal(ErrorCode::ShuttingDown));
+        if self.shared.draining.load(Ordering::Acquire) {
+            return Err((refusal(ErrorCode::ShuttingDown), trace));
         }
         let item = EngineRequest {
             request,
             reply: reply.clone(),
             enqueued: Instant::now(),
+            trace,
         };
         match self.tx.try_send(item) {
-            Ok(()) => Ok(()),
-            Err(TrySendError::Full(_)) => Err(refusal(ErrorCode::Overloaded)),
-            Err(TrySendError::Disconnected(_)) => Err(refusal(ErrorCode::ShuttingDown)),
+            Ok(()) => {
+                self.shared.queue_len.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(TrySendError::Full(item)) => {
+                self.shared.overloaded.fetch_add(1, Ordering::Relaxed);
+                Err((refusal(ErrorCode::Overloaded), item.trace))
+            }
+            Err(TrySendError::Disconnected(item)) => {
+                Err((refusal(ErrorCode::ShuttingDown), item.trace))
+            }
         }
     }
 
     /// Whether a shutdown verb has been observed.
     pub fn is_draining(&self) -> bool {
-        self.draining.load(Ordering::Acquire)
+        self.shared.draining.load(Ordering::Acquire)
+    }
+
+    /// Requests waiting in the engine queue right now.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue_len.load(Ordering::Relaxed).max(0) as usize
+    }
+
+    /// Requests refused with `overloaded` since startup.
+    pub fn overloaded_total(&self) -> u64 {
+        self.shared.overloaded.load(Ordering::Relaxed)
+    }
+
+    /// Wall-clock time since the engine started.
+    pub fn uptime(&self) -> Duration {
+        self.shared.epoch.elapsed()
+    }
+
+    /// Pushes the live engine state into gauges, so a `/metrics` scrape
+    /// of an idle daemon (no tick running) still reports fresh values.
+    pub fn refresh_gauges(&self) {
+        self.telemetry
+            .gauge("engine.queue_depth")
+            .set(self.queue_depth() as i64);
+        self.telemetry
+            .gauge("engine.overloaded_total")
+            .set(self.overloaded_total() as i64);
+        self.telemetry
+            .gauge("process.uptime_seconds")
+            .set(self.uptime().as_secs() as i64);
     }
 }
 
 /// Starts the engine thread around `session`. Returns the handle
 /// connections submit through and the join handle to await drain.
+/// `recorder` answers the `dump` verb (pass a disabled one to opt out).
 pub fn spawn<P>(
     session: NegotiationSession<P>,
     config: EngineConfig,
+    recorder: FlightRecorder,
 ) -> (EngineHandle, JoinHandle<()>)
 where
     P: Predictor + Send + Sync + 'static,
 {
     let (tx, rx) = std::sync::mpsc::sync_channel(config.queue_depth.max(1));
-    let draining = Arc::new(AtomicBool::new(false));
+    let shared = Arc::new(EngineShared {
+        draining: AtomicBool::new(false),
+        queue_len: AtomicI64::new(0),
+        overloaded: AtomicU64::new(0),
+        epoch: Instant::now(),
+    });
     let handle = EngineHandle {
         tx,
-        draining: Arc::clone(&draining),
+        shared: Arc::clone(&shared),
+        telemetry: session.telemetry().clone(),
     };
     let join = std::thread::Builder::new()
         .name("pqos-engine".into())
-        .spawn(move || run(session, config, rx, draining))
+        .spawn(move || run(session, config, rx, shared, recorder))
         .expect("spawn engine thread");
     (handle, join)
 }
@@ -148,19 +227,45 @@ fn run<P: Predictor + Sync>(
     mut session: NegotiationSession<P>,
     config: EngineConfig,
     rx: Receiver<EngineRequest>,
-    draining: Arc<AtomicBool>,
+    shared: Arc<EngineShared>,
+    recorder: FlightRecorder,
 ) {
     let session = &mut session;
-    let epoch = Instant::now();
+    let telemetry = session.telemetry().clone();
+    let tick_ns = telemetry.histogram("engine.tick_ns");
+    let batch_size = telemetry.histogram("engine.batch_size");
+    let ticks = telemetry.counter("engine.ticks");
+    let timeouts = telemetry.counter("engine.timeouts");
+    let queue_gauge = telemetry.gauge("engine.queue_depth");
+    let live_jobs_gauge = telemetry.gauge("engine.live_jobs");
+    let overloaded_gauge = telemetry.gauge("engine.overloaded_total");
+    let uptime_gauge = telemetry.gauge("process.uptime_seconds");
+    let epoch = shared.epoch;
     let mut next_job: u64 = 1;
+    // Journal-derived gauges (journal.*) are published on flush; flush at
+    // most once a second so a mid-run /metrics scrape sees fresh session
+    // counts without a sink flush on every tick.
+    let mut last_flush = Instant::now();
+    const FLUSH_EVERY: Duration = Duration::from_secs(1);
+    let pop = |item: &mut EngineRequest| {
+        shared.queue_len.fetch_sub(1, Ordering::Relaxed);
+        if let Some(t) = item.trace.as_mut() {
+            t.mark("queue");
+        }
+    };
     'serve: loop {
-        let Ok(first) = rx.recv() else {
+        let Ok(mut first) = rx.recv() else {
             break; // every handle dropped; nothing more can arrive
         };
+        pop(&mut first);
+        let tick_timer = tick_ns.start_timer();
         let mut tick = vec![first];
         while tick.len() < config.max_batch.max(1) {
             match rx.try_recv() {
-                Ok(item) => tick.push(item),
+                Ok(mut item) => {
+                    pop(&mut item);
+                    tick.push(item);
+                }
                 Err(_) => break,
             }
         }
@@ -168,16 +273,15 @@ fn run<P: Predictor + Sync>(
         session.advance_to(SimTime::from_secs(virtual_now));
 
         let mut live = Vec::with_capacity(tick.len());
-        for item in tick {
+        for mut item in tick {
             if item.enqueued.elapsed() > config.request_timeout {
-                respond(
-                    &item.reply,
-                    Response::Error {
-                        id: item.request.id(),
-                        code: ErrorCode::Timeout,
-                        detail: "request waited past its deadline; retry".into(),
-                    },
-                );
+                timeouts.inc();
+                let response = Response::Error {
+                    id: item.request.id(),
+                    code: ErrorCode::Timeout,
+                    detail: "request waited past its deadline; retry".into(),
+                };
+                respond(&item.reply, response, item.trace.take());
             } else {
                 live.push(item);
             }
@@ -185,17 +289,20 @@ fn run<P: Predictor + Sync>(
 
         // Pass 1: coalesce every negotiate into one batched quote call
         // against this tick's book snapshot.
-        let quote_items: Vec<&EngineRequest> = live
+        let quote_idx: Vec<usize> = live
             .iter()
-            .filter(|i| matches!(i.request, Request::Negotiate { .. }))
+            .enumerate()
+            .filter(|(_, i)| matches!(i.request, Request::Negotiate { .. }))
+            .map(|(k, _)| k)
             .collect();
-        if !quote_items.is_empty() {
-            let batch: Vec<(JobId, AdmissionRequest)> = quote_items
+        if !quote_idx.is_empty() {
+            batch_size.observe(quote_idx.len() as f64);
+            let batch: Vec<(JobId, AdmissionRequest)> = quote_idx
                 .iter()
-                .map(|i| {
+                .map(|&k| {
                     let Request::Negotiate {
                         size, runtime_secs, ..
-                    } = i.request
+                    } = live[k].request
                     else {
                         unreachable!("filtered above");
                     };
@@ -210,60 +317,83 @@ fn run<P: Predictor + Sync>(
                     )
                 })
                 .collect();
+            for &k in &quote_idx {
+                if let Some(t) = live[k].trace.as_mut() {
+                    t.mark("batch");
+                }
+            }
             let decisions = session.quote_batch(&batch, config.batch_threads);
-            for ((item, (job, _)), decision) in quote_items.iter().zip(&batch).zip(decisions) {
-                respond(
-                    &item.reply,
-                    quote_response(item.request.id(), job.as_u64(), decision),
-                );
+            for ((&k, (job, _)), decision) in quote_idx.iter().zip(&batch).zip(decisions) {
+                let item = &mut live[k];
+                let response = quote_response(item.request.id(), job.as_u64(), decision);
+                if let Some(t) = item.trace.as_mut() {
+                    t.mark("compute");
+                }
+                respond(&item.reply, response, item.trace.take());
             }
         }
 
         // Pass 2: mutations and queries in arrival order.
-        for item in &live {
+        for item in live.iter_mut() {
             let id = item.request.id();
-            match item.request {
-                Request::Negotiate { .. } => {}
-                Request::Accept { job, .. } => {
-                    respond(&item.reply, accept_response(session, id, job));
-                }
-                Request::Cancel { job, .. } => {
-                    respond(&item.reply, cancel_response(session, id, job));
-                }
-                Request::Status { .. } => {
-                    respond(
-                        &item.reply,
-                        Response::Status {
-                            id,
-                            body: status_body(&session.status()),
-                        },
-                    );
-                }
+            let response = match item.request {
+                Request::Negotiate { .. } => continue, // answered in pass 1
+                Request::Accept { job, .. } => accept_response(session, id, job),
+                Request::Cancel { job, .. } => cancel_response(session, id, job),
+                Request::Status { .. } => Response::Status {
+                    id,
+                    body: status_body(&session.status(), &shared, session.live_jobs() as u64),
+                },
+                Request::Dump { .. } => Response::Dump {
+                    id,
+                    trace: recorder.dump_chrome(),
+                },
                 Request::Shutdown { .. } => {
-                    draining.store(true, Ordering::Release);
-                    respond(&item.reply, Response::Ok { id });
-                    while let Ok(stale) = rx.try_recv() {
-                        respond(
-                            &stale.reply,
-                            Response::Error {
-                                id: stale.request.id(),
-                                code: ErrorCode::ShuttingDown,
-                                detail: "daemon is draining".into(),
-                            },
-                        );
+                    shared.draining.store(true, Ordering::Release);
+                    respond(&item.reply, Response::Ok { id }, item.trace.take());
+                    while let Ok(mut stale) = rx.try_recv() {
+                        pop(&mut stale);
+                        let refusal = Response::Error {
+                            id: stale.request.id(),
+                            code: ErrorCode::ShuttingDown,
+                            detail: "daemon is draining".into(),
+                        };
+                        respond(&stale.reply, refusal, stale.trace.take());
                     }
                     break 'serve;
                 }
+            };
+            if let Some(t) = item.trace.as_mut() {
+                t.mark("compute");
             }
+            respond(&item.reply, response, item.trace.take());
+        }
+        ticks.inc();
+        tick_timer.stop();
+        queue_gauge.set(shared.queue_len.load(Ordering::Relaxed).max(0));
+        live_jobs_gauge.set(session.live_jobs() as i64);
+        overloaded_gauge.set(shared.overloaded.load(Ordering::Relaxed) as i64);
+        uptime_gauge.set(epoch.elapsed().as_secs() as i64);
+        if last_flush.elapsed() >= FLUSH_EVERY {
+            session.flush();
+            last_flush = Instant::now();
         }
     }
+    uptime_gauge.set(epoch.elapsed().as_secs() as i64);
     session.flush();
 }
 
 /// Replies are best-effort: a gone client (dropped receiver) is a clean
-/// disconnect, not an engine error.
-fn respond(reply: &Sender<Response>, response: Response) {
-    let _ = reply.send(response);
+/// disconnect, not an engine error. The trace travels with the response
+/// so the writer thread can mark the `write` stage and finish it.
+fn respond(reply: &ReplySender, response: Response, trace: Option<TraceCtx>) {
+    if let Err(returned) = reply.send((response, trace)) {
+        // Receiver gone: nobody will write the reply or finish the trace,
+        // so drop it from the in-flight table instead of leaking it.
+        if let Some(t) = returned.0 .1 {
+            t.abandon();
+        }
+    }
 }
 
 fn quote_response(id: u64, job: u64, decision: QuoteDecision) -> Response {
@@ -321,7 +451,7 @@ fn cancel_response<P: Predictor + Sync>(
     }
 }
 
-fn status_body(status: &SessionStatus) -> StatusBody {
+fn status_body(status: &SessionStatus, shared: &EngineShared, live_jobs: u64) -> StatusBody {
     StatusBody {
         now_secs: status.now.as_secs(),
         cluster_size: status.cluster_size,
@@ -336,6 +466,10 @@ fn status_body(status: &SessionStatus) -> StatusBody {
         completed: status.stats.completed,
         parity_checked: status.stats.parity_checked,
         parity_violations: status.stats.parity_violations,
+        queue_depth: shared.queue_len.load(Ordering::Relaxed).max(0) as u64,
+        uptime_secs: shared.epoch.elapsed().as_secs(),
+        live_jobs,
+        overloaded: shared.overloaded.load(Ordering::Relaxed),
     }
 }
 
@@ -353,13 +487,13 @@ mod tests {
             Telemetry::disabled(),
         )
         .verify_parity(config.verify_parity);
-        spawn(session, config)
+        spawn(session, config, FlightRecorder::disabled())
     }
 
     fn ask(handle: &EngineHandle, request: Request) -> Response {
         let (tx, rx) = std::sync::mpsc::channel();
-        handle.submit(request, &tx).expect("engine accepts");
-        rx.recv_timeout(Duration::from_secs(5)).expect("reply")
+        handle.submit(request, &tx, None).expect("engine accepts");
+        rx.recv_timeout(Duration::from_secs(5)).expect("reply").0
     }
 
     #[test]
@@ -393,7 +527,9 @@ mod tests {
         join.join().unwrap();
         // Post-drain submissions are refused, not queued.
         let (tx, _rx) = std::sync::mpsc::channel();
-        let refused = handle.submit(Request::Status { id: 5 }, &tx).unwrap_err();
+        let (refused, _) = handle
+            .submit(Request::Status { id: 5 }, &tx, None)
+            .unwrap_err();
         assert!(matches!(
             refused,
             Response::Error {
@@ -404,17 +540,26 @@ mod tests {
     }
 
     #[test]
-    fn a_full_queue_answers_overloaded() {
+    fn a_full_queue_answers_overloaded_and_counts_it() {
         // Hand-build a handle whose queue nobody drains.
         let (tx, _rx) = std::sync::mpsc::sync_channel(1);
         let handle = EngineHandle {
             tx,
-            draining: Arc::new(AtomicBool::new(false)),
+            shared: Arc::new(EngineShared {
+                draining: AtomicBool::new(false),
+                queue_len: AtomicI64::new(0),
+                overloaded: AtomicU64::new(0),
+                epoch: Instant::now(),
+            }),
+            telemetry: Telemetry::disabled(),
         };
         let (reply, _) = std::sync::mpsc::channel();
-        assert!(handle.submit(Request::Status { id: 1 }, &reply).is_ok());
-        let refused = handle
-            .submit(Request::Status { id: 2 }, &reply)
+        assert!(handle
+            .submit(Request::Status { id: 1 }, &reply, None)
+            .is_ok());
+        assert_eq!(handle.queue_depth(), 1);
+        let (refused, _) = handle
+            .submit(Request::Status { id: 2 }, &reply, None)
             .unwrap_err();
         assert!(matches!(
             refused,
@@ -424,6 +569,8 @@ mod tests {
                 ..
             }
         ));
+        assert_eq!(handle.overloaded_total(), 1);
+        assert_eq!(handle.queue_depth(), 1, "refused requests never count");
     }
 
     #[test]
@@ -439,12 +586,13 @@ mod tests {
                         runtime_secs: 600,
                     },
                     &reply,
+                    None,
                 )
                 .unwrap();
         }
         let mut jobs = Vec::new();
         for _ in 0..20 {
-            match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            match rx.recv_timeout(Duration::from_secs(5)).unwrap().0 {
                 Response::Quote { job, .. } => jobs.push(job),
                 other => panic!("expected quotes, got {other:?}"),
             }
@@ -458,6 +606,86 @@ mod tests {
         assert_eq!(body.quoted, 20);
         assert_eq!(body.parity_violations, 0);
         ask(&handle, Request::Shutdown { id: 100 });
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn status_reports_engine_observability_fields() {
+        let (handle, join) = engine(16, EngineConfig::default());
+        let Response::Quote { job, .. } = ask(
+            &handle,
+            Request::Negotiate {
+                id: 1,
+                size: 2,
+                runtime_secs: 600,
+            },
+        ) else {
+            panic!("expected a quote");
+        };
+        ask(&handle, Request::Accept { id: 2, job });
+        let Response::Status { body, .. } = ask(&handle, Request::Status { id: 3 }) else {
+            panic!("expected status");
+        };
+        // A quoted-and-accepted job is live; the queue drained to answer us.
+        assert_eq!(body.live_jobs, 1);
+        assert_eq!(body.queue_depth, 0);
+        assert_eq!(body.overloaded, 0);
+        ask(&handle, Request::Shutdown { id: 4 });
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn dump_answers_with_a_chrome_trace_and_the_writer_finishes_traces() {
+        let telemetry = Telemetry::builder().ring_buffer(1).build();
+        let recorder = FlightRecorder::new(16, telemetry.clone());
+        let session = NegotiationSession::new(
+            SimConfig::paper_defaults().cluster_size_nodes(16),
+            NullPredictor,
+            Telemetry::disabled(),
+        );
+        let (handle, join) = spawn(session, EngineConfig::default(), recorder.clone());
+        let (tx, rx) = std::sync::mpsc::channel();
+
+        // A traced negotiate: reader role (begin + parse mark) here,
+        // writer role (write mark + finish) after the reply arrives.
+        let mut trace = recorder
+            .begin("negotiate", 7, Instant::now())
+            .expect("recorder is enabled");
+        trace.mark("parse");
+        handle
+            .submit(
+                Request::Negotiate {
+                    id: 1,
+                    size: 2,
+                    runtime_secs: 600,
+                },
+                &tx,
+                Some(trace),
+            )
+            .unwrap();
+        let (response, trace) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(matches!(response, Response::Quote { .. }));
+        let mut trace = trace.expect("trace rides along with the reply");
+        trace.mark("write");
+        trace.finish();
+        assert_eq!(recorder.depth(), (0, 1));
+
+        // The dump verb returns the ring as a Chrome trace document.
+        let Response::Dump { trace: doc, .. } = ask(&handle, Request::Dump { id: 2 }) else {
+            panic!("expected dump");
+        };
+        let v = pqos_telemetry::json::Json::parse(doc.trim()).expect("dump is JSON");
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(!events.is_empty());
+
+        // Engine stages landed in the per-verb histograms.
+        let snap = telemetry.snapshot().unwrap();
+        for stage in ["parse", "queue", "batch", "compute", "write"] {
+            let key =
+                pqos_telemetry::labeled("rpc.stage_ns", &[("stage", stage), ("verb", "negotiate")]);
+            assert_eq!(snap.histogram(&key).unwrap().count, 1, "{key}");
+        }
+        ask(&handle, Request::Shutdown { id: 3 });
         join.join().unwrap();
     }
 }

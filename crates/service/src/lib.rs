@@ -32,18 +32,32 @@
 //!    disconnect or a panic — the parser is the same fuzz-hardened one the
 //!    journal uses.
 //!
-//! See `DESIGN.md` ("The online service") for the wire protocol and
-//! threading model, and the README for a runnable walkthrough.
+//! The daemon also carries its own observability plane (this crate's
+//! `flight`, `metrics_http`, and `scrape` modules): every request line
+//! can open a [`TraceCtx`](flight::TraceCtx) whose stage latencies
+//! (parse → queue → batch → compute → write) land in per-verb histograms
+//! and in the [`FlightRecorder`](flight::FlightRecorder)'s ring; a
+//! hand-rolled `/metrics` listener exposes the whole registry in
+//! Prometheus text format; and `pqos-top` renders the scrape as a live
+//! one-screen status display.
+//!
+//! See `DESIGN.md` ("The online service", "Monitoring the daemon") for
+//! the wire protocol and threading model, and the README for a runnable
+//! walkthrough.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod flight;
 pub mod loadgen;
+pub mod metrics_http;
 pub mod protocol;
+pub mod scrape;
 pub mod server;
 
 pub use engine::{EngineConfig, EngineHandle};
+pub use flight::{FlightRecorder, TraceCtx};
 pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use protocol::{ErrorCode, Request, Response};
-pub use server::serve;
+pub use server::{serve, ServerConfig};

@@ -19,7 +19,9 @@
 //! what it measured.
 
 use crate::protocol::{ErrorCode, Request, Response};
+use crate::{flight, scrape};
 use pqos_sim_core::rng::DetRng;
+use pqos_telemetry::expo;
 use pqos_workload::synthetic::{LogModel, SyntheticLog};
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -50,6 +52,13 @@ pub struct LoadgenConfig {
     /// How long to keep retrying the initial connect (the daemon may
     /// still be binding when the generator starts).
     pub connect_timeout: Duration,
+    /// The daemon's `/metrics` address; when set, the run ends with a
+    /// scrape and the report embeds the server-side stage latencies and
+    /// overload counts next to the client-side numbers.
+    pub metrics_addr: Option<String>,
+    /// Throughput of a reference run (tracing off); when set, the report
+    /// embeds the tracing overhead this run paid relative to it.
+    pub baseline_rps: Option<f64>,
 }
 
 impl Default for LoadgenConfig {
@@ -65,6 +74,75 @@ impl Default for LoadgenConfig {
             cancel_probability: 0.1,
             shutdown: false,
             connect_timeout: Duration::from_secs(10),
+            metrics_addr: None,
+            baseline_rps: None,
+        }
+    }
+}
+
+/// Server-side numbers scraped from `/metrics` at the end of a run: the
+/// decomposition of quote latency the client cannot see from outside.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerMetrics {
+    /// Requests the engine refused with `overloaded`.
+    pub overloaded: u64,
+    /// Requests completed across all verbs (`rpc.requests_total`).
+    pub requests_total: u64,
+    /// Per-stage `(p50_us, p99_us)` for the `negotiate` verb, in
+    /// [`flight::STAGES`] order; stages with no observations are omitted.
+    pub stages_us: Vec<(String, f64, f64)>,
+}
+
+impl ServerMetrics {
+    /// Extracts the report-relevant numbers from a parsed scrape.
+    pub fn from_samples(samples: &[expo::Sample]) -> ServerMetrics {
+        let overloaded = expo::find(samples, "pqos_engine_overloaded_total", &[])
+            .map(|v| v as u64)
+            .unwrap_or(0);
+        let requests_total = samples
+            .iter()
+            .filter(|s| s.name == "pqos_rpc_requests_total")
+            .map(|s| s.value as u64)
+            .sum();
+        let mut stages_us = Vec::new();
+        for stage in flight::STAGES {
+            let buckets: Vec<(f64, u64)> = samples
+                .iter()
+                .filter(|s| {
+                    s.name == "pqos_rpc_stage_ns_bucket"
+                        && s.labels.iter().any(|(k, v)| k == "stage" && v == stage)
+                        && s.labels
+                            .iter()
+                            .any(|(k, v)| k == "verb" && v == "negotiate")
+                })
+                .map(|s| {
+                    let le = s
+                        .labels
+                        .iter()
+                        .find(|(k, _)| k == "le")
+                        .map(|(_, v)| {
+                            if v == "+Inf" {
+                                f64::INFINITY
+                            } else {
+                                v.parse().unwrap_or(f64::INFINITY)
+                            }
+                        })
+                        .unwrap_or(f64::INFINITY);
+                    (le, s.value as u64)
+                })
+                .collect();
+            let (Some(p50), Some(p99)) = (
+                expo::quantile_from_buckets(&buckets, 0.50),
+                expo::quantile_from_buckets(&buckets, 0.99),
+            ) else {
+                continue;
+            };
+            stages_us.push((stage.to_string(), p50 / 1_000.0, p99 / 1_000.0));
+        }
+        ServerMetrics {
+            overloaded,
+            requests_total,
+            stages_us,
         }
     }
 }
@@ -104,6 +182,11 @@ pub struct LoadgenReport {
     pub parity_checked: u64,
     /// Engine-side parity disagreements; must be zero.
     pub parity_violations: u64,
+    /// Server-side numbers from the end-of-run `/metrics` scrape, when
+    /// [`LoadgenConfig::metrics_addr`] was set and the scrape succeeded.
+    pub server: Option<ServerMetrics>,
+    /// Reference throughput (tracing off) this run is compared against.
+    pub baseline_rps: Option<f64>,
 }
 
 impl LoadgenReport {
@@ -126,7 +209,9 @@ impl LoadgenReport {
                 "  \"throughput_rps\": {:.1},\n",
                 "  \"quote_latency_us\": {{ \"p50\": {}, \"p90\": {}, \"p99\": {} }},\n",
                 "  \"parity_checked\": {},\n",
-                "  \"parity_violations\": {}\n",
+                "  \"parity_violations\": {},\n",
+                "  \"server\": {},\n",
+                "  \"tracing_overhead\": {}\n",
                 "}}\n"
             ),
             self.threads,
@@ -145,11 +230,66 @@ impl LoadgenReport {
             self.p99_latency_us,
             self.parity_checked,
             self.parity_violations,
+            self.server_json(),
+            self.overhead_json(),
         )
     }
 
-    /// One-line human summary for the terminal.
+    fn server_json(&self) -> String {
+        let Some(server) = &self.server else {
+            return String::from("null");
+        };
+        let stages: Vec<String> = server
+            .stages_us
+            .iter()
+            .map(|(stage, p50, p99)| {
+                format!("\"{stage}\": {{ \"p50\": {p50:.1}, \"p99\": {p99:.1} }}")
+            })
+            .collect();
+        format!(
+            "{{ \"overloaded\": {}, \"requests_total\": {}, \"stages_us\": {{ {} }} }}",
+            server.overloaded,
+            server.requests_total,
+            stages.join(", "),
+        )
+    }
+
+    fn overhead_json(&self) -> String {
+        let Some(baseline) = self.baseline_rps else {
+            return String::from("null");
+        };
+        let overhead_pct = if baseline > 0.0 {
+            (baseline - self.throughput_rps) / baseline * 100.0
+        } else {
+            0.0
+        };
+        format!(
+            "{{ \"baseline_rps\": {:.1}, \"traced_rps\": {:.1}, \"overhead_pct\": {:.2} }}",
+            baseline, self.throughput_rps, overhead_pct,
+        )
+    }
+
+    /// One-line human summary for the terminal (two lines when the
+    /// server-side scrape is present).
     pub fn render(&self) -> String {
+        let mut out = self.render_client();
+        if let Some(server) = &self.server {
+            let stages: Vec<String> = server
+                .stages_us
+                .iter()
+                .map(|(stage, p50, p99)| format!("{stage} {p50:.0}/{p99:.0}us"))
+                .collect();
+            out.push_str(&format!(
+                "\nserver: {} requests, {} overloaded | stage p50/p99: {}",
+                server.requests_total,
+                server.overloaded,
+                stages.join(" "),
+            ));
+        }
+        out
+    }
+
+    fn render_client(&self) -> String {
         format!(
             "{} requests in {:.2}s = {:.0} req/s | quote latency p50 {}us p90 {}us p99 {}us | \
              quoted {} rejected {} accepted {} expired {} cancelled {} retried {} | parity {}/{}",
@@ -284,6 +424,13 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         Some(Response::Status { body, .. }) => (body.parity_checked, body.parity_violations),
         _ => (0, 0),
     };
+    // Scrape while the daemon is still up; a failed scrape degrades to a
+    // report without server-side numbers, not a failed run.
+    let server = config.metrics_addr.as_deref().and_then(|addr| {
+        scrape::scrape_metrics(addr, config.connect_timeout)
+            .ok()
+            .map(|samples| ServerMetrics::from_samples(&samples))
+    });
     if config.shutdown {
         control_roundtrip(
             &config.addr,
@@ -310,6 +457,8 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         p99_latency_us: percentile(0.99),
         parity_checked,
         parity_violations,
+        server,
+        baseline_rps: config.baseline_rps,
     })
 }
 

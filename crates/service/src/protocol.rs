@@ -11,7 +11,8 @@
 //! {"id":2,"verb":"accept","job":17}
 //! {"id":3,"verb":"cancel","job":17}
 //! {"id":4,"verb":"status"}
-//! {"id":5,"verb":"shutdown"}
+//! {"id":5,"verb":"dump"}
+//! {"id":6,"verb":"shutdown"}
 //! ```
 //!
 //! Successful responses carry `"ok":true` plus verb-specific fields;
@@ -120,6 +121,11 @@ pub enum Request {
         /// Correlation id, echoed in the reply.
         id: u64,
     },
+    /// Ask for the flight recorder's contents as a Chrome trace.
+    Dump {
+        /// Correlation id, echoed in the reply.
+        id: u64,
+    },
     /// Drain and stop the daemon.
     Shutdown {
         /// Correlation id, echoed in the reply.
@@ -145,7 +151,20 @@ impl Request {
             | Request::Accept { id, .. }
             | Request::Cancel { id, .. }
             | Request::Status { id }
+            | Request::Dump { id }
             | Request::Shutdown { id } => *id,
+        }
+    }
+
+    /// The verb as spelled on the wire (trace and metric label).
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Negotiate { .. } => "negotiate",
+            Request::Accept { .. } => "accept",
+            Request::Cancel { .. } => "cancel",
+            Request::Status { .. } => "status",
+            Request::Dump { .. } => "dump",
+            Request::Shutdown { .. } => "shutdown",
         }
     }
 
@@ -202,6 +221,7 @@ impl Request {
                 })
             }
             "status" => Ok(Request::Status { id }),
+            "dump" => Ok(Request::Dump { id }),
             "shutdown" => Ok(Request::Shutdown { id }),
             _ => fail(Some(id), "unknown verb"),
         }
@@ -229,6 +249,9 @@ impl Request {
             }
             Request::Status { id } => {
                 w.u64("id", *id).str("verb", "status");
+            }
+            Request::Dump { id } => {
+                w.u64("id", *id).str("verb", "dump");
             }
             Request::Shutdown { id } => {
                 w.u64("id", *id).str("verb", "shutdown");
@@ -267,6 +290,14 @@ pub struct StatusBody {
     pub parity_checked: u64,
     /// Re-checks that disagreed (must be zero).
     pub parity_violations: u64,
+    /// Requests waiting in the engine queue right now.
+    pub queue_depth: u64,
+    /// Wall-clock seconds since the engine started.
+    pub uptime_secs: u64,
+    /// Jobs currently quoted, accepted, or running.
+    pub live_jobs: u64,
+    /// Requests refused with `overloaded` since startup.
+    pub overloaded: u64,
 }
 
 /// A server response.
@@ -301,6 +332,14 @@ pub enum Response {
         /// The snapshot.
         body: StatusBody,
     },
+    /// A successful `dump`: the flight recorder rendered as a Chrome
+    /// `trace_event` document (JSON carried as a string field).
+    Dump {
+        /// Correlation id of the request.
+        id: u64,
+        /// Chrome trace JSON (`{"traceEvents":[…]}`).
+        trace: String,
+    },
     /// Any failure; `code` is stable, `detail` is advisory.
     Error {
         /// Correlation id of the request (0 when unrecoverable).
@@ -319,6 +358,7 @@ impl Response {
             Response::Quote { id, .. }
             | Response::Ok { id }
             | Response::Status { id, .. }
+            | Response::Dump { id, .. }
             | Response::Error { id, .. } => *id,
         }
     }
@@ -363,7 +403,14 @@ impl Response {
                     .u64("started", body.started)
                     .u64("completed", body.completed)
                     .u64("parity_checked", body.parity_checked)
-                    .u64("parity_violations", body.parity_violations);
+                    .u64("parity_violations", body.parity_violations)
+                    .u64("queue_depth", body.queue_depth)
+                    .u64("uptime_secs", body.uptime_secs)
+                    .u64("live_jobs", body.live_jobs)
+                    .u64("overloaded", body.overloaded);
+            }
+            Response::Dump { id, trace } => {
+                w.u64("id", *id).bool("ok", true).str("trace", trace);
             }
             Response::Error { id, code, detail } => {
                 w.u64("id", *id)
@@ -389,6 +436,12 @@ impl Response {
                 .unwrap_or_default()
                 .to_string();
             return Some(Response::Error { id, code, detail });
+        }
+        if let Some(trace) = v.get("trace").and_then(Json::as_str) {
+            return Some(Response::Dump {
+                id,
+                trace: trace.to_string(),
+            });
         }
         if let Some(job) = v.get("job").and_then(Json::as_u64) {
             return Some(Response::Quote {
@@ -419,6 +472,12 @@ impl Response {
                     completed: u("completed")?,
                     parity_checked: u("parity_checked")?,
                     parity_violations: u("parity_violations")?,
+                    // Lenient on the observability extras so replies from
+                    // daemons predating them still parse.
+                    queue_depth: u("queue_depth").unwrap_or(0),
+                    uptime_secs: u("uptime_secs").unwrap_or(0),
+                    live_jobs: u("live_jobs").unwrap_or(0),
+                    overloaded: u("overloaded").unwrap_or(0),
                 },
             });
         }
@@ -441,7 +500,8 @@ mod tests {
             Request::Accept { id: 2, job: 17 },
             Request::Cancel { id: 3, job: 17 },
             Request::Status { id: 4 },
-            Request::Shutdown { id: 5 },
+            Request::Dump { id: 5 },
+            Request::Shutdown { id: 6 },
         ];
         for r in requests {
             assert_eq!(Request::parse(&r.encode()), Ok(r));
@@ -477,7 +537,15 @@ mod tests {
                     completed: 15,
                     parity_checked: 40,
                     parity_violations: 0,
+                    queue_depth: 7,
+                    uptime_secs: 33,
+                    live_jobs: 11,
+                    overloaded: 2,
                 },
+            },
+            Response::Dump {
+                id: 9,
+                trace: "{\"traceEvents\":[]}\n".into(),
             },
             Response::Error {
                 id: 4,
@@ -507,6 +575,35 @@ mod tests {
         assert!(
             Request::parse(r#"{"id":1,"verb":"negotiate","size":4,"runtime_secs":0}"#).is_err()
         );
+    }
+
+    #[test]
+    fn status_parse_tolerates_missing_observability_fields() {
+        // A reply from a daemon predating queue_depth/uptime/live_jobs/
+        // overloaded must still parse, with those fields zeroed.
+        let line = concat!(
+            r#"{"id":3,"ok":true,"now_secs":1,"cluster_size":4,"occupied_nodes":0,"#,
+            r#""reservations":0,"quoted":0,"rejected":0,"accepted":0,"expired":0,"#,
+            r#""cancelled":0,"started":0,"completed":0,"parity_checked":0,"#,
+            r#""parity_violations":0}"#
+        );
+        let Some(Response::Status { body, .. }) = Response::parse(line) else {
+            panic!("legacy status reply must parse");
+        };
+        assert_eq!(body.queue_depth, 0);
+        assert_eq!(body.uptime_secs, 0);
+        assert_eq!(body.live_jobs, 0);
+        assert_eq!(body.overloaded, 0);
+    }
+
+    #[test]
+    fn dump_round_trips_nested_json_as_a_string() {
+        let trace = "{\"traceEvents\":[{\"name\":\"negotiate\",\"ph\":\"X\"}]}";
+        let r = Response::Dump {
+            id: 12,
+            trace: trace.into(),
+        };
+        assert_eq!(Response::parse(&r.encode()), Some(r));
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! TCP front end: accept loop and per-connection relay threads.
 //!
-//! Each connection gets a *reader* thread (parses request lines, submits
-//! to the engine) and a *writer* thread (drains the connection's reply
-//! channel back onto the socket). Neither touches shared state; the
+//! Each connection gets a *reader* thread (parses request lines, opens a
+//! trace, submits to the engine) and a *writer* thread (drains the
+//! connection's reply channel back onto the socket, then marks and
+//! finishes each reply's trace). Neither touches shared state; the
 //! engine's bounded queue is the only coupling, so a slow client can
 //! stall only itself.
 //!
@@ -14,25 +15,75 @@
 //!
 //! Shutdown is graceful: the `shutdown` verb makes the engine drain and
 //! flush its journal, readers notice within one poll interval and stop,
-//! and a waker connection unblocks the accept loop so [`serve`] returns.
+//! a waker connection unblocks the accept loop, and [`serve`] writes the
+//! configured exit artifacts (flight-recorder Chrome trace, final metrics
+//! snapshot) before returning.
 
-use crate::engine::{self, EngineConfig, EngineHandle};
+use crate::engine::{self, EngineConfig, EngineHandle, ReplySender};
+use crate::flight::FlightRecorder;
+use crate::metrics_http;
 use crate::protocol::{ErrorCode, Request, Response};
 use pqos_core::session::NegotiationSession;
 use pqos_predict::api::Predictor;
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::mpsc::{Receiver, Sender};
-use std::time::Duration;
+use std::path::PathBuf;
+use std::sync::mpsc::Receiver;
+use std::time::{Duration, Instant};
 
 /// How often parked readers check whether the daemon is draining.
 const DRAIN_POLL: Duration = Duration::from_millis(200);
 
+/// Everything [`serve`] needs beyond the protocol listener: engine
+/// tuning plus the observability plane.
+#[derive(Debug)]
+pub struct ServerConfig {
+    /// Engine-thread tuning.
+    pub engine: EngineConfig,
+    /// Pre-bound listener for the `/metrics` endpoint (`None` disables
+    /// HTTP exposition; the registry still fills).
+    pub metrics: Option<TcpListener>,
+    /// Completed traces the flight recorder retains; `0` disables
+    /// request tracing entirely.
+    pub flight_capacity: usize,
+    /// Where to write the flight recorder's Chrome trace when the daemon
+    /// drains.
+    pub flight_dump: Option<PathBuf>,
+    /// Where to write the final metrics snapshot (JSON) when the daemon
+    /// drains.
+    pub metrics_dump: Option<PathBuf>,
+}
+
+/// Default ring size: enough to hold a full engine tick's worth of
+/// requests plus context around it.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 256;
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            engine: EngineConfig::default(),
+            metrics: None,
+            flight_capacity: DEFAULT_FLIGHT_CAPACITY,
+            flight_dump: None,
+            metrics_dump: None,
+        }
+    }
+}
+
+impl From<EngineConfig> for ServerConfig {
+    fn from(engine: EngineConfig) -> Self {
+        ServerConfig {
+            engine,
+            ..ServerConfig::default()
+        }
+    }
+}
+
 /// Serves `session` on `listener` until a client sends `shutdown`.
 ///
 /// Blocks the calling thread for the daemon's lifetime. On return the
-/// engine has drained, the telemetry journal is flushed, and every
-/// connection thread has been joined.
+/// engine has drained, the telemetry journal is flushed, every connection
+/// thread has been joined, and any configured exit dumps are on disk.
 ///
 /// # Errors
 ///
@@ -41,13 +92,22 @@ const DRAIN_POLL: Duration = Duration::from_millis(200);
 pub fn serve<P>(
     listener: TcpListener,
     session: NegotiationSession<P>,
-    config: EngineConfig,
+    config: ServerConfig,
 ) -> std::io::Result<()>
 where
     P: Predictor + Send + Sync + 'static,
 {
     let local_addr = listener.local_addr()?;
-    let (handle, engine_join) = engine::spawn(session, config);
+    let telemetry = session.telemetry().clone();
+    let recorder = if config.flight_capacity > 0 {
+        FlightRecorder::new(config.flight_capacity, telemetry.clone())
+    } else {
+        FlightRecorder::disabled()
+    };
+    let (handle, engine_join) = engine::spawn(session, config.engine, recorder.clone());
+    let metrics_join = config.metrics.map(|metrics_listener| {
+        metrics_http::spawn(metrics_listener, telemetry.clone(), handle.clone())
+    });
     // The accept loop blocks in `accept`; once the engine drains, this
     // waker connection is what knocks it loose.
     let waker = std::thread::spawn(move || {
@@ -55,6 +115,7 @@ where
         let _ = TcpStream::connect(local_addr);
     });
     let mut connections = Vec::new();
+    let mut next_conn: u64 = 1;
     for stream in listener.incoming() {
         if handle.is_draining() {
             break;
@@ -63,31 +124,54 @@ where
             continue; // transient accept error; keep serving
         };
         let engine = handle.clone();
-        connections.push(std::thread::spawn(move || serve_connection(stream, engine)));
+        let recorder = recorder.clone();
+        let conn = next_conn;
+        next_conn += 1;
+        connections.push(std::thread::spawn(move || {
+            serve_connection(stream, engine, recorder, conn)
+        }));
     }
     for conn in connections {
         let _ = conn.join();
     }
     waker.join().expect("waker thread");
+    if let Some(join) = metrics_join {
+        let _ = join.join();
+    }
+    if let Some(path) = &config.flight_dump {
+        std::fs::write(path, recorder.dump_chrome())?;
+    }
+    if let Some(path) = &config.metrics_dump {
+        handle.refresh_gauges();
+        if let Some(snapshot) = telemetry.snapshot() {
+            std::fs::write(path, snapshot.to_json())?;
+        }
+    }
     Ok(())
 }
 
 /// Runs one connection to completion (EOF, error, or daemon drain).
-fn serve_connection(stream: TcpStream, engine: EngineHandle) {
+fn serve_connection(stream: TcpStream, engine: EngineHandle, recorder: FlightRecorder, conn: u64) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
-    let (reply_tx, reply_rx) = std::sync::mpsc::channel::<Response>();
+    let (reply_tx, reply_rx) = std::sync::mpsc::channel();
     let writer = std::thread::spawn(move || write_replies(write_half, &reply_rx));
     // A timeout, not blocking reads, so an idle connection still notices
     // the daemon draining and lets `serve` join it.
     let _ = stream.set_read_timeout(Some(DRAIN_POLL));
-    read_requests(stream, &engine, &reply_tx);
+    read_requests(stream, &engine, &reply_tx, &recorder, conn);
     drop(reply_tx); // writer exits once the engine's clones are gone too
     let _ = writer.join();
 }
 
-fn read_requests(stream: TcpStream, engine: &EngineHandle, reply: &Sender<Response>) {
+fn read_requests(
+    stream: TcpStream,
+    engine: &EngineHandle,
+    reply: &ReplySender,
+    recorder: &FlightRecorder,
+    conn: u64,
+) {
     let mut reader = BufReader::new(stream);
     // Raw bytes, not `read_line`: invalid UTF-8 must earn `bad_request`,
     // not kill the connection.
@@ -102,7 +186,7 @@ fn read_requests(stream: TcpStream, engine: &EngineHandle, reply: &Sender<Respon
                 }
             }
             Ok(_) => {
-                dispatch_line(&line, engine, reply);
+                dispatch_line(&line, engine, reply, recorder, conn);
                 line.clear();
             }
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
@@ -116,7 +200,14 @@ fn read_requests(stream: TcpStream, engine: &EngineHandle, reply: &Sender<Respon
     }
 }
 
-fn dispatch_line(raw: &[u8], engine: &EngineHandle, reply: &Sender<Response>) {
+fn dispatch_line(
+    raw: &[u8],
+    engine: &EngineHandle,
+    reply: &ReplySender,
+    recorder: &FlightRecorder,
+    conn: u64,
+) {
+    let arrived = Instant::now();
     let text = String::from_utf8_lossy(raw);
     let text = text.trim();
     if text.is_empty() {
@@ -124,43 +215,72 @@ fn dispatch_line(raw: &[u8], engine: &EngineHandle, reply: &Sender<Response>) {
     }
     match Request::parse(text) {
         Ok(request) => {
-            if let Err(refusal) = engine.submit(request, reply) {
-                let _ = reply.send(refusal);
+            let mut trace = recorder.begin(request.verb(), conn, arrived);
+            if let Some(t) = trace.as_mut() {
+                t.mark("parse");
+            }
+            if let Err((refusal, trace)) = engine.submit(request, reply, trace) {
+                // Refusals still flow through the writer so the trace gets
+                // its write stage and lands in the ring like any reply.
+                if let Err(returned) = reply.send((refusal, trace)) {
+                    if let Some(t) = returned.0 .1 {
+                        t.abandon();
+                    }
+                }
             }
         }
         Err(parse_error) => {
-            let _ = reply.send(Response::Error {
-                id: parse_error.id.unwrap_or(0),
-                code: ErrorCode::BadRequest,
-                detail: parse_error.detail.into(),
-            });
+            let _ = reply.send((
+                Response::Error {
+                    id: parse_error.id.unwrap_or(0),
+                    code: ErrorCode::BadRequest,
+                    detail: parse_error.detail.into(),
+                },
+                None,
+            ));
         }
     }
 }
 
-fn write_replies(stream: TcpStream, replies: &Receiver<Response>) {
+fn write_replies(
+    stream: TcpStream,
+    replies: &Receiver<(Response, Option<crate::flight::TraceCtx>)>,
+) {
     let mut out = BufWriter::new(stream);
-    while let Ok(response) = replies.recv() {
+    // Traces written since the last flush; their replies only count as
+    // delivered (write stage ends) once the flush lands.
+    let mut written = Vec::new();
+    'relay: while let Ok(first) = replies.recv() {
         // A closed peer is a clean disconnect; stop relaying. Everything
         // already queued goes out under one flush — at high request rates
         // the engine answers in batches, and one syscall per batch instead
         // of one per response is a large share of the throughput budget.
-        if writeln!(out, "{}", response.encode()).is_err() {
-            break;
+        let mut batch = vec![first];
+        while let Ok(next) = replies.try_recv() {
+            batch.push(next);
         }
-        let mut more = true;
-        while more {
-            match replies.try_recv() {
-                Ok(next) => {
-                    if writeln!(out, "{}", next.encode()).is_err() {
-                        return;
-                    }
+        for (response, trace) in batch {
+            if writeln!(out, "{}", response.encode()).is_err() {
+                if let Some(t) = trace {
+                    t.abandon();
                 }
-                Err(_) => more = false,
+                break 'relay;
+            }
+            if let Some(t) = trace {
+                written.push(t);
             }
         }
         if out.flush().is_err() {
             break;
         }
+        for mut trace in written.drain(..) {
+            trace.mark("write");
+            trace.finish();
+        }
+    }
+    // Replies that never reached the socket: drop their traces from the
+    // in-flight table instead of leaking them.
+    for trace in written.drain(..) {
+        trace.abandon();
     }
 }

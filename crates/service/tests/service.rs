@@ -9,9 +9,10 @@ use pqos_predict::api::NullPredictor;
 use pqos_service::engine::EngineConfig;
 use pqos_service::loadgen::{self, LoadgenConfig};
 use pqos_service::protocol::{Request, Response};
-use pqos_service::server::serve;
+use pqos_service::scrape;
+use pqos_service::server::{serve, ServerConfig};
 use pqos_sim_core::rng::DetRng;
-use pqos_telemetry::Telemetry;
+use pqos_telemetry::{expo, Telemetry};
 use pqos_workload::synthetic::LogModel;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
@@ -33,12 +34,19 @@ impl Write for SharedBuf {
     }
 }
 
-/// Starts a daemon on a free loopback port; returns its address and the
-/// shared journal buffer. The server thread exits after a shutdown verb.
-fn start_daemon(
+/// Starts a daemon on a free loopback port; returns its address, the
+/// `/metrics` address when requested, and the shared journal buffer. The
+/// server thread exits after a shutdown verb.
+fn start_daemon_full(
     cluster_size: u32,
     time_scale: f64,
-) -> (String, SharedBuf, std::thread::JoinHandle<()>) {
+    with_metrics: bool,
+) -> (
+    String,
+    Option<String>,
+    SharedBuf,
+    std::thread::JoinHandle<()>,
+) {
     let journal = SharedBuf::default();
     let telemetry = Telemetry::builder()
         .jsonl_writer(journal.clone())
@@ -52,14 +60,30 @@ fn start_daemon(
     .verify_parity(true);
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
     let addr = listener.local_addr().expect("local addr").to_string();
-    let config = EngineConfig {
-        time_scale,
-        verify_parity: true,
-        ..EngineConfig::default()
+    let metrics = with_metrics.then(|| TcpListener::bind("127.0.0.1:0").expect("bind metrics"));
+    let metrics_addr = metrics
+        .as_ref()
+        .map(|l| l.local_addr().expect("metrics addr").to_string());
+    let config = ServerConfig {
+        engine: EngineConfig {
+            time_scale,
+            verify_parity: true,
+            ..EngineConfig::default()
+        },
+        metrics,
+        ..ServerConfig::default()
     };
     let server = std::thread::spawn(move || {
         serve(listener, session, config).expect("serve");
     });
+    (addr, metrics_addr, journal, server)
+}
+
+fn start_daemon(
+    cluster_size: u32,
+    time_scale: f64,
+) -> (String, SharedBuf, std::thread::JoinHandle<()>) {
+    let (addr, _, journal, server) = start_daemon_full(cluster_size, time_scale, false);
     (addr, journal, server)
 }
 
@@ -80,6 +104,7 @@ fn loadgen_drives_a_daemon_and_the_journal_passes_the_doctor() {
         cancel_probability: 0.15,
         shutdown: true,
         connect_timeout: Duration::from_secs(10),
+        ..LoadgenConfig::default()
     })
     .expect("loadgen run");
     server.join().expect("server thread");
@@ -123,6 +148,237 @@ fn loadgen_drives_a_daemon_and_the_journal_passes_the_doctor() {
             .and_then(|v| v.as_u64()),
         Some(report.p99_latency_us)
     );
+}
+
+#[test]
+fn metrics_endpoint_serves_valid_exposition_under_live_load() {
+    let (addr, metrics_addr, _journal, server) = start_daemon_full(64, 50_000.0, true);
+    let metrics_addr = metrics_addr.expect("metrics listener requested");
+
+    // Drive the daemon from a background thread while this one scrapes.
+    let config = LoadgenConfig {
+        addr: addr.clone(),
+        threads: 2,
+        requests: 400,
+        pipeline_depth: 8,
+        model: LogModel::NasaIpsc,
+        seed: 0xD5_2006,
+        accept_probability: 0.7,
+        cancel_probability: 0.1,
+        shutdown: false,
+        connect_timeout: Duration::from_secs(10),
+        metrics_addr: Some(metrics_addr.clone()),
+        baseline_rps: Some(1.0e6),
+    };
+    let generator = std::thread::spawn(move || loadgen::run(&config));
+
+    // Mid-burst scrape: keep hitting /metrics until the negotiate counter
+    // moves. The daemon cannot drain under us — shutdown comes later.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let mut mid_burst = None;
+    while std::time::Instant::now() < deadline {
+        if let Ok(samples) = scrape::scrape_metrics(&metrics_addr, Duration::from_secs(2)) {
+            let negotiated = expo::find(
+                &samples,
+                "pqos_rpc_requests_total",
+                &[("verb", "negotiate")],
+            )
+            .unwrap_or(0.0);
+            if negotiated > 0.0 {
+                mid_burst = Some(samples);
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let mid_burst = mid_burst.expect("a mid-burst scrape must see negotiate traffic");
+
+    let report = generator
+        .join()
+        .expect("loadgen thread")
+        .expect("loadgen run");
+    assert_eq!(report.requests, 400);
+    assert_eq!(report.parity_violations, 0);
+
+    // The endpoint stayed structurally valid while requests were in flight:
+    // per-verb buckets are cumulative and monotone, and the +Inf bucket
+    // matches the _count series.
+    let buckets: Vec<(f64, f64)> = {
+        let mut b: Vec<(f64, f64)> = mid_burst
+            .iter()
+            .filter(|s| {
+                s.name == "pqos_rpc_request_ns_bucket"
+                    && s.labels
+                        .iter()
+                        .any(|(k, v)| k == "verb" && v == "negotiate")
+            })
+            .map(|s| {
+                let le = s
+                    .labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .map(|(_, v)| {
+                        if v == "+Inf" {
+                            f64::INFINITY
+                        } else {
+                            v.parse().unwrap()
+                        }
+                    })
+                    .unwrap();
+                (le, s.value)
+            })
+            .collect();
+        b.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        b
+    };
+    assert!(buckets.len() >= 2, "bucketed histogram exported");
+    for pair in buckets.windows(2) {
+        assert!(
+            pair[1].1 >= pair[0].1,
+            "cumulative buckets must be monotone: {buckets:?}"
+        );
+    }
+    let count = expo::find(
+        &mid_burst,
+        "pqos_rpc_request_ns_count",
+        &[("verb", "negotiate")],
+    )
+    .expect("_count series");
+    assert_eq!(buckets.last().unwrap().1, count, "+Inf bucket == _count");
+
+    // The loadgen's own end-of-run scrape made it into the report: the
+    // daemon's stage decomposition and the tracing-overhead comparison.
+    let server_metrics = report.server.as_ref().expect("server-side scrape embedded");
+    assert!(server_metrics.requests_total >= 400);
+    assert!(
+        !server_metrics.stages_us.is_empty(),
+        "negotiate stage latencies decomposed"
+    );
+    let json = pqos_telemetry::json::Json::parse(&report.to_json()).expect("report JSON");
+    assert!(json
+        .get("server")
+        .and_then(|s| s.get("requests_total"))
+        .is_some());
+    assert!(json
+        .get("tracing_overhead")
+        .and_then(|t| t.get("overhead_pct"))
+        .is_some());
+
+    // Only now is the daemon told to drain.
+    let stream = TcpStream::connect(&addr).expect("connect for shutdown");
+    let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, "{}", Request::Shutdown { id: 9 }.encode()).expect("write shutdown");
+    writer.flush().expect("flush shutdown");
+    let mut line = String::new();
+    assert!(reader.read_line(&mut line).expect("read") > 0);
+    server.join().expect("server thread");
+}
+
+#[test]
+fn dump_verb_yields_a_chrome_trace_the_obs_loader_accepts() {
+    let (addr, _journal, server) = start_daemon(16, 1.0);
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+    let mut reader = BufReader::new(stream);
+    let read_reply = |reader: &mut BufReader<TcpStream>, want: u64| -> Response {
+        loop {
+            let mut line = String::new();
+            assert!(reader.read_line(&mut line).expect("read") > 0);
+            if let Some(r) = Response::parse(&line) {
+                if r.id() == want {
+                    return r;
+                }
+            }
+        }
+    };
+
+    // Give the flight recorder something to record.
+    writeln!(
+        writer,
+        "{}",
+        Request::Negotiate {
+            id: 1,
+            size: 2,
+            runtime_secs: 600,
+        }
+        .encode()
+    )
+    .expect("write negotiate");
+    writer.flush().expect("flush");
+    let quote = read_reply(&mut reader, 1);
+    assert!(matches!(quote, Response::Quote { .. }), "got {quote:?}");
+
+    writeln!(writer, "{}", Request::Dump { id: 2 }.encode()).expect("write dump");
+    writer.flush().expect("flush");
+    let dump = read_reply(&mut reader, 2);
+    let Response::Dump { trace, .. } = dump else {
+        panic!("expected a dump reply, got {dump:?}");
+    };
+    let summary = pqos_obs::load_chrome_trace(&trace).expect("dump is a loadable Chrome trace");
+    assert!(
+        summary.spans >= 1,
+        "at least the dump's own request is on record"
+    );
+    assert!(summary.metadata >= 1, "process/thread names present");
+
+    writeln!(writer, "{}", Request::Shutdown { id: 3 }.encode()).expect("write shutdown");
+    writer.flush().expect("flush");
+    server.join().expect("server thread");
+}
+
+#[test]
+fn status_reports_observability_fields_over_the_wire() {
+    let (addr, _journal, server) = start_daemon(16, 1.0);
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+    let mut reader = BufReader::new(stream);
+    let read_reply = |reader: &mut BufReader<TcpStream>, want: u64| -> Response {
+        loop {
+            let mut line = String::new();
+            assert!(reader.read_line(&mut line).expect("read") > 0);
+            if let Some(r) = Response::parse(&line) {
+                if r.id() == want {
+                    return r;
+                }
+            }
+        }
+    };
+
+    writeln!(
+        writer,
+        "{}",
+        Request::Negotiate {
+            id: 1,
+            size: 4,
+            runtime_secs: 3600,
+        }
+        .encode()
+    )
+    .expect("write negotiate");
+    writer.flush().expect("flush");
+    let Response::Quote { job, .. } = read_reply(&mut reader, 1) else {
+        panic!("expected a quote");
+    };
+    writeln!(writer, "{}", Request::Accept { id: 2, job }.encode()).expect("write accept");
+    writer.flush().expect("flush");
+    assert!(matches!(read_reply(&mut reader, 2), Response::Ok { .. }));
+
+    writeln!(writer, "{}", Request::Status { id: 3 }.encode()).expect("write status");
+    writer.flush().expect("flush");
+    let Response::Status { body, .. } = read_reply(&mut reader, 3) else {
+        panic!("expected a status reply");
+    };
+    assert_eq!(body.live_jobs, 1, "the accepted job is live");
+    assert_eq!(
+        body.queue_depth, 0,
+        "nothing queued behind the status probe"
+    );
+    assert_eq!(body.overloaded, 0, "no refusals on an idle daemon");
+
+    writeln!(writer, "{}", Request::Shutdown { id: 4 }.encode()).expect("write shutdown");
+    writer.flush().expect("flush");
+    server.join().expect("server thread");
 }
 
 #[test]

@@ -9,6 +9,10 @@
 use crate::json::{Json, ObjWriter};
 use pqos_sim_core::time::SimTime;
 
+/// Number of distinct [`TelemetryEvent`] variants (the size of any
+/// per-kind accounting table).
+pub const EVENT_KINDS: usize = 14;
+
 /// Why a checkpoint request did not result in a checkpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SkipReason {
@@ -240,6 +244,49 @@ impl TelemetryEvent {
             TelemetryEvent::DeadlineMissed { .. } => "deadline_missed",
             TelemetryEvent::JobCancelled { .. } => "job_cancelled",
         }
+    }
+
+    /// Dense index of the variant, `0 ..` [`EVENT_KINDS`], matching
+    /// [`kind_names`](Self::kind_names) order. Used for per-kind event
+    /// accounting without a name lookup on the emission path.
+    pub fn kind_index(&self) -> usize {
+        match self {
+            TelemetryEvent::JobSubmitted { .. } => 0,
+            TelemetryEvent::QuoteNegotiated { .. } => 1,
+            TelemetryEvent::JobRejected { .. } => 2,
+            TelemetryEvent::JobPlaced { .. } => 3,
+            TelemetryEvent::JobStarted { .. } => 4,
+            TelemetryEvent::CheckpointRequested { .. } => 5,
+            TelemetryEvent::CheckpointTaken { .. } => 6,
+            TelemetryEvent::CheckpointSkipped { .. } => 7,
+            TelemetryEvent::NodeFailed { .. } => 8,
+            TelemetryEvent::NodeRecovered { .. } => 9,
+            TelemetryEvent::JobRequeued { .. } => 10,
+            TelemetryEvent::JobCompleted { .. } => 11,
+            TelemetryEvent::DeadlineMissed { .. } => 12,
+            TelemetryEvent::JobCancelled { .. } => 13,
+        }
+    }
+
+    /// Wire names of every variant, in [`kind_index`](Self::kind_index)
+    /// order.
+    pub fn kind_names() -> [&'static str; EVENT_KINDS] {
+        [
+            "job_submitted",
+            "quote_negotiated",
+            "job_rejected",
+            "job_placed",
+            "job_started",
+            "checkpoint_requested",
+            "checkpoint_taken",
+            "checkpoint_skipped",
+            "node_failed",
+            "node_recovered",
+            "job_requeued",
+            "job_completed",
+            "deadline_missed",
+            "job_cancelled",
+        ]
     }
 
     /// Encodes the event as a single JSON object (one journal line, without
@@ -539,6 +586,21 @@ mod tests {
         let names: std::collections::BTreeSet<&str> =
             one_of_each().iter().map(|e| e.name()).collect();
         assert_eq!(names.len(), 14, "update one_of_each() for new variants");
+    }
+
+    #[test]
+    fn kind_index_is_dense_and_matches_wire_names() {
+        let names = TelemetryEvent::kind_names();
+        let mut seen = [false; EVENT_KINDS];
+        // one_of_each may repeat a variant (payload coverage); every event
+        // must still map to its own wire name, and all indices get hit.
+        for event in one_of_each() {
+            let idx = event.kind_index();
+            assert!(idx < EVENT_KINDS);
+            assert_eq!(names[idx], event.name(), "kind_names order mismatch");
+            seen[idx] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "kind_index must be surjective");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! [`MetricsRegistry`]. Handles are cheap to clone; clones share the same
 //! sinks and registry.
 
-use crate::event::TelemetryEvent;
+use crate::event::{TelemetryEvent, EVENT_KINDS};
 use crate::journal::{EventSink, JsonlSink, RingBufferSink};
 use crate::metrics::{Counter, Gauge, Histogram, MetricsRegistry, Snapshot};
 use std::io::Write;
@@ -23,6 +23,10 @@ struct Inner {
     /// much journal tail an abort can lose to writer buffering.
     flush_every: u64,
     since_flush: AtomicU64,
+    /// Per-kind emission tally, indexed by [`TelemetryEvent::kind_index`].
+    /// Published as `journal.<event>` gauges on [`Telemetry::flush`] so a
+    /// metrics snapshot can be cross-checked against the journal itself.
+    event_counts: [AtomicU64; EVENT_KINDS],
 }
 
 /// End-of-run health of a handle's sinks: how much of the event stream
@@ -101,6 +105,7 @@ impl Telemetry {
     pub fn emit(&self, make: impl FnOnce() -> TelemetryEvent) {
         if let Some(inner) = &self.inner {
             let event = make();
+            inner.event_counts[event.kind_index()].fetch_add(1, Ordering::Relaxed);
             if let Some(ring) = &inner.ring {
                 ring.lock().expect("ring lock").record(&event);
             }
@@ -185,7 +190,29 @@ impl Telemetry {
                     .gauge("telemetry.write_errors")
                     .set(health.write_errors as i64);
             }
+            for (name, count) in self.event_counts() {
+                if count > 0 {
+                    inner
+                        .registry
+                        .gauge(&format!("journal.{name}"))
+                        .set(count as i64);
+                }
+            }
         }
+    }
+
+    /// How many events of each kind this handle has emitted, as
+    /// `(wire_name, count)` pairs in [`TelemetryEvent::kind_index`] order.
+    /// Empty when disabled.
+    pub fn event_counts(&self) -> Vec<(&'static str, u64)> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        TelemetryEvent::kind_names()
+            .into_iter()
+            .zip(&inner.event_counts)
+            .map(|(name, count)| (name, count.load(Ordering::Relaxed)))
+            .collect()
     }
 
     /// The current health of this handle's sinks (all zeros when
@@ -277,6 +304,7 @@ impl TelemetryBuilder {
                 registry: MetricsRegistry::new(),
                 flush_every: self.flush_every,
                 since_flush: AtomicU64::new(0),
+                event_counts: std::array::from_fn(|_| AtomicU64::new(0)),
             })),
         }
     }
@@ -447,6 +475,34 @@ mod tests {
         let snap = telemetry.snapshot().unwrap();
         assert_eq!(snap.gauge("telemetry.ring_dropped"), None);
         assert_eq!(snap.gauge("telemetry.write_errors"), None);
+    }
+
+    #[test]
+    fn event_counts_track_kinds_and_flush_publishes_gauges() {
+        let telemetry = Telemetry::builder().ring_buffer(4).build();
+        for _ in 0..3 {
+            telemetry.emit(|| TelemetryEvent::JobRejected {
+                at: SimTime::ZERO,
+                job: 0,
+            });
+        }
+        telemetry.emit(|| TelemetryEvent::JobCancelled {
+            at: SimTime::ZERO,
+            job: 1,
+        });
+        let counts: std::collections::BTreeMap<_, _> =
+            telemetry.event_counts().into_iter().collect();
+        assert_eq!(counts["job_rejected"], 3);
+        assert_eq!(counts["job_cancelled"], 1);
+        assert_eq!(counts["job_placed"], 0);
+        telemetry.flush();
+        let snap = telemetry.snapshot().unwrap();
+        assert_eq!(snap.gauge("journal.job_rejected"), Some(3));
+        assert_eq!(snap.gauge("journal.job_cancelled"), Some(1));
+        // Zero-count kinds stay out of the snapshot entirely.
+        assert_eq!(snap.gauge("journal.job_placed"), None);
+        // Disabled handles report nothing.
+        assert!(Telemetry::disabled().event_counts().is_empty());
     }
 
     #[test]

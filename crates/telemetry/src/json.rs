@@ -179,11 +179,25 @@ fn parse_str(bytes: &[u8], pos: &mut usize) -> Option<String> {
                 }
                 *pos += 1;
             }
+            b if *b < 0x80 => {
+                out.push(*b as char);
+                *pos += 1;
+            }
             _ => {
-                // Consume one UTF-8 scalar (journal strings are ASCII in
-                // practice, but stay correct for arbitrary input).
-                let rest = std::str::from_utf8(&bytes[*pos..]).ok()?;
-                let ch = rest.chars().next()?;
+                // Decode one multi-byte UTF-8 scalar from a bounded window
+                // (a scalar is at most 4 bytes; validating from `pos` to the
+                // end of the document here would make parsing quadratic).
+                let window = &bytes[*pos..(*pos + 4).min(bytes.len())];
+                let valid = match std::str::from_utf8(window) {
+                    Ok(s) => s,
+                    // The window may cut the *next* scalar short; keep the
+                    // valid prefix, which contains the one we want.
+                    Err(e) if e.valid_up_to() > 0 => {
+                        std::str::from_utf8(&window[..e.valid_up_to()]).ok()?
+                    }
+                    Err(_) => return None,
+                };
+                let ch = valid.chars().next()?;
                 out.push(ch);
                 *pos += ch.len_utf8();
             }

@@ -65,12 +65,15 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod expo;
 pub mod handle;
 pub mod journal;
 pub mod json;
 pub mod metrics;
 
-pub use event::{one_of_each, SkipReason, TelemetryEvent};
+pub use event::{one_of_each, SkipReason, TelemetryEvent, EVENT_KINDS};
 pub use handle::{SinkHealth, Telemetry, TelemetryBuilder};
 pub use journal::{EventSink, JsonlSink, RingBufferSink};
-pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, MetricsRegistry, Snapshot, Timer};
+pub use metrics::{
+    labeled, Counter, Gauge, Histogram, HistogramSummary, MetricsRegistry, Snapshot, Timer,
+};

@@ -23,6 +23,93 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+/// Builds the canonical registry key for a labeled metric:
+/// `name{k1="v1",k2="v2"}` with labels sorted by key and `\`, `"`, and
+/// newlines escaped in values. Two call sites that pass the same labels in
+/// any order therefore share one metric cell, and the exposition layer can
+/// split the key back into name + label pairs unambiguously.
+///
+/// # Examples
+///
+/// ```
+/// use pqos_telemetry::metrics::labeled;
+///
+/// assert_eq!(
+///     labeled("rpc.stage_ns", &[("verb", "negotiate"), ("stage", "queue")]),
+///     "rpc.stage_ns{stage=\"queue\",verb=\"negotiate\"}"
+/// );
+/// assert_eq!(labeled("plain", &[]), "plain");
+/// ```
+pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut sorted: Vec<&(&str, &str)> = labels.iter().collect();
+    sorted.sort_by_key(|(k, _)| *k);
+    let mut out = String::with_capacity(name.len() + 16 * sorted.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for ch in v.chars() {
+            match ch {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Splits a registry key produced by [`labeled`] back into its base name
+/// and `(key, value)` label pairs (empty for unlabeled keys). Escapes in
+/// label values are undone.
+pub fn split_labeled(key: &str) -> (&str, Vec<(String, String)>) {
+    let Some(brace) = key.find('{') else {
+        return (key, Vec::new());
+    };
+    if !key.ends_with('}') {
+        return (key, Vec::new());
+    }
+    let mut labels = Vec::new();
+    let body = &key[brace + 1..key.len() - 1];
+    let mut rest = body;
+    while !rest.is_empty() {
+        let Some(eq) = rest.find("=\"") else { break };
+        let label_key = rest[..eq].to_string();
+        let mut value = String::new();
+        let mut chars = rest[eq + 2..].char_indices();
+        let mut end = None;
+        while let Some((i, ch)) = chars.next() {
+            match ch {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, escaped)) => value.push(escaped),
+                    None => break,
+                },
+                '"' => {
+                    end = Some(eq + 2 + i);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let Some(end) = end else { break };
+        labels.push((label_key, value));
+        rest = &rest[end + 1..];
+        rest = rest.strip_prefix(',').unwrap_or(rest);
+    }
+    (&key[..brace], labels)
+}
+
 /// A monotonic counter. Cloning shares the underlying cell.
 #[derive(Debug, Clone, Default)]
 pub struct Counter(Option<Arc<AtomicU64>>);
@@ -299,6 +386,23 @@ impl MetricsRegistry {
     }
 }
 
+/// Upper bounds of the fixed cumulative bucket ladder every histogram
+/// snapshot reports: `{1, 2.5, 5} × 10^k` for `k = 0..=9`. The last implied
+/// bucket (`+Inf`) is the total count. Timer histograms observe
+/// nanoseconds, so the ladder spans 1 ns to 5 s, which covers every
+/// latency the daemon can plausibly record.
+pub fn bucket_bounds() -> [f64; 30] {
+    let mut bounds = [0.0; 30];
+    let mut scale = 1.0;
+    for k in 0..10 {
+        bounds[3 * k] = scale;
+        bounds[3 * k + 1] = 2.5 * scale;
+        bounds[3 * k + 2] = 5.0 * scale;
+        scale *= 10.0;
+    }
+    bounds
+}
+
 /// Condensed view of one histogram at snapshot time.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistogramSummary {
@@ -318,6 +422,11 @@ pub struct HistogramSummary {
     pub p90: f64,
     /// 99th-percentile estimate from the reservoir (0 when empty).
     pub p99: f64,
+    /// Cumulative `(upper_bound, count ≤ bound)` pairs over
+    /// [`bucket_bounds`], estimated from the reservoir sample and scaled to
+    /// the true count. Monotone nondecreasing; the implied `+Inf` bucket is
+    /// [`count`](Self::count). Empty when the histogram is empty.
+    pub buckets: Vec<(f64, u64)>,
 }
 
 impl HistogramSummary {
@@ -333,11 +442,26 @@ impl HistogramSummary {
                 p50: 0.0,
                 p90: 0.0,
                 p99: 0.0,
+                buckets: Vec::new(),
             };
         }
         let q = |q: f64| state.reservoir.quantile(q).unwrap_or(0.0);
+        let mut sorted = state.reservoir.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let total = stats.count();
+        let retained = sorted.len().max(1) as f64;
+        let mut prev = 0u64;
+        let buckets = bucket_bounds()
+            .iter()
+            .map(|&bound| {
+                let below = sorted.partition_point(|&x| x <= bound) as f64;
+                let estimate = ((below / retained) * total as f64).round() as u64;
+                prev = estimate.clamp(prev, total);
+                (bound, prev)
+            })
+            .collect();
         HistogramSummary {
-            count: stats.count(),
+            count: total,
             mean: stats.mean(),
             std_dev: stats.std_dev(),
             min: stats.min().unwrap_or(0.0),
@@ -345,6 +469,7 @@ impl HistogramSummary {
             p50: q(0.5),
             p90: q(0.9),
             p99: q(0.99),
+            buckets,
         }
     }
 
@@ -437,6 +562,97 @@ impl Snapshot {
             ]);
         }
         table.render()
+    }
+
+    /// Serializes the snapshot as one JSON document:
+    /// `{"counters":{..},"gauges":{..},"histograms":{name:{count,mean,..,buckets:[[bound,n],..]}}}`.
+    /// This is the on-disk format `pqos-qosd --metrics-dump` writes and the
+    /// doctor's journal cross-check reads back via [`Snapshot::from_json`].
+    pub fn to_json(&self) -> String {
+        use crate::json::ObjWriter;
+        let mut counters = ObjWriter::new();
+        for (name, v) in &self.counters {
+            counters.u64(name, *v);
+        }
+        let mut gauges = ObjWriter::new();
+        for (name, v) in &self.gauges {
+            gauges.raw(name, &v.to_string());
+        }
+        let mut histograms = ObjWriter::new();
+        for (name, h) in &self.histograms {
+            let mut buckets = String::from("[");
+            for (i, (bound, n)) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    buckets.push(',');
+                }
+                buckets.push_str(&format!("[{bound:?},{n}]"));
+            }
+            buckets.push(']');
+            let mut entry = ObjWriter::new();
+            entry
+                .u64("count", h.count)
+                .f64("mean", h.mean)
+                .f64("std_dev", h.std_dev)
+                .f64("min", h.min)
+                .f64("max", h.max)
+                .f64("p50", h.p50)
+                .f64("p90", h.p90)
+                .f64("p99", h.p99)
+                .raw("buckets", &buckets);
+            histograms.raw(name, &entry.finish());
+        }
+        let mut root = ObjWriter::new();
+        root.raw("counters", &counters.finish())
+            .raw("gauges", &gauges.finish())
+            .raw("histograms", &histograms.finish());
+        root.finish()
+    }
+
+    /// Parses a document produced by [`Snapshot::to_json`]. Returns `None`
+    /// on any structural mismatch (missing sections, wrongly typed values).
+    pub fn from_json(text: &str) -> Option<Snapshot> {
+        use crate::json::Json;
+        let root = Json::parse(text)?;
+        let section = |key: &str| -> Option<Vec<(String, Json)>> {
+            match root.get(key)? {
+                Json::Obj(pairs) => Some(pairs.clone()),
+                _ => None,
+            }
+        };
+        let mut snapshot = Snapshot::default();
+        for (name, v) in section("counters")? {
+            snapshot.counters.push((name, v.as_u64()?));
+        }
+        for (name, v) in section("gauges")? {
+            let Json::Num(raw) = &v else { return None };
+            snapshot.gauges.push((name, raw.parse().ok()?));
+        }
+        for (name, v) in section("histograms")? {
+            let f = |key: &str| v.get(key).and_then(Json::as_f64);
+            let mut buckets = Vec::new();
+            for pair in v.get("buckets")?.as_arr()? {
+                let pair = pair.as_arr()?;
+                if pair.len() != 2 {
+                    return None;
+                }
+                buckets.push((pair[0].as_f64()?, pair[1].as_u64()?));
+            }
+            snapshot.histograms.push((
+                name,
+                HistogramSummary {
+                    count: v.get("count").and_then(Json::as_u64)?,
+                    mean: f("mean")?,
+                    std_dev: f("std_dev")?,
+                    min: f("min")?,
+                    max: f("max")?,
+                    p50: f("p50")?,
+                    p90: f("p90")?,
+                    p99: f("p99")?,
+                    buckets,
+                },
+            ));
+        }
+        Some(snapshot)
     }
 }
 
@@ -607,5 +823,81 @@ mod tests {
         let h = registry.histogram("t");
         h.start_timer().cancel();
         assert_eq!(h.stats().count(), 0);
+    }
+
+    #[test]
+    fn labeled_keys_are_canonical_and_split_back() {
+        // Label order never matters: both spellings hit the same cell.
+        let a = labeled("rpc.stage_ns", &[("verb", "quote"), ("stage", "queue")]);
+        let b = labeled("rpc.stage_ns", &[("stage", "queue"), ("verb", "quote")]);
+        assert_eq!(a, b);
+        assert_eq!(a, "rpc.stage_ns{stage=\"queue\",verb=\"quote\"}");
+        let (name, labels) = split_labeled(&a);
+        assert_eq!(name, "rpc.stage_ns");
+        assert_eq!(
+            labels,
+            vec![
+                ("stage".to_string(), "queue".to_string()),
+                ("verb".to_string(), "quote".to_string()),
+            ]
+        );
+        // Escaping survives a round trip.
+        let tricky = labeled("m", &[("k", "a\"b\\c\nd")]);
+        let (_, labels) = split_labeled(&tricky);
+        assert_eq!(labels[0].1, "a\"b\\c\nd");
+        // Unlabeled keys pass through untouched.
+        assert_eq!(split_labeled("plain.name"), ("plain.name", Vec::new()));
+    }
+
+    #[test]
+    fn bucket_ladder_is_strictly_increasing() {
+        let bounds = bucket_bounds();
+        assert_eq!(bounds.len(), 30);
+        assert_eq!(bounds[0], 1.0);
+        assert_eq!(bounds[1], 2.5);
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn summary_buckets_are_monotone_and_bounded_by_count() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("lat");
+        for i in 0..5_000u64 {
+            h.observe(((i * 617) % 1_000_000 + 10) as f64);
+        }
+        let snap = registry.snapshot();
+        let s = snap.histogram("lat").unwrap();
+        assert_eq!(s.buckets.len(), 30);
+        let counts: Vec<u64> = s.buckets.iter().map(|(_, n)| *n).collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "monotone");
+        assert!(counts.iter().all(|&n| n <= s.count));
+        // Bounds above the max observation must cover (nearly) everything;
+        // the estimate is exact at the top because every sample is <= max.
+        let (_, top) = s.buckets.last().unwrap();
+        assert_eq!(*top, s.count, "last bound (5e9) covers all samples");
+        // Bounds below the minimum observation (10) hold nothing.
+        assert_eq!(s.buckets[0].1, 0, "no sample is <= 1.0");
+        assert_eq!(s.buckets[2].1, 0, "no sample is <= 5.0");
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let registry = MetricsRegistry::new();
+        registry.counter("jobs.quoted").add(42);
+        registry.gauge("engine.queue_depth").set(-3);
+        let h = registry.histogram(&labeled("rpc.stage_ns", &[("stage", "queue")]));
+        for x in [10.0, 20.0, 30.0] {
+            h.observe(x);
+        }
+        let snap = registry.snapshot();
+        let text = snap.to_json();
+        let back = Snapshot::from_json(&text).expect("parses back");
+        assert_eq!(back, snap, "lossless round trip");
+        // Malformed documents are rejected, not half-parsed.
+        assert!(Snapshot::from_json("{}").is_none());
+        assert!(Snapshot::from_json("not json").is_none());
+        assert!(
+            Snapshot::from_json(r#"{"counters":{"x":"y"},"gauges":{},"histograms":{}}"#).is_none()
+        );
     }
 }
