@@ -128,6 +128,10 @@ const INDEX: &[(&str, &str)] = &[
         "calibration",
         "promised vs realized success, SDSC, a=0.7, U=0.1",
     ),
+    (
+        "replay-parity",
+        "record→replay round trip: byte-identical journal, 100% response parity",
+    ),
 ];
 
 fn caption(id: &str) -> &'static str {
@@ -199,6 +203,117 @@ fn ablation_slack(opts: &SweepOptions, trace: &Arc<FailureTrace>) -> Table {
 /// Runs one instrumented SDSC scenario with the telemetry layer attached:
 /// events stream to `journal` (JSONL) when given, and the final metrics
 /// snapshot is printed when `metrics` is set.
+/// The replay-parity smoke (ours): record an in-process engine burst,
+/// replay the trace through the same code path, and prove the round trip —
+/// byte-identical journal, 100% response parity. This is the determinism
+/// contract `pqos-replay` rests on, measured instead of assumed.
+fn replay_parity() -> Table {
+    use pqos_predict::api::NullPredictor;
+    use pqos_service::engine::{self, EngineConfig};
+    use pqos_service::protocol::{Request, Response};
+    use pqos_service::replay::{replay, ReplayOptions};
+    use pqos_service::{FlightRecorder, SharedBuf, TraceRecorder};
+    use pqos_telemetry::reqtrace::{RequestTrace, TraceMeta, TRACE_FORMAT_VERSION};
+
+    let trace_buf = SharedBuf::new();
+    let journal_buf = SharedBuf::new();
+    let meta = TraceMeta {
+        version: TRACE_FORMAT_VERSION,
+        source: "qosd".into(),
+        cluster_size: 64,
+        time_scale: 5_000.0,
+        batch_threads: 2,
+        quote_horizon_secs: None,
+        predictor: "null".into(),
+    };
+    let telemetry = Telemetry::builder()
+        .flush_every(0)
+        .jsonl_writer(journal_buf.clone())
+        .build();
+    let session = pqos_core::session::NegotiationSession::new(
+        SimConfig::paper_defaults().cluster_size_nodes(64),
+        NullPredictor,
+        telemetry,
+    );
+    let config = EngineConfig {
+        time_scale: 5_000.0,
+        batch_threads: 2,
+        ..EngineConfig::default()
+    };
+    let recorder = TraceRecorder::to_writer(trace_buf.clone(), &meta).expect("in-memory recorder");
+    let (handle, join) = engine::spawn(session, config, FlightRecorder::disabled(), recorder);
+    let (reply, rx) = std::sync::mpsc::channel();
+    let ask = |request: Request| {
+        handle
+            .submit(request, &reply, None, 1)
+            .expect("queue accepts");
+        rx.recv_timeout(std::time::Duration::from_secs(10))
+            .expect("engine reply")
+            .0
+    };
+    let mut next_id = 1u64;
+    let mut id = || {
+        next_id += 1;
+        next_id - 1
+    };
+    let mut jobs = Vec::new();
+    for k in 0..48u64 {
+        if let Response::Quote { job, .. } = ask(Request::Negotiate {
+            id: id(),
+            size: 1 + (k % 8) as u32,
+            runtime_secs: 600 + 30 * k,
+        }) {
+            if k % 2 == 0 {
+                ask(Request::Accept { id: id(), job });
+                jobs.push(job);
+            }
+        }
+        // Let the virtual clock move so the trace spans many epochs.
+        if k % 6 == 5 {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    }
+    for &job in jobs.iter().take(4) {
+        ask(Request::Cancel { id: id(), job });
+    }
+    ask(Request::Status { id: id() });
+    ask(Request::Shutdown { id: id() });
+    join.join().expect("engine thread");
+
+    let recorded_journal = journal_buf.take_string();
+    let trace = RequestTrace::parse(&trace_buf.take_string()).expect("recorded trace parses");
+    let report = replay(&trace, &ReplayOptions::default()).expect("trace replays");
+    assert!(
+        report.is_parity_clean(),
+        "replay-parity: {} response(s) diverged: {:#?}",
+        report.mismatches.len(),
+        report.mismatches
+    );
+    assert_eq!(
+        report.journal, recorded_journal,
+        "replay-parity: replayed journal must be byte-identical"
+    );
+
+    let secs = report.elapsed.as_secs_f64().max(1e-9);
+    let mut t = Table::new(vec![
+        "entries".into(),
+        "epochs".into(),
+        "parity_checked".into(),
+        "mismatches".into(),
+        "journal_bytes".into(),
+        "replay_entries_per_sec".into(),
+    ]);
+    t.row(vec![
+        trace.entries.len().to_string(),
+        report.epochs_replayed.to_string(),
+        report.parity_checked.to_string(),
+        report.mismatches.len().to_string(),
+        report.journal.len().to_string(),
+        fnum(report.entries_replayed as f64 / secs, 0),
+    ]);
+    t
+}
+
 fn telemetry_run(jobs: usize, journal: Option<&str>, metrics: bool, trace: &Arc<FailureTrace>) {
     let mut builder = Telemetry::builder().ring_buffer(4096);
     if let Some(path) = journal {
@@ -207,6 +322,9 @@ fn telemetry_run(jobs: usize, journal: Option<&str>, metrics: bool, trace: &Arc<
             .unwrap_or_else(|e| die(&format!("cannot open journal {path}: {e}")));
     }
     let telemetry = builder.build();
+    // A panicking run must still leave a flushed journal behind — a
+    // truncated journal is an incident capture, not garbage.
+    pqos_telemetry::panichook::flush_on_panic(&telemetry);
     let log = pqos_bench::standard_log(LogModel::SdscSp2, jobs);
     let config = SimConfig::paper_defaults()
         .accuracy(0.7)
@@ -414,6 +532,10 @@ fn main() {
         eprintln!("[sweep] deadline-slack ablation");
         emit("ablation-slack", &ablation_slack(&opts, &h.trace));
     }
+    if want("replay-parity") {
+        eprintln!("[sweep] replay-parity round trip");
+        emit("replay-parity", &replay_parity());
+    }
 }
 
 fn usage() {
@@ -423,7 +545,7 @@ fn usage() {
                     <ids...>\n\
          ids: all table1 table2 fig1..fig12 headline ablation-ckpt ablation-sched\n\
               ablation-slack ablation-interval ablation-topology ablation-diurnal\n\
-              online-predictor calibration\n\
+              online-predictor calibration replay-parity\n\
          --list          print the experiment index (id, caption, CSV path) as JSON\n\
          --journal PATH  stream lifecycle events of one instrumented run as JSONL\n\
          --metrics       print the metrics snapshot of that run\n\

@@ -8,6 +8,9 @@
 //! pqos-doctor diff   <a> <b>                 first divergence; exit 1 if any
 //! pqos-doctor crosscheck <journal> <metrics.json> [--json]
 //!                                            journal vs exported counters
+//! pqos-doctor bisect <trace.jsonl> [--target CODE] [-o FILE]
+//!                                            shrink a failing request trace to a
+//!                                            minimal reproducer (delta debugging)
 //! ```
 //!
 //! `--check` is accepted as an alias for `check` so CI invocations read
@@ -18,8 +21,8 @@
 
 use pqos_obs::doctor::Doctor;
 use pqos_obs::span::SpanForest;
-use pqos_obs::{chrome_trace, crosscheck, first_divergence, load_chrome_trace};
-use pqos_telemetry::{Snapshot, TelemetryEvent};
+use pqos_obs::{bisect_trace, chrome_trace, crosscheck, first_divergence, load_chrome_trace};
+use pqos_telemetry::{RequestTrace, Snapshot, TelemetryEvent};
 use std::fs::File;
 use std::io::{BufRead, BufReader, Write};
 use std::process::ExitCode;
@@ -33,6 +36,12 @@ const USAGE: &str = "usage:
   pqos-doctor crosscheck <journal.jsonl> <metrics.json> [--json]
                                                 verify journal event counts against the
                                                 exported metrics snapshot (exit 1 on errors)
+  pqos-doctor bisect <trace.jsonl> [--target CODE] [-o FILE]
+                                                delta-debug a failing request trace (from
+                                                pqos-qosd --record) to a minimal reproducer
+                                                that still produces CODE; writes the shrunk
+                                                trace to FILE and a JSON summary to stdout
+                                                (exit 1 when the trace replays clean)
 check, spans, and crosscheck accept '-' as the journal path to read from stdin.
 ";
 
@@ -52,6 +61,7 @@ fn main() -> ExitCode {
         "trace-check" | "--trace-check" => cmd_trace_check(rest),
         "diff" | "--diff" => cmd_diff(rest),
         "crosscheck" | "--crosscheck" => cmd_crosscheck(rest),
+        "bisect" | "--bisect" => cmd_bisect(rest),
         "-h" | "--help" | "help" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -211,6 +221,55 @@ fn cmd_crosscheck(args: &[String]) -> std::io::Result<ExitCode> {
     } else {
         ExitCode::SUCCESS
     })
+}
+
+fn cmd_bisect(args: &[String]) -> std::io::Result<ExitCode> {
+    let target_index = args.iter().position(|a| a == "--target");
+    let target = target_index.and_then(|i| args.get(i + 1)).cloned();
+    let o_index = args.iter().position(|a| a == "-o");
+    let out_path = o_index.and_then(|i| args.get(i + 1)).cloned();
+    let consumed = |i: usize| {
+        target_index.is_some_and(|t| i == t || i == t + 1)
+            || o_index.is_some_and(|o| i == o || i == o + 1)
+    };
+    let path = args
+        .iter()
+        .enumerate()
+        .find(|(i, _)| !consumed(*i))
+        .map(|(_, a)| a)
+        .ok_or_else(|| std::io::Error::other("bisect: missing trace path"))?;
+    let text = std::fs::read_to_string(path)?;
+    let trace =
+        RequestTrace::parse(&text).map_err(|e| std::io::Error::other(format!("{path}: {e}")))?;
+    // Progress goes to stderr; stdout carries only the JSON summary so CI
+    // can pipe it straight into a parser.
+    eprintln!(
+        "bisecting {path}: {} request(s), replaying candidates...",
+        trace.entries.len()
+    );
+    match bisect_trace(&trace, target.as_deref()) {
+        Ok(result) => {
+            if let Some(out) = &out_path {
+                std::fs::write(out, result.minimal.encode())?;
+                eprintln!(
+                    "minimal reproducer ({} of {} request(s), target `{}`, {} replays) written to {out}",
+                    result.minimal_requests, result.original_requests, result.target, result.tests_run
+                );
+            } else {
+                eprintln!(
+                    "minimal reproducer: {} of {} request(s) (target `{}`, {} replays); use -o FILE to save it",
+                    result.minimal_requests, result.original_requests, result.target, result.tests_run
+                );
+            }
+            emit(&result.summary_json())?;
+            emit("\n")?;
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(msg) => {
+            eprintln!("bisect: {msg}");
+            Ok(ExitCode::FAILURE)
+        }
+    }
 }
 
 fn cmd_diff(args: &[String]) -> std::io::Result<ExitCode> {

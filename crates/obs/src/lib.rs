@@ -18,6 +18,12 @@
 //!   including the daemon flight recorder's `dump` payload.
 //! * [`diff`] — locates and explains the first line where two journals
 //!   fork (seed-determinism debugging).
+//! * [`bisect`] — delta-debugs a failing request trace (recorded by
+//!   `pqos-qosd --record`) down to a minimal subsequence that still
+//!   reproduces a finding, replaying every candidate through the real
+//!   engine (`pqos-doctor bisect`).
+//! * [`manifest`] — the `expected.json` pinned-findings format the
+//!   failing-trace corpus uses in CI.
 //! * [`crosscheck`] — verifies a journal against the daemon's exported
 //!   metrics snapshot: every `journal.<kind>` gauge must agree with the
 //!   journal's own per-kind event counts, in both directions.
@@ -61,13 +67,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bisect;
 pub mod crosscheck;
 pub mod diff;
 pub mod doctor;
+pub mod manifest;
 pub mod span;
 pub mod trace;
 
+pub use bisect::{bisect_trace, ddmin, finding_codes, findings_for_trace, TraceBisect};
 pub use diff::{first_divergence, Divergence};
 pub use doctor::{Doctor, DoctorReport, Finding, Severity};
+pub use manifest::{ExpectedFindings, FindingsDelta};
 pub use span::{JobSpan, Outcome, PhaseKind, PhaseSpan, SpanForest};
 pub use trace::{chrome_trace, load_chrome_trace, ChromeTraceSummary};

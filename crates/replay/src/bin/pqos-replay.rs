@@ -1,0 +1,209 @@
+//! `pqos-replay`: re-execute recorded daemon traces deterministically.
+//!
+//! ```text
+//! pqos-replay run <trace.jsonl> [--against journal.jsonl] [--journal OUT]
+//!                 [--until EPOCH] [--step] [--threads N] [--no-parity]
+//! pqos-replay check <corpus-dir>
+//! ```
+//!
+//! `run` replays one trace through the real engine code path and reports
+//! response parity; `--against` additionally byte-compares the replayed
+//! journal with a recorded one, and `--journal` writes the replayed
+//! journal out (the way minimal reproducers get their pinned journals).
+//! `--step` prints one line per replayed epoch — virtual tick, entry
+//! count, live jobs — which together with `--until` is the incident
+//! narrowing workflow: bisect the epoch, then step up to it.
+//!
+//! `check` replays a whole corpus directory (see `traces/failing/`)
+//! against pinned findings and journals; CI runs it on every push.
+//!
+//! Exit status: 0 clean, 1 parity mismatch / journal divergence / corpus
+//! failure, 2 usage or I/O errors.
+
+use pqos_replay::check_corpus_dir;
+use pqos_service::replay::{replay_with, ReplayOptions};
+use pqos_telemetry::reqtrace::RequestTrace;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  pqos-replay run <trace.jsonl> [options]   replay a recorded trace deterministically
+    --against FILE   byte-compare the replayed journal against this recorded journal
+    --journal FILE   write the replayed journal here
+    --until EPOCH    stop after this batch epoch (inclusive)
+    --step           print one line per replayed epoch
+    --threads N      batch fan-out override (default: recorded batch_threads)
+    --no-parity      skip response comparison (just re-execute)
+  pqos-replay check <corpus-dir>            replay every case in a failing-trace corpus
+                                            against its pinned findings and journals
+exit: 0 clean, 1 mismatch/divergence, 2 usage or I/O
+";
+
+fn die(msg: &str) -> ExitCode {
+    eprintln!("pqos-replay: {msg}");
+    eprint!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, rest)) if cmd == "run" => cmd_run(rest),
+        Some((cmd, rest)) if cmd == "check" => cmd_check(rest),
+        Some((cmd, _)) if cmd == "-h" || cmd == "--help" || cmd == "help" => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some((other, _)) => die(&format!("unknown command: {other}")),
+        None => die("missing command"),
+    }
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let mut opts = ReplayOptions::default();
+    let mut step = false;
+    let mut against: Option<String> = None;
+    let mut journal_out: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .map(|v| v.to_string())
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        let result: Result<(), String> = match flag.as_str() {
+            "--against" => value("--against").map(|v| against = Some(v)),
+            "--journal" => value("--journal").map(|v| journal_out = Some(v)),
+            "--until" => value("--until").and_then(|v| {
+                v.parse()
+                    .map(|e| opts.until = Some(e))
+                    .map_err(|_| "--until: not an epoch number".into())
+            }),
+            "--threads" => value("--threads").and_then(|v| {
+                v.parse()
+                    .map(|n| opts.threads = n)
+                    .map_err(|_| "--threads: not a count".into())
+            }),
+            "--step" => {
+                step = true;
+                Ok(())
+            }
+            "--no-parity" => {
+                opts.check_parity = false;
+                Ok(())
+            }
+            other if other.starts_with('-') => Err(format!("unknown flag: {other}")),
+            path => {
+                trace_path = Some(path.to_string());
+                Ok(())
+            }
+        };
+        if let Err(msg) = result {
+            return die(&msg);
+        }
+    }
+    let Some(trace_path) = trace_path else {
+        return die("run: missing trace path");
+    };
+
+    let text = match std::fs::read_to_string(&trace_path) {
+        Ok(text) => text,
+        Err(e) => return die(&format!("cannot read {trace_path}: {e}")),
+    };
+    let trace = match RequestTrace::parse(&text) {
+        Ok(trace) => trace,
+        Err(e) => return die(&format!("{trace_path}: {e}")),
+    };
+    let report = match replay_with(&trace, &opts, |epoch| {
+        if step {
+            println!(
+                "epoch {:>5}  t={:>10}s  {:>4} entr{}  {:>4} live job(s)  {} mismatch(es)",
+                epoch.epoch,
+                epoch.tick_secs,
+                epoch.entries,
+                if epoch.entries == 1 { "y" } else { "ies" },
+                epoch.live_jobs,
+                epoch.mismatches,
+            );
+        }
+    }) {
+        Ok(report) => report,
+        Err(e) => return die(&format!("{trace_path}: {e}")),
+    };
+
+    println!(
+        "replayed {}/{} entries over {} epoch(s) in {:.1}ms: {} parity check(s), \
+         {} mismatch(es), {} nondeterministic skip(s), {} recorded timeout(s){}",
+        report.entries_replayed,
+        report.entries_total,
+        report.epochs_replayed,
+        report.elapsed.as_secs_f64() * 1e3,
+        report.parity_checked,
+        report.mismatches.len(),
+        report.skipped_nondeterministic,
+        report.timeouts_honored,
+        if report.shutdown_seen {
+            ", shutdown seen"
+        } else {
+            ""
+        },
+    );
+    for m in report.mismatches.iter().take(5) {
+        eprintln!(
+            "mismatch at seq {} (epoch {}, {}):\n  recorded: {}\n  replayed: {}",
+            m.seq, m.epoch, m.verb, m.recorded, m.replayed
+        );
+    }
+    if report.mismatches.len() > 5 {
+        eprintln!("... and {} more", report.mismatches.len() - 5);
+    }
+
+    let mut failed = !report.is_parity_clean();
+    if let Some(path) = &journal_out {
+        if let Err(e) = std::fs::write(path, &report.journal) {
+            return die(&format!("cannot write {path}: {e}"));
+        }
+        eprintln!("replayed journal written to {path}");
+    }
+    if let Some(path) = &against {
+        match std::fs::read_to_string(path) {
+            Ok(recorded) if recorded == report.journal => {
+                println!(
+                    "journal parity: byte-identical to {path} ({} lines)",
+                    recorded.lines().count()
+                );
+            }
+            Ok(recorded) => {
+                failed = true;
+                eprintln!("journal DIVERGED from {path}:");
+                match pqos_obs::first_divergence(&recorded, &report.journal) {
+                    Some(d) => eprint!("{}", d.explain()),
+                    None => eprintln!("  journals differ only in length"),
+                }
+            }
+            Err(e) => return die(&format!("cannot read {path}: {e}")),
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let [root] = args else {
+        return die("check: need exactly one corpus directory");
+    };
+    let report = match check_corpus_dir(root) {
+        Ok(report) => report,
+        Err(e) => return die(&format!("cannot read corpus {root}: {e}")),
+    };
+    println!("{report}");
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -4,7 +4,7 @@
 //! pqos-loadgen --addr HOST:PORT [--threads N] [--requests N] [--depth N]
 //!              [--model nasa|sdsc] [--seed N] [--accept-prob F]
 //!              [--cancel-prob F] [--out BENCH_service.json] [--shutdown]
-//!              [--metrics HOST:PORT] [--baseline-rps F]
+//!              [--metrics HOST:PORT] [--baseline-rps F] [--record PATH]
 //! ```
 //!
 //! With `--metrics`, the run ends with a `/metrics` scrape and the report
@@ -36,6 +36,9 @@ const USAGE: &str = "usage: pqos-loadgen --addr HOST:PORT [options]
                     the run and embed server-side numbers in the report
   --baseline-rps F  reference throughput (tracing off); embeds the tracing
                     overhead in the report
+  --record PATH     capture every request/response this client sees as a
+                    JSONL trace (client-side view; for replayable captures
+                    record on the daemon with pqos-qosd --record)
 ";
 
 fn die(msg: &str) -> ExitCode {
@@ -109,6 +112,7 @@ fn main() -> ExitCode {
                 Ok(())
             }
             "--out" => value("--out").map(|v| out = Some(v)),
+            "--record" => value("--record").map(|v| config.record = Some(v)),
             "--metrics" => value("--metrics").map(|v| config.metrics_addr = Some(v)),
             "--baseline-rps" => value("--baseline-rps").and_then(|v| {
                 v.parse()

@@ -6,7 +6,7 @@
 //!           [--time-scale F] [--queue-depth N] [--batch-threads N]
 //!           [--timeout-ms N] [--no-verify-parity] [--synthetic-failures]
 //!           [--flight-capacity N] [--no-flight] [--flight-dump PATH]
-//!           [--metrics-dump PATH]
+//!           [--metrics-dump PATH] [--record PATH]
 //! ```
 //!
 //! Binds, prints `listening on HOST:PORT` (port 0 in `--addr` picks a free
@@ -28,8 +28,9 @@ use pqos_failures::synthetic::AixLikeTrace;
 use pqos_predict::api::{NullPredictor, Predictor};
 use pqos_predict::oracle::TraceOracle;
 use pqos_service::engine::EngineConfig;
-use pqos_service::server::{serve, ServerConfig, DEFAULT_FLIGHT_CAPACITY};
+use pqos_service::server::{serve, RecordConfig, ServerConfig, DEFAULT_FLIGHT_CAPACITY};
 use pqos_sim_core::time::SimDuration;
+use pqos_telemetry::reqtrace::{TraceMeta, TRACE_FORMAT_VERSION};
 use pqos_telemetry::Telemetry;
 use std::io::Write;
 use std::net::TcpListener;
@@ -59,6 +60,8 @@ const USAGE: &str = "usage: pqos-qosd [options]
                         graceful shutdown
   --metrics-dump PATH   write the final metrics snapshot (JSON) here on
                         graceful shutdown
+  --record PATH         record every answered request as a replayable
+                        trace (JSONL) for `pqos-replay run`
 ";
 
 fn die(msg: &str) -> ExitCode {
@@ -79,6 +82,7 @@ fn main() -> ExitCode {
     let mut flight_capacity: usize = DEFAULT_FLIGHT_CAPACITY;
     let mut flight_dump: Option<String> = None;
     let mut metrics_dump: Option<String> = None;
+    let mut record: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -134,6 +138,7 @@ fn main() -> ExitCode {
             }
             "--flight-dump" => value("--flight-dump").map(|v| flight_dump = Some(v)),
             "--metrics-dump" => value("--metrics-dump").map(|v| metrics_dump = Some(v)),
+            "--record" => value("--record").map(|v| record = Some(v)),
             "--no-verify-parity" => {
                 engine.verify_parity = false;
                 Ok(())
@@ -181,6 +186,9 @@ fn main() -> ExitCode {
     } else {
         Box::new(NullPredictor)
     };
+    // Flush the journal before unwinding on any panic: an incident
+    // capture that stops mid-event cannot be replayed or trusted.
+    pqos_telemetry::panichook::flush_on_panic(&telemetry);
     let config = SimConfig::paper_defaults().cluster_size_nodes(cluster_size);
     let mut session =
         NegotiationSession::new(config, predictor, telemetry).verify_parity(engine.verify_parity);
@@ -227,12 +235,29 @@ fn main() -> ExitCode {
             eprintln!("pqos-qosd: stdout: {e}");
         }
     }
+    let record = record.map(|path| RecordConfig {
+        path: path.into(),
+        meta: TraceMeta {
+            version: TRACE_FORMAT_VERSION,
+            source: "qosd".into(),
+            cluster_size,
+            time_scale: engine.time_scale,
+            batch_threads: engine.batch_threads as u64,
+            quote_horizon_secs: quote_horizon,
+            predictor: if synthetic_failures {
+                "synthetic-aix".into()
+            } else {
+                "null".into()
+            },
+        },
+    });
     let config = ServerConfig {
         engine,
         metrics,
         flight_capacity,
         flight_dump: flight_dump.map(Into::into),
         metrics_dump: metrics_dump.map(Into::into),
+        record,
     };
     match serve(listener, session, config) {
         Ok(()) => ExitCode::SUCCESS,

@@ -31,11 +31,12 @@
 
 use crate::flight::{FlightRecorder, TraceCtx};
 use crate::protocol::{ErrorCode, Request, Response, StatusBody};
+use crate::record::TraceRecorder;
 use pqos_core::session::{AcceptError, CancelError, NegotiationSession, QuoteDecision};
 use pqos_core::session::{AdmissionRequest, SessionStatus};
 use pqos_predict::api::Predictor;
 use pqos_sim_core::time::{SimDuration, SimTime};
-use pqos_telemetry::Telemetry;
+use pqos_telemetry::{SinkHealth, Telemetry};
 use pqos_workload::job::JobId;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
@@ -86,6 +87,9 @@ struct EngineRequest {
     reply: ReplySender,
     enqueued: Instant,
     trace: Option<TraceCtx>,
+    /// Connection id the request arrived on (0 for in-process callers);
+    /// recorded in the request trace.
+    conn: u64,
 }
 
 /// State shared between every handle, the engine thread, and the metrics
@@ -125,6 +129,7 @@ impl EngineHandle {
         request: Request,
         reply: &ReplySender,
         trace: Option<TraceCtx>,
+        conn: u64,
     ) -> Result<(), (Response, Option<TraceCtx>)> {
         let refusal = |code: ErrorCode| Response::Error {
             id: request.id(),
@@ -142,6 +147,7 @@ impl EngineHandle {
             reply: reply.clone(),
             enqueued: Instant::now(),
             trace,
+            conn,
         };
         match self.tx.try_send(item) {
             Ok(()) => {
@@ -195,11 +201,14 @@ impl EngineHandle {
 
 /// Starts the engine thread around `session`. Returns the handle
 /// connections submit through and the join handle to await drain.
-/// `recorder` answers the `dump` verb (pass a disabled one to opt out).
+/// `recorder` answers the `dump` verb (pass a disabled one to opt out);
+/// `trace` captures every answered request for deterministic replay
+/// (pass a disabled one to opt out).
 pub fn spawn<P>(
     session: NegotiationSession<P>,
     config: EngineConfig,
     recorder: FlightRecorder,
+    trace: TraceRecorder,
 ) -> (EngineHandle, JoinHandle<()>)
 where
     P: Predictor + Send + Sync + 'static,
@@ -218,7 +227,7 @@ where
     };
     let join = std::thread::Builder::new()
         .name("pqos-engine".into())
-        .spawn(move || run(session, config, rx, shared, recorder))
+        .spawn(move || run(session, config, rx, shared, recorder, trace))
         .expect("spawn engine thread");
     (handle, join)
 }
@@ -229,6 +238,7 @@ fn run<P: Predictor + Sync>(
     rx: Receiver<EngineRequest>,
     shared: Arc<EngineShared>,
     recorder: FlightRecorder,
+    trace_rec: TraceRecorder,
 ) {
     let session = &mut session;
     let telemetry = session.telemetry().clone();
@@ -242,6 +252,10 @@ fn run<P: Predictor + Sync>(
     let uptime_gauge = telemetry.gauge("process.uptime_seconds");
     let epoch = shared.epoch;
     let mut next_job: u64 = 1;
+    // Batch-epoch counter for the request trace: one per tick, starting
+    // at 1, so replay can reconstruct exactly which requests shared a
+    // book snapshot.
+    let mut epoch_no: u64 = 0;
     // Journal-derived gauges (journal.*) are published on flush; flush at
     // most once a second so a mid-run /metrics scrape sees fresh session
     // counts without a sink flush on every tick.
@@ -271,6 +285,7 @@ fn run<P: Predictor + Sync>(
         }
         let virtual_now = (epoch.elapsed().as_secs_f64() * config.time_scale) as u64;
         session.advance_to(SimTime::from_secs(virtual_now));
+        epoch_no += 1;
 
         let mut live = Vec::with_capacity(tick.len());
         for mut item in tick {
@@ -281,6 +296,16 @@ fn run<P: Predictor + Sync>(
                     code: ErrorCode::Timeout,
                     detail: "request waited past its deadline; retry".into(),
                 };
+                // Recorded with job:null — the request never reached the
+                // session, and replay must skip it the same way.
+                trace_rec.record(
+                    epoch_no,
+                    virtual_now,
+                    item.conn,
+                    &item.request,
+                    &response,
+                    None,
+                );
                 respond(&item.reply, response, item.trace.take());
             } else {
                 live.push(item);
@@ -329,6 +354,16 @@ fn run<P: Predictor + Sync>(
                 if let Some(t) = item.trace.as_mut() {
                     t.mark("compute");
                 }
+                // Rejected negotiates carry their job id too: they
+                // consumed one, and replay must consume it identically.
+                trace_rec.record(
+                    epoch_no,
+                    virtual_now,
+                    item.conn,
+                    &item.request,
+                    &response,
+                    Some(job.as_u64()),
+                );
                 respond(&item.reply, response, item.trace.take());
             }
         }
@@ -342,7 +377,12 @@ fn run<P: Predictor + Sync>(
                 Request::Cancel { job, .. } => cancel_response(session, id, job),
                 Request::Status { .. } => Response::Status {
                     id,
-                    body: status_body(&session.status(), &shared, session.live_jobs() as u64),
+                    body: status_body(
+                        &session.status(),
+                        &shared,
+                        session.live_jobs() as u64,
+                        session.telemetry().sink_health(),
+                    ),
                 },
                 Request::Dump { .. } => Response::Dump {
                     id,
@@ -350,7 +390,16 @@ fn run<P: Predictor + Sync>(
                 },
                 Request::Shutdown { .. } => {
                     shared.draining.store(true, Ordering::Release);
-                    respond(&item.reply, Response::Ok { id }, item.trace.take());
+                    let response = Response::Ok { id };
+                    trace_rec.record(
+                        epoch_no,
+                        virtual_now,
+                        item.conn,
+                        &item.request,
+                        &response,
+                        None,
+                    );
+                    respond(&item.reply, response, item.trace.take());
                     while let Ok(mut stale) = rx.try_recv() {
                         pop(&mut stale);
                         let refusal = Response::Error {
@@ -366,6 +415,14 @@ fn run<P: Predictor + Sync>(
             if let Some(t) = item.trace.as_mut() {
                 t.mark("compute");
             }
+            trace_rec.record(
+                epoch_no,
+                virtual_now,
+                item.conn,
+                &item.request,
+                &response,
+                None,
+            );
             respond(&item.reply, response, item.trace.take());
         }
         ticks.inc();
@@ -381,6 +438,7 @@ fn run<P: Predictor + Sync>(
     }
     uptime_gauge.set(epoch.elapsed().as_secs() as i64);
     session.flush();
+    trace_rec.flush();
 }
 
 /// Replies are best-effort: a gone client (dropped receiver) is a clean
@@ -396,7 +454,11 @@ fn respond(reply: &ReplySender, response: Response, trace: Option<TraceCtx>) {
     }
 }
 
-fn quote_response(id: u64, job: u64, decision: QuoteDecision) -> Response {
+// The outcome→response mappings below are shared with `crate::replay`:
+// replay must render a session outcome to the exact bytes the live
+// engine would have sent, or response parity would diverge spuriously.
+
+pub(crate) fn quote_response(id: u64, job: u64, decision: QuoteDecision) -> Response {
     match decision {
         QuoteDecision::Quoted(held) => Response::Quote {
             id,
@@ -415,12 +477,11 @@ fn quote_response(id: u64, job: u64, decision: QuoteDecision) -> Response {
     }
 }
 
-fn accept_response<P: Predictor + Sync>(
-    session: &mut NegotiationSession<P>,
+pub(crate) fn accept_outcome_response(
     id: u64,
-    job: u64,
+    outcome: &Result<pqos_core::session::HeldQuote, AcceptError>,
 ) -> Response {
-    match session.accept(JobId::new(job)) {
+    match outcome {
         Ok(_) => Response::Ok { id },
         Err(e) => Response::Error {
             id,
@@ -433,12 +494,8 @@ fn accept_response<P: Predictor + Sync>(
     }
 }
 
-fn cancel_response<P: Predictor + Sync>(
-    session: &mut NegotiationSession<P>,
-    id: u64,
-    job: u64,
-) -> Response {
-    match session.cancel(JobId::new(job)) {
+pub(crate) fn cancel_outcome_response(id: u64, outcome: &Result<(), CancelError>) -> Response {
+    match outcome {
         Ok(()) => Response::Ok { id },
         Err(e) => Response::Error {
             id,
@@ -451,7 +508,28 @@ fn cancel_response<P: Predictor + Sync>(
     }
 }
 
-fn status_body(status: &SessionStatus, shared: &EngineShared, live_jobs: u64) -> StatusBody {
+fn accept_response<P: Predictor + Sync>(
+    session: &mut NegotiationSession<P>,
+    id: u64,
+    job: u64,
+) -> Response {
+    accept_outcome_response(id, &session.accept(JobId::new(job)))
+}
+
+fn cancel_response<P: Predictor + Sync>(
+    session: &mut NegotiationSession<P>,
+    id: u64,
+    job: u64,
+) -> Response {
+    cancel_outcome_response(id, &session.cancel(JobId::new(job)))
+}
+
+fn status_body(
+    status: &SessionStatus,
+    shared: &EngineShared,
+    live_jobs: u64,
+    journal: SinkHealth,
+) -> StatusBody {
     StatusBody {
         now_secs: status.now.as_secs(),
         cluster_size: status.cluster_size,
@@ -470,6 +548,9 @@ fn status_body(status: &SessionStatus, shared: &EngineShared, live_jobs: u64) ->
         uptime_secs: shared.epoch.elapsed().as_secs(),
         live_jobs,
         overloaded: shared.overloaded.load(Ordering::Relaxed),
+        journal_events_written: journal.events_written,
+        journal_ring_dropped: journal.ring_dropped,
+        journal_write_errors: journal.write_errors,
     }
 }
 
@@ -487,12 +568,19 @@ mod tests {
             Telemetry::disabled(),
         )
         .verify_parity(config.verify_parity);
-        spawn(session, config, FlightRecorder::disabled())
+        spawn(
+            session,
+            config,
+            FlightRecorder::disabled(),
+            TraceRecorder::disabled(),
+        )
     }
 
     fn ask(handle: &EngineHandle, request: Request) -> Response {
         let (tx, rx) = std::sync::mpsc::channel();
-        handle.submit(request, &tx, None).expect("engine accepts");
+        handle
+            .submit(request, &tx, None, 0)
+            .expect("engine accepts");
         rx.recv_timeout(Duration::from_secs(5)).expect("reply").0
     }
 
@@ -528,7 +616,7 @@ mod tests {
         // Post-drain submissions are refused, not queued.
         let (tx, _rx) = std::sync::mpsc::channel();
         let (refused, _) = handle
-            .submit(Request::Status { id: 5 }, &tx, None)
+            .submit(Request::Status { id: 5 }, &tx, None, 0)
             .unwrap_err();
         assert!(matches!(
             refused,
@@ -555,11 +643,11 @@ mod tests {
         };
         let (reply, _) = std::sync::mpsc::channel();
         assert!(handle
-            .submit(Request::Status { id: 1 }, &reply, None)
+            .submit(Request::Status { id: 1 }, &reply, None, 0)
             .is_ok());
         assert_eq!(handle.queue_depth(), 1);
         let (refused, _) = handle
-            .submit(Request::Status { id: 2 }, &reply, None)
+            .submit(Request::Status { id: 2 }, &reply, None, 0)
             .unwrap_err();
         assert!(matches!(
             refused,
@@ -587,6 +675,7 @@ mod tests {
                     },
                     &reply,
                     None,
+                    0,
                 )
                 .unwrap();
         }
@@ -643,7 +732,12 @@ mod tests {
             NullPredictor,
             Telemetry::disabled(),
         );
-        let (handle, join) = spawn(session, EngineConfig::default(), recorder.clone());
+        let (handle, join) = spawn(
+            session,
+            EngineConfig::default(),
+            recorder.clone(),
+            TraceRecorder::disabled(),
+        );
         let (tx, rx) = std::sync::mpsc::channel();
 
         // A traced negotiate: reader role (begin + parse mark) here,
@@ -661,6 +755,7 @@ mod tests {
                 },
                 &tx,
                 Some(trace),
+                0,
             )
             .unwrap();
         let (response, trace) = rx.recv_timeout(Duration::from_secs(5)).unwrap();

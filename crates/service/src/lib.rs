@@ -53,6 +53,8 @@ pub mod flight;
 pub mod loadgen;
 pub mod metrics_http;
 pub mod protocol;
+pub mod record;
+pub mod replay;
 pub mod scrape;
 pub mod server;
 
@@ -60,4 +62,6 @@ pub use engine::{EngineConfig, EngineHandle};
 pub use flight::{FlightRecorder, TraceCtx};
 pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use protocol::{ErrorCode, Request, Response};
-pub use server::{serve, ServerConfig};
+pub use record::{SharedBuf, TraceRecorder};
+pub use replay::{replay, ReplayOptions, ReplayReport};
+pub use server::{serve, RecordConfig, ServerConfig};

@@ -19,9 +19,11 @@
 //! what it measured.
 
 use crate::protocol::{ErrorCode, Request, Response};
+use crate::record::TraceRecorder;
 use crate::{flight, scrape};
 use pqos_sim_core::rng::DetRng;
 use pqos_telemetry::expo;
+use pqos_telemetry::reqtrace::{TraceMeta, TRACE_FORMAT_VERSION};
 use pqos_workload::synthetic::{LogModel, SyntheticLog};
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -59,6 +61,12 @@ pub struct LoadgenConfig {
     /// Throughput of a reference run (tracing off); when set, the report
     /// embeds the tracing overhead this run paid relative to it.
     pub baseline_rps: Option<f64>,
+    /// Record every request/response pair this client sees to a trace
+    /// file (`--record`). Client-side traces carry `source: "loadgen"` —
+    /// they document what the client observed (no engine epochs), so
+    /// `pqos-replay` refuses them; record on the daemon for replayable
+    /// captures.
+    pub record: Option<String>,
 }
 
 impl Default for LoadgenConfig {
@@ -76,6 +84,7 @@ impl Default for LoadgenConfig {
             connect_timeout: Duration::from_secs(10),
             metrics_addr: None,
             baseline_rps: None,
+            record: None,
         }
     }
 }
@@ -382,17 +391,40 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
             ))
         }
     };
+    // Client-side capture: one shared trace, each worker stamping its own
+    // connection id. Epoch/tick are zero — the client cannot see engine
+    // batching; this trace documents what the wire carried, not how the
+    // engine grouped it.
+    let trace = match &config.record {
+        Some(path) => TraceRecorder::to_path(
+            path,
+            &TraceMeta {
+                version: TRACE_FORMAT_VERSION,
+                source: "loadgen".into(),
+                cluster_size,
+                time_scale: 0.0,
+                batch_threads: 0,
+                quote_horizon_secs: None,
+                predictor: "unknown".into(),
+            },
+        )?,
+        None => TraceRecorder::disabled(),
+    };
     let per_thread = config.requests.div_ceil(threads as u64);
     let started = Instant::now();
     let stats: Vec<WorkerStats> = std::thread::scope(|scope| {
         let workers: Vec<_> = (0..threads)
-            .map(|tid| scope.spawn(move || worker(config, tid, per_thread, cluster_size)))
+            .map(|tid| {
+                let trace = trace.clone();
+                scope.spawn(move || worker(config, tid, per_thread, cluster_size, &trace))
+            })
             .collect();
         workers
             .into_iter()
             .map(|w| w.join().expect("worker thread"))
             .collect()
     });
+    trace.flush();
     let elapsed = started.elapsed();
 
     let mut merged = WorkerStats::default();
@@ -468,7 +500,13 @@ struct Pending {
     sent: Instant,
 }
 
-fn worker(config: &LoadgenConfig, tid: usize, quota: u64, cluster_size: u32) -> WorkerStats {
+fn worker(
+    config: &LoadgenConfig,
+    tid: usize,
+    quota: u64,
+    cluster_size: u32,
+    trace: &TraceRecorder,
+) -> WorkerStats {
     let mut stats = WorkerStats::default();
     let Ok(stream) = connect(&config.addr, config.connect_timeout) else {
         return stats;
@@ -545,6 +583,13 @@ fn worker(config: &LoadgenConfig, tid: usize, quota: u64, cluster_size: u32) -> 
             stats.errors += 1;
             continue;
         };
+        if trace.is_enabled() {
+            let job = match (&pending.request, &response) {
+                (Request::Negotiate { .. }, Response::Quote { job, .. }) => Some(*job),
+                _ => None,
+            };
+            trace.record(0, 0, tid as u64 + 1, &pending.request, &response, job);
+        }
         let retry = |stats: &mut WorkerStats, followups: &mut VecDeque<Request>| {
             stats.retried += 1;
             followups.push_back(pending.request);

@@ -298,6 +298,13 @@ pub struct StatusBody {
     pub live_jobs: u64,
     /// Requests refused with `overloaded` since startup.
     pub overloaded: u64,
+    /// Journal events durably written across all sinks.
+    pub journal_events_written: u64,
+    /// Journal events evicted from the in-memory ring to make room. A
+    /// nonzero value means a recorded capture may be lossy.
+    pub journal_ring_dropped: u64,
+    /// Journal events lost to sink I/O errors.
+    pub journal_write_errors: u64,
 }
 
 /// A server response.
@@ -407,7 +414,10 @@ impl Response {
                     .u64("queue_depth", body.queue_depth)
                     .u64("uptime_secs", body.uptime_secs)
                     .u64("live_jobs", body.live_jobs)
-                    .u64("overloaded", body.overloaded);
+                    .u64("overloaded", body.overloaded)
+                    .u64("journal_events_written", body.journal_events_written)
+                    .u64("journal_ring_dropped", body.journal_ring_dropped)
+                    .u64("journal_write_errors", body.journal_write_errors);
             }
             Response::Dump { id, trace } => {
                 w.u64("id", *id).bool("ok", true).str("trace", trace);
@@ -478,6 +488,9 @@ impl Response {
                     uptime_secs: u("uptime_secs").unwrap_or(0),
                     live_jobs: u("live_jobs").unwrap_or(0),
                     overloaded: u("overloaded").unwrap_or(0),
+                    journal_events_written: u("journal_events_written").unwrap_or(0),
+                    journal_ring_dropped: u("journal_ring_dropped").unwrap_or(0),
+                    journal_write_errors: u("journal_write_errors").unwrap_or(0),
                 },
             });
         }
@@ -541,6 +554,9 @@ mod tests {
                     uptime_secs: 33,
                     live_jobs: 11,
                     overloaded: 2,
+                    journal_events_written: 90,
+                    journal_ring_dropped: 1,
+                    journal_write_errors: 0,
                 },
             },
             Response::Dump {
@@ -594,6 +610,9 @@ mod tests {
         assert_eq!(body.uptime_secs, 0);
         assert_eq!(body.live_jobs, 0);
         assert_eq!(body.overloaded, 0);
+        assert_eq!(body.journal_events_written, 0);
+        assert_eq!(body.journal_ring_dropped, 0);
+        assert_eq!(body.journal_write_errors, 0);
     }
 
     #[test]

@@ -1,0 +1,598 @@
+//! Deterministic re-execution of recorded request traces.
+//!
+//! [`replay`] feeds a trace captured by the daemon's `--record` flag back
+//! through the *real* [`NegotiationSession`] code path — no sockets, no
+//! wall clock. Virtual time comes from the recorded per-epoch ticks,
+//! batching comes from the recorded epoch grouping, and job ids come from
+//! the recorded engine assignments, so the replayed session makes exactly
+//! the decisions the live engine made and emits a byte-identical journal.
+//!
+//! # Determinism contract
+//!
+//! Replay checks *response parity* for the deterministic verbs —
+//! `negotiate`, `accept`, `cancel`, `shutdown` — whose responses are pure
+//! functions of session state. `status` and `dump` responses carry
+//! wall-clock fields (uptime, queue depth, flight-recorder contents) and
+//! are skipped (counted in
+//! [`ReplayReport::skipped_nondeterministic`]). Queue-timeout refusals
+//! never reached the session when recorded, so replay honors them by
+//! skipping the entry. Journal equality is checked by the caller against
+//! the recorded journal ([`ReplayReport::journal`] holds the replayed
+//! one).
+
+use crate::engine;
+use crate::protocol::{ErrorCode, Request, Response};
+use crate::record::SharedBuf;
+use pqos_core::config::SimConfig;
+use pqos_core::session::{AdmissionRequest, NegotiationSession, SessionOp, SessionOpOutcome};
+use pqos_failures::synthetic::AixLikeTrace;
+use pqos_predict::api::{NullPredictor, Predictor};
+use pqos_predict::oracle::TraceOracle;
+use pqos_sim_core::time::{SimDuration, SimTime};
+use pqos_telemetry::reqtrace::{RequestTrace, TraceEntry};
+use pqos_telemetry::Telemetry;
+use pqos_workload::job::JobId;
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tuning for one replay run.
+#[derive(Debug, Clone)]
+pub struct ReplayOptions {
+    /// Stop after this epoch (inclusive); `None` replays to the end.
+    pub until: Option<u64>,
+    /// Batch fan-out override; `0` uses the recorded `batch_threads`
+    /// (quoting is thread-count independent, so this only affects speed).
+    pub threads: usize,
+    /// Compare every deterministic response byte-for-byte against the
+    /// recording.
+    pub check_parity: bool,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> Self {
+        ReplayOptions {
+            until: None,
+            threads: 0,
+            check_parity: true,
+        }
+    }
+}
+
+/// One replayed response that differs from the recording.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParityMismatch {
+    /// Sequence number of the diverging entry.
+    pub seq: u64,
+    /// Epoch it replayed in.
+    pub epoch: u64,
+    /// Protocol verb.
+    pub verb: String,
+    /// The recorded response line.
+    pub recorded: String,
+    /// What this build of the code answered instead.
+    pub replayed: String,
+}
+
+/// Per-epoch progress, for `--step` narrowing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochSummary {
+    /// The epoch just replayed.
+    pub epoch: u64,
+    /// Virtual time it advanced to.
+    pub tick_secs: u64,
+    /// Entries it contained.
+    pub entries: usize,
+    /// Live jobs after the epoch.
+    pub live_jobs: usize,
+    /// Cumulative parity mismatches so far.
+    pub mismatches: usize,
+}
+
+/// What a replay produced.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Entries in the trace.
+    pub entries_total: usize,
+    /// Entries fed through the session (or honored as recorded
+    /// timeouts); the rest were cut off by `--until` or a mid-trace
+    /// shutdown.
+    pub entries_replayed: usize,
+    /// Epochs replayed.
+    pub epochs_replayed: u64,
+    /// Deterministic responses compared against the recording.
+    pub parity_checked: usize,
+    /// The comparisons that diverged.
+    pub mismatches: Vec<ParityMismatch>,
+    /// `status`/`dump` entries skipped (wall-clock responses).
+    pub skipped_nondeterministic: usize,
+    /// Recorded queue-timeout refusals honored by skipping.
+    pub timeouts_honored: usize,
+    /// Whether the trace ended with a shutdown acknowledgement.
+    pub shutdown_seen: bool,
+    /// The replayed journal (JSONL), for byte comparison against the
+    /// recorded one.
+    pub journal: String,
+    /// Replayed response line per deterministic entry, in replay order
+    /// (`(seq, line)`); lets callers reconstruct responses for authored
+    /// traces.
+    pub responses: Vec<(u64, String)>,
+    /// Wall-clock cost of the replay.
+    pub elapsed: Duration,
+}
+
+impl ReplayReport {
+    /// No response diverged from the recording.
+    pub fn is_parity_clean(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// Why a trace cannot be replayed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayError {
+    /// The trace as a whole is not replayable (wrong source, unknown
+    /// predictor).
+    Unsupported(String),
+    /// One entry is malformed beyond what the schema validator can see
+    /// (unparseable request/response payload, negotiate without a job).
+    BadEntry {
+        /// Sequence number of the offending entry.
+        seq: u64,
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::Unsupported(detail) => write!(f, "cannot replay: {detail}"),
+            ReplayError::BadEntry { seq, detail } => {
+                write!(f, "trace entry seq {seq}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// Replays `trace` to completion (or `opts.until`). See the
+/// [module docs](self) for the determinism contract.
+pub fn replay(trace: &RequestTrace, opts: &ReplayOptions) -> Result<ReplayReport, ReplayError> {
+    replay_with(trace, opts, |_| {})
+}
+
+/// [`replay`], invoking `on_epoch` after each replayed epoch (the
+/// substrate for `pqos-replay run --step`).
+pub fn replay_with(
+    trace: &RequestTrace,
+    opts: &ReplayOptions,
+    mut on_epoch: impl FnMut(&EpochSummary),
+) -> Result<ReplayReport, ReplayError> {
+    let started = Instant::now();
+    let meta = &trace.meta;
+    if meta.source != "qosd" {
+        return Err(ReplayError::Unsupported(format!(
+            "trace source is {:?}; only engine-side (\"qosd\") traces carry \
+             the batch epochs replay needs — re-capture with `pqos-qosd --record`",
+            meta.source
+        )));
+    }
+    let predictor: Box<dyn Predictor + Send + Sync> = match meta.predictor.as_str() {
+        "null" => Box::new(NullPredictor),
+        // Mirrors pqos-qosd --synthetic-failures exactly; same seed, same
+        // trace, same oracle accuracy.
+        "synthetic-aix" => {
+            let failure_trace = Arc::new(
+                AixLikeTrace::new()
+                    .days(365.0)
+                    .seed(0xD5_2005)
+                    .nodes(meta.cluster_size)
+                    .build(),
+            );
+            Box::new(TraceOracle::new(failure_trace, 0.9).expect("accuracy in range"))
+        }
+        other => {
+            return Err(ReplayError::Unsupported(format!(
+                "unknown predictor {other:?} (this build knows \"null\" and \"synthetic-aix\")"
+            )));
+        }
+    };
+    let journal_buf = SharedBuf::new();
+    let telemetry = Telemetry::builder()
+        .flush_every(0)
+        .jsonl_writer(journal_buf.clone())
+        .build();
+    let mut session = NegotiationSession::new(
+        SimConfig::paper_defaults().cluster_size_nodes(meta.cluster_size),
+        predictor,
+        telemetry.clone(),
+    )
+    .verify_parity(false);
+    if let Some(secs) = meta.quote_horizon_secs {
+        session = session.quote_horizon(SimDuration::from_secs(secs));
+    }
+    let threads = if opts.threads > 0 {
+        opts.threads
+    } else {
+        (meta.batch_threads as usize).max(1)
+    };
+
+    let mut report = ReplayReport {
+        entries_total: trace.entries.len(),
+        entries_replayed: 0,
+        epochs_replayed: 0,
+        parity_checked: 0,
+        mismatches: Vec::new(),
+        skipped_nondeterministic: 0,
+        timeouts_honored: 0,
+        shutdown_seen: false,
+        journal: String::new(),
+        responses: Vec::new(),
+        elapsed: Duration::ZERO,
+    };
+
+    let mut idx = 0;
+    'epochs: while idx < trace.entries.len() {
+        let epoch = trace.entries[idx].epoch;
+        if opts.until.is_some_and(|until| epoch > until) {
+            break;
+        }
+        let mut end = idx;
+        while end < trace.entries.len() && trace.entries[end].epoch == epoch {
+            end += 1;
+        }
+        let entries = &trace.entries[idx..end];
+        let tick = entries[0].tick_secs;
+        session.apply(&SessionOp::AdvanceTo(SimTime::from_secs(tick)), threads);
+
+        // Parse payloads and split out recorded queue-timeouts up front.
+        let mut parsed = Vec::with_capacity(entries.len());
+        for entry in entries {
+            let bad = |detail: String| ReplayError::BadEntry {
+                seq: entry.seq,
+                detail,
+            };
+            let request = Request::parse(&entry.request)
+                .map_err(|e| bad(format!("request does not parse: {}", e.detail)))?;
+            if request.verb() != entry.verb {
+                return Err(bad(format!(
+                    "entry verb {:?} disagrees with its request payload ({:?})",
+                    entry.verb,
+                    request.verb()
+                )));
+            }
+            let recorded = Response::parse(&entry.response)
+                .ok_or_else(|| bad("response does not parse".to_string()))?;
+            let timed_out = matches!(
+                recorded,
+                Response::Error {
+                    code: ErrorCode::Timeout,
+                    ..
+                }
+            );
+            parsed.push((entry, request, timed_out));
+        }
+
+        // Pass 1: the epoch's executed negotiates, as one batch with the
+        // recorded job ids (rejected negotiates consumed an id too).
+        let mut batch: Vec<(JobId, AdmissionRequest)> = Vec::new();
+        let mut batch_entries: Vec<&TraceEntry> = Vec::new();
+        for (entry, request, timed_out) in &parsed {
+            if *timed_out {
+                continue;
+            }
+            if let Request::Negotiate {
+                size, runtime_secs, ..
+            } = request
+            {
+                let Some(job) = entry.job else {
+                    return Err(ReplayError::BadEntry {
+                        seq: entry.seq,
+                        detail: "executed negotiate is missing its engine-assigned job id".into(),
+                    });
+                };
+                batch.push((
+                    JobId::new(job),
+                    AdmissionRequest {
+                        size: *size,
+                        runtime: SimDuration::from_secs(*runtime_secs),
+                    },
+                ));
+                batch_entries.push(entry);
+            }
+        }
+        if !batch.is_empty() {
+            let SessionOpOutcome::Quotes(decisions) =
+                session.apply(&SessionOp::QuoteBatch(batch.clone()), threads)
+            else {
+                unreachable!("QuoteBatch yields Quotes");
+            };
+            for ((entry, (job, _)), decision) in batch_entries.iter().zip(&batch).zip(decisions) {
+                let request_id = Request::parse(&entry.request).expect("parsed above").id();
+                let replayed = engine::quote_response(request_id, job.as_u64(), decision);
+                check_parity(opts, entry, &replayed, &mut report);
+            }
+        }
+
+        // Pass 2: everything else in arrival order.
+        for (entry, request, timed_out) in &parsed {
+            if *timed_out {
+                report.timeouts_honored += 1;
+                continue;
+            }
+            let id = request.id();
+            let replayed = match request {
+                Request::Negotiate { .. } => continue, // replayed in pass 1
+                Request::Accept { job, .. } => {
+                    let SessionOpOutcome::Accepted(outcome) =
+                        session.apply(&SessionOp::Accept(JobId::new(*job)), threads)
+                    else {
+                        unreachable!("Accept yields Accepted");
+                    };
+                    engine::accept_outcome_response(id, &outcome)
+                }
+                Request::Cancel { job, .. } => {
+                    let SessionOpOutcome::Cancelled(outcome) =
+                        session.apply(&SessionOp::Cancel(JobId::new(*job)), threads)
+                    else {
+                        unreachable!("Cancel yields Cancelled");
+                    };
+                    engine::cancel_outcome_response(id, &outcome)
+                }
+                Request::Status { .. } | Request::Dump { .. } => {
+                    report.skipped_nondeterministic += 1;
+                    continue;
+                }
+                Request::Shutdown { .. } => {
+                    let replayed = Response::Ok { id };
+                    check_parity(opts, entry, &replayed, &mut report);
+                    report.shutdown_seen = true;
+                    report.entries_replayed = parsed
+                        .iter()
+                        .position(|(e, _, _)| e.seq == entry.seq)
+                        .map_or(report.entries_replayed, |pos| {
+                            report.entries_replayed + pos + 1
+                        });
+                    report.epochs_replayed += 1;
+                    on_epoch(&EpochSummary {
+                        epoch,
+                        tick_secs: tick,
+                        entries: entries.len(),
+                        live_jobs: session.live_jobs(),
+                        mismatches: report.mismatches.len(),
+                    });
+                    break 'epochs;
+                }
+            };
+            check_parity(opts, entry, &replayed, &mut report);
+        }
+        report.entries_replayed += entries.len();
+        report.epochs_replayed += 1;
+        on_epoch(&EpochSummary {
+            epoch,
+            tick_secs: tick,
+            entries: entries.len(),
+            live_jobs: session.live_jobs(),
+            mismatches: report.mismatches.len(),
+        });
+        idx = end;
+    }
+
+    session.flush();
+    report.journal = journal_buf.take_string();
+    report.elapsed = started.elapsed();
+    Ok(report)
+}
+
+/// Records the replayed response and, when parity checking is on,
+/// byte-compares it against the recorded line.
+fn check_parity(
+    opts: &ReplayOptions,
+    entry: &TraceEntry,
+    replayed: &Response,
+    report: &mut ReplayReport,
+) {
+    let line = replayed.encode();
+    if opts.check_parity {
+        report.parity_checked += 1;
+        if line != entry.response {
+            report.mismatches.push(ParityMismatch {
+                seq: entry.seq,
+                epoch: entry.epoch,
+                verb: entry.verb.clone(),
+                recorded: entry.response.clone(),
+                replayed: line.clone(),
+            });
+        }
+    }
+    report.responses.push((entry.seq, line));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{self as eng, EngineConfig};
+    use crate::flight::FlightRecorder;
+    use crate::record::TraceRecorder;
+    use std::time::Duration as StdDuration;
+
+    /// Records an in-process engine run, then replays it and asserts the
+    /// round trip: byte-identical journal, 100% response parity.
+    #[test]
+    fn record_then_replay_round_trips() {
+        let trace_buf = SharedBuf::new();
+        let journal_buf = SharedBuf::new();
+        let meta = pqos_telemetry::reqtrace::TraceMeta {
+            version: pqos_telemetry::reqtrace::TRACE_FORMAT_VERSION,
+            source: "qosd".into(),
+            cluster_size: 16,
+            time_scale: 2000.0,
+            batch_threads: 2,
+            quote_horizon_secs: None,
+            predictor: "null".into(),
+        };
+        let telemetry = Telemetry::builder()
+            .flush_every(0)
+            .jsonl_writer(journal_buf.clone())
+            .build();
+        let session = NegotiationSession::new(
+            SimConfig::paper_defaults().cluster_size_nodes(16),
+            NullPredictor,
+            telemetry,
+        );
+        let config = EngineConfig {
+            time_scale: 2000.0,
+            batch_threads: 2,
+            ..EngineConfig::default()
+        };
+        let recorder = TraceRecorder::to_writer(trace_buf.clone(), &meta).unwrap();
+        let (handle, join) = eng::spawn(session, config, FlightRecorder::disabled(), recorder);
+        let (reply, rx) = std::sync::mpsc::channel();
+        let ask = |request: Request| {
+            handle.submit(request, &reply, None, 1).expect("accepts");
+            rx.recv_timeout(StdDuration::from_secs(5)).expect("reply").0
+        };
+        let mut jobs = Vec::new();
+        for k in 0..12u64 {
+            match ask(Request::Negotiate {
+                id: k,
+                size: 1 + (k % 5) as u32,
+                runtime_secs: 600 + 60 * k,
+            }) {
+                Response::Quote { job, .. } => jobs.push(job),
+                other => panic!("expected quote, got {other:?}"),
+            }
+            // Spread requests across ticks so several epochs exist.
+            if k % 4 == 3 {
+                std::thread::sleep(StdDuration::from_millis(5));
+            }
+        }
+        // Some accepts succeed, some lose their slot to an earlier accept
+        // and expire — both outcomes must replay identically, so neither
+        // is asserted away.
+        let mut accepted_ok = 0;
+        for &job in jobs.iter().take(6) {
+            if matches!(
+                ask(Request::Accept { id: 100 + job, job }),
+                Response::Ok { .. }
+            ) {
+                accepted_ok += 1;
+            }
+        }
+        assert!(accepted_ok >= 1, "at least one accept lands");
+        // A cancel on a merely-quoted job is an error reply; that too must
+        // round-trip byte-for-byte.
+        ask(Request::Cancel {
+            id: 200,
+            job: jobs[6],
+        });
+        // An unknown job too: error responses must replay identically.
+        assert!(matches!(
+            ask(Request::Cancel { id: 201, job: 9999 }),
+            Response::Error { .. }
+        ));
+        assert!(matches!(
+            ask(Request::Status { id: 300 }),
+            Response::Status { .. }
+        ));
+        assert!(matches!(
+            ask(Request::Shutdown { id: 301 }),
+            Response::Ok { .. }
+        ));
+        join.join().unwrap();
+
+        let recorded_journal = journal_buf.take_string();
+        let trace = RequestTrace::parse(&trace_buf.take_string()).expect("recorded trace parses");
+        assert!(trace.entries.len() >= 16, "all answered requests recorded");
+
+        let report = replay(&trace, &ReplayOptions::default()).expect("replayable");
+        assert!(report.shutdown_seen);
+        assert_eq!(report.skipped_nondeterministic, 1, "the status probe");
+        assert!(
+            report.is_parity_clean(),
+            "parity mismatches: {:#?}",
+            report.mismatches
+        );
+        // 12 negotiates + 6 accepts + 2 cancels + 1 shutdown.
+        assert_eq!(report.parity_checked, 21);
+        assert_eq!(
+            report.journal, recorded_journal,
+            "replayed journal must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn refuses_loadgen_and_unknown_predictor_traces() {
+        let mut meta = pqos_telemetry::reqtrace::TraceMeta {
+            version: pqos_telemetry::reqtrace::TRACE_FORMAT_VERSION,
+            source: "loadgen".into(),
+            cluster_size: 4,
+            time_scale: 1.0,
+            batch_threads: 1,
+            quote_horizon_secs: None,
+            predictor: "null".into(),
+        };
+        let trace = RequestTrace {
+            meta: meta.clone(),
+            entries: vec![],
+        };
+        let err = replay(&trace, &ReplayOptions::default()).unwrap_err();
+        assert!(matches!(err, ReplayError::Unsupported(_)), "{err}");
+        assert!(err.to_string().contains("qosd"), "{err}");
+
+        meta.source = "qosd".into();
+        meta.predictor = "crystal-ball".into();
+        let trace = RequestTrace {
+            meta,
+            entries: vec![],
+        };
+        let err = replay(&trace, &ReplayOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("unknown predictor"), "{err}");
+    }
+
+    #[test]
+    fn until_cuts_the_replay_short() {
+        let meta = pqos_telemetry::reqtrace::TraceMeta {
+            version: pqos_telemetry::reqtrace::TRACE_FORMAT_VERSION,
+            source: "qosd".into(),
+            cluster_size: 8,
+            time_scale: 1.0,
+            batch_threads: 1,
+            quote_horizon_secs: None,
+            predictor: "null".into(),
+        };
+        let entry = |seq, epoch, tick, job: u64| TraceEntry {
+            seq,
+            epoch,
+            tick_secs: tick,
+            conn: 1,
+            verb: "negotiate".into(),
+            job: Some(job),
+            request: Request::Negotiate {
+                id: seq,
+                size: 1,
+                runtime_secs: 60,
+            }
+            .encode(),
+            response: String::from("{\"id\":0,\"ok\":true}"),
+        };
+        let trace = RequestTrace {
+            meta,
+            entries: vec![entry(1, 1, 0, 1), entry(2, 2, 5, 2), entry(3, 3, 9, 3)],
+        };
+        let report = replay(
+            &trace,
+            &ReplayOptions {
+                until: Some(2),
+                check_parity: false,
+                ..ReplayOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.epochs_replayed, 2);
+        assert_eq!(report.entries_replayed, 2);
+        assert_eq!(report.responses.len(), 2);
+    }
+}

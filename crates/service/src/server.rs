@@ -23,8 +23,10 @@ use crate::engine::{self, EngineConfig, EngineHandle, ReplySender};
 use crate::flight::FlightRecorder;
 use crate::metrics_http;
 use crate::protocol::{ErrorCode, Request, Response};
+use crate::record::TraceRecorder;
 use pqos_core::session::NegotiationSession;
 use pqos_predict::api::Predictor;
+use pqos_telemetry::reqtrace::TraceMeta;
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -52,6 +54,19 @@ pub struct ServerConfig {
     /// Where to write the final metrics snapshot (JSON) when the daemon
     /// drains.
     pub metrics_dump: Option<PathBuf>,
+    /// Record every answered request as a replayable trace (`--record`).
+    pub record: Option<RecordConfig>,
+}
+
+/// Where and how to record a request trace: the destination path plus the
+/// [`TraceMeta`] header describing the session (the daemon binary knows
+/// the predictor and horizon; `serve` does not).
+#[derive(Debug, Clone)]
+pub struct RecordConfig {
+    /// Trace destination (JSONL).
+    pub path: PathBuf,
+    /// Header describing the recording session's configuration.
+    pub meta: TraceMeta,
 }
 
 /// Default ring size: enough to hold a full engine tick's worth of
@@ -66,6 +81,7 @@ impl Default for ServerConfig {
             flight_capacity: DEFAULT_FLIGHT_CAPACITY,
             flight_dump: None,
             metrics_dump: None,
+            record: None,
         }
     }
 }
@@ -104,7 +120,20 @@ where
     } else {
         FlightRecorder::disabled()
     };
-    let (handle, engine_join) = engine::spawn(session, config.engine, recorder.clone());
+    let trace_rec = match &config.record {
+        Some(rec) => TraceRecorder::to_path(&rec.path, &rec.meta)?,
+        None => TraceRecorder::disabled(),
+    };
+    // A panicking daemon must still leave a complete journal and flight
+    // ring behind — those artifacts are the incident capture.
+    pqos_telemetry::panichook::flush_on_panic(&telemetry);
+    if let Some(path) = config.flight_dump.clone() {
+        let panic_recorder = recorder.clone();
+        pqos_telemetry::panichook::on_panic(move || {
+            let _ = std::fs::write(&path, panic_recorder.dump_chrome());
+        });
+    }
+    let (handle, engine_join) = engine::spawn(session, config.engine, recorder.clone(), trace_rec);
     let metrics_join = config.metrics.map(|metrics_listener| {
         metrics_http::spawn(metrics_listener, telemetry.clone(), handle.clone())
     });
@@ -219,7 +248,7 @@ fn dispatch_line(
             if let Some(t) = trace.as_mut() {
                 t.mark("parse");
             }
-            if let Err((refusal, trace)) = engine.submit(request, reply, trace) {
+            if let Err((refusal, trace)) = engine.submit(request, reply, trace, conn) {
                 // Refusals still flow through the writer so the trace gets
                 // its write stage and lands in the ring like any reply.
                 if let Err(returned) = reply.send((refusal, trace)) {

@@ -169,6 +169,7 @@ fn metrics_endpoint_serves_valid_exposition_under_live_load() {
         connect_timeout: Duration::from_secs(10),
         metrics_addr: Some(metrics_addr.clone()),
         baseline_rps: Some(1.0e6),
+        record: None,
     };
     let generator = std::thread::spawn(move || loadgen::run(&config));
 

@@ -70,6 +70,8 @@ pub mod handle;
 pub mod journal;
 pub mod json;
 pub mod metrics;
+pub mod panichook;
+pub mod reqtrace;
 
 pub use event::{one_of_each, SkipReason, TelemetryEvent, EVENT_KINDS};
 pub use handle::{SinkHealth, Telemetry, TelemetryBuilder};
@@ -77,3 +79,4 @@ pub use journal::{EventSink, JsonlSink, RingBufferSink};
 pub use metrics::{
     labeled, Counter, Gauge, Histogram, HistogramSummary, MetricsRegistry, Snapshot, Timer,
 };
+pub use reqtrace::{RequestTrace, TraceEntry, TraceError, TraceMeta};

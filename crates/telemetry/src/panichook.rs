@@ -1,0 +1,110 @@
+//! Flush-on-panic hooks, so a crashing process never truncates its
+//! observability record mid-event.
+//!
+//! A panicking daemon thread unwinds past the buffered journal writer and
+//! the flight recorder's in-memory ring; without help, the incident that
+//! most needs a trustworthy capture is exactly the one that loses its
+//! tail. [`on_panic`] registers a closure to run *inside* the process
+//! panic hook, before unwinding starts, chaining to whatever hook was
+//! installed before (so the default backtrace message still prints).
+//!
+//! Registered closures must not panic (a panic inside the panic hook
+//! aborts the process) and should be cheap and idempotent — flushing a
+//! journal or dumping a ring, not repairing state.
+
+use crate::Telemetry;
+use std::sync::{Mutex, Once, OnceLock};
+
+type Hook = Box<dyn Fn() + Send + Sync>;
+
+static HOOKS: OnceLock<Mutex<Vec<Hook>>> = OnceLock::new();
+static INSTALL: Once = Once::new();
+
+/// Registers `f` to run when any thread panics, before unwinding. The
+/// process-wide panic hook is installed on first call and chains to the
+/// previously installed hook; registrations accumulate for the process
+/// lifetime.
+pub fn on_panic(f: impl Fn() + Send + Sync + 'static) {
+    HOOKS
+        .get_or_init(Default::default)
+        .lock()
+        .expect("panic-hook registry lock")
+        .push(Box::new(f));
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if let Some(hooks) = HOOKS.get() {
+                // A poisoned registry means a registration panicked;
+                // skip the flushes rather than abort inside the hook.
+                if let Ok(hooks) = hooks.lock() {
+                    for hook in hooks.iter() {
+                        hook();
+                    }
+                }
+            }
+            previous(info);
+        }));
+    });
+}
+
+/// Registers a hook that flushes `telemetry`'s sinks on panic, so the
+/// journal on disk is complete up to the last emitted event.
+pub fn flush_on_panic(telemetry: &Telemetry) {
+    if !telemetry.is_enabled() {
+        return;
+    }
+    let telemetry = telemetry.clone();
+    on_panic(move || telemetry.flush());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::one_of_each;
+
+    #[test]
+    fn panicking_thread_flushes_the_journal_first() {
+        let buf = std::sync::Arc::new(Mutex::new(Vec::<u8>::new()));
+        struct Shared(std::sync::Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for Shared {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        // flush_every(0): events sit in the writer's buffer until an
+        // explicit flush — which only the panic hook performs here.
+        let telemetry = Telemetry::builder()
+            .flush_every(0)
+            .jsonl_writer(Shared(std::sync::Arc::clone(&buf)))
+            .build();
+        flush_on_panic(&telemetry);
+        let emitter = telemetry.clone();
+        let worker = std::thread::Builder::new()
+            .name("panicky".into())
+            .spawn(move || {
+                for event in one_of_each() {
+                    emitter.emit(|| event.clone());
+                }
+                panic!("simulated incident");
+            })
+            .unwrap();
+        assert!(worker.join().is_err(), "the thread must have panicked");
+        let captured = buf.lock().unwrap();
+        let text = std::str::from_utf8(&captured).unwrap();
+        assert_eq!(
+            text.lines().count(),
+            one_of_each().len(),
+            "every event must be on disk despite the panic"
+        );
+    }
+
+    #[test]
+    fn disabled_telemetry_registers_nothing() {
+        // Must not panic or install anything observable.
+        flush_on_panic(&Telemetry::disabled());
+    }
+}
