@@ -1,17 +1,32 @@
-//! Scaling benchmark for the reservation book rebuild.
+//! Scaling benchmark for the reservation book rebuild and quote cache.
 //!
 //! Builds a large backlog of accepted reservations by negotiating jobs one
 //! at a time against the incremental timeline [`ReservationBook`], mirrors
-//! the resulting commitments into the [`NaiveReservationBook`] reference,
-//! and then times a fixed set of probe negotiations against each book.
-//! The probes exercise the full `earliest_slots` → `choose_partition`
-//! path, so the measured ratio is the end-to-end speedup a saturated
-//! scheduler sees per negotiation.
+//! the resulting commitments into the [`NaiveReservationBook`] reference
+//! and the [`CachedReservationBook`] quote cache, and then times a fixed
+//! set of probe negotiations against each book. The probes exercise the
+//! full `earliest_slots` → `choose_partition` path, so the measured ratio
+//! is the end-to-end speedup a saturated scheduler sees per negotiation.
+//!
+//! Four probe passes are timed:
+//!
+//! 1. **naive** — the scan-everything executable specification;
+//! 2. **uncached timeline** — `ReservationBook::earliest_slots`, the
+//!    allocating sliding-union walk;
+//! 3. **cached cold** — `CachedReservationBook` with an empty memo: the
+//!    flattened-profile walk with width-skip tables and arena reuse (this
+//!    is what the service actually serves, and the headline
+//!    `timeline_probe_per_negotiation_us` number);
+//! 4. **cached warm** — the same probe set again, now answered from the
+//!    memo; its hit rate is asserted nonzero in CI.
+//!
+//! All four passes must agree on every probe outcome — the benchmark
+//! doubles as an end-to-end parity check.
 //!
 //! The backlog itself is only ever *built* through the timeline book: the
 //! naive book's quadratic probing makes a 5000-job sequential build take
 //! hours, which is exactly the pathology the timeline removes. Mirroring
-//! the accepted reservations via direct `add` calls keeps both books
+//! the accepted reservations via direct `add` calls keeps the books
 //! byte-identical in content (asserted via probe-outcome equality) while
 //! keeping the benchmark runnable.
 
@@ -19,6 +34,7 @@ use pqos_cluster::topology::Topology;
 use pqos_core::negotiate::{negotiate, NegotiationOutcome, NegotiationRequest};
 use pqos_core::user::UserStrategy;
 use pqos_predict::api::NullPredictor;
+use pqos_sched::cache::{CachedReservationBook, QuoteCacheStats};
 use pqos_sched::place::PlacementStrategy;
 use pqos_sched::reservation::{AvailabilityView, NaiveReservationBook, ReservationBook};
 use pqos_sim_core::rng::DetRng;
@@ -30,8 +46,10 @@ use std::time::Instant;
 pub const DEFAULT_CLUSTER_SIZE: u32 = 128;
 /// Default backlog depth (accepted reservations) before probing.
 pub const DEFAULT_BACKLOG: usize = 5000;
-/// Default number of timed probe negotiations per book.
-pub const DEFAULT_PROBES: usize = 25;
+/// Default number of timed probe negotiations per book. Large enough to
+/// amortize the quote cache's one-time profile flatten into the cold pass
+/// it belongs to.
+pub const DEFAULT_PROBES: usize = 100;
 
 /// Knobs for [`run_sched_bench`].
 #[derive(Debug, Clone, Copy)]
@@ -72,10 +90,19 @@ pub struct SchedBenchReport {
     pub timeline_build_ms: f64,
     /// Wall time for the probe set against the naive book, in milliseconds.
     pub naive_probe_ms: f64,
-    /// Wall time for the same probe set against the timeline book, in
-    /// milliseconds.
+    /// Wall time for the probe set against the plain timeline book (the
+    /// allocating sliding-union walk), in milliseconds.
+    pub uncached_timeline_probe_ms: f64,
+    /// Wall time for the probe set against the quote cache with an empty
+    /// memo, in milliseconds. This is the production cold path.
     pub timeline_probe_ms: f64,
-    /// `naive_probe_ms / timeline_probe_ms`.
+    /// Wall time for the same probe set repeated against the now-warm
+    /// quote cache, in milliseconds.
+    pub cached_warm_probe_ms: f64,
+    /// Quote-cache counters accumulated over the cold + warm passes.
+    pub cache_stats: QuoteCacheStats,
+    /// `naive_probe_ms / timeline_probe_ms` (naive vs the production
+    /// cold-cache path).
     pub speedup: f64,
 }
 
@@ -85,9 +112,20 @@ impl SchedBenchReport {
         self.naive_probe_ms * 1000.0 / self.probe_negotiations.max(1) as f64
     }
 
-    /// Mean microseconds per probe negotiation on the timeline book.
+    /// Mean microseconds per probe negotiation on the plain timeline book.
+    pub fn uncached_timeline_probe_per_negotiation_us(&self) -> f64 {
+        self.uncached_timeline_probe_ms * 1000.0 / self.probe_negotiations.max(1) as f64
+    }
+
+    /// Mean microseconds per probe negotiation on the cold quote cache —
+    /// the headline per-negotiation cost of the production path.
     pub fn timeline_probe_per_negotiation_us(&self) -> f64 {
         self.timeline_probe_ms * 1000.0 / self.probe_negotiations.max(1) as f64
+    }
+
+    /// Mean microseconds per probe negotiation on the warm quote cache.
+    pub fn cached_warm_probe_per_negotiation_us(&self) -> f64 {
+        self.cached_warm_probe_ms * 1000.0 / self.probe_negotiations.max(1) as f64
     }
 
     /// Renders the report as a JSON object (hand-rolled; every field is a
@@ -104,9 +142,17 @@ impl SchedBenchReport {
                 "  \"probe_negotiations\": {},\n",
                 "  \"timeline_build_ms\": {:.3},\n",
                 "  \"naive_probe_ms\": {:.3},\n",
+                "  \"uncached_timeline_probe_ms\": {:.3},\n",
                 "  \"timeline_probe_ms\": {:.3},\n",
+                "  \"cached_warm_probe_ms\": {:.3},\n",
                 "  \"naive_probe_per_negotiation_us\": {:.1},\n",
+                "  \"uncached_timeline_probe_per_negotiation_us\": {:.1},\n",
                 "  \"timeline_probe_per_negotiation_us\": {:.1},\n",
+                "  \"cached_warm_probe_per_negotiation_us\": {:.1},\n",
+                "  \"quote_cache_hits\": {},\n",
+                "  \"quote_cache_misses\": {},\n",
+                "  \"quote_cache_profile_rebuilds\": {},\n",
+                "  \"quote_cache_hit_rate\": {:.3},\n",
                 "  \"speedup\": {:.1}\n",
                 "}}\n",
             ),
@@ -117,9 +163,17 @@ impl SchedBenchReport {
             self.probe_negotiations,
             self.timeline_build_ms,
             self.naive_probe_ms,
+            self.uncached_timeline_probe_ms,
             self.timeline_probe_ms,
+            self.cached_warm_probe_ms,
             self.naive_probe_per_negotiation_us(),
+            self.uncached_timeline_probe_per_negotiation_us(),
             self.timeline_probe_per_negotiation_us(),
+            self.cached_warm_probe_per_negotiation_us(),
+            self.cache_stats.hits,
+            self.cache_stats.misses,
+            self.cache_stats.profile_rebuilds,
+            self.cache_stats.hit_rate(),
             self.speedup,
         )
     }
@@ -128,13 +182,17 @@ impl SchedBenchReport {
     pub fn summary(&self) -> String {
         format!(
             "sched bench: backlog {} jobs ({} change points), probes {}: \
-             naive {:.1} ms vs timeline {:.1} ms per set ({:.1}x speedup)",
+             naive {:.1} ms vs uncached {:.1} ms vs cached {:.1} ms cold / {:.1} ms warm \
+             per set ({:.1}x speedup, {:.0}% warm hit rate)",
             self.accepted_reservations,
             self.change_points,
             self.probe_negotiations,
             self.naive_probe_ms,
+            self.uncached_timeline_probe_ms,
             self.timeline_probe_ms,
+            self.cached_warm_probe_ms,
             self.speedup,
+            self.cache_stats.hit_rate() * 100.0,
         )
     }
 }
@@ -175,10 +233,12 @@ fn probe<B: AvailabilityView>(book: &B, spec: JobSpec) -> Option<NegotiationOutc
 }
 
 /// Runs the benchmark: build the backlog on the timeline book, mirror it
-/// into the naive book, then time the same probe set against both.
+/// into the naive and cached books, then time the same probe set against
+/// all of them (the cached book twice: cold memo, then warm).
 ///
-/// Panics if the two books ever disagree on a probe outcome — the
-/// benchmark doubles as an end-to-end parity check.
+/// Panics if the books ever disagree on a probe outcome — the benchmark
+/// doubles as an end-to-end parity check across the naive specification,
+/// the timeline walk, and both quote-cache paths.
 pub fn run_sched_bench(config: &SchedBenchConfig) -> SchedBenchReport {
     let mut rng = DetRng::seed_from(crate::scenario::EXPERIMENT_SEED).fork("sched-bench");
     let backlog: Vec<JobSpec> = (0..config.backlog)
@@ -208,19 +268,37 @@ pub fn run_sched_bench(config: &SchedBenchConfig) -> SchedBenchReport {
             .expect("mirrored reservation must be addable");
     }
     assert_eq!(fast.len(), naive.len());
+    // And wrap a copy in the quote cache, exactly as the session does.
+    let cached = CachedReservationBook::from_book(fast.clone());
 
     // Probe phase: the same negotiations against each book, timed.
     let naive_started = Instant::now();
     let naive_outcomes: Vec<_> = probes.iter().map(|spec| probe(&naive, *spec)).collect();
     let naive_probe_ms = naive_started.elapsed().as_secs_f64() * 1000.0;
 
-    let fast_started = Instant::now();
+    let uncached_started = Instant::now();
     let fast_outcomes: Vec<_> = probes.iter().map(|spec| probe(&fast, *spec)).collect();
-    let timeline_probe_ms = fast_started.elapsed().as_secs_f64() * 1000.0;
+    let uncached_timeline_probe_ms = uncached_started.elapsed().as_secs_f64() * 1000.0;
+
+    let cold_started = Instant::now();
+    let cold_outcomes: Vec<_> = probes.iter().map(|spec| probe(&cached, *spec)).collect();
+    let timeline_probe_ms = cold_started.elapsed().as_secs_f64() * 1000.0;
+
+    let warm_started = Instant::now();
+    let warm_outcomes: Vec<_> = probes.iter().map(|spec| probe(&cached, *spec)).collect();
+    let cached_warm_probe_ms = warm_started.elapsed().as_secs_f64() * 1000.0;
 
     assert_eq!(
         naive_outcomes, fast_outcomes,
         "naive and timeline books disagreed on a probe negotiation"
+    );
+    assert_eq!(
+        fast_outcomes, cold_outcomes,
+        "timeline book and cold quote cache disagreed on a probe negotiation"
+    );
+    assert_eq!(
+        cold_outcomes, warm_outcomes,
+        "cold and warm quote-cache passes disagreed on a probe negotiation"
     );
 
     SchedBenchReport {
@@ -231,7 +309,10 @@ pub fn run_sched_bench(config: &SchedBenchConfig) -> SchedBenchReport {
         probe_negotiations: config.probes,
         timeline_build_ms,
         naive_probe_ms,
+        uncached_timeline_probe_ms,
         timeline_probe_ms,
+        cached_warm_probe_ms,
+        cache_stats: cached.stats(),
         speedup: if timeline_probe_ms > 0.0 {
             naive_probe_ms / timeline_probe_ms
         } else {
@@ -256,14 +337,22 @@ mod tests {
         assert_eq!(report.probe_negotiations, 3);
         assert!(report.change_points > 0);
         // No timing assertions: CI machines are noisy. The run itself
-        // already asserts probe-outcome parity between the books.
+        // already asserts probe-outcome parity across all four passes.
         assert!(report.speedup > 0.0);
+        // The warm pass repeats the cold probe set verbatim against an
+        // unmutated book, so every repeated negotiation hits the memo.
+        assert!(report.cache_stats.hits > 0, "warm pass must hit the memo");
+        assert_eq!(report.cache_stats.profile_rebuilds, 1);
         let json = report.to_json();
         for key in [
             "\"benchmark\"",
             "\"backlog_jobs\"",
             "\"naive_probe_ms\"",
+            "\"uncached_timeline_probe_ms\"",
             "\"timeline_probe_ms\"",
+            "\"cached_warm_probe_ms\"",
+            "\"quote_cache_hits\"",
+            "\"quote_cache_hit_rate\"",
             "\"speedup\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
@@ -280,11 +369,22 @@ mod tests {
             probe_negotiations: 4,
             timeline_build_ms: 1.0,
             naive_probe_ms: 8.0,
+            uncached_timeline_probe_ms: 4.0,
             timeline_probe_ms: 2.0,
+            cached_warm_probe_ms: 1.0,
+            cache_stats: QuoteCacheStats {
+                hits: 3,
+                misses: 1,
+                profile_rebuilds: 1,
+                entries_invalidated: 0,
+            },
             speedup: 4.0,
         };
         assert_eq!(report.naive_probe_per_negotiation_us(), 2000.0);
+        assert_eq!(report.uncached_timeline_probe_per_negotiation_us(), 1000.0);
         assert_eq!(report.timeline_probe_per_negotiation_us(), 500.0);
+        assert_eq!(report.cached_warm_probe_per_negotiation_us(), 250.0);
         assert!(report.summary().contains("4.0x speedup"));
+        assert!(report.summary().contains("75% warm hit rate"));
     }
 }

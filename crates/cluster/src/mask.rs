@@ -203,6 +203,46 @@ impl NodeMask {
         &self.words
     }
 
+    /// Rebuilds a mask from packed words (the inverse of
+    /// [`words`](NodeMask::words)). Bits at or beyond `width` in the last
+    /// word are cleared, so callers may hand in scratch buffers that were
+    /// only maintained word-at-a-time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len()` is not exactly `width.div_ceil(64)`.
+    pub fn from_words(width: u32, words: Vec<u64>) -> Self {
+        assert_eq!(
+            words.len(),
+            width.div_ceil(64) as usize,
+            "word count must match width"
+        );
+        let mut mask = NodeMask { width, words };
+        mask.clear_padding();
+        mask
+    }
+
+    /// Word-parallel union on raw packed slices: `dst |= src`.
+    ///
+    /// The word-slice helpers exist so hot walks (the scheduler's quote
+    /// cache) can slide a union window over a flat arena of profile rows
+    /// without materializing a `NodeMask` per segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ.
+    pub fn or_words(dst: &mut [u64], src: &[u64]) {
+        assert_eq!(dst.len(), src.len(), "word count mismatch");
+        for (a, b) in dst.iter_mut().zip(src) {
+            *a |= b;
+        }
+    }
+
+    /// Population count of a raw packed slice.
+    pub fn count_ones_words(words: &[u64]) -> u32 {
+        words.iter().map(|w| w.count_ones()).sum()
+    }
+
     /// Zeroes any bits at or beyond the width in the last word.
     fn clear_padding(&mut self) {
         let tail = self.width % 64;
@@ -340,6 +380,28 @@ mod tests {
     fn display_lists_members() {
         let m = NodeMask::from_nodes([NodeId::new(3), NodeId::new(1)], 8);
         assert_eq!(m.to_string(), "{n1,n3}");
+    }
+
+    #[test]
+    fn words_round_trip_and_raw_ops() {
+        let m = NodeMask::from_nodes([NodeId::new(3), NodeId::new(64), NodeId::new(99)], 100);
+        let rebuilt = NodeMask::from_words(100, m.words().to_vec());
+        assert_eq!(rebuilt, m);
+        // Padding bits are scrubbed on the way in.
+        let dirty = vec![u64::MAX, u64::MAX];
+        let full = NodeMask::from_words(100, dirty);
+        assert_eq!(full, NodeMask::full(100));
+        assert_eq!(NodeMask::count_ones_words(full.words()), 100);
+
+        let mut dst = vec![0b0011u64, 0];
+        NodeMask::or_words(&mut dst, &[0b0110, 1 << 40]);
+        assert_eq!(dst, vec![0b0111, 1 << 40]);
+    }
+
+    #[test]
+    #[should_panic(expected = "word count must match width")]
+    fn from_words_rejects_wrong_length() {
+        let _ = NodeMask::from_words(100, vec![0]);
     }
 
     #[test]

@@ -172,18 +172,47 @@ pub fn negotiate_with_telemetry<B: AvailabilityView, P: Predictor>(
     if request.size == 0 || request.size > book.cluster_size() {
         return None;
     }
-    let mut slots = book.earliest_slots(
-        request.size,
-        request.duration,
-        request.now,
-        request.down,
-        max_slots.max(1),
-    );
+    let max_slots = max_slots.max(1);
+    // Down nodes are excluded only from candidate windows that *begin
+    // before* `recovery_horizon` — by the horizon they are back (the probe
+    // loop below applies the same boundary). A single excluded pass would
+    // treat a window starting at or exactly on the horizon as if the
+    // recovered nodes were still gone, skipping perfectly usable holes.
+    let mut slots = if request.down.is_empty() || request.recovery_horizon <= request.now {
+        book.earliest_slots(
+            request.size,
+            request.duration,
+            request.now,
+            request.down,
+            max_slots,
+        )
+    } else {
+        let mut pre = book.earliest_slots(
+            request.size,
+            request.duration,
+            request.now,
+            request.down,
+            max_slots,
+        );
+        pre.retain(|s| s.start < request.recovery_horizon);
+        let post = book.earliest_slots(
+            request.size,
+            request.duration,
+            request.recovery_horizon,
+            &[],
+            max_slots,
+        );
+        // Starts stay strictly increasing: every retained pre-horizon
+        // start precedes every post-horizon one.
+        pre.extend(post);
+        pre.truncate(max_slots);
+        pre
+    };
     if slots.is_empty() {
         // Down nodes blocked every slot; by the recovery horizon they are
         // back. The machine past its last commitment is otherwise free.
         let from = request.recovery_horizon.max(request.now);
-        slots = book.earliest_slots(request.size, request.duration, from, &[], max_slots.max(1));
+        slots = book.earliest_slots(request.size, request.duration, from, &[], max_slots);
     }
 
     // When no quote satisfies the user, the fallback is the *earliest*
@@ -610,6 +639,96 @@ mod tests {
         assert!(outcome.satisfied_threshold);
         assert_eq!(outcome.accepted.start, SimTime::from_secs(320));
         assert_eq!(outcome.accepted.failure_probability, 0.0);
+    }
+
+    #[test]
+    fn slot_starting_exactly_at_horizon_uses_recovered_nodes() {
+        // Node 0 is down until t=100; nodes 1-2 are booked solid until
+        // t=1000. The only early hole is node 0 itself, in a window that
+        // begins *exactly at* the recovery horizon — where the node is
+        // back. Quoting t=1000 here (as a single excluded slot pass did)
+        // is the regression this test pins.
+        let mut book = ReservationBook::new(3);
+        book.add(
+            JobId::new(1),
+            Partition::contiguous(1, 2),
+            TimeWindow::new(SimTime::ZERO, SimTime::from_secs(1000)),
+        )
+        .unwrap();
+        let down = [NodeId::new(0)];
+        let req = NegotiationRequest {
+            size: 1,
+            duration: SimDuration::from_secs(50),
+            now: SimTime::ZERO,
+            down: &down,
+            recovery_horizon: SimTime::from_secs(100),
+            pre_start_risk: SimDuration::from_secs(120),
+        };
+        let o = run(&book, &NullPredictor, req, &UserStrategy::AlwaysEarliest).unwrap();
+        assert_eq!(o.accepted.start, SimTime::from_secs(100));
+        assert!(o.accepted.partition.iter().eq([NodeId::new(0)]));
+    }
+
+    #[test]
+    fn post_horizon_slots_merge_after_pre_horizon_ones() {
+        // Node 0 down until t=100. Nodes 1-3 busy until t=100, then 2-3
+        // stay busy until t=1000. A 2-node job fits at t=100 on the
+        // recovered node 0 plus node 1 — not at t=1000.
+        let mut book = ReservationBook::new(4);
+        book.add(
+            JobId::new(1),
+            Partition::contiguous(1, 3),
+            TimeWindow::new(SimTime::ZERO, SimTime::from_secs(100)),
+        )
+        .unwrap();
+        book.add(
+            JobId::new(2),
+            Partition::contiguous(2, 2),
+            TimeWindow::new(SimTime::from_secs(100), SimTime::from_secs(1000)),
+        )
+        .unwrap();
+        let down = [NodeId::new(0)];
+        let req = NegotiationRequest {
+            size: 2,
+            duration: SimDuration::from_secs(100),
+            now: SimTime::ZERO,
+            down: &down,
+            recovery_horizon: SimTime::from_secs(100),
+            pre_start_risk: SimDuration::from_secs(120),
+        };
+        let o = run(&book, &NullPredictor, req, &UserStrategy::AlwaysEarliest).unwrap();
+        assert_eq!(o.accepted.start, SimTime::from_secs(100));
+        assert!(o
+            .accepted
+            .partition
+            .iter()
+            .eq([NodeId::new(0), NodeId::new(1)]));
+    }
+
+    #[test]
+    fn pre_horizon_slots_still_exclude_down_nodes() {
+        // A hole at t=50 opens well before the t=1000 horizon: the down
+        // node must stay excluded from it even though later windows may
+        // use it.
+        let mut book = ReservationBook::new(3);
+        book.add(
+            JobId::new(1),
+            Partition::contiguous(1, 2),
+            TimeWindow::new(SimTime::ZERO, SimTime::from_secs(50)),
+        )
+        .unwrap();
+        let down = [NodeId::new(0)];
+        let req = NegotiationRequest {
+            size: 1,
+            duration: SimDuration::from_secs(10),
+            now: SimTime::ZERO,
+            down: &down,
+            recovery_horizon: SimTime::from_secs(1000),
+            pre_start_risk: SimDuration::from_secs(120),
+        };
+        let o = run(&book, &NullPredictor, req, &UserStrategy::AlwaysEarliest).unwrap();
+        assert_eq!(o.accepted.start, SimTime::from_secs(50));
+        assert!(!o.accepted.partition.iter().any(|n| n == NodeId::new(0)));
     }
 
     #[test]

@@ -26,7 +26,8 @@ use crate::config::SimConfig;
 use crate::negotiate::{negotiate_batch, NegotiationOutcome, NegotiationRequest, Quote};
 use pqos_ckpt::model::planned_execution;
 use pqos_predict::api::Predictor;
-use pqos_sched::reservation::{ReservationBook, ReservationId};
+use pqos_sched::cache::{CachedReservationBook, QuoteCacheStats};
+use pqos_sched::reservation::ReservationId;
 use pqos_sim_core::time::{SimDuration, SimTime, TimeWindow};
 use pqos_telemetry::{Telemetry, TelemetryEvent};
 use pqos_workload::job::JobId;
@@ -225,7 +226,10 @@ pub enum SessionOpOutcome {
 #[derive(Debug)]
 pub struct NegotiationSession<P> {
     config: SimConfig,
-    book: ReservationBook,
+    /// The reservation book behind the incremental quote cache: every
+    /// `quote_batch` probes through memoized, delta-invalidated
+    /// `earliest_slots` walks (see `pqos_sched::cache`).
+    book: CachedReservationBook,
     predictor: P,
     telemetry: Telemetry,
     now: SimTime,
@@ -243,7 +247,7 @@ pub struct NegotiationSession<P> {
 impl<P: Predictor + Sync> NegotiationSession<P> {
     /// Creates an idle session at virtual time zero.
     pub fn new(config: SimConfig, predictor: P, telemetry: Telemetry) -> Self {
-        let book = ReservationBook::new(config.cluster_size);
+        let book = CachedReservationBook::new(config.cluster_size);
         NegotiationSession {
             config,
             book,
@@ -487,6 +491,13 @@ impl<P: Predictor + Sync> NegotiationSession<P> {
             reservations: self.book.len(),
             stats: self.stats,
         }
+    }
+
+    /// Cumulative quote-cache counters (hits, misses, profile rebuilds,
+    /// invalidations). The service exports these as `pqos_quote_cache_*`
+    /// gauges on `/metrics`.
+    pub fn quote_cache_stats(&self) -> QuoteCacheStats {
+        self.book.stats()
     }
 
     /// Flushes the telemetry journal through to its sinks.
@@ -802,6 +813,47 @@ mod tests {
         // A cancelled job cannot be cancelled or accepted again.
         assert_eq!(s.cancel(JobId::new(1)), Err(CancelError::UnknownJob));
         assert_eq!(s.accept(JobId::new(1)), Err(AcceptError::UnknownQuote));
+    }
+
+    #[test]
+    fn same_tick_cancel_and_requote_sees_the_pre_cancel_book() {
+        // The service engine coalesces every negotiate in a tick into one
+        // `quote_batch` (pass 1) and applies mutations (pass 2) afterwards,
+        // even when a cancel arrived first on the wire. A re-negotiate that
+        // shares a tick with a cancel of the capacity it wants is therefore
+        // quoted against the pre-cancel snapshot: a later (pessimistic)
+        // start, never a stale hole. The quote must still be honorable at
+        // accept time, after the cancel has been applied.
+        let mut s = session(4);
+        // C pins the cluster from t=0 so A can be accepted without running.
+        quote_one(&mut s, 1, 4, 3600);
+        s.accept(JobId::new(1)).unwrap();
+        let QuoteDecision::Quoted(held_a) = quote_one(&mut s, 2, 4, 3600) else {
+            panic!("A must be quotable behind C");
+        };
+        let a_start = held_a.quote.start;
+        s.accept(JobId::new(2)).unwrap();
+
+        // --- one engine tick: pass 1 quotes B, pass 2 cancels A ---
+        let QuoteDecision::Quoted(held_b) = quote_one(&mut s, 3, 4, 3600) else {
+            panic!("B must be quotable behind C and A");
+        };
+        s.cancel(JobId::new(2)).unwrap();
+        // B was quoted with A still booked: strictly after A's start,
+        // i.e. pessimistic, not against a hole that no longer existed.
+        assert!(held_b.quote.start > a_start);
+        // --- next tick: the client accepts the stale-snapshot quote ---
+        let accepted = s
+            .accept(JobId::new(3))
+            .expect("pessimistic quote stays honorable");
+        assert_eq!(accepted.quote.start, held_b.quote.start);
+        assert_eq!(s.status().reservations, 2);
+
+        // The cancel did land: a fresh negotiate now reuses A's old hole.
+        let QuoteDecision::Quoted(held_d) = quote_one(&mut s, 4, 4, 3600) else {
+            panic!("A's hole must be quotable after the cancel");
+        };
+        assert_eq!(held_d.quote.start, a_start);
     }
 
     #[test]

@@ -11,6 +11,11 @@
 //!   incremental timeline of busy-node bitmasks, with a scan-everything
 //!   [`reservation::NaiveReservationBook`] kept as the executable
 //!   specification;
+//! * [`cache`] — the incremental quote cache
+//!   ([`cache::CachedReservationBook`]): a generation-stamped flattened
+//!   profile, memoized walks with span-based delta-invalidation, and
+//!   width-indexed skip tables, making `earliest_slots` cheap enough to
+//!   serve per-request;
 //! * [`place`] — fault-aware partition selection
 //!   ([`place::choose_partition`]) minimizing the predicted failure
 //!   probability `pf`, with a prediction-blind first-fit baseline.
@@ -40,9 +45,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod place;
 pub mod reservation;
 
+pub use cache::{CachedReservationBook, QuoteCacheStats};
 pub use place::{
     choose_partition, choose_partition_with_telemetry, PlacementChoice, PlacementProbe,
     PlacementStrategy,

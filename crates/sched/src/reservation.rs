@@ -219,6 +219,21 @@ impl ReservationBook {
         self.reservations.iter().map(|(id, r)| (*id, r))
     }
 
+    /// Looks up a live reservation by id.
+    pub fn get(&self, id: ReservationId) -> Option<&Reservation> {
+        self.reservations.get(&id)
+    }
+
+    /// The full piecewise-constant availability profile, in time order:
+    /// each `(t, busy)` pair is the busy mask in effect over `[t, next
+    /// key)`. The profile is implicitly all-free before the first key, and
+    /// the final segment's mask is always empty (every reservation has
+    /// ended by the last key). This is the raw feed the quote cache
+    /// flattens into its arena snapshot.
+    pub fn profile(&self) -> impl Iterator<Item = (SimTime, &NodeMask)> {
+        self.timeline.iter().map(|(t, seg)| (*t, &seg.busy))
+    }
+
     /// Commits `partition` to `job` over `interval`.
     ///
     /// # Errors
@@ -308,6 +323,19 @@ impl ReservationBook {
 
     /// Nodes free (uncommitted and not in `exclude`) for the *entire*
     /// `window`, sorted.
+    ///
+    /// # Zero-length windows
+    ///
+    /// A zero-length window `[t, t)` contains no instants, so "free for
+    /// the entire window" is vacuous; both books nevertheless answer it as
+    /// a *point* query reporting the nodes of reservations **strictly
+    /// spanning** `t` (`start < t < end`) as busy. A reservation that
+    /// starts or ends exactly at `t` does not count — its half-open
+    /// interval shares no open neighborhood with the instant. This is the
+    /// semantics the naive book's `windows_overlap` test has always
+    /// produced (`r.start < t && t < r.end` once `window.start ==
+    /// window.end`), pinned by a regression test and the randomized
+    /// parity harness so the two books can never drift apart on it.
     pub fn free_nodes_during(&self, window: TimeWindow, exclude: &[NodeId]) -> Vec<NodeId> {
         let mut busy = NodeMask::from_nodes(exclude.iter().copied(), self.cluster_size);
         if window.is_empty() {
@@ -1023,6 +1051,62 @@ mod tests {
             }
             assert_eq!(book.timeline[&t].busy, expect, "segment at {t}");
         }
+    }
+
+    #[test]
+    fn zero_length_window_is_a_strict_spanning_point_query() {
+        // [t, t) reports reservations strictly spanning t as busy; ones
+        // that start or end exactly at t do not count. Both books must
+        // agree on every boundary case.
+        let mut fast = ReservationBook::new(6);
+        let mut naive = NaiveReservationBook::new(6);
+        for (job, part, window) in [
+            (1, Partition::contiguous(0, 1), w(10, 20)), // spans t=15
+            (2, Partition::contiguous(1, 1), w(15, 25)), // starts at t=15
+            (3, Partition::contiguous(2, 1), w(5, 15)),  // ends at t=15
+            (4, Partition::contiguous(3, 1), w(15, 16)), // starts at t=15
+        ] {
+            fast.add(JobId::new(job), part.clone(), window).unwrap();
+            naive.add(JobId::new(job), part, window).unwrap();
+        }
+        for t in [0, 5, 10, 15, 16, 20, 25, 30] {
+            let probe = w(t, t);
+            assert!(probe.is_empty());
+            let f = fast.free_nodes_during(probe, &[]);
+            let n = naive.free_nodes_during(probe, &[]);
+            assert_eq!(f, n, "books disagree on empty window at t={t}");
+        }
+        // Only job 1 strictly spans t=15: node 0 busy, the rest free.
+        let free = fast.free_nodes_during(w(15, 15), &[]);
+        assert_eq!(free, (1..6).map(NodeId::new).collect::<Vec<_>>());
+        // Exclusions still apply to a point query.
+        let free = fast.free_nodes_during(w(15, 15), &[NodeId::new(5)]);
+        assert_eq!(free, (1..5).map(NodeId::new).collect::<Vec<_>>());
+        // Before the first key and after the last: nothing spans.
+        assert_eq!(fast.free_nodes_during(w(0, 0), &[]).len(), 6);
+        assert_eq!(fast.free_nodes_during(w(30, 30), &[]).len(), 6);
+    }
+
+    #[test]
+    fn profile_iterates_timeline_in_order() {
+        let mut book = ReservationBook::new(4);
+        book.add(JobId::new(1), Partition::contiguous(0, 2), w(10, 20))
+            .unwrap();
+        book.add(JobId::new(2), Partition::contiguous(2, 2), w(15, 30))
+            .unwrap();
+        let profile: Vec<(SimTime, u32)> =
+            book.profile().map(|(t, m)| (t, m.count_ones())).collect();
+        assert_eq!(
+            profile,
+            vec![
+                (SimTime::from_secs(10), 2),
+                (SimTime::from_secs(15), 4),
+                (SimTime::from_secs(20), 2),
+                (SimTime::from_secs(30), 0),
+            ]
+        );
+        assert_eq!(book.get(ReservationId(0)).unwrap().job, JobId::new(1));
+        assert!(book.get(ReservationId(99)).is_none());
     }
 
     #[test]

@@ -25,7 +25,9 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: pqos-loadgen --addr HOST:PORT [options]
   --threads N       client threads, one connection each (default 4)
   --requests N      total negotiate requests (default 20000)
-  --depth N         pipelined requests per connection (default 16)
+  --depth N         pipelined requests per connection (default 1; raise
+                    for throughput runs -- deep pipelines measure the
+                    client's own queueing, not service latency)
   --model NAME      arrival model: nasa | sdsc (default nasa)
   --seed N          deterministic seed (default 13967365)
   --accept-prob F   probability a quote is accepted (default 0.7)

@@ -250,6 +250,13 @@ fn run<P: Predictor + Sync>(
     let live_jobs_gauge = telemetry.gauge("engine.live_jobs");
     let overloaded_gauge = telemetry.gauge("engine.overloaded_total");
     let uptime_gauge = telemetry.gauge("process.uptime_seconds");
+    // Quote-cache counters are cumulative session-side; published as
+    // gauges so a /metrics scrape reads the latest totals
+    // (pqos_quote_cache_*).
+    let cache_hits_gauge = telemetry.gauge("quote_cache.hits");
+    let cache_misses_gauge = telemetry.gauge("quote_cache.misses");
+    let cache_rebuilds_gauge = telemetry.gauge("quote_cache.profile_rebuilds");
+    let cache_invalidated_gauge = telemetry.gauge("quote_cache.entries_invalidated");
     let epoch = shared.epoch;
     let mut next_job: u64 = 1;
     // Batch-epoch counter for the request trace: one per tick, starting
@@ -431,6 +438,11 @@ fn run<P: Predictor + Sync>(
         live_jobs_gauge.set(session.live_jobs() as i64);
         overloaded_gauge.set(shared.overloaded.load(Ordering::Relaxed) as i64);
         uptime_gauge.set(epoch.elapsed().as_secs() as i64);
+        let cache = session.quote_cache_stats();
+        cache_hits_gauge.set(cache.hits as i64);
+        cache_misses_gauge.set(cache.misses as i64);
+        cache_rebuilds_gauge.set(cache.profile_rebuilds as i64);
+        cache_invalidated_gauge.set(cache.entries_invalidated as i64);
         if last_flush.elapsed() >= FLUSH_EVERY {
             session.flush();
             last_flush = Instant::now();

@@ -39,7 +39,14 @@ pub struct LoadgenConfig {
     pub threads: usize,
     /// Total negotiate requests across all threads.
     pub requests: u64,
-    /// In-flight requests per connection.
+    /// In-flight requests per connection. The default of 1 makes the
+    /// default profile latency-representative: each thread waits for
+    /// its reply before sending the next request, so the reported
+    /// latency is the service's, not the client's own pipeline
+    /// queueing (at depth `d` a closed loop self-inflicts roughly
+    /// `threads * d / throughput` of waiting per request by Little's
+    /// law, which at depth 16 dwarfs the sub-millisecond quote path).
+    /// Raise `--depth` to measure saturated throughput instead.
     pub pipeline_depth: usize,
     /// Arrival model for job sizes and runtimes.
     pub model: LogModel,
@@ -75,7 +82,7 @@ impl Default for LoadgenConfig {
             addr: String::from("127.0.0.1:7464"),
             threads: 4,
             requests: 20_000,
-            pipeline_depth: 16,
+            pipeline_depth: 1,
             model: LogModel::NasaIpsc,
             seed: 0xD5_2005,
             accept_probability: 0.7,

@@ -523,6 +523,149 @@ mod tests {
         );
     }
 
+    /// Regression for engine tick coalescing: a cancel and a re-negotiate
+    /// for the same capacity racing into one tick are quoted in pass 1
+    /// (pre-cancel snapshot) and mutated in pass 2, so the fresh job can
+    /// never quote against a hole that no longer exists — and whichever
+    /// tick boundary the pair actually lands on, the accept must succeed
+    /// and the whole interleaving must replay byte-for-byte.
+    #[test]
+    fn cancel_and_requote_interleaving_replays_clean() {
+        let trace_buf = SharedBuf::new();
+        let journal_buf = SharedBuf::new();
+        let meta = pqos_telemetry::reqtrace::TraceMeta {
+            version: pqos_telemetry::reqtrace::TRACE_FORMAT_VERSION,
+            source: "qosd".into(),
+            cluster_size: 4,
+            time_scale: 0.001,
+            batch_threads: 1,
+            quote_horizon_secs: None,
+            predictor: "null".into(),
+        };
+        let telemetry = Telemetry::builder()
+            .flush_every(0)
+            .jsonl_writer(journal_buf.clone())
+            .build();
+        let session = NegotiationSession::new(
+            SimConfig::paper_defaults().cluster_size_nodes(4),
+            NullPredictor,
+            telemetry,
+        );
+        // Near-frozen virtual time: accepted-but-queued jobs never start,
+        // so every cancel below targets a cancellable reservation.
+        let config = EngineConfig {
+            time_scale: 0.001,
+            batch_threads: 1,
+            ..EngineConfig::default()
+        };
+        let recorder = TraceRecorder::to_writer(trace_buf.clone(), &meta).unwrap();
+        let (handle, join) = eng::spawn(session, config, FlightRecorder::disabled(), recorder);
+        let (reply, rx) = std::sync::mpsc::channel::<(Response, Option<crate::flight::TraceCtx>)>();
+        let recv = || rx.recv_timeout(StdDuration::from_secs(5)).expect("reply").0;
+        let ask = |request: Request| {
+            handle.submit(request, &reply, None, 1).expect("accepts");
+            recv()
+        };
+        // C pins the whole cluster from t=0; everything below queues
+        // behind it as a future reservation.
+        let Response::Quote { job: pin, .. } = ask(Request::Negotiate {
+            id: 0,
+            size: 4,
+            runtime_secs: 100_000,
+        }) else {
+            panic!("pin job must quote");
+        };
+        assert!(matches!(
+            ask(Request::Accept { id: 1, job: pin }),
+            Response::Ok { .. }
+        ));
+        let mut next_id = 10u64;
+        for round in 0..8u64 {
+            // Accept A behind the pin (and any earlier B backlog).
+            let Response::Quote { job: a, .. } = ask(Request::Negotiate {
+                id: next_id,
+                size: 4,
+                runtime_secs: 3600 + round,
+            }) else {
+                panic!("A must quote in round {round}");
+            };
+            assert!(matches!(
+                ask(Request::Accept {
+                    id: next_id + 1,
+                    job: a
+                }),
+                Response::Ok { .. }
+            ));
+            // Pipeline cancel(A) + negotiate(B) back-to-back so they tend
+            // to coalesce into a single tick; the engine was idle, so both
+            // usually drain into one batch.
+            handle
+                .submit(
+                    Request::Cancel {
+                        id: next_id + 2,
+                        job: a,
+                    },
+                    &reply,
+                    None,
+                    1,
+                )
+                .expect("accepts");
+            handle
+                .submit(
+                    Request::Negotiate {
+                        id: next_id + 3,
+                        size: 4,
+                        runtime_secs: 3600 + round,
+                    },
+                    &reply,
+                    None,
+                    1,
+                )
+                .expect("accepts");
+            let (r1, r2) = (recv(), recv());
+            let b = match (&r1, &r2) {
+                (Response::Ok { .. }, Response::Quote { job, .. })
+                | (Response::Quote { job, .. }, Response::Ok { .. }) => *job,
+                other => panic!("round {round}: cancel+requote got {other:?}"),
+            };
+            // Whether B was quoted against the pre- or post-cancel book,
+            // the quote must be honorable once the cancel has landed.
+            assert!(
+                matches!(
+                    ask(Request::Accept {
+                        id: next_id + 4,
+                        job: b
+                    }),
+                    Response::Ok { .. }
+                ),
+                "round {round}: stale-snapshot quote must stay honorable"
+            );
+            next_id += 10;
+        }
+        assert!(matches!(
+            ask(Request::Shutdown { id: 999 }),
+            Response::Ok { .. }
+        ));
+        join.join().unwrap();
+
+        let recorded_journal = journal_buf.take_string();
+        let trace = RequestTrace::parse(&trace_buf.take_string()).expect("recorded trace parses");
+        let report = replay(&trace, &ReplayOptions::default()).expect("replayable");
+        assert!(report.shutdown_seen);
+        assert_eq!(report.skipped_nondeterministic, 0);
+        assert!(
+            report.is_parity_clean(),
+            "parity mismatches: {:#?}",
+            report.mismatches
+        );
+        // 17 negotiates + 17 accepts + 8 cancels + 1 shutdown.
+        assert_eq!(report.parity_checked, 43);
+        assert_eq!(
+            report.journal, recorded_journal,
+            "replayed journal must be byte-identical"
+        );
+    }
+
     #[test]
     fn refuses_loadgen_and_unknown_predictor_traces() {
         let mut meta = pqos_telemetry::reqtrace::TraceMeta {

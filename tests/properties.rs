@@ -356,7 +356,17 @@ fn timeline_reservation_book_matches_naive_reference() {
                     end: rng.uniform_u64(0, 950),
                 },
                 _ => Op::Query {
-                    window: (rng.uniform_u64(0, 900), rng.uniform_u64(0, 900)),
+                    window: {
+                        let a = rng.uniform_u64(0, 900);
+                        // Bias in zero-length windows: both books must
+                        // agree they are strictly-spanning point queries.
+                        let b = if rng.uniform_u64(0, 6) == 0 {
+                            a
+                        } else {
+                            rng.uniform_u64(0, 900)
+                        };
+                        (a, b)
+                    },
                     exclude: {
                         // Includes out-of-range node ids on purpose.
                         let k = rng.uniform_u64(0, 4);
@@ -472,6 +482,175 @@ fn timeline_reservation_book_matches_naive_reference() {
                 "case {case}: final earliest_slots({from}) diverges"
             );
         }
+    }
+
+    fn pick_id(
+        issued: &[pqos_sched::reservation::ReservationId],
+        pick: u64,
+    ) -> Option<pqos_sched::reservation::ReservationId> {
+        if issued.is_empty() {
+            None
+        } else {
+            Some(issued[(pick % issued.len() as u64) as usize])
+        }
+    }
+}
+
+/// Quote-cache fuzz: interleave mutations and probes on a
+/// [`CachedReservationBook`] and require every answer it serves — memo
+/// hit, cold miss, or post-invalidation re-walk — to byte-match the same
+/// probe against a *fresh* uncached [`ReservationBook`] rebuilt from the
+/// live reservations (and against the naive executable specification).
+#[test]
+fn quote_cache_fuzz_matches_fresh_uncached_books() {
+    use pqos_sched::cache::CachedReservationBook;
+    use pqos_sched::reservation::{AvailabilityView, NaiveReservationBook};
+
+    const NODES: u32 = 24;
+
+    enum Op {
+        Add {
+            nodes: Vec<u32>,
+            start: u64,
+            dur: u64,
+        },
+        Remove {
+            pick: u64,
+        },
+        Truncate {
+            pick: u64,
+            end: u64,
+        },
+        Probe {
+            from: u64,
+            size: u32,
+            dur: u64,
+            exclude: Vec<u32>,
+            max_slots: usize,
+        },
+    }
+
+    for (case, ops) in cases("quote-cache-fuzz", 32, |rng| {
+        let n = rng.uniform_u64(8, 56) as usize;
+        (0..n)
+            .map(|_| match rng.uniform_u64(0, 9) {
+                0..=2 => Op::Add {
+                    nodes: {
+                        let k = rng.uniform_u64(1, 8);
+                        (0..k)
+                            .map(|_| rng.uniform_u64(0, u64::from(NODES) - 1) as u32)
+                            .collect()
+                    },
+                    start: rng.uniform_u64(0, 600),
+                    dur: rng.uniform_u64(1, 250),
+                },
+                3 => Op::Remove {
+                    pick: rng.next_u64(),
+                },
+                4 => Op::Truncate {
+                    pick: rng.next_u64(),
+                    end: rng.uniform_u64(0, 950),
+                },
+                _ => Op::Probe {
+                    from: rng.uniform_u64(0, 900),
+                    size: rng.uniform_u64(1, u64::from(NODES)) as u32,
+                    dur: rng.uniform_u64(1, 300),
+                    exclude: {
+                        // Includes out-of-range node ids on purpose.
+                        let k = rng.uniform_u64(0, 4);
+                        (0..k)
+                            .map(|_| rng.uniform_u64(0, u64::from(NODES) + 6) as u32)
+                            .collect()
+                    },
+                    max_slots: rng.uniform_u64(1, 6) as usize,
+                },
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .enumerate()
+    {
+        let mut cached = CachedReservationBook::new(NODES);
+        let mut issued = Vec::new();
+        let mut probes = 0u64;
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                Op::Add { nodes, start, dur } => {
+                    let partition =
+                        Partition::new(nodes.iter().copied().map(NodeId::new)).expect("non-empty");
+                    let window = TimeWindow::new(
+                        SimTime::from_secs(*start),
+                        SimTime::from_secs(start + dur),
+                    );
+                    if let Ok(id) = cached.add(JobId::new(i as u64), partition, window) {
+                        issued.push(id);
+                    }
+                }
+                Op::Remove { pick } => {
+                    if let Some(id) = pick_id(&issued, *pick) {
+                        let _ = cached.remove(id);
+                    }
+                }
+                Op::Truncate { pick, end } => {
+                    if let Some(id) = pick_id(&issued, *pick) {
+                        cached.truncate(id, SimTime::from_secs(*end));
+                    }
+                }
+                Op::Probe {
+                    from,
+                    size,
+                    dur,
+                    exclude,
+                    max_slots,
+                } => {
+                    // Rebuild pristine books from the live reservations:
+                    // no incremental timeline state, no cache, no memo.
+                    let mut fresh = ReservationBook::new(NODES);
+                    let mut naive = NaiveReservationBook::new(NODES);
+                    for (_, r) in cached.iter() {
+                        fresh
+                            .add(r.job, r.partition.clone(), r.interval)
+                            .expect("live reservations rebuild conflict-free");
+                        naive
+                            .add(r.job, r.partition.clone(), r.interval)
+                            .expect("live reservations rebuild conflict-free");
+                    }
+                    let excl: Vec<NodeId> = exclude.iter().copied().map(NodeId::new).collect();
+                    let from = SimTime::from_secs(*from);
+                    let dur = SimDuration::from_secs(*dur);
+                    let want = fresh.earliest_slots(*size, dur, from, &excl, *max_slots);
+                    assert_eq!(
+                        cached.earliest_slots(*size, dur, from, &excl, *max_slots),
+                        want,
+                        "case {case} op {i}: cached probe diverges from a fresh book"
+                    );
+                    // Ask again immediately: the memoized answer must be
+                    // byte-identical to the walked one.
+                    assert_eq!(
+                        cached.earliest_slots(*size, dur, from, &excl, *max_slots),
+                        want,
+                        "case {case} op {i}: memoized probe diverges from a fresh book"
+                    );
+                    assert_eq!(
+                        naive.earliest_slots(*size, dur, from, &excl, *max_slots),
+                        want,
+                        "case {case} op {i}: naive spec diverges from the timeline walk"
+                    );
+                    probes += 1;
+                }
+            }
+        }
+        let stats = cached.stats();
+        assert_eq!(
+            stats.hits + stats.misses,
+            probes * 2,
+            "case {case}: every probe is either a hit or a miss"
+        );
+        // The immediate re-ask of each probe always hits the memo.
+        assert!(
+            probes == 0 || stats.hits >= probes,
+            "case {case}: repeated probes must hit the memo ({stats:?})"
+        );
     }
 
     fn pick_id(
