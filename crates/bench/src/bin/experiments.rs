@@ -126,7 +126,7 @@ const INDEX: &[(&str, &str)] = &[
     ),
     (
         "calibration",
-        "promised vs realized success, SDSC, a=0.7, U=0.1",
+        "quoted vs realized success per bucket via the audit ledger, oracle vs online predictor, SDSC",
     ),
     (
         "replay-parity",
@@ -314,7 +314,13 @@ fn replay_parity() -> Table {
     t
 }
 
-fn telemetry_run(jobs: usize, journal: Option<&str>, metrics: bool, trace: &Arc<FailureTrace>) {
+fn telemetry_run(
+    jobs: usize,
+    accuracy: f64,
+    journal: Option<&str>,
+    metrics: bool,
+    trace: &Arc<FailureTrace>,
+) {
     let mut builder = Telemetry::builder().ring_buffer(4096);
     if let Some(path) = journal {
         builder = builder
@@ -327,9 +333,9 @@ fn telemetry_run(jobs: usize, journal: Option<&str>, metrics: bool, trace: &Arc<
     pqos_telemetry::panichook::flush_on_panic(&telemetry);
     let log = pqos_bench::standard_log(LogModel::SdscSp2, jobs);
     let config = SimConfig::paper_defaults()
-        .accuracy(0.7)
+        .accuracy(accuracy)
         .user(UserStrategy::risk_threshold(0.5).expect("valid"));
-    eprintln!("[telemetry] instrumented run: SDSC, {jobs} jobs, a=0.7, U=0.5");
+    eprintln!("[telemetry] instrumented run: SDSC, {jobs} jobs, a={accuracy}, U=0.5");
     let out = QosSimulator::new(config, log, Arc::clone(trace))
         .with_telemetry(telemetry.clone())
         .run();
@@ -366,6 +372,7 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(4);
     let mut journal: Option<String> = None;
+    let mut accuracy = 0.7;
     let mut metrics = false;
     let mut bench_sched = false;
     let mut bench_config = pqos_bench::SchedBenchConfig::default();
@@ -388,6 +395,13 @@ fn main() {
             }
             "--journal" => {
                 journal = Some(args.next().unwrap_or_else(|| die("--journal needs a path")));
+            }
+            "--accuracy" => {
+                accuracy = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|a: &f64| (0.0..=1.0).contains(a))
+                    .unwrap_or_else(|| die("--accuracy needs a fraction in [0, 1]"));
             }
             "--metrics" => {
                 metrics = true;
@@ -429,7 +443,13 @@ fn main() {
         }
     }
     if journal.is_some() || metrics {
-        telemetry_run(jobs, journal.as_deref(), metrics, &standard_trace());
+        telemetry_run(
+            jobs,
+            accuracy,
+            journal.as_deref(),
+            metrics,
+            &standard_trace(),
+        );
     }
     if bench_sched {
         eprintln!(
@@ -548,6 +568,8 @@ fn usage() {
               online-predictor calibration replay-parity\n\
          --list          print the experiment index (id, caption, CSV path) as JSON\n\
          --journal PATH  stream lifecycle events of one instrumented run as JSONL\n\
+         --accuracy A    predictor accuracy for that run (default 0.7; 1.0 = perfect\n\
+                         oracle, whose journal `pqos-doctor audit` certifies clean)\n\
          --metrics       print the metrics snapshot of that run\n\
          --bench-sched   time probe negotiations against a committed backlog on the\n\
                          naive vs timeline reservation books; writes a JSON report\n\

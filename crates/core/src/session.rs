@@ -29,7 +29,7 @@ use pqos_predict::api::Predictor;
 use pqos_sched::cache::{CachedReservationBook, QuoteCacheStats};
 use pqos_sched::reservation::ReservationId;
 use pqos_sim_core::time::{SimDuration, SimTime, TimeWindow};
-use pqos_telemetry::{Telemetry, TelemetryEvent};
+use pqos_telemetry::{PromiseVerdict, Telemetry, TelemetryEvent};
 use pqos_workload::job::JobId;
 use std::collections::{BTreeSet, HashMap};
 
@@ -144,6 +144,101 @@ pub struct SessionStats {
     pub parity_violations: u64,
 }
 
+/// Number of fixed quoted-probability bins the session (and the offline
+/// calibration ledger in `pqos-obs`) tallies promises into: `[0.0, 0.1)`,
+/// `[0.1, 0.2)`, ..., `[0.9, 1.0]` (the last bin is closed above).
+pub const PROMISE_BINS: usize = 10;
+
+/// The fixed calibration bin a quoted probability falls into.
+pub fn promise_bin(p: f64) -> usize {
+    // NaN/negative clamp to bin 0, p >= 1.0 to the last bin.
+    let i = (p * PROMISE_BINS as f64).floor();
+    if i.is_finite() && i > 0.0 {
+        (i as usize).min(PROMISE_BINS - 1)
+    } else {
+        0
+    }
+}
+
+/// Live promise-calibration counters: every accepted quote is a promise
+/// and every terminal event resolves one. Cancelled promises are excluded
+/// from calibration (neither kept nor broken).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PromiseStats {
+    /// Promises made (== quotes accepted).
+    pub made: u64,
+    /// Promises kept: the job completed at or before its effective
+    /// deadline.
+    pub kept: u64,
+    /// Promises broken: the job completed after its effective deadline.
+    pub broken: u64,
+    /// Promises voided by cancellation before a verdict was possible.
+    pub cancelled: u64,
+    /// Worst per-bin reliability residual (observed success rate minus
+    /// mean quoted probability, over kept+broken promises), in signed
+    /// milli-units: the residual of largest magnitude across the
+    /// [`PROMISE_BINS`] fixed bins. Negative means overconfident.
+    pub worst_residual_milli: i64,
+}
+
+/// Per-bin running tallies behind [`PromiseStats::worst_residual_milli`].
+#[derive(Debug, Clone, Copy, Default)]
+struct PromiseBin {
+    resolved: u64,
+    kept: u64,
+    sum_quoted: f64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct PromiseTally {
+    made: u64,
+    kept: u64,
+    broken: u64,
+    cancelled: u64,
+    bins: [PromiseBin; PROMISE_BINS],
+}
+
+impl PromiseTally {
+    fn resolve(&mut self, quoted: f64, verdict: PromiseVerdict) {
+        match verdict {
+            PromiseVerdict::Kept | PromiseVerdict::Broken => {
+                let bin = &mut self.bins[promise_bin(quoted)];
+                bin.resolved += 1;
+                bin.sum_quoted += quoted;
+                if verdict == PromiseVerdict::Kept {
+                    bin.kept += 1;
+                    self.kept += 1;
+                } else {
+                    self.broken += 1;
+                }
+            }
+            PromiseVerdict::Cancelled => self.cancelled += 1,
+        }
+    }
+
+    fn stats(&self) -> PromiseStats {
+        let mut worst = 0i64;
+        for bin in &self.bins {
+            if bin.resolved == 0 {
+                continue;
+            }
+            let observed = bin.kept as f64 / bin.resolved as f64;
+            let mean_quoted = bin.sum_quoted / bin.resolved as f64;
+            let residual = ((observed - mean_quoted) * 1000.0).round() as i64;
+            if residual.abs() > worst.abs() {
+                worst = residual;
+            }
+        }
+        PromiseStats {
+            made: self.made,
+            kept: self.kept,
+            broken: self.broken,
+            cancelled: self.cancelled,
+            worst_residual_milli: worst,
+        }
+    }
+}
+
 /// A snapshot of the session for the service's `status` verb.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SessionStatus {
@@ -157,6 +252,11 @@ pub struct SessionStatus {
     pub reservations: usize,
     /// Lifecycle counters.
     pub stats: SessionStats,
+    /// Promise-calibration counters.
+    pub promises: PromiseStats,
+    /// Every Nth batch gets the batched-vs-serial parity re-check (1 =
+    /// every batch).
+    pub parity_sample: u64,
 }
 
 /// The answer to one admission request.
@@ -240,7 +340,13 @@ pub struct NegotiationSession<P> {
     /// invariant the doctor's occupancy check enforces).
     timers: BTreeSet<(SimTime, u8, JobId)>,
     stats: SessionStats,
+    promises: PromiseTally,
     verify_parity: bool,
+    /// Re-check every Nth batch (deterministic counter-based sampling);
+    /// 1 = every batch.
+    parity_sample: u64,
+    /// Batches quoted so far (drives the sampling decision).
+    batch_seq: u64,
     quote_horizon: Option<SimDuration>,
 }
 
@@ -257,7 +363,10 @@ impl<P: Predictor + Sync> NegotiationSession<P> {
             jobs: HashMap::new(),
             timers: BTreeSet::new(),
             stats: SessionStats::default(),
+            promises: PromiseTally::default(),
             verify_parity: false,
+            parity_sample: 1,
+            batch_seq: 0,
             quote_horizon: None,
         }
     }
@@ -269,6 +378,16 @@ impl<P: Predictor + Sync> NegotiationSession<P> {
     /// [`negotiate`]: crate::negotiate::negotiate
     pub fn verify_parity(mut self, on: bool) -> Self {
         self.verify_parity = on;
+        self
+    }
+
+    /// Runs the parity re-check on every Nth `quote_batch` only (counter-
+    /// based, so identical call sequences sample identically). The check
+    /// costs a full second negotiation pass — roughly doubling per-tick
+    /// compute — so a serving daemon samples while tests, CI and replay
+    /// keep the default of 1 (every batch). Zero is clamped to 1.
+    pub fn parity_sample(mut self, every: u64) -> Self {
+        self.parity_sample = every.max(1);
         self
     }
 
@@ -376,11 +495,12 @@ impl<P: Predictor + Sync> NegotiationSession<P> {
             threads,
         );
         negotiate_timer.stop();
-        if self.verify_parity {
+        if self.verify_parity && self.batch_seq.is_multiple_of(self.parity_sample) {
             let parity_timer = self.telemetry.histogram("session.parity_ns").start_timer();
             self.check_parity(&negotiation_requests, &outcomes, threads);
             parity_timer.stop();
         }
+        self.batch_seq = self.batch_seq.wrapping_add(1);
         requests
             .iter()
             .zip(outcomes)
@@ -445,6 +565,9 @@ impl<P: Predictor + Sync> NegotiationSession<P> {
         // fires on the next advance; the run still ends at the promise.
         self.timers.insert((held.quote.start.max(self.now), 1, id));
         self.stats.accepted += 1;
+        // The accepted quote is a promise; its resolution is journaled by
+        // the terminal event (complete or cancel).
+        self.promises.made += 1;
         Ok(held)
     }
 
@@ -478,6 +601,20 @@ impl<P: Predictor + Sync> NegotiationSession<P> {
             at: self.now,
             job: id.as_u64(),
         });
+        if was_accepted {
+            // Only accepted quotes made a promise worth resolving; a held
+            // quote that was never committed promised nothing.
+            let quoted = self.jobs[&id].quote.quote.promised_success();
+            let deadline_secs = self.jobs[&id].quote.deadline.as_secs();
+            self.telemetry.emit(|| TelemetryEvent::PromiseResolved {
+                at: self.now,
+                job: id.as_u64(),
+                success_probability: quoted,
+                deadline_secs,
+                verdict: PromiseVerdict::Cancelled,
+            });
+            self.promises.resolve(quoted, PromiseVerdict::Cancelled);
+        }
         self.stats.cancelled += 1;
         Ok(())
     }
@@ -490,7 +627,15 @@ impl<P: Predictor + Sync> NegotiationSession<P> {
             occupied_nodes: self.book.occupied_at(self.now),
             reservations: self.book.len(),
             stats: self.stats,
+            promises: self.promises.stats(),
+            parity_sample: self.parity_sample,
         }
+    }
+
+    /// Live promise-calibration counters (see [`PromiseStats`]). The
+    /// service exports these as `pqos_promise_*` gauges on `/metrics`.
+    pub fn promise_stats(&self) -> PromiseStats {
+        self.promises.stats()
     }
 
     /// Cumulative quote-cache counters (hits, misses, profile rebuilds,
@@ -672,6 +817,21 @@ impl<P: Predictor + Sync> NegotiationSession<P> {
                 late_by_secs: late_by,
             });
         }
+        let quoted = job.quote.quote.promised_success();
+        let deadline_secs = job.quote.deadline.as_secs();
+        let verdict = if met_deadline {
+            PromiseVerdict::Kept
+        } else {
+            PromiseVerdict::Broken
+        };
+        self.telemetry.emit(|| TelemetryEvent::PromiseResolved {
+            at,
+            job: id.as_u64(),
+            success_probability: quoted,
+            deadline_secs,
+            verdict,
+        });
+        self.promises.resolve(quoted, verdict);
         self.stats.completed += 1;
     }
 }
@@ -997,6 +1157,70 @@ mod tests {
         let snap = s.telemetry().snapshot().unwrap();
         assert!(snap.histogram("session.negotiate_ns").unwrap().count >= 1);
         assert!(snap.histogram("session.parity_ns").unwrap().count >= 1);
+    }
+
+    #[test]
+    fn promises_resolve_with_the_terminal_event() {
+        let telemetry = Telemetry::builder().ring_buffer(256).build();
+        let mut s = NegotiationSession::new(
+            SimConfig::paper_defaults().cluster_size_nodes(8),
+            NullPredictor,
+            telemetry.clone(),
+        );
+        s.quote_batch(&[(JobId::new(1), req(4, 3600))], 1);
+        s.accept(JobId::new(1)).unwrap();
+        // A fresh snapshot so job 2's quote cannot collide with job 1.
+        s.quote_batch(
+            &[(JobId::new(2), req(2, 600)), (JobId::new(3), req(2, 600))],
+            1,
+        );
+        s.accept(JobId::new(2)).unwrap();
+        // Job 3's quote is never accepted: no promise, no resolution.
+        s.cancel(JobId::new(3)).unwrap();
+        s.cancel(JobId::new(2)).unwrap();
+        s.advance_to(SimTime::from_secs(100_000));
+        let resolved: Vec<(u64, PromiseVerdict)> = telemetry
+            .ring_events()
+            .iter()
+            .filter_map(|e| match e {
+                TelemetryEvent::PromiseResolved { job, verdict, .. } => Some((*job, *verdict)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            resolved,
+            [(2, PromiseVerdict::Cancelled), (1, PromiseVerdict::Kept)]
+        );
+        let promises = s.status().promises;
+        assert_eq!(promises.made, 2);
+        assert_eq!(promises.kept, 1);
+        assert_eq!(promises.broken, 0);
+        assert_eq!(promises.cancelled, 1);
+        // One bin, all kept at quoted p=1.0: residual is exactly zero.
+        assert_eq!(promises.worst_residual_milli, 0);
+    }
+
+    #[test]
+    fn promise_bins_tile_the_unit_interval() {
+        assert_eq!(promise_bin(0.0), 0);
+        assert_eq!(promise_bin(0.0999), 0);
+        assert_eq!(promise_bin(0.1), 1);
+        assert_eq!(promise_bin(0.95), 9);
+        assert_eq!(promise_bin(1.0), 9);
+        assert_eq!(promise_bin(f64::NAN), 0);
+    }
+
+    #[test]
+    fn parity_sampling_checks_every_nth_batch() {
+        let mut s = session(16).verify_parity(true).parity_sample(3);
+        for round in 0..7u64 {
+            s.quote_batch(&[(JobId::new(round), req(1, 600))], 1);
+        }
+        // Batches 0, 3 and 6 were re-checked, one request each.
+        let stats = s.status().stats;
+        assert_eq!(stats.parity_checked, 3);
+        assert_eq!(stats.parity_violations, 0);
+        assert_eq!(s.status().parity_sample, 3);
     }
 
     #[test]

@@ -34,7 +34,9 @@ use pqos_predict::oracle::TraceOracle;
 use pqos_sched::reservation::{ReservationBook, ReservationId};
 use pqos_sim_core::queue::EventQueue;
 use pqos_sim_core::time::{SimDuration, SimTime, TimeWindow};
-use pqos_telemetry::{Histogram, SkipReason, Snapshot, Telemetry, TelemetryEvent, Timer};
+use pqos_telemetry::{
+    Histogram, PromiseVerdict, SkipReason, Snapshot, Telemetry, TelemetryEvent, Timer,
+};
 use pqos_workload::job::{Job, JobId};
 use pqos_workload::log::JobLog;
 use std::collections::HashMap;
@@ -722,6 +724,19 @@ impl QosSimulator {
                 late_by_secs: now.saturating_since(deadline).as_secs(),
             });
         }
+        let promised = state.promised;
+        let verdict = if met_deadline {
+            PromiseVerdict::Kept
+        } else {
+            PromiseVerdict::Broken
+        };
+        self.telemetry.emit(|| TelemetryEvent::PromiseResolved {
+            at: now,
+            job: id.as_u64(),
+            success_probability: promised,
+            deadline_secs: deadline.as_secs(),
+            verdict,
+        });
     }
 
     fn on_failure(&mut self, now: SimTime, index: usize) {

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! pqos-doctor check  <journal> [--json]      invariant findings; exit 1 on errors
+//! pqos-doctor audit  <journal> [--json]      promise calibration ledger; exit 1 on errors
 //! pqos-doctor spans  <journal>               per-job phase accounting table
 //! pqos-doctor trace  <journal> [-o FILE]     Chrome trace_event JSON (stdout default)
 //! pqos-doctor trace-check <trace.json>       validate a Chrome trace document
@@ -14,14 +15,16 @@
 //! ```
 //!
 //! `--check` is accepted as an alias for `check` so CI invocations read
-//! naturally (`pqos-doctor --check journal.jsonl`). `check`, `spans`, and
-//! `crosscheck` accept `-` as the journal path to read from stdin, so a
-//! live service journal can be piped straight in
+//! naturally (`pqos-doctor --check journal.jsonl`). `check`, `audit`,
+//! `spans`, and `crosscheck` accept `-` as the journal path to read from
+//! stdin, so a live service journal can be piped straight in
 //! (`pqos-qosd ... | pqos-doctor check -`).
 
 use pqos_obs::doctor::Doctor;
 use pqos_obs::span::SpanForest;
-use pqos_obs::{bisect_trace, chrome_trace, crosscheck, first_divergence, load_chrome_trace};
+use pqos_obs::{
+    audit, bisect_trace, chrome_trace, crosscheck, first_divergence, load_chrome_trace,
+};
 use pqos_telemetry::{RequestTrace, Snapshot, TelemetryEvent};
 use std::fs::File;
 use std::io::{BufRead, BufReader, Write};
@@ -29,6 +32,10 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   pqos-doctor check  <journal.jsonl> [--json]   report invariant violations (exit 1 on errors)
+  pqos-doctor audit  <journal.jsonl> [--json]   promise calibration ledger: quoted probability
+                                                vs realized success per bucket, with Wilson
+                                                bounds; flags overconfident buckets, unresolved
+                                                promises and ledger gaps (exit 1 on errors)
   pqos-doctor spans  <journal.jsonl>            per-job phase accounting table
   pqos-doctor trace  <journal.jsonl> [-o FILE]  export Chrome trace_event JSON
   pqos-doctor trace-check <trace.json>          validate a Chrome trace document (exit 1 if invalid)
@@ -42,7 +49,7 @@ const USAGE: &str = "usage:
                                                 that still produces CODE; writes the shrunk
                                                 trace to FILE and a JSON summary to stdout
                                                 (exit 1 when the trace replays clean)
-check, spans, and crosscheck accept '-' as the journal path to read from stdin.
+check, audit, spans, and crosscheck accept '-' as the journal path to read from stdin.
 ";
 
 fn main() -> ExitCode {
@@ -56,6 +63,7 @@ fn main() -> ExitCode {
     };
     let result = match cmd {
         "check" | "--check" => cmd_check(rest),
+        "audit" | "--audit" => cmd_audit(rest),
         "spans" | "--spans" => cmd_spans(rest),
         "trace" | "--trace" => cmd_trace(rest),
         "trace-check" | "--trace-check" => cmd_trace_check(rest),
@@ -116,6 +124,30 @@ fn cmd_check(args: &[String]) -> std::io::Result<ExitCode> {
         emit(&report.render())?;
     }
     Ok(if report.errors() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn cmd_audit(args: &[String]) -> std::io::Result<ExitCode> {
+    let json = args.iter().any(|a| a == "--json");
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or_else(|| std::io::Error::other("audit: missing journal path"))?;
+    let outcome = audit(open_journal(path)?)?;
+    if json {
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        for f in &outcome.report.findings {
+            writeln!(out, "{}", f.to_jsonl())?;
+        }
+    } else {
+        emit(&outcome.ledger.render())?;
+        emit(&outcome.report.render())?;
+    }
+    Ok(if outcome.report.errors() > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

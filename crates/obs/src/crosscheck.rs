@@ -16,7 +16,7 @@
 //! both `pqos-doctor check` and `pqos-doctor crosscheck`.
 
 use crate::doctor::{DoctorReport, Finding, Severity};
-use pqos_telemetry::{Snapshot, TelemetryEvent};
+use pqos_telemetry::{PromiseVerdict, Snapshot, TelemetryEvent};
 use std::collections::BTreeMap;
 use std::io::BufRead;
 
@@ -32,6 +32,11 @@ pub const CODE_JOURNAL_MISSING: &str = "metrics_journal_missing_kind";
 /// Stable finding code: the snapshot itself admits sink loss
 /// (`telemetry.ring_dropped` / `telemetry.write_errors` gauges).
 pub const CODE_SINK_LOSS: &str = "metrics_sink_loss";
+/// Stable finding code: a `promise.*` gauge (exported on `/metrics` as
+/// `pqos_promise_*`) disagrees with the journal's own promise ledger —
+/// quotes accepted vs `promise.made`, resolution verdicts vs
+/// `promise.kept` / `promise.broken` / `promise.cancelled`.
+pub const CODE_PROMISE_MISMATCH: &str = "metrics_promise_mismatch";
 
 /// Cross-checks a journal against a metrics snapshot, line by line.
 ///
@@ -41,6 +46,9 @@ pub const CODE_SINK_LOSS: &str = "metrics_sink_loss";
 pub fn crosscheck(journal: impl BufRead, snapshot: &Snapshot) -> std::io::Result<DoctorReport> {
     let mut report = DoctorReport::default();
     let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+    // Promise ledger from the journal: made (accepted quotes) and the
+    // three resolution verdicts.
+    let mut promises = [0u64; 4];
     for line in journal.lines() {
         let line = line?;
         if line.trim().is_empty() {
@@ -52,6 +60,17 @@ pub fn crosscheck(journal: impl BufRead, snapshot: &Snapshot) -> std::io::Result
         if let Some(event) = TelemetryEvent::from_jsonl(&line) {
             report.events += 1;
             *counts.entry(event.name()).or_insert(0) += 1;
+            match event {
+                TelemetryEvent::QuoteNegotiated { .. } => promises[0] += 1,
+                TelemetryEvent::PromiseResolved { verdict, .. } => {
+                    promises[match verdict {
+                        PromiseVerdict::Kept => 1,
+                        PromiseVerdict::Broken => 2,
+                        PromiseVerdict::Cancelled => 3,
+                    }] += 1;
+                }
+                _ => {}
+            }
         }
     }
 
@@ -101,6 +120,34 @@ pub fn crosscheck(journal: impl BufRead, snapshot: &Snapshot) -> std::io::Result
                 ),
             }),
             _ => {}
+        }
+    }
+
+    // Promise reconciliation: only when the snapshot exports the promise
+    // gauges at all (the trace simulator's runs do not; the daemon's do).
+    let promise_gauges = [
+        "promise.made",
+        "promise.kept",
+        "promise.broken",
+        "promise.cancelled",
+    ];
+    if promise_gauges.iter().any(|g| snapshot.gauge(g).is_some()) {
+        for (gauge, journal_count) in promise_gauges.iter().zip(promises) {
+            let exported = snapshot.gauge(gauge).unwrap_or(0);
+            if exported != journal_count as i64 {
+                report.findings.push(Finding {
+                    code: CODE_PROMISE_MISMATCH,
+                    severity: Severity::Error,
+                    line: 0,
+                    at: None,
+                    job: None,
+                    node: None,
+                    detail: format!(
+                        "{gauge}: snapshot says {exported}, the journal's promise ledger says \
+                         {journal_count}"
+                    ),
+                });
+            }
         }
     }
 
@@ -205,6 +252,52 @@ mod tests {
         let report = crosscheck_str(&only_submits, &matching_snapshot());
         assert_eq!(report.errors(), 1);
         assert_eq!(report.findings[0].code, CODE_JOURNAL_MISSING);
+    }
+
+    #[test]
+    fn promise_gauges_reconcile_against_the_journal_ledger() {
+        use pqos_telemetry::PromiseVerdict as V;
+        let mut events = events();
+        events.push(E::JobCompleted {
+            at: SimTime::from_secs(200),
+            job: 1,
+            met_deadline: true,
+        });
+        events.push(E::PromiseResolved {
+            at: SimTime::from_secs(200),
+            job: 1,
+            success_probability: 1.0,
+            deadline_secs: 300,
+            verdict: V::Kept,
+        });
+        let mut snapshot = matching_snapshot();
+        snapshot.gauges.push(("journal.job_completed".into(), 1));
+        snapshot.gauges.push(("journal.promise_resolved".into(), 1));
+        snapshot.gauges.push(("promise.made".into(), 1));
+        snapshot.gauges.push(("promise.kept".into(), 1));
+        snapshot.gauges.push(("promise.broken".into(), 0));
+        snapshot.gauges.push(("promise.cancelled".into(), 0));
+        let report = crosscheck_str(&journal_of(&events), &snapshot);
+        assert!(report.is_clean(), "{}", report.render());
+
+        // A daemon claiming more kept promises than it journaled is caught.
+        snapshot.gauges.iter_mut().for_each(|(name, v)| {
+            if name == "promise.kept" {
+                *v = 3;
+            }
+        });
+        let report = crosscheck_str(&journal_of(&events), &snapshot);
+        assert_eq!(report.errors(), 1);
+        assert_eq!(report.findings[0].code, CODE_PROMISE_MISMATCH);
+        assert!(report.findings[0].detail.contains("promise.kept"));
+    }
+
+    #[test]
+    fn promise_checks_are_skipped_when_the_gauges_are_absent() {
+        // The trace simulator exports no promise gauges; a journal full of
+        // quotes must not trip the reconciliation.
+        let report = crosscheck_str(&journal_of(&events()), &matching_snapshot());
+        assert!(report.is_clean(), "{}", report.render());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! them and humans can grep them.
 
 use pqos_telemetry::json::ObjWriter;
-use pqos_telemetry::TelemetryEvent;
+use pqos_telemetry::{PromiseVerdict, TelemetryEvent};
 use std::collections::HashMap;
 use std::io::BufRead;
 
@@ -131,6 +131,13 @@ struct JobTrack {
     negotiated: bool,
     /// Effective deadline (secs) from the quote.
     deadline: Option<u64>,
+    /// Quoted success probability from the quote.
+    quoted_p: Option<f64>,
+    /// `met_deadline` from `job_completed` (None while unfinished or
+    /// cancelled).
+    met: Option<bool>,
+    /// A `promise_resolved` has landed for this job.
+    resolved: bool,
     running: bool,
     done: bool,
     /// A checkpoint request is outstanding (unresolved).
@@ -234,7 +241,10 @@ impl Doctor {
                 }
             }
             TelemetryEvent::QuoteNegotiated {
-                job, deadline_secs, ..
+                job,
+                deadline_secs,
+                success_probability,
+                ..
             } => {
                 if !self.jobs.contains_key(job) {
                     self.finding(
@@ -249,6 +259,7 @@ impl Doctor {
                 let track = self.jobs.entry(*job).or_default();
                 track.negotiated = true;
                 track.deadline = Some(*deadline_secs);
+                track.quoted_p = Some(*success_probability);
             }
             TelemetryEvent::JobRejected { job, .. } => {
                 self.jobs.entry(*job).or_default().done = true;
@@ -454,6 +465,7 @@ impl Doctor {
                 let track = self.jobs.entry(*job).or_default();
                 track.running = false;
                 track.done = true;
+                track.met = Some(*met_deadline);
                 track.owes_missed = (!met_deadline).then_some(at);
                 self.owner.retain(|_, j| j != job);
             }
@@ -533,6 +545,96 @@ impl Doctor {
                             detail,
                         );
                     }
+                }
+            }
+            TelemetryEvent::PromiseResolved {
+                job,
+                success_probability,
+                deadline_secs,
+                verdict,
+                ..
+            } => {
+                let track = self.jobs.entry(*job).or_default();
+                if !track.negotiated {
+                    let detail =
+                        format!("promise resolved for job {job} with no prior quote_negotiated");
+                    self.finding(
+                        "orphan_promise_resolved",
+                        Severity::Error,
+                        Some(at),
+                        Some(*job),
+                        None,
+                        detail,
+                    );
+                }
+                let track = self.jobs.entry(*job).or_default();
+                if track.resolved {
+                    let detail = format!("job {job}'s promise resolved twice");
+                    self.finding(
+                        "duplicate_promise_resolution",
+                        Severity::Error,
+                        Some(at),
+                        Some(*job),
+                        None,
+                        detail,
+                    );
+                }
+                let track = self.jobs.entry(*job).or_default();
+                track.resolved = true;
+                // The resolution restates the quote; a disagreement means
+                // the link between promise and outcome is corrupt.
+                let (quoted_p, deadline, met, done) =
+                    (track.quoted_p, track.deadline, track.met, track.done);
+                if let Some(p) = quoted_p {
+                    if p != *success_probability {
+                        let detail = format!(
+                            "job {job} resolved with quoted p {success_probability} but the \
+                             quote said {p}"
+                        );
+                        self.finding(
+                            "promise_quote_mismatch",
+                            Severity::Error,
+                            Some(at),
+                            Some(*job),
+                            None,
+                            detail,
+                        );
+                    }
+                }
+                if let Some(d) = deadline {
+                    if d != *deadline_secs {
+                        let detail = format!(
+                            "job {job} resolved against deadline {deadline_secs} but the quote \
+                             said {d}"
+                        );
+                        self.finding(
+                            "promise_quote_mismatch",
+                            Severity::Error,
+                            Some(at),
+                            Some(*job),
+                            None,
+                            detail,
+                        );
+                    }
+                }
+                let consistent = match verdict {
+                    PromiseVerdict::Kept => met == Some(true),
+                    PromiseVerdict::Broken => met == Some(false),
+                    PromiseVerdict::Cancelled => done && met.is_none(),
+                };
+                if !consistent {
+                    let detail = format!(
+                        "job {job} resolved {} but the journal's terminal outcome disagrees",
+                        verdict.as_str()
+                    );
+                    self.finding(
+                        "promise_verdict_mismatch",
+                        Severity::Error,
+                        Some(at),
+                        Some(*job),
+                        None,
+                        detail,
+                    );
                 }
             }
         }
@@ -889,6 +991,71 @@ mod tests {
             .findings
             .iter()
             .any(|f| f.code == "cancel_after_done"));
+    }
+
+    #[test]
+    fn promise_resolutions_are_checked_against_the_terminal_outcome() {
+        use pqos_telemetry::PromiseVerdict as V;
+        let resolve = |verdict| E::PromiseResolved {
+            at: t(7920),
+            job: 1,
+            success_probability: 1.0,
+            deadline_secs: 8000,
+            verdict,
+        };
+        // A kept promise after an on-time completion is clean.
+        let mut events = clean_life();
+        events.push(resolve(V::Kept));
+        assert!(check(&events).is_clean());
+
+        // A broken verdict contradicting met_deadline=true is flagged.
+        let mut events = clean_life();
+        events.push(resolve(V::Broken));
+        let report = check(&events);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.code == "promise_verdict_mismatch"));
+
+        // Restating the quote wrongly is flagged.
+        let mut events = clean_life();
+        events.push(E::PromiseResolved {
+            at: t(7920),
+            job: 1,
+            success_probability: 0.5,
+            deadline_secs: 9000,
+            verdict: V::Kept,
+        });
+        let report = check(&events);
+        assert_eq!(
+            report
+                .findings
+                .iter()
+                .filter(|f| f.code == "promise_quote_mismatch")
+                .count(),
+            2,
+            "both the probability and the deadline restatements are checked"
+        );
+
+        // Resolving twice, or without a quote, is flagged.
+        let mut events = clean_life();
+        events.push(resolve(V::Kept));
+        events.push(resolve(V::Kept));
+        assert!(check(&events)
+            .findings
+            .iter()
+            .any(|f| f.code == "duplicate_promise_resolution"));
+        let report = check(&[E::PromiseResolved {
+            at: t(0),
+            job: 9,
+            success_probability: 1.0,
+            deadline_secs: 100,
+            verdict: V::Cancelled,
+        }]);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.code == "orphan_promise_resolved"));
     }
 
     #[test]

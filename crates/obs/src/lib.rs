@@ -26,12 +26,18 @@
 //!   failing-trace corpus uses in CI.
 //! * [`crosscheck`] — verifies a journal against the daemon's exported
 //!   metrics snapshot: every `journal.<kind>` gauge must agree with the
-//!   journal's own per-kind event counts, in both directions.
+//!   journal's own per-kind event counts, in both directions — and the
+//!   `pqos_promise_*` gauges must agree with the journal's promise ledger.
+//! * [`audit`] — folds the journal's quote → outcome pairs into a
+//!   calibration ledger (fixed quoted-probability bins + exact-p groups,
+//!   Wilson bounds, Brier scores) and flags overconfident buckets,
+//!   unresolved promises and ledger gaps.
 //!
 //! The `pqos-doctor` binary wraps all of it for the command line:
 //!
 //! ```text
 //! pqos-doctor check  journal.jsonl        # invariant findings, exit 1 on errors
+//! pqos-doctor audit  journal.jsonl        # promise calibration ledger + findings
 //! pqos-doctor spans  journal.jsonl        # per-job phase accounting table
 //! pqos-doctor trace  journal.jsonl -o t.json   # Perfetto export
 //! pqos-doctor trace-check t.json          # validate a Chrome trace document
@@ -67,6 +73,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod bisect;
 pub mod crosscheck;
 pub mod diff;
@@ -75,6 +82,7 @@ pub mod manifest;
 pub mod span;
 pub mod trace;
 
+pub use audit::{audit, audit_str, AuditOutcome, CalibrationBucket, CalibrationLedger};
 pub use bisect::{bisect_trace, ddmin, finding_codes, findings_for_trace, TraceBisect};
 pub use diff::{first_divergence, Divergence};
 pub use doctor::{Doctor, DoctorReport, Finding, Severity};

@@ -295,6 +295,9 @@ impl SpanForest {
                 s.finish = Some(*at);
                 s.outcome = Outcome::Cancelled;
             }
+            // Promise resolution restates the terminal event for the
+            // calibration audit; it spans no wall time of its own.
+            TelemetryEvent::PromiseResolved { .. } => {}
         }
     }
 

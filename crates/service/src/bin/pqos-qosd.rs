@@ -4,7 +4,8 @@
 //! pqos-qosd [--addr HOST:PORT] [--metrics-addr HOST:PORT]
 //!           [--cluster-size N] [--journal PATH]
 //!           [--time-scale F] [--queue-depth N] [--batch-threads N]
-//!           [--timeout-ms N] [--no-verify-parity] [--synthetic-failures]
+//!           [--timeout-ms N] [--no-verify-parity] [--parity-sample N]
+//!           [--synthetic-failures]
 //!           [--flight-capacity N] [--no-flight] [--flight-dump PATH]
 //!           [--metrics-dump PATH] [--record PATH]
 //! ```
@@ -49,6 +50,8 @@ const USAGE: &str = "usage: pqos-qosd [options]
   --quote-horizon-secs N  reject quotes starting more than N virtual seconds
                         out; bounds the reservation backlog (default: none)
   --no-verify-parity    skip the live batched-vs-serial quote re-check
+  --parity-sample N     re-check only every Nth quote batch (default 16;
+                        1 = every batch, as tests, CI and replay use)
   --synthetic-failures  predict from a synthetic AIX-like failure trace
                         instead of the null predictor
   --metrics-addr HOST:PORT  serve Prometheus /metrics here (port 0 = free
@@ -75,7 +78,14 @@ fn main() -> ExitCode {
     let mut addr = String::from("127.0.0.1:0");
     let mut cluster_size: u32 = 64;
     let mut journal: Option<String> = None;
-    let mut engine = EngineConfig::default();
+    // Serving default: sample the batched-vs-serial parity re-check
+    // 1-in-16. EngineConfig::default() keeps 1 (exhaustive) so tests,
+    // CI and replay re-check every batch; `--parity-sample 1` restores
+    // that here.
+    let mut engine = EngineConfig {
+        parity_sample: 16,
+        ..EngineConfig::default()
+    };
     let mut synthetic_failures = false;
     let mut quote_horizon: Option<u64> = None;
     let mut metrics_addr: Option<String> = None;
@@ -143,6 +153,13 @@ fn main() -> ExitCode {
                 engine.verify_parity = false;
                 Ok(())
             }
+            "--parity-sample" => value("--parity-sample").and_then(|v| {
+                v.parse()
+                    .ok()
+                    .filter(|n: &u64| *n > 0)
+                    .map(|n| engine.parity_sample = n)
+                    .ok_or_else(|| "--parity-sample: need a positive count".into())
+            }),
             "--synthetic-failures" => {
                 synthetic_failures = true;
                 Ok(())

@@ -8,7 +8,8 @@
 //! terminal dashboard: request rates per verb (from counter deltas
 //! between polls), per-verb p50/p99 latency (interpolated from the
 //! exported histogram buckets), engine queue depth, live jobs, session
-//! counters, and the overload rate. `--once` prints a single snapshot
+//! counters, the promise-calibration ledger (`pqos_promise_*`), and the
+//! overload rate. `--once` prints a single snapshot
 //! without clearing the screen — the mode CI and scripts use.
 //!
 //! No raw-terminal games: the repaint is ANSI clear-home
@@ -233,6 +234,21 @@ fn render_frame(
         gauge("pqos_journal_job_completed") as u64,
         gauge("pqos_journal_job_rejected") as u64,
         gauge("pqos_journal_job_cancelled") as u64,
+    ));
+    // Calibration panel: the promise ledger plus the worst per-bucket
+    // residual (observed − quoted; negative = overconfident), exported
+    // in milli-units.
+    let made = gauge("pqos_promise_made") as u64;
+    let resolved = gauge("pqos_promise_kept") as u64
+        + gauge("pqos_promise_broken") as u64
+        + gauge("pqos_promise_cancelled") as u64;
+    out.push_str(&format!(
+        "promises: made {made} kept {} broken {} cancelled {} pending {} | worst residual {:+.3}\n",
+        gauge("pqos_promise_kept") as u64,
+        gauge("pqos_promise_broken") as u64,
+        gauge("pqos_promise_cancelled") as u64,
+        made.saturating_sub(resolved),
+        gauge("pqos_promise_worst_residual_milli") / 1000.0,
     ));
     let overload_rate = if total_requests + overloaded as f64 > 0.0 {
         overloaded as f64 / (total_requests + overloaded as f64) * 100.0

@@ -65,6 +65,12 @@ pub struct EngineConfig {
     /// Re-check every batched quote against a serial negotiation and
     /// count disagreements (surfaced via `status`).
     pub verify_parity: bool,
+    /// Re-check only every Nth tick's batch (deterministic 1-in-N
+    /// sampling; 1 = every batch). Tests, CI and replay keep the
+    /// default of 1 so parity stays exhaustive where it matters;
+    /// release serving dials it up to keep the re-check off the hot
+    /// path (`pqos-qosd --parity-sample`).
+    pub parity_sample: u64,
 }
 
 impl Default for EngineConfig {
@@ -76,6 +82,7 @@ impl Default for EngineConfig {
             request_timeout: Duration::from_secs(5),
             max_batch: 256,
             verify_parity: true,
+            parity_sample: 1,
         }
     }
 }
@@ -213,6 +220,10 @@ pub fn spawn<P>(
 where
     P: Predictor + Send + Sync + 'static,
 {
+    // The sampling cadence is engine policy, not session construction:
+    // apply it here so every spawn path (daemon, tests, benches) gets
+    // exactly what its EngineConfig says.
+    let session = session.parity_sample(config.parity_sample);
     let (tx, rx) = std::sync::mpsc::sync_channel(config.queue_depth.max(1));
     let shared = Arc::new(EngineShared {
         draining: AtomicBool::new(false),
@@ -257,6 +268,24 @@ fn run<P: Predictor + Sync>(
     let cache_misses_gauge = telemetry.gauge("quote_cache.misses");
     let cache_rebuilds_gauge = telemetry.gauge("quote_cache.profile_rebuilds");
     let cache_invalidated_gauge = telemetry.gauge("quote_cache.entries_invalidated");
+    // Promise-ledger gauges (pqos_promise_*): cumulative accepted-quote
+    // and resolution-verdict counts plus the worst per-bucket calibration
+    // residual, in milli-units (observed − quoted, ×1000; negative =
+    // overconfident). Refreshed at every tick end and once more on drain
+    // so the final scrape agrees with the flushed journal
+    // (`pqos-doctor crosscheck` holds us to that).
+    let promise_made_gauge = telemetry.gauge("promise.made");
+    let promise_kept_gauge = telemetry.gauge("promise.kept");
+    let promise_broken_gauge = telemetry.gauge("promise.broken");
+    let promise_cancelled_gauge = telemetry.gauge("promise.cancelled");
+    let promise_residual_gauge = telemetry.gauge("promise.worst_residual_milli");
+    let set_promise_gauges = |p: pqos_core::session::PromiseStats| {
+        promise_made_gauge.set(p.made as i64);
+        promise_kept_gauge.set(p.kept as i64);
+        promise_broken_gauge.set(p.broken as i64);
+        promise_cancelled_gauge.set(p.cancelled as i64);
+        promise_residual_gauge.set(p.worst_residual_milli);
+    };
     let epoch = shared.epoch;
     let mut next_job: u64 = 1;
     // Batch-epoch counter for the request trace: one per tick, starting
@@ -443,12 +472,16 @@ fn run<P: Predictor + Sync>(
         cache_misses_gauge.set(cache.misses as i64);
         cache_rebuilds_gauge.set(cache.profile_rebuilds as i64);
         cache_invalidated_gauge.set(cache.entries_invalidated as i64);
+        set_promise_gauges(session.promise_stats());
         if last_flush.elapsed() >= FLUSH_EVERY {
             session.flush();
             last_flush = Instant::now();
         }
     }
     uptime_gauge.set(epoch.elapsed().as_secs() as i64);
+    // Shutdown breaks out before the tick-end gauge block; publish the
+    // final promise tallies so the post-drain snapshot reconciles.
+    set_promise_gauges(session.promise_stats());
     session.flush();
     trace_rec.flush();
 }
@@ -556,6 +589,12 @@ fn status_body(
         completed: status.stats.completed,
         parity_checked: status.stats.parity_checked,
         parity_violations: status.stats.parity_violations,
+        parity_sample: status.parity_sample,
+        promises_made: status.promises.made,
+        promises_kept: status.promises.kept,
+        promises_broken: status.promises.broken,
+        promises_cancelled: status.promises.cancelled,
+        worst_residual_milli: status.promises.worst_residual_milli,
         queue_depth: shared.queue_len.load(Ordering::Relaxed).max(0) as u64,
         uptime_secs: shared.epoch.elapsed().as_secs(),
         live_jobs,
@@ -731,6 +770,13 @@ mod tests {
         assert_eq!(body.live_jobs, 1);
         assert_eq!(body.queue_depth, 0);
         assert_eq!(body.overloaded, 0);
+        // Accepting the quote made a promise; it is still pending.
+        assert_eq!(body.promises_made, 1);
+        assert_eq!(
+            body.promises_kept + body.promises_broken + body.promises_cancelled,
+            0
+        );
+        assert_eq!(body.parity_sample, 1, "tests re-check every batch");
         ask(&handle, Request::Shutdown { id: 4 });
         join.join().unwrap();
     }

@@ -198,6 +198,17 @@ pub struct LoadgenReport {
     pub parity_checked: u64,
     /// Engine-side parity disagreements; must be zero.
     pub parity_violations: u64,
+    /// Parity re-check cadence the daemon ran with (1 = every batch).
+    pub parity_sample: u64,
+    /// Promises made (quotes accepted) per the final `status`.
+    pub promises_made: u64,
+    /// Promises kept (deadline met).
+    pub promises_kept: u64,
+    /// Promises broken (deadline missed).
+    pub promises_broken: u64,
+    /// Worst per-bucket calibration residual in milli-units (observed −
+    /// quoted, ×1000; negative = overconfident).
+    pub worst_residual_milli: i64,
     /// Server-side numbers from the end-of-run `/metrics` scrape, when
     /// [`LoadgenConfig::metrics_addr`] was set and the scrape succeeded.
     pub server: Option<ServerMetrics>,
@@ -226,6 +237,8 @@ impl LoadgenReport {
                 "  \"quote_latency_us\": {{ \"p50\": {}, \"p90\": {}, \"p99\": {} }},\n",
                 "  \"parity_checked\": {},\n",
                 "  \"parity_violations\": {},\n",
+                "  \"parity_sample\": {},\n",
+                "  \"promises\": {{ \"made\": {}, \"kept\": {}, \"broken\": {}, \"worst_residual_milli\": {} }},\n",
                 "  \"server\": {},\n",
                 "  \"tracing_overhead\": {}\n",
                 "}}\n"
@@ -246,6 +259,11 @@ impl LoadgenReport {
             self.p99_latency_us,
             self.parity_checked,
             self.parity_violations,
+            self.parity_sample,
+            self.promises_made,
+            self.promises_kept,
+            self.promises_broken,
+            self.worst_residual_milli,
             self.server_json(),
             self.overhead_json(),
         )
@@ -308,7 +326,8 @@ impl LoadgenReport {
     fn render_client(&self) -> String {
         format!(
             "{} requests in {:.2}s = {:.0} req/s | quote latency p50 {}us p90 {}us p99 {}us | \
-             quoted {} rejected {} accepted {} expired {} cancelled {} retried {} | parity {}/{}",
+             quoted {} rejected {} accepted {} expired {} cancelled {} retried {} | \
+             parity {}/{} (1-in-{}) | promises made {} kept {} broken {} worst residual {:+.3}",
             self.requests,
             self.elapsed_secs,
             self.throughput_rps,
@@ -323,6 +342,11 @@ impl LoadgenReport {
             self.retried,
             self.parity_checked - self.parity_violations,
             self.parity_checked,
+            self.parity_sample,
+            self.promises_made,
+            self.promises_kept,
+            self.promises_broken,
+            self.worst_residual_milli as f64 / 1000.0,
         )
     }
 }
@@ -459,10 +483,12 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         config.connect_timeout,
         &Request::Status { id: 2 },
     );
-    let (parity_checked, parity_violations) = match final_status {
-        Some(Response::Status { body, .. }) => (body.parity_checked, body.parity_violations),
-        _ => (0, 0),
+    let final_body = match final_status {
+        Some(Response::Status { body, .. }) => Some(body),
+        _ => None,
     };
+    let (parity_checked, parity_violations) =
+        final_body.map_or((0, 0), |b| (b.parity_checked, b.parity_violations));
     // Scrape while the daemon is still up; a failed scrape degrades to a
     // report without server-side numbers, not a failed run.
     let server = config.metrics_addr.as_deref().and_then(|addr| {
@@ -496,6 +522,11 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         p99_latency_us: percentile(0.99),
         parity_checked,
         parity_violations,
+        parity_sample: final_body.map_or(1, |b| b.parity_sample),
+        promises_made: final_body.map_or(0, |b| b.promises_made),
+        promises_kept: final_body.map_or(0, |b| b.promises_kept),
+        promises_broken: final_body.map_or(0, |b| b.promises_broken),
+        worst_residual_milli: final_body.map_or(0, |b| b.worst_residual_milli),
         server,
         baseline_rps: config.baseline_rps,
     })

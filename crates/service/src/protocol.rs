@@ -290,6 +290,22 @@ pub struct StatusBody {
     pub parity_checked: u64,
     /// Re-checks that disagreed (must be zero).
     pub parity_violations: u64,
+    /// Parity re-check cadence: every Nth quote batch is re-checked
+    /// (1 = every batch).
+    pub parity_sample: u64,
+    /// Promises made: quotes committed via `accept`.
+    pub promises_made: u64,
+    /// Promises resolved with the deadline met.
+    pub promises_kept: u64,
+    /// Promises resolved with the deadline missed.
+    pub promises_broken: u64,
+    /// Promises withdrawn by `cancel` before resolution.
+    pub promises_cancelled: u64,
+    /// Worst per-bucket calibration residual, in milli-units: observed
+    /// success rate minus mean quoted probability, ×1000, for the
+    /// quoted-probability bucket where it is largest in magnitude.
+    /// Negative = overconfident.
+    pub worst_residual_milli: i64,
     /// Requests waiting in the engine queue right now.
     pub queue_depth: u64,
     /// Wall-clock seconds since the engine started.
@@ -417,7 +433,13 @@ impl Response {
                     .u64("overloaded", body.overloaded)
                     .u64("journal_events_written", body.journal_events_written)
                     .u64("journal_ring_dropped", body.journal_ring_dropped)
-                    .u64("journal_write_errors", body.journal_write_errors);
+                    .u64("journal_write_errors", body.journal_write_errors)
+                    .u64("parity_sample", body.parity_sample)
+                    .u64("promises_made", body.promises_made)
+                    .u64("promises_kept", body.promises_kept)
+                    .u64("promises_broken", body.promises_broken)
+                    .u64("promises_cancelled", body.promises_cancelled)
+                    .i64("worst_residual_milli", body.worst_residual_milli);
             }
             Response::Dump { id, trace } => {
                 w.u64("id", *id).bool("ok", true).str("trace", trace);
@@ -491,6 +513,16 @@ impl Response {
                     journal_events_written: u("journal_events_written").unwrap_or(0),
                     journal_ring_dropped: u("journal_ring_dropped").unwrap_or(0),
                     journal_write_errors: u("journal_write_errors").unwrap_or(0),
+                    // A daemon predating sampling re-checked every batch.
+                    parity_sample: u("parity_sample").unwrap_or(1),
+                    promises_made: u("promises_made").unwrap_or(0),
+                    promises_kept: u("promises_kept").unwrap_or(0),
+                    promises_broken: u("promises_broken").unwrap_or(0),
+                    promises_cancelled: u("promises_cancelled").unwrap_or(0),
+                    worst_residual_milli: v
+                        .get("worst_residual_milli")
+                        .and_then(Json::as_i64)
+                        .unwrap_or(0),
                 },
             });
         }
@@ -550,6 +582,12 @@ mod tests {
                     completed: 15,
                     parity_checked: 40,
                     parity_violations: 0,
+                    parity_sample: 16,
+                    promises_made: 30,
+                    promises_kept: 14,
+                    promises_broken: 1,
+                    promises_cancelled: 4,
+                    worst_residual_milli: -125,
                     queue_depth: 7,
                     uptime_secs: 33,
                     live_jobs: 11,
@@ -613,6 +651,14 @@ mod tests {
         assert_eq!(body.journal_events_written, 0);
         assert_eq!(body.journal_ring_dropped, 0);
         assert_eq!(body.journal_write_errors, 0);
+        // Promise fields zero too — except the sampling cadence, which
+        // was implicitly "every batch" before it was reported.
+        assert_eq!(body.parity_sample, 1);
+        assert_eq!(body.promises_made, 0);
+        assert_eq!(body.promises_kept, 0);
+        assert_eq!(body.promises_broken, 0);
+        assert_eq!(body.promises_cancelled, 0);
+        assert_eq!(body.worst_residual_milli, 0);
     }
 
     #[test]

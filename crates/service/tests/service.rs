@@ -139,9 +139,21 @@ fn loadgen_drives_a_daemon_and_the_journal_passes_the_doctor() {
         "throughput_rps",
         "quote_latency_us",
         "parity_violations",
+        "parity_sample",
+        "promises",
     ] {
         assert!(json.get(key).is_some(), "report is missing {key}");
     }
+    assert_eq!(
+        json.get("promises")
+            .and_then(|p| p.get("made"))
+            .and_then(|v| v.as_u64()),
+        Some(report.promises_made)
+    );
+    assert!(
+        report.promises_made >= report.promises_kept + report.promises_broken,
+        "the ledger tiles: resolved promises never exceed made"
+    );
     assert_eq!(
         json.get("quote_latency_us")
             .and_then(|q| q.get("p99"))
@@ -378,6 +390,78 @@ fn status_reports_observability_fields_over_the_wire() {
     assert_eq!(body.overloaded, 0, "no refusals on an idle daemon");
 
     writeln!(writer, "{}", Request::Shutdown { id: 4 }.encode()).expect("write shutdown");
+    writer.flush().expect("flush");
+    server.join().expect("server thread");
+}
+
+#[test]
+fn status_reports_a_promise_summary_over_the_wire() {
+    // Aggressive time scaling so the accepted job resolves its promise
+    // while we poll.
+    let (addr, _journal, server) = start_daemon(16, 50_000.0);
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+    let mut reader = BufReader::new(stream);
+    let read_reply = |reader: &mut BufReader<TcpStream>, want: u64| -> Response {
+        loop {
+            let mut line = String::new();
+            assert!(reader.read_line(&mut line).expect("read") > 0);
+            if let Some(r) = Response::parse(&line) {
+                if r.id() == want {
+                    return r;
+                }
+            }
+        }
+    };
+
+    writeln!(
+        writer,
+        "{}",
+        Request::Negotiate {
+            id: 1,
+            size: 2,
+            runtime_secs: 600,
+        }
+        .encode()
+    )
+    .expect("write negotiate");
+    writer.flush().expect("flush");
+    let Response::Quote { job, .. } = read_reply(&mut reader, 1) else {
+        panic!("expected a quote");
+    };
+    writeln!(writer, "{}", Request::Accept { id: 2, job }.encode()).expect("write accept");
+    writer.flush().expect("flush");
+    assert!(matches!(read_reply(&mut reader, 2), Response::Ok { .. }));
+
+    // Accepting the quote made the promise; each status poll also drives
+    // virtual time, so keep polling until the job's terminal event lands.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let mut id = 3;
+    let body = loop {
+        writeln!(writer, "{}", Request::Status { id }.encode()).expect("write status");
+        writer.flush().expect("flush");
+        let Response::Status { body, .. } = read_reply(&mut reader, id) else {
+            panic!("expected a status reply");
+        };
+        assert_eq!(body.promises_made, 1, "the accepted quote is a promise");
+        if body.promises_kept + body.promises_broken + body.promises_cancelled == 1 {
+            break body;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "promise never resolved: {body:?}"
+        );
+        id += 1;
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    // NullPredictor quotes p = 1.0 and nothing fails: the promise is
+    // kept, and a perfectly-kept p=1.0 bucket has zero residual.
+    assert_eq!(body.promises_kept, 1);
+    assert_eq!(body.promises_broken, 0);
+    assert_eq!(body.worst_residual_milli, 0);
+    assert_eq!(body.parity_sample, 1, "tests re-check every batch");
+
+    writeln!(writer, "{}", Request::Shutdown { id: id + 1 }.encode()).expect("write shutdown");
     writer.flush().expect("flush");
     server.join().expect("server thread");
 }

@@ -3,15 +3,15 @@
 //! One [`TelemetryEvent`] is emitted at each decision point of the
 //! simulator: job submission, quote negotiation, placement, start,
 //! checkpoint taken/skipped, node failure/recovery, requeue, completion,
-//! deadline miss and cancellation. Every variant carries its simulation
-//! timestamp so a journal line is self-contained.
+//! deadline miss, cancellation and promise resolution. Every variant
+//! carries its simulation timestamp so a journal line is self-contained.
 
 use crate::json::{Json, ObjWriter};
 use pqos_sim_core::time::SimTime;
 
 /// Number of distinct [`TelemetryEvent`] variants (the size of any
 /// per-kind accounting table).
-pub const EVENT_KINDS: usize = 14;
+pub const EVENT_KINDS: usize = 15;
 
 /// Why a checkpoint request did not result in a checkpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +43,39 @@ impl SkipReason {
             "low_risk" => Some(SkipReason::LowRisk),
             "deadline_pressure" => Some(SkipReason::DeadlinePressure),
             "policy" => Some(SkipReason::Policy),
+            _ => None,
+        }
+    }
+}
+
+/// How an accepted quote's promise ultimately resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PromiseVerdict {
+    /// The job completed at or before its effective deadline.
+    Kept,
+    /// The job completed after its effective deadline.
+    Broken,
+    /// The submitter withdrew the job before a verdict was possible; the
+    /// promise is neither kept nor broken and is excluded from calibration.
+    Cancelled,
+}
+
+impl PromiseVerdict {
+    /// Stable wire name used in the journal.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PromiseVerdict::Kept => "kept",
+            PromiseVerdict::Broken => "broken",
+            PromiseVerdict::Cancelled => "cancelled",
+        }
+    }
+
+    /// Parses a wire name back into a verdict.
+    pub fn parse(s: &str) -> Option<PromiseVerdict> {
+        match s {
+            "kept" => Some(PromiseVerdict::Kept),
+            "broken" => Some(PromiseVerdict::Broken),
+            "cancelled" => Some(PromiseVerdict::Cancelled),
             _ => None,
         }
     }
@@ -203,6 +236,24 @@ pub enum TelemetryEvent {
         /// Job identifier.
         job: u64,
     },
+    /// The quoted probability for an accepted job met its outcome: the
+    /// promise made at `quote_negotiated` is now kept, broken, or voided
+    /// by cancellation. Emitted immediately after the job's terminal
+    /// event so calibration audits can join quote → outcome without
+    /// re-deriving deadline semantics.
+    PromiseResolved {
+        /// Simulation time of the event.
+        at: SimTime,
+        /// Job identifier.
+        job: u64,
+        /// Probability of success quoted when the promise was made.
+        success_probability: f64,
+        /// Effective deadline the promise was measured against, seconds
+        /// since epoch.
+        deadline_secs: u64,
+        /// How the promise resolved.
+        verdict: PromiseVerdict,
+    },
 }
 
 impl TelemetryEvent {
@@ -222,7 +273,8 @@ impl TelemetryEvent {
             | TelemetryEvent::JobRequeued { at, .. }
             | TelemetryEvent::JobCompleted { at, .. }
             | TelemetryEvent::DeadlineMissed { at, .. }
-            | TelemetryEvent::JobCancelled { at, .. } => *at,
+            | TelemetryEvent::JobCancelled { at, .. }
+            | TelemetryEvent::PromiseResolved { at, .. } => *at,
         }
     }
 
@@ -243,6 +295,7 @@ impl TelemetryEvent {
             TelemetryEvent::JobCompleted { .. } => "job_completed",
             TelemetryEvent::DeadlineMissed { .. } => "deadline_missed",
             TelemetryEvent::JobCancelled { .. } => "job_cancelled",
+            TelemetryEvent::PromiseResolved { .. } => "promise_resolved",
         }
     }
 
@@ -265,6 +318,7 @@ impl TelemetryEvent {
             TelemetryEvent::JobCompleted { .. } => 11,
             TelemetryEvent::DeadlineMissed { .. } => 12,
             TelemetryEvent::JobCancelled { .. } => 13,
+            TelemetryEvent::PromiseResolved { .. } => 14,
         }
     }
 
@@ -286,6 +340,7 @@ impl TelemetryEvent {
             "job_completed",
             "deadline_missed",
             "job_cancelled",
+            "promise_resolved",
         ]
     }
 
@@ -390,6 +445,18 @@ impl TelemetryEvent {
             TelemetryEvent::JobCancelled { job, .. } => {
                 w.u64("job", *job);
             }
+            TelemetryEvent::PromiseResolved {
+                job,
+                success_probability,
+                deadline_secs,
+                verdict,
+                ..
+            } => {
+                w.u64("job", *job)
+                    .f64("success_probability", *success_probability)
+                    .u64("deadline_secs", *deadline_secs)
+                    .str("verdict", verdict.as_str());
+            }
         }
         w.finish()
     }
@@ -481,6 +548,13 @@ impl TelemetryEvent {
                 late_by_secs: v.get("late_by_secs")?.as_u64()?,
             }),
             "job_cancelled" => Some(TelemetryEvent::JobCancelled { at, job: job(&v)? }),
+            "promise_resolved" => Some(TelemetryEvent::PromiseResolved {
+                at,
+                job: job(&v)?,
+                success_probability: v.get("success_probability")?.as_f64()?,
+                deadline_secs: v.get("deadline_secs")?.as_u64()?,
+                verdict: PromiseVerdict::parse(v.get("verdict")?.as_str()?)?,
+            }),
             _ => None,
         }
     }
@@ -564,6 +638,27 @@ pub fn one_of_each() -> Vec<TelemetryEvent> {
             late_by_secs: 480,
         },
         TelemetryEvent::JobCancelled { at: t, job: 3 },
+        TelemetryEvent::PromiseResolved {
+            at: t,
+            job: 1,
+            success_probability: 0.987,
+            deadline_secs: 11_000,
+            verdict: PromiseVerdict::Broken,
+        },
+        TelemetryEvent::PromiseResolved {
+            at: t,
+            job: 4,
+            success_probability: 1.0,
+            deadline_secs: 9_000,
+            verdict: PromiseVerdict::Kept,
+        },
+        TelemetryEvent::PromiseResolved {
+            at: t,
+            job: 3,
+            success_probability: 0.5,
+            deadline_secs: 8_000,
+            verdict: PromiseVerdict::Cancelled,
+        },
     ]
 }
 
@@ -585,7 +680,7 @@ mod tests {
     fn one_of_each_covers_every_variant_name() {
         let names: std::collections::BTreeSet<&str> =
             one_of_each().iter().map(|e| e.name()).collect();
-        assert_eq!(names.len(), 14, "update one_of_each() for new variants");
+        assert_eq!(names.len(), 15, "update one_of_each() for new variants");
     }
 
     #[test]
@@ -613,6 +708,18 @@ mod tests {
             assert_eq!(SkipReason::parse(r.as_str()), Some(r));
         }
         assert_eq!(SkipReason::parse("bogus"), None);
+    }
+
+    #[test]
+    fn promise_verdict_wire_names_round_trip() {
+        for v in [
+            PromiseVerdict::Kept,
+            PromiseVerdict::Broken,
+            PromiseVerdict::Cancelled,
+        ] {
+            assert_eq!(PromiseVerdict::parse(v.as_str()), Some(v));
+        }
+        assert_eq!(PromiseVerdict::parse("bogus"), None);
     }
 
     #[test]

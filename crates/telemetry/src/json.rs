@@ -59,6 +59,15 @@ impl Json {
         }
     }
 
+    /// The value as an `i64`, if it is a (possibly negative) integer
+    /// number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
     /// The value as an `f64`, if it is a number.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
@@ -301,6 +310,13 @@ impl ObjWriter {
         self
     }
 
+    /// Writes a signed integer field.
+    pub fn i64(&mut self, key: &str, v: i64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.out, "{v}");
+        self
+    }
+
     /// Writes a float field using the shortest representation that parses
     /// back to the same value. Non-finite values become `null`.
     pub fn f64(&mut self, key: &str, v: f64) -> &mut Self {
@@ -424,6 +440,20 @@ mod tests {
         let text = r#"{"n":9007199254740993}"#;
         let v = Json::parse(text).unwrap();
         assert_eq!(v.get("n").unwrap().as_u64(), Some(9_007_199_254_740_993));
+    }
+
+    #[test]
+    fn signed_integers_round_trip() {
+        let mut w = ObjWriter::new();
+        w.i64("neg", -300).i64("pos", 41).i64("min", i64::MIN);
+        let text = w.finish();
+        let v = Json::parse(&text).unwrap();
+        assert_eq!(v.get("neg").unwrap().as_i64(), Some(-300));
+        assert_eq!(v.get("pos").unwrap().as_i64(), Some(41));
+        assert_eq!(v.get("min").unwrap().as_i64(), Some(i64::MIN));
+        // A negative number is not a u64, but stays readable as f64.
+        assert_eq!(v.get("neg").unwrap().as_u64(), None);
+        assert_eq!(v.get("neg").unwrap().as_f64(), Some(-300.0));
     }
 
     #[test]

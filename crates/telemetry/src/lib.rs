@@ -73,7 +73,7 @@ pub mod metrics;
 pub mod panichook;
 pub mod reqtrace;
 
-pub use event::{one_of_each, SkipReason, TelemetryEvent, EVENT_KINDS};
+pub use event::{one_of_each, PromiseVerdict, SkipReason, TelemetryEvent, EVENT_KINDS};
 pub use handle::{SinkHealth, Telemetry, TelemetryBuilder};
 pub use journal::{EventSink, JsonlSink, RingBufferSink};
 pub use metrics::{

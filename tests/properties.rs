@@ -923,7 +923,7 @@ fn telemetry_jsonl_round_trips_any_event() {
     for (case, event) in cases("jsonl-roundtrip", 512, |rng| {
         let at = SimTime::from_secs(hostile_u64(rng));
         let job = hostile_u64(rng);
-        match rng.uniform_u64(0, 12) {
+        match rng.uniform_u64(0, 13) {
             0 => TelemetryEvent::JobSubmitted {
                 at,
                 job,
@@ -986,6 +986,17 @@ fn telemetry_jsonl_round_trips_any_event() {
                 at,
                 job,
                 met_deadline: rng.chance(0.5),
+            },
+            12 => TelemetryEvent::PromiseResolved {
+                at,
+                job,
+                success_probability: hostile_f64(rng),
+                deadline_secs: hostile_u64(rng),
+                verdict: match rng.uniform_u64(0, 2) {
+                    0 => pqos_telemetry::PromiseVerdict::Kept,
+                    1 => pqos_telemetry::PromiseVerdict::Broken,
+                    _ => pqos_telemetry::PromiseVerdict::Cancelled,
+                },
             },
             _ => TelemetryEvent::DeadlineMissed {
                 at,
@@ -1215,4 +1226,193 @@ fn negotiation_postconditions() {
         }
         assert!(outcome.quotes_examined >= 1, "case {case}");
     }
+}
+
+/// The calibration ledger tiles exactly over randomized journals: every
+/// accepted quote lands in exactly one fixed bin, bin counts match an
+/// independent recount through [`promise_bin`], the exact-p groups
+/// partition the same population, and `kept + broken + cancelled +
+/// pending == promised` holds per bucket and in total.
+#[test]
+fn calibration_ledger_tiles_exactly() {
+    use pqos_core::session::{promise_bin, PROMISE_BINS};
+    use pqos_telemetry::{PromiseVerdict, TelemetryEvent};
+
+    for (case, journal) in cases("ledger-tiling", 64, |rng| {
+        let jobs = rng.uniform_u64(1, 120);
+        (0..jobs)
+            .map(|job| {
+                // Mix smooth draws with the exact values real predictors
+                // emit (p = 1.0 from the null predictor, round fractions
+                // from oracles) so exact-p groups get real collisions.
+                let p = match rng.uniform_u64(0, 3) {
+                    0 => 1.0,
+                    1 => [0.0, 0.5, 0.9, 0.95][rng.uniform_u64(0, 3) as usize],
+                    _ => rng.unit(),
+                };
+                // 0 = pending, 1 = kept, 2 = broken, 3 = cancelled.
+                (job, p, rng.uniform_u64(0, 3))
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .enumerate()
+    {
+        let mut lines = String::new();
+        for &(job, p, _) in &journal {
+            lines.push_str(
+                &TelemetryEvent::QuoteNegotiated {
+                    at: SimTime::from_secs(job),
+                    job,
+                    start_secs: 10,
+                    promised_secs: 100,
+                    deadline_secs: 200,
+                    success_probability: p,
+                }
+                .to_jsonl(),
+            );
+            lines.push('\n');
+        }
+        for &(job, p, fate) in &journal {
+            let verdict = match fate {
+                1 => PromiseVerdict::Kept,
+                2 => PromiseVerdict::Broken,
+                3 => PromiseVerdict::Cancelled,
+                _ => continue,
+            };
+            lines.push_str(
+                &TelemetryEvent::PromiseResolved {
+                    at: SimTime::from_secs(1000 + job),
+                    job,
+                    success_probability: p,
+                    deadline_secs: 200,
+                    verdict,
+                }
+                .to_jsonl(),
+            );
+            lines.push('\n');
+        }
+        let ledger = pqos_obs::audit_str(&lines).ledger;
+        assert!(ledger.tiling_holds(), "case {case}: tiling broken");
+        assert_eq!(ledger.accepted, journal.len() as u64, "case {case}");
+
+        // Independent recount per fixed bin and in total.
+        let mut promised = [0u64; PROMISE_BINS];
+        let mut kept = [0u64; PROMISE_BINS];
+        let mut broken = [0u64; PROMISE_BINS];
+        let mut cancelled = [0u64; PROMISE_BINS];
+        for &(_, p, fate) in &journal {
+            let bin = promise_bin(p);
+            promised[bin] += 1;
+            match fate {
+                1 => kept[bin] += 1,
+                2 => broken[bin] += 1,
+                3 => cancelled[bin] += 1,
+                _ => {}
+            }
+        }
+        for (i, b) in ledger.bins.iter().enumerate() {
+            assert_eq!(b.promised, promised[i], "case {case} bin {i}: promised");
+            assert_eq!(b.kept, kept[i], "case {case} bin {i}: kept");
+            assert_eq!(b.broken, broken[i], "case {case} bin {i}: broken");
+            assert_eq!(b.cancelled, cancelled[i], "case {case} bin {i}: cancelled");
+            assert_eq!(
+                b.kept + b.broken + b.cancelled + b.pending(),
+                b.promised,
+                "case {case} bin {i}: bucket does not tile"
+            );
+        }
+        // The exact-p groups partition the same population.
+        let exact_promised: u64 = ledger.exact_groups().map(|(_, b)| b.promised).sum();
+        assert_eq!(exact_promised, ledger.accepted, "case {case}: exact groups");
+    }
+}
+
+/// Seeded corruption is caught: a calibrated journal audits clean, and the
+/// same journal with its high-confidence verdicts flipped to broken is
+/// flagged `overconfident_bucket` — the audit cannot be fooled by a
+/// journal that restates its quotes but fails to deliver them.
+#[test]
+fn audit_flags_seeded_overconfident_corruption() {
+    use pqos_obs::audit::CODE_OVERCONFIDENT;
+    use pqos_telemetry::{PromiseVerdict, TelemetryEvent};
+
+    let jobs: Vec<(u64, f64, bool)> = cases("audit-corruption", 400, |rng| {
+        let p = 0.85 + 0.15 * rng.unit();
+        (rng.chance(p), p)
+    })
+    .into_iter()
+    .enumerate()
+    .map(|(job, (met, p))| (job as u64, p, met))
+    .collect();
+
+    let render = |corrupt: bool| {
+        let mut lines = String::new();
+        for &(job, p, met) in &jobs {
+            // Corruption: every other kept promise actually broke — the
+            // journal still restates the quoted p, so the ledger joins
+            // cleanly and only the calibration check can catch it.
+            let met = met && !(corrupt && job % 2 == 0);
+            lines.push_str(
+                &TelemetryEvent::QuoteNegotiated {
+                    at: SimTime::from_secs(job),
+                    job,
+                    start_secs: 10,
+                    promised_secs: 100,
+                    deadline_secs: 200,
+                    success_probability: p,
+                }
+                .to_jsonl(),
+            );
+            lines.push('\n');
+            lines.push_str(
+                &TelemetryEvent::JobCompleted {
+                    at: SimTime::from_secs(1000 + job),
+                    job,
+                    met_deadline: met,
+                }
+                .to_jsonl(),
+            );
+            lines.push('\n');
+            lines.push_str(
+                &TelemetryEvent::PromiseResolved {
+                    at: SimTime::from_secs(1000 + job),
+                    job,
+                    success_probability: p,
+                    deadline_secs: 200,
+                    verdict: if met {
+                        PromiseVerdict::Kept
+                    } else {
+                        PromiseVerdict::Broken
+                    },
+                }
+                .to_jsonl(),
+            );
+            lines.push('\n');
+        }
+        lines
+    };
+
+    let clean = pqos_obs::audit_str(&render(false));
+    assert_eq!(
+        clean.report.errors(),
+        0,
+        "calibrated journal must audit clean:\n{}",
+        clean.report.render()
+    );
+
+    let corrupted = pqos_obs::audit_str(&render(true));
+    assert!(
+        corrupted.report.errors() > 0,
+        "corruption must fail the audit"
+    );
+    assert!(
+        corrupted
+            .report
+            .findings
+            .iter()
+            .any(|f| f.code == CODE_OVERCONFIDENT),
+        "expected {CODE_OVERCONFIDENT}:\n{}",
+        corrupted.report.render()
+    );
 }
