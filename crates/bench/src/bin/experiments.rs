@@ -209,7 +209,7 @@ fn ablation_slack(opts: &SweepOptions, trace: &Arc<FailureTrace>) -> Table {
 /// contract `pqos-replay` rests on, measured instead of assumed.
 fn replay_parity() -> Table {
     use pqos_predict::api::NullPredictor;
-    use pqos_service::engine::{self, EngineConfig};
+    use pqos_service::engine::{self, EngineConfig, ReplySender};
     use pqos_service::protocol::{Request, Response};
     use pqos_service::replay::{replay, ReplayOptions};
     use pqos_service::{FlightRecorder, SharedBuf, TraceRecorder};
@@ -225,6 +225,7 @@ fn replay_parity() -> Table {
         batch_threads: 2,
         quote_horizon_secs: None,
         predictor: "null".into(),
+        shards: 1,
     };
     let telemetry = Telemetry::builder()
         .flush_every(0)
@@ -242,7 +243,7 @@ fn replay_parity() -> Table {
     };
     let recorder = TraceRecorder::to_writer(trace_buf.clone(), &meta).expect("in-memory recorder");
     let (handle, join) = engine::spawn(session, config, FlightRecorder::disabled(), recorder);
-    let (reply, rx) = std::sync::mpsc::channel();
+    let (reply, rx) = ReplySender::channel();
     let ask = |request: Request| {
         handle
             .submit(request, &reply, None, 1)

@@ -25,6 +25,7 @@
 use crate::config::SimConfig;
 use crate::negotiate::{negotiate_batch, NegotiationOutcome, NegotiationRequest, Quote};
 use pqos_ckpt::model::planned_execution;
+use pqos_cluster::partition::Partition;
 use pqos_predict::api::Predictor;
 use pqos_sched::cache::{CachedReservationBook, QuoteCacheStats};
 use pqos_sched::reservation::ReservationId;
@@ -198,6 +199,34 @@ struct PromiseTally {
     bins: [PromiseBin; PROMISE_BINS],
 }
 
+/// A standalone promise-calibration ledger with the exact bin/residual
+/// semantics the session uses internally. External admission
+/// coordinators (the service's cross-shard wide-job table) tally their
+/// own promises through this so aggregated calibration stays comparable
+/// with per-session numbers.
+#[derive(Debug, Clone, Default)]
+pub struct PromiseLedger {
+    tally: PromiseTally,
+}
+
+impl PromiseLedger {
+    /// Records that a quote was accepted (a promise was made).
+    pub fn promise_made(&mut self) {
+        self.tally.made += 1;
+    }
+
+    /// Resolves one promise with the quoted success probability it was
+    /// made at.
+    pub fn resolve(&mut self, quoted: f64, verdict: PromiseVerdict) {
+        self.tally.resolve(quoted, verdict);
+    }
+
+    /// Current counters, including the worst per-bin residual.
+    pub fn stats(&self) -> PromiseStats {
+        self.tally.stats()
+    }
+}
+
 impl PromiseTally {
     fn resolve(&mut self, quoted: f64, verdict: PromiseVerdict) {
         match verdict {
@@ -348,6 +377,10 @@ pub struct NegotiationSession<P> {
     /// Batches quoted so far (drives the sampling decision).
     batch_seq: u64,
     quote_horizon: Option<SimDuration>,
+    /// Offset added to node indices in journaled placements. A sharded
+    /// deployment gives each shard-local session the global index of its
+    /// first node so the merged journal speaks one global namespace.
+    node_base: u64,
 }
 
 impl<P: Predictor + Sync> NegotiationSession<P> {
@@ -368,6 +401,7 @@ impl<P: Predictor + Sync> NegotiationSession<P> {
             parity_sample: 1,
             batch_seq: 0,
             quote_horizon: None,
+            node_base: 0,
         }
     }
 
@@ -406,9 +440,49 @@ impl<P: Predictor + Sync> NegotiationSession<P> {
         self
     }
 
+    /// Journals placements with node indices offset by `base`. A session
+    /// that owns nodes `[base, base + cluster_size)` of a larger sharded
+    /// machine reports global indices, so merged journals from several
+    /// shards never alias each other's nodes. Quoting and booking are
+    /// untouched — only the journaled `job_placed` node list shifts.
+    pub fn node_base(mut self, base: u64) -> Self {
+        self.node_base = base;
+        self
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// The configuration this session was built with.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The predictor quotes are scored against.
+    pub fn predictor(&self) -> &P {
+        &self.predictor
+    }
+
+    /// Read-only view of the reservation book. A cross-shard coordinator
+    /// composes several of these into one merged [`AvailabilityView`]
+    /// to negotiate jobs wider than any single shard.
+    ///
+    /// [`AvailabilityView`]: pqos_sched::reservation::AvailabilityView
+    pub fn book(&self) -> &CachedReservationBook {
+        &self.book
+    }
+
+    /// Total checkpointed execution time this session plans for `runtime`
+    /// of useful work (the duration quotes reserve).
+    pub fn planned_total(&self, runtime: SimDuration) -> SimDuration {
+        planned_execution(
+            runtime,
+            self.config.checkpoint_interval,
+            self.config.checkpoint_overhead,
+        )
+        .total
     }
 
     /// The telemetry handle this session journals through. The service
@@ -508,6 +582,132 @@ impl<P: Predictor + Sync> NegotiationSession<P> {
             .collect()
     }
 
+    /// The quote-horizon filter [`Self::probe_outcomes`] applies: `None`
+    /// where the quoted start falls beyond the horizon.
+    fn apply_horizon(&self, outcome: Option<NegotiationOutcome>) -> Option<NegotiationOutcome> {
+        let outcome = outcome?;
+        if let Some(horizon) = self.quote_horizon {
+            if outcome.accepted.start > self.now.saturating_add(horizon) {
+                return None;
+            }
+        }
+        Some(outcome)
+    }
+
+    /// Answers, without any side effects, the start time each request
+    /// *would* be quoted if negotiated against the current book snapshot
+    /// (`None` where the request would be rejected, including by the
+    /// quote horizon). Nothing is journaled, no quote is held and no
+    /// counter moves — this is the read-only routing probe a sharded
+    /// engine runs on shards before assigning the job to the one quoting
+    /// the earliest start.
+    pub fn probe_batch(
+        &self,
+        requests: &[AdmissionRequest],
+        threads: usize,
+    ) -> Vec<Option<SimTime>> {
+        self.probe_outcomes(requests, threads)
+            .into_iter()
+            .map(|outcome| Some(outcome?.accepted.start))
+            .collect()
+    }
+
+    /// The full negotiation outcomes behind [`Self::probe_batch`]:
+    /// read-only, nothing journaled, horizon-rejected requests already
+    /// `None`. A sharded router keeps the winning shard's outcome and
+    /// admits it via [`Self::quote_batch_precomputed`], so routing a
+    /// narrow job costs one negotiation walk instead of probe-then-quote
+    /// walking the same book twice.
+    pub fn probe_outcomes(
+        &self,
+        requests: &[AdmissionRequest],
+        threads: usize,
+    ) -> Vec<Option<NegotiationOutcome>> {
+        let negotiation_requests: Vec<NegotiationRequest<'_>> = requests
+            .iter()
+            .map(|req| self.negotiation_request(*req))
+            .collect();
+        let outcomes = negotiate_batch(
+            &self.book,
+            self.config.topology,
+            self.config.placement,
+            &self.predictor,
+            &negotiation_requests,
+            &self.config.user,
+            self.config.max_negotiation_slots,
+            self.config.max_probe_steps,
+            threads,
+        );
+        outcomes
+            .into_iter()
+            .map(|outcome| self.apply_horizon(outcome))
+            .collect()
+    }
+
+    /// [`Self::quote_batch`] for outcomes already negotiated against the
+    /// **current** book snapshot (a [`Self::probe_outcomes`] result with
+    /// no book mutation in between): journals each submission, runs the
+    /// same sampled batched-vs-serial parity check, and records each
+    /// decision — without re-running negotiation. `None` outcomes are
+    /// recorded as rejections.
+    pub fn quote_batch_precomputed(
+        &mut self,
+        requests: &[(JobId, AdmissionRequest)],
+        outcomes: Vec<Option<NegotiationOutcome>>,
+        threads: usize,
+    ) -> Vec<QuoteDecision> {
+        assert_eq!(
+            requests.len(),
+            outcomes.len(),
+            "one precomputed outcome per request"
+        );
+        for (id, req) in requests {
+            let (id, req) = (*id, *req);
+            self.telemetry.emit(|| TelemetryEvent::JobSubmitted {
+                at: self.now,
+                job: id.as_u64(),
+                size: req.size,
+                runtime_secs: req.runtime.as_secs(),
+            });
+        }
+        if self.verify_parity && self.batch_seq.is_multiple_of(self.parity_sample) {
+            let negotiation_requests: Vec<NegotiationRequest<'_>> = requests
+                .iter()
+                .map(|(_, req)| self.negotiation_request(*req))
+                .collect();
+            let parity_timer = self.telemetry.histogram("session.parity_ns").start_timer();
+            self.check_parity_horizon_filtered(&negotiation_requests, &outcomes, threads);
+            parity_timer.stop();
+        }
+        self.batch_seq = self.batch_seq.wrapping_add(1);
+        requests
+            .iter()
+            .zip(outcomes)
+            .map(|(&(id, req), outcome)| self.record_decision(id, req, outcome))
+            .collect()
+    }
+
+    /// Books `partition` for `window` directly, bypassing negotiation,
+    /// journaling and the job lifecycle. This is the reserve half of the
+    /// two-phase cross-shard admission step: a wide job's coordinator
+    /// reserves one slice per shard and journals the single lifecycle
+    /// itself. Returns `None` when the slice conflicts with an existing
+    /// commitment (the coordinator then releases the slices it already
+    /// took and expires the quote).
+    pub fn reserve_slice(
+        &mut self,
+        id: JobId,
+        partition: Partition,
+        window: TimeWindow,
+    ) -> Option<ReservationId> {
+        self.book.add(id, partition, window).ok()
+    }
+
+    /// Releases a slice taken by [`NegotiationSession::reserve_slice`].
+    pub fn release_slice(&mut self, reservation: ReservationId) {
+        self.book.remove(reservation);
+    }
+
     /// Commits a held quote: journals the accepted quote and placement and
     /// books the reservation. The job will start and complete as virtual
     /// time passes the committed instants.
@@ -554,7 +754,7 @@ impl<P: Predictor + Sync> NegotiationSession<P> {
                 .quote
                 .partition
                 .iter()
-                .map(|n| n.index() as u64)
+                .map(|n| n.index() as u64 + self.node_base)
                 .collect(),
             failure_probability: held.quote.failure_probability,
         });
@@ -769,6 +969,35 @@ impl<P: Predictor + Sync> NegotiationSession<P> {
         for (serial, fast) in reference.iter().zip(batched) {
             self.stats.parity_checked += 1;
             if serial != fast {
+                self.stats.parity_violations += 1;
+            }
+        }
+    }
+
+    /// [`Self::check_parity`] against horizon-filtered outcomes (a
+    /// [`Self::probe_outcomes`] result): the serial reference gets the
+    /// same quote-horizon filter before comparing, so a quote the
+    /// horizon rejects on both sides still counts as agreement.
+    fn check_parity_horizon_filtered(
+        &mut self,
+        requests: &[NegotiationRequest<'_>],
+        batched: &[Option<NegotiationOutcome>],
+        threads: usize,
+    ) {
+        let reference = negotiate_batch(
+            &self.book,
+            self.config.topology,
+            self.config.placement,
+            &self.predictor,
+            requests,
+            &self.config.user,
+            self.config.max_negotiation_slots,
+            self.config.max_probe_steps,
+            threads.saturating_add(1),
+        );
+        for (serial, fast) in reference.into_iter().zip(batched) {
+            self.stats.parity_checked += 1;
+            if self.apply_horizon(serial) != *fast {
                 self.stats.parity_violations += 1;
             }
         }
@@ -1208,6 +1437,85 @@ mod tests {
         assert_eq!(promise_bin(0.95), 9);
         assert_eq!(promise_bin(1.0), 9);
         assert_eq!(promise_bin(f64::NAN), 0);
+    }
+
+    #[test]
+    fn probe_batch_predicts_quotes_without_side_effects() {
+        let mut s = session(8);
+        quote_one(&mut s, 1, 8, 3600);
+        s.accept(JobId::new(1)).unwrap();
+        let before = s.status();
+        let reqs = [req(4, 1800), req(9, 100)];
+        let probed = s.probe_batch(&reqs, 1);
+        // Probing moved nothing: same stats, same live jobs, same book.
+        assert_eq!(s.status(), before);
+        assert_eq!(s.live_jobs(), 1);
+        assert_eq!(probed[1], None, "oversized probe rejects");
+        // The probe's answer is exactly what quote_batch then quotes.
+        let QuoteDecision::Quoted(held) = quote_one(&mut s, 2, 4, 1800) else {
+            panic!("probed request must quote");
+        };
+        assert_eq!(probed[0], Some(held.quote.start));
+    }
+
+    #[test]
+    fn probe_batch_honors_the_quote_horizon() {
+        let mut s = session(4).quote_horizon(SimDuration::from_secs(4000));
+        quote_one(&mut s, 1, 4, 3600);
+        s.accept(JobId::new(1)).unwrap();
+        quote_one(&mut s, 2, 4, 3600);
+        s.accept(JobId::new(2)).unwrap();
+        // A third full-width job would start past the horizon.
+        assert_eq!(s.probe_batch(&[req(4, 3600)], 1), vec![None]);
+    }
+
+    #[test]
+    fn reserved_slices_shape_quotes_and_release_cleanly() {
+        let mut s = session(4);
+        let window = TimeWindow::new(SimTime::ZERO, SimTime::from_secs(5000));
+        let slice = s
+            .reserve_slice(JobId::new(99), Partition::contiguous(0, 4), window)
+            .expect("empty book takes the slice");
+        // The slice is invisible to the job lifecycle but visible to
+        // quoting: a new job lands after it.
+        assert_eq!(s.live_jobs(), 0);
+        let QuoteDecision::Quoted(held) = quote_one(&mut s, 1, 4, 600) else {
+            panic!();
+        };
+        assert_eq!(held.quote.start, SimTime::from_secs(5000));
+        // A conflicting slice is refused; releasing frees the window.
+        assert!(s
+            .reserve_slice(JobId::new(98), Partition::contiguous(0, 1), window)
+            .is_none());
+        s.release_slice(slice);
+        let QuoteDecision::Quoted(held) = quote_one(&mut s, 2, 4, 600) else {
+            panic!();
+        };
+        assert_eq!(held.quote.start, SimTime::ZERO);
+    }
+
+    #[test]
+    fn node_base_offsets_journaled_placements_only() {
+        let telemetry = Telemetry::builder().ring_buffer(64).build();
+        let mut s = NegotiationSession::new(
+            SimConfig::paper_defaults().cluster_size_nodes(4),
+            NullPredictor,
+            telemetry.clone(),
+        )
+        .node_base(100);
+        s.quote_batch(&[(JobId::new(1), req(2, 600))], 1);
+        s.accept(JobId::new(1)).unwrap();
+        let nodes: Vec<u64> = telemetry
+            .ring_events()
+            .iter()
+            .find_map(|e| match e {
+                TelemetryEvent::JobPlaced { nodes, .. } => Some(nodes.clone()),
+                _ => None,
+            })
+            .expect("placement journaled");
+        assert_eq!(nodes, [100, 101]);
+        // The book itself still works in local indices.
+        assert_eq!(s.status().occupied_nodes, 2);
     }
 
     #[test]

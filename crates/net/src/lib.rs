@@ -1,0 +1,656 @@
+//! `pqos-net`: a hand-rolled nonblocking connection layer.
+//!
+//! One thread owns every socket. On linux/x86_64 it sleeps in a raw
+//! `epoll_wait` (no libc — see [`sys`]); elsewhere a portable polling
+//! fallback drives the same nonblocking sockets. The loop speaks a
+//! newline-delimited framing: callers receive whole lines and queue
+//! whole replies, and never touch a socket directly.
+//!
+//! ```text
+//!            accept/read/write readiness        callback
+//!   kernel ────────────────────────────▶ loop ───────────▶ NetEvent
+//!                                         ▲                  │
+//!   other threads ── Waker::wake() ───────┘     Ctx::send ◀──┘
+//! ```
+//!
+//! Events delivered to the callback:
+//! - [`NetEvent::Opened`] — a connection was accepted.
+//! - [`NetEvent::Line`] — one complete line, without the trailing `\n`.
+//! - [`NetEvent::Flushed`] — write progress: the total number of bytes
+//!   flushed to the socket so far (pairs with the watermark returned by
+//!   [`Ctx::send`] for at-the-wire accounting).
+//! - [`NetEvent::Closed`] — the connection is gone (peer close, error,
+//!   overlong line, or backpressure overflow). Its token is dead.
+//! - [`NetEvent::Wake`] — some thread called [`Waker::wake`]; drain
+//!   whatever queue that thread filled.
+//! - [`NetEvent::Tick`] — periodic heartbeat (`NetConfig::tick`) for
+//!   housekeeping such as drain polling.
+//!
+//! Backpressure is bounded on both sides: a line longer than
+//! `max_line` kills the connection, and a peer that stops reading has
+//! its reads paused at `high_water` queued reply bytes and is dropped
+//! at `hard_cap`.
+
+mod driver;
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod sys;
+
+pub use driver::Waker;
+
+use driver::{Poll, Ready};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Identifies one connection for the lifetime of the loop. Tokens are
+/// never reused.
+pub type Token = u64;
+
+const LISTENER_TOKEN: Token = 0;
+const READ_CHUNK: usize = 64 * 1024;
+/// How long a draining loop waits for unflushed replies before giving
+/// up on their connections.
+const DRAIN_GRACE: Duration = Duration::from_secs(3);
+
+/// Tuning knobs for the event loop. The defaults fit the JSON-lines
+/// protocol: requests are a few hundred bytes, replies likewise (dumps
+/// can reach a few hundred KiB).
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// A connection sending a line longer than this is dropped.
+    pub max_line: usize,
+    /// Queued reply bytes at which the connection's reads are paused.
+    pub high_water: usize,
+    /// Queued reply bytes at which a slow reader is dropped.
+    pub hard_cap: usize,
+    /// Cadence of [`NetEvent::Tick`].
+    pub tick: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            max_line: 1024 * 1024,
+            high_water: 256 * 1024,
+            hard_cap: 4 * 1024 * 1024,
+            tick: Duration::from_millis(200),
+        }
+    }
+}
+
+/// What the loop tells its callback. Line payloads exclude the
+/// trailing newline.
+#[derive(Debug)]
+pub enum NetEvent<'a> {
+    Opened(Token),
+    Line(Token, &'a [u8]),
+    /// Total bytes flushed to this connection's socket so far.
+    Flushed(Token, u64),
+    Closed(Token),
+    Wake,
+    Tick,
+}
+
+struct Conn {
+    stream: TcpStream,
+    fd: i32,
+    inbuf: Vec<u8>,
+    scan_from: usize,
+    outbuf: Vec<u8>,
+    out_sent: usize,
+    flushed_total: u64,
+    queued_total: u64,
+    peer_closed: bool,
+    reg_read: bool,
+    reg_write: bool,
+    flush_dirty: bool,
+}
+
+impl Conn {
+    fn pending(&self) -> usize {
+        self.outbuf.len() - self.out_sent
+    }
+
+    /// Writes as much of the outbuf as the socket will take. Returns
+    /// whether any bytes moved; errors mean the connection is dead.
+    fn flush(&mut self) -> io::Result<bool> {
+        let mut progress = false;
+        loop {
+            if self.out_sent == self.outbuf.len() {
+                self.outbuf.clear();
+                self.out_sent = 0;
+                break;
+            }
+            match self.stream.write(&self.outbuf[self.out_sent..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.out_sent += n;
+                    self.flushed_total += n as u64;
+                    progress = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        // Reclaim flushed prefix once it is worth the memmove.
+        if self.out_sent > READ_CHUNK {
+            self.outbuf.drain(..self.out_sent);
+            self.out_sent = 0;
+        }
+        Ok(progress)
+    }
+}
+
+enum Ev {
+    Opened(Token),
+    Line(Token, Vec<u8>),
+    Closed(Token),
+}
+
+struct LoopState {
+    poll: Poll,
+    conns: HashMap<Token, Conn>,
+    cfg: NetConfig,
+    draining: bool,
+    drain_since: Option<Instant>,
+    /// Tokens whose `Flushed` notification is owed this iteration.
+    dirty: Vec<Token>,
+    /// Tokens closed by the callback, owed a `Closed` event.
+    closed_pending: Vec<Token>,
+}
+
+impl LoopState {
+    fn kill(&mut self, token: Token) -> bool {
+        if let Some(conn) = self.conns.remove(&token) {
+            self.poll.delete(conn.fd, token);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn mark_dirty(&mut self, token: Token) {
+        if let Some(conn) = self.conns.get_mut(&token) {
+            if !conn.flush_dirty {
+                conn.flush_dirty = true;
+                self.dirty.push(token);
+            }
+        }
+    }
+}
+
+/// Handle the callback uses to act on the loop: queue replies, close
+/// connections, begin the shutdown drain.
+pub struct Ctx<'a> {
+    state: &'a mut LoopState,
+}
+
+impl Ctx<'_> {
+    /// Queues `bytes` on the connection and flushes eagerly. Returns
+    /// the connection's total queued-byte watermark (compare against
+    /// [`NetEvent::Flushed`] to learn when these bytes hit the wire),
+    /// or `None` if the connection is gone — including the case where
+    /// this very send overflowed the hard cap or hit a write error and
+    /// killed it (a `Closed` event follows).
+    pub fn send(&mut self, token: Token, bytes: &[u8]) -> Option<u64> {
+        let conn = self.state.conns.get_mut(&token)?;
+        if conn.pending() + bytes.len() > self.state.cfg.hard_cap {
+            self.state.kill(token);
+            self.state.closed_pending.push(token);
+            return None;
+        }
+        conn.outbuf.extend_from_slice(bytes);
+        conn.queued_total += bytes.len() as u64;
+        let watermark = conn.queued_total;
+        match conn.flush() {
+            Ok(progress) => {
+                if progress {
+                    self.state.mark_dirty(token);
+                }
+                Some(watermark)
+            }
+            Err(_) => {
+                self.state.kill(token);
+                self.state.closed_pending.push(token);
+                None
+            }
+        }
+    }
+
+    /// Drops the connection now. A `Closed` event follows.
+    pub fn close(&mut self, token: Token) {
+        if self.state.kill(token) {
+            self.state.closed_pending.push(token);
+        }
+    }
+
+    /// Stops accepting and exits the loop once every queued reply is
+    /// flushed (or `DRAIN_GRACE` passes).
+    pub fn shutdown(&mut self) {
+        if !self.state.draining {
+            self.state.draining = true;
+            self.state.drain_since = Some(Instant::now());
+        }
+    }
+
+    pub fn is_draining(&self) -> bool {
+        self.state.draining
+    }
+
+    pub fn open_conns(&self) -> usize {
+        self.state.conns.len()
+    }
+}
+
+/// The event loop: owns the listener, every accepted connection, and
+/// the readiness driver.
+pub struct EventLoop {
+    listener: TcpListener,
+    listener_fd: i32,
+    accepting: bool,
+    next_token: Token,
+    state: LoopState,
+}
+
+#[cfg(unix)]
+fn fd_of<T: std::os::fd::AsRawFd>(t: &T) -> i32 {
+    t.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn fd_of<T>(_t: &T) -> i32 {
+    -1
+}
+
+impl EventLoop {
+    /// Takes ownership of a bound listener and prepares the driver.
+    pub fn bind(listener: TcpListener, cfg: NetConfig) -> io::Result<EventLoop> {
+        listener.set_nonblocking(true)?;
+        let listener_fd = fd_of(&listener);
+        let mut poll = Poll::new();
+        poll.add(listener_fd, LISTENER_TOKEN, true, false)?;
+        Ok(EventLoop {
+            listener,
+            listener_fd,
+            accepting: true,
+            next_token: 1,
+            state: LoopState {
+                poll,
+                conns: HashMap::new(),
+                cfg,
+                draining: false,
+                drain_since: None,
+                dirty: Vec::new(),
+                closed_pending: Vec::new(),
+            },
+        })
+    }
+
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle other threads use to interrupt [`EventLoop::run`]'s
+    /// sleep; each wake surfaces as one [`NetEvent::Wake`].
+    pub fn waker(&self) -> Waker {
+        self.state.poll.waker()
+    }
+
+    /// Runs the loop until a callback calls [`Ctx::shutdown`] and the
+    /// outbound queues drain. The callback observes every event; it
+    /// must not block, or the whole plane stalls.
+    pub fn run<F>(mut self, mut cb: F) -> io::Result<()>
+    where
+        F: FnMut(NetEvent<'_>, &mut Ctx<'_>),
+    {
+        let mut ready: Vec<Ready> = Vec::new();
+        let mut events: Vec<Ev> = Vec::new();
+        let mut next_tick = Instant::now() + self.state.cfg.tick;
+        loop {
+            let now = Instant::now();
+            let mut timeout = next_tick.saturating_duration_since(now);
+            if !self.state.poll.readiness() {
+                // No readiness source: poll the sockets on a short leash.
+                timeout = timeout.min(Duration::from_millis(1));
+            }
+            let woke = self.state.poll.wait(timeout, &mut ready)?;
+
+            if self.state.draining && self.accepting {
+                self.state.poll.delete(self.listener_fd, LISTENER_TOKEN);
+                self.accepting = false;
+            }
+
+            events.clear();
+            if self.state.poll.readiness() {
+                let batch: Vec<Ready> = ready.clone();
+                for r in batch {
+                    if r.token == LISTENER_TOKEN {
+                        self.accept_ready(&mut events);
+                    } else {
+                        self.drive_conn(r.token, r.readable, r.writable || r.error, &mut events);
+                    }
+                }
+            } else {
+                // Fallback driver: everything is "ready"; the
+                // nonblocking sockets sort out the truth.
+                if self.accepting {
+                    self.accept_ready(&mut events);
+                }
+                let tokens: Vec<Token> = self.state.conns.keys().copied().collect();
+                for token in tokens {
+                    self.drive_conn(token, true, true, &mut events);
+                }
+            }
+
+            let mut ctx = Ctx {
+                state: &mut self.state,
+            };
+            if woke {
+                cb(NetEvent::Wake, &mut ctx);
+            }
+            for ev in events.drain(..) {
+                match ev {
+                    Ev::Opened(token) => cb(NetEvent::Opened(token), &mut ctx),
+                    Ev::Line(token, line) => cb(NetEvent::Line(token, &line), &mut ctx),
+                    Ev::Closed(token) => cb(NetEvent::Closed(token), &mut ctx),
+                }
+            }
+            // Write-progress notifications, then callback-driven closes
+            // (which Flushed handlers may add to).
+            let dirty = std::mem::take(&mut ctx.state.dirty);
+            for token in dirty {
+                if let Some(conn) = ctx.state.conns.get_mut(&token) {
+                    conn.flush_dirty = false;
+                    let total = conn.flushed_total;
+                    cb(NetEvent::Flushed(token, total), &mut ctx);
+                }
+            }
+            while let Some(token) = ctx.state.closed_pending.pop() {
+                cb(NetEvent::Closed(token), &mut ctx);
+            }
+            let now = Instant::now();
+            if now >= next_tick {
+                cb(NetEvent::Tick, &mut ctx);
+                next_tick = now + ctx.state.cfg.tick;
+            }
+
+            self.sweep();
+
+            if self.state.draining {
+                let flushed = self.state.conns.values().all(|c| c.pending() == 0);
+                let grace_up = self
+                    .state
+                    .drain_since
+                    .map(|t| t.elapsed() >= DRAIN_GRACE)
+                    .unwrap_or(true);
+                if flushed || grace_up {
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    fn accept_ready(&mut self, events: &mut Vec<Ev>) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    let fd = fd_of(&stream);
+                    if self.state.poll.add(fd, token, true, false).is_err() {
+                        continue;
+                    }
+                    self.state.conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            fd,
+                            inbuf: Vec::new(),
+                            scan_from: 0,
+                            outbuf: Vec::new(),
+                            out_sent: 0,
+                            flushed_total: 0,
+                            queued_total: 0,
+                            peer_closed: false,
+                            reg_read: true,
+                            reg_write: false,
+                            flush_dirty: false,
+                        },
+                    );
+                    events.push(Ev::Opened(token));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient accept failures (EMFILE and friends): give
+                // up for this iteration, the next wait retries.
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Performs I/O on one ready connection, extracting complete lines
+    /// and detecting death. Removes dead connections and records their
+    /// `Closed` event inline so it dispatches after their final lines.
+    fn drive_conn(&mut self, token: Token, readable: bool, writable: bool, events: &mut Vec<Ev>) {
+        let cfg_max_line = self.state.cfg.max_line;
+        let cfg_high_water = self.state.cfg.high_water;
+        let Some(conn) = self.state.conns.get_mut(&token) else {
+            return;
+        };
+        let mut dead = false;
+
+        if writable && conn.pending() > 0 {
+            match conn.flush() {
+                Ok(progress) => {
+                    if progress && !conn.flush_dirty {
+                        conn.flush_dirty = true;
+                        self.state.dirty.push(token);
+                    }
+                }
+                Err(_) => dead = true,
+            }
+        }
+
+        // Re-borrow after the dirty push above released it.
+        let Some(conn) = self.state.conns.get_mut(&token) else {
+            return;
+        };
+
+        let read_ok = readable && !conn.peer_closed && !dead && conn.pending() < cfg_high_water;
+        if read_ok {
+            let mut chunk = [0u8; READ_CHUNK];
+            loop {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        conn.peer_closed = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.inbuf.extend_from_slice(&chunk[..n]);
+                        // Lines complete as soon as their newline lands.
+                        let mut consumed = 0;
+                        while let Some(pos) = conn.inbuf[conn.scan_from..]
+                            .iter()
+                            .position(|&b| b == b'\n')
+                        {
+                            let end = conn.scan_from + pos;
+                            events.push(Ev::Line(token, conn.inbuf[consumed..end].to_vec()));
+                            consumed = end + 1;
+                            conn.scan_from = consumed;
+                        }
+                        if consumed > 0 {
+                            conn.inbuf.drain(..consumed);
+                            conn.scan_from = 0;
+                        } else {
+                            conn.scan_from = conn.inbuf.len();
+                        }
+                        if conn.inbuf.len() > cfg_max_line {
+                            dead = true;
+                            break;
+                        }
+                        if n < chunk.len() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        if conn.peer_closed && conn.pending() == 0 {
+            dead = true;
+        }
+        if dead {
+            self.state.kill(token);
+            events.push(Ev::Closed(token));
+        }
+    }
+
+    /// Reconciles each connection's driver interest with its current
+    /// state: reads pause above the high-water mark, write interest
+    /// exists only while the outbuf holds bytes.
+    fn sweep(&mut self) {
+        let state = &mut self.state;
+        for (&token, conn) in state.conns.iter_mut() {
+            let want_read = !conn.peer_closed && conn.pending() < state.cfg.high_water;
+            let want_write = conn.pending() > 0;
+            if (want_read != conn.reg_read || want_write != conn.reg_write)
+                && state
+                    .poll
+                    .modify(conn.fd, token, want_read, want_write)
+                    .is_ok()
+            {
+                conn.reg_read = want_read;
+                conn.reg_write = want_write;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+    use std::net::TcpStream;
+    use std::sync::mpsc;
+    use std::thread;
+
+    fn spawn_echo(
+        cfg: NetConfig,
+    ) -> (
+        SocketAddr,
+        Waker,
+        thread::JoinHandle<io::Result<()>>,
+        mpsc::Receiver<String>,
+    ) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let ev = EventLoop::bind(listener, cfg).unwrap();
+        let addr = ev.local_addr().unwrap();
+        let waker = ev.waker();
+        let (note_tx, note_rx) = mpsc::channel();
+        let handle = thread::spawn(move || {
+            ev.run(move |event, ctx| match event {
+                NetEvent::Line(token, line) => {
+                    if line == b"quit" {
+                        ctx.shutdown();
+                    } else {
+                        let mut reply = line.to_vec();
+                        reply.push(b'\n');
+                        ctx.send(token, &reply);
+                    }
+                }
+                NetEvent::Wake => {
+                    let _ = note_tx.send("wake".to_string());
+                }
+                NetEvent::Closed(token) => {
+                    let _ = note_tx.send(format!("closed {token}"));
+                }
+                _ => {}
+            })
+        });
+        (addr, waker, handle, note_rx)
+    }
+
+    #[test]
+    fn echoes_lines_split_across_arbitrary_writes() {
+        let (addr, _waker, handle, _notes) = spawn_echo(NetConfig::default());
+        let mut client = TcpStream::connect(addr).unwrap();
+        // One line delivered in three torn writes, then two in one.
+        client.write_all(b"hel").unwrap();
+        client.flush().unwrap();
+        thread::sleep(Duration::from_millis(10));
+        client.write_all(b"lo wor").unwrap();
+        thread::sleep(Duration::from_millis(10));
+        client.write_all(b"ld\nsecond\nthird\n").unwrap();
+        let mut reader = BufReader::new(client.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line, "hello world\n");
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line, "second\n");
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line, "third\n");
+        client.write_all(b"quit\n").unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn waker_interrupts_the_sleep() {
+        let (addr, waker, handle, notes) = spawn_echo(NetConfig::default());
+        waker.wake();
+        let note = notes.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(note, "wake");
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(b"quit\n").unwrap();
+        handle.join().unwrap().unwrap();
+        // Waking after exit is a no-op, not a panic.
+        waker.wake();
+    }
+
+    #[test]
+    fn overlong_line_drops_the_connection() {
+        let cfg = NetConfig {
+            max_line: 64,
+            ..NetConfig::default()
+        };
+        let (addr, _waker, handle, notes) = spawn_echo(cfg);
+        let mut bad = TcpStream::connect(addr).unwrap();
+        bad.write_all(&[b'x'; 256]).unwrap();
+        let note = notes.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(note.starts_with("closed"), "expected a close, got {note}");
+        // The loop survives: a well-behaved client still gets service.
+        let mut good = TcpStream::connect(addr).unwrap();
+        good.write_all(b"ping\n").unwrap();
+        let mut reader = BufReader::new(good.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line, "ping\n");
+        good.write_all(b"quit\n").unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn abrupt_close_emits_closed_and_loop_survives() {
+        let (addr, _waker, handle, notes) = spawn_echo(NetConfig::default());
+        let client = TcpStream::connect(addr).unwrap();
+        drop(client);
+        let note = notes.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(note.starts_with("closed"), "expected a close, got {note}");
+        let mut quitter = TcpStream::connect(addr).unwrap();
+        quitter.write_all(b"quit\n").unwrap();
+        handle.join().unwrap().unwrap();
+    }
+}

@@ -21,6 +21,12 @@
 //!   recorded negotiate response deliberately tampered (`promised_secs`
 //!   off by one). Replay pins `response_mismatch: 1`; CI bisects this
 //!   trace and asserts the minimal reproducer is <= 10% of the original.
+//! * `sharded-route-divergence` — a 4-shard trace (narrow stream plus
+//!   one cross-shard wide job) with one narrow quote's recorded
+//!   `start_secs` shifted — the exact signature an engine-routing
+//!   nondeterminism leaves, since replay re-derives every route and
+//!   disagrees only on the entries a drifted shard answered. Pinned
+//!   `response_mismatch: 1` and bisected in CI like the seeded case.
 
 use pqos_service::protocol::{Request, Response};
 use pqos_service::replay::{replay, ReplayOptions};
@@ -29,6 +35,10 @@ use pqos_telemetry::TelemetryEvent;
 use std::path::Path;
 
 fn meta(cluster_size: u32, quote_horizon_secs: Option<u64>) -> TraceMeta {
+    sharded_meta(cluster_size, 1, quote_horizon_secs)
+}
+
+fn sharded_meta(cluster_size: u32, shards: u64, quote_horizon_secs: Option<u64>) -> TraceMeta {
     TraceMeta {
         version: TRACE_FORMAT_VERSION,
         source: "qosd".into(),
@@ -37,6 +47,7 @@ fn meta(cluster_size: u32, quote_horizon_secs: Option<u64>) -> TraceMeta {
         batch_threads: 2,
         quote_horizon_secs,
         predictor: "null".into(),
+        shards,
     }
 }
 
@@ -316,6 +327,99 @@ fn seeded_divergence(root: &Path) {
     );
 }
 
+/// The sharded divergence: a 4-shard trace whose narrow stream spreads
+/// across every shard and whose wide job exercises the cross-shard
+/// coordinator, with one narrow quote's recorded `start_secs` shifted
+/// after reconstruction. A routing regression — any nondeterminism in
+/// the probe rotation, tie-break, or merge order — would produce exactly
+/// this shape: replay re-derives the routes and disagrees with the
+/// recording only on the entries the drifted shard answered.
+fn sharded_divergence(root: &Path) {
+    let mut script = Vec::new();
+    for k in 0u64..20 {
+        script.push((
+            k + 1,
+            k * 30,
+            Request::Negotiate {
+                id: 2 * k + 1,
+                // 1..=4 nodes: at or under a 4-node shard's width, so
+                // every job is probe-routed, never coordinated.
+                size: 1 + (k % 4) as u32,
+                runtime_secs: 600 + 30 * k,
+            },
+            Some(k + 1),
+        ));
+        script.push((
+            k + 1,
+            k * 30,
+            Request::Accept {
+                id: 2 * k + 2,
+                job: k + 1,
+            },
+            None,
+        ));
+    }
+    // One job wider than any shard: quoted two-phase against the merged
+    // view, reserved shard by shard by the coordinator.
+    script.push((
+        21,
+        700,
+        Request::Negotiate {
+            id: 41,
+            size: 10,
+            runtime_secs: 900,
+        },
+        Some(100),
+    ));
+    script.push((21, 700, Request::Accept { id: 42, job: 100 }, None));
+    // Past every completion: the merged journal ends with no live jobs.
+    script.push((22, 100_000, Request::Shutdown { id: 43 }, None));
+    let (mut trace, journal) = reconstruct(author(sharded_meta(16, 4, None), &script));
+
+    // Shift one recorded narrow quote's start by a minute: the story a
+    // wrong-shard route tells, because a different shard's book yields a
+    // different earliest hole.
+    let victim = &mut trace.entries[24]; // the 13th negotiate (seq 25)
+    let Some(Response::Quote {
+        id,
+        job,
+        start_secs,
+        promised_secs,
+        deadline_secs,
+        success_probability,
+        satisfied_threshold,
+    }) = Response::parse(&victim.response)
+    else {
+        panic!("victim entry holds a quote");
+    };
+    victim.response = Response::Quote {
+        id,
+        job,
+        start_secs: start_secs + 60,
+        promised_secs,
+        deadline_secs,
+        success_probability,
+        satisfied_threshold,
+    }
+    .encode();
+
+    let report = replay(&trace, &ReplayOptions::default()).expect("tampered trace still replays");
+    assert_eq!(report.mismatches.len(), 1, "exactly the seeded mismatch");
+    assert_eq!(report.mismatches[0].seq, 25);
+    assert_eq!(
+        report.journal, journal,
+        "tampering a response does not change the merged journal"
+    );
+
+    write_case(
+        root,
+        "sharded-route-divergence",
+        &trace,
+        &journal,
+        Some("{\"findings\": [{\"code\": \"response_mismatch\", \"count\": 1}]}\n"),
+    );
+}
+
 fn main() {
     let root_arg = std::env::args()
         .nth(1)
@@ -325,5 +429,6 @@ fn main() {
     same_instant_handoff(&root);
     horizon_probe(&root);
     seeded_divergence(&root);
+    sharded_divergence(&root);
     println!("corpus written to {}", root.display());
 }

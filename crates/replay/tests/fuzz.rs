@@ -15,6 +15,7 @@ fn meta_line() -> String {
         batch_threads: 1,
         quote_horizon_secs: None,
         predictor: "null".into(),
+        shards: 1,
     }
     .encode()
 }

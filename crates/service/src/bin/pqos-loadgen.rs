@@ -5,7 +5,14 @@
 //!              [--model nasa|sdsc] [--seed N] [--accept-prob F]
 //!              [--cancel-prob F] [--out BENCH_service.json] [--shutdown]
 //!              [--metrics HOST:PORT] [--baseline-rps F] [--record PATH]
+//! pqos-loadgen --shards 1,2,4 [--cluster N] [client options] [--out PATH]
 //! ```
+//!
+//! `--shards` switches to sweep mode: instead of targeting a running
+//! daemon, the generator boots its own in-process daemon per listed
+//! shard count (over `--cluster` nodes, default 4096) and throws the
+//! identical workload at each, writing a `shard_scaling` table into the
+//! report alongside the baseline (first count) run's numbers.
 //!
 //! With `--metrics`, the run ends with a `/metrics` scrape and the report
 //! embeds the daemon's own stage-latency decomposition and overload
@@ -18,6 +25,7 @@
 //! assertion.
 
 use pqos_service::loadgen::{self, LoadgenConfig};
+use pqos_service::sweep::{shard_sweep, SweepConfig};
 use pqos_workload::synthetic::LogModel;
 use std::io::Write;
 use std::process::ExitCode;
@@ -41,6 +49,10 @@ const USAGE: &str = "usage: pqos-loadgen --addr HOST:PORT [options]
   --record PATH     capture every request/response this client sees as a
                     JSONL trace (client-side view; for replayable captures
                     record on the daemon with pqos-qosd --record)
+  --shards LIST     sweep mode: boot an in-process daemon per comma-separated
+                    engine shard count (e.g. 1,2,4) and table the scaling
+                    instead of targeting --addr
+  --cluster N       cluster size the sweep's daemons run with (default 4096)
 ";
 
 fn die(msg: &str) -> ExitCode {
@@ -54,6 +66,8 @@ fn main() -> ExitCode {
     let mut config = LoadgenConfig::default();
     let mut addr: Option<String> = None;
     let mut out: Option<String> = None;
+    let mut shard_counts: Option<Vec<u32>> = None;
+    let mut cluster_size: u32 = 4096;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -114,6 +128,21 @@ fn main() -> ExitCode {
                 Ok(())
             }
             "--out" => value("--out").map(|v| out = Some(v)),
+            "--shards" => value("--shards").and_then(|v| {
+                v.split(',')
+                    .map(|part| part.trim().parse::<u32>().ok().filter(|&n| n > 0))
+                    .collect::<Option<Vec<u32>>>()
+                    .filter(|counts| !counts.is_empty())
+                    .map(|counts| shard_counts = Some(counts))
+                    .ok_or_else(|| "--shards: need comma-separated positive counts".into())
+            }),
+            "--cluster" => value("--cluster").and_then(|v| {
+                v.parse()
+                    .ok()
+                    .filter(|&n: &u32| n > 0)
+                    .map(|n| cluster_size = n)
+                    .ok_or_else(|| "--cluster: not a count".into())
+            }),
             "--record" => value("--record").map(|v| config.record = Some(v)),
             "--metrics" => value("--metrics").map(|v| config.metrics_addr = Some(v)),
             "--baseline-rps" => value("--baseline-rps").and_then(|v| {
@@ -133,12 +162,24 @@ fn main() -> ExitCode {
             return die(&msg);
         }
     }
-    let Some(addr) = addr else {
-        return die("--addr is required");
+    let run_result = if let Some(counts) = shard_counts {
+        if counts.iter().any(|&n| n > cluster_size) {
+            return die("--shards: a shard count exceeds --cluster");
+        }
+        let sweep = SweepConfig {
+            shard_counts: counts,
+            cluster_size,
+            ..SweepConfig::default()
+        };
+        shard_sweep(&config, &sweep)
+    } else {
+        let Some(addr) = addr else {
+            return die("--addr is required (or use --shards for sweep mode)");
+        };
+        config.addr = addr;
+        loadgen::run(&config)
     };
-    config.addr = addr;
-
-    let report = match loadgen::run(&config) {
+    let report = match run_result {
         Ok(report) => report,
         Err(e) => {
             eprintln!("pqos-loadgen: {e}");

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! pqos-qosd [--addr HOST:PORT] [--metrics-addr HOST:PORT]
-//!           [--cluster-size N] [--journal PATH]
+//!           [--cluster-size N] [--shards N] [--journal PATH]
 //!           [--time-scale F] [--queue-depth N] [--batch-threads N]
 //!           [--timeout-ms N] [--no-verify-parity] [--parity-sample N]
 //!           [--synthetic-failures]
@@ -15,6 +15,14 @@
 //! protocol until a client sends `{"verb":"shutdown"}`. With `--journal`
 //! every served lifecycle is written as a telemetry journal that
 //! `pqos-doctor check` certifies clean.
+//!
+//! With `--shards N` the cluster is split into N contiguous node
+//! partitions, each owned by its own engine shard (single-writer book,
+//! predictor, journal); jobs wider than any shard go through the
+//! two-phase cross-shard coordinator. Each shard journals to
+//! `PATH.shardK` (the coordinator to `PATH.wide`) and the files are
+//! merged into `PATH` when the daemon drains, so `pqos-doctor check`
+//! and the promise audit read one clean journal either way.
 //!
 //! The observability plane rides along: `--metrics-addr` serves the
 //! metrics registry in Prometheus text format (`metrics on HOST:PORT` is
@@ -29,7 +37,8 @@ use pqos_failures::synthetic::AixLikeTrace;
 use pqos_predict::api::{NullPredictor, Predictor};
 use pqos_predict::oracle::TraceOracle;
 use pqos_service::engine::EngineConfig;
-use pqos_service::server::{serve, RecordConfig, ServerConfig, DEFAULT_FLIGHT_CAPACITY};
+use pqos_service::server::{serve_core, RecordConfig, ServerConfig, DEFAULT_FLIGHT_CAPACITY};
+use pqos_service::shard::{partition_spans, ShardedCore};
 use pqos_sim_core::time::SimDuration;
 use pqos_telemetry::reqtrace::{TraceMeta, TRACE_FORMAT_VERSION};
 use pqos_telemetry::Telemetry;
@@ -42,6 +51,9 @@ use std::time::Duration;
 const USAGE: &str = "usage: pqos-qosd [options]
   --addr HOST:PORT      bind address (default 127.0.0.1:0 = free port; scrape stdout)
   --cluster-size N      nodes in the served cluster (default 64)
+  --shards N            engine shards, each owning cluster/N nodes
+                        (default 1; shard K journals to PATH.shardK and
+                        the files merge into PATH on drain)
   --journal PATH        write the telemetry journal (JSONL) here
   --time-scale F        virtual seconds per wall second (default 1.0)
   --queue-depth N       engine queue capacity before `overloaded` (default 1024)
@@ -77,6 +89,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr = String::from("127.0.0.1:0");
     let mut cluster_size: u32 = 64;
+    let mut shards: u32 = 1;
     let mut journal: Option<String> = None;
     // Serving default: sample the batched-vs-serial parity re-check
     // 1-in-16. EngineConfig::default() keeps 1 (exhaustive) so tests,
@@ -107,6 +120,13 @@ fn main() -> ExitCode {
                 v.parse()
                     .map(|n| cluster_size = n)
                     .map_err(|_| "--cluster-size: not a node count".into())
+            }),
+            "--shards" => value("--shards").and_then(|v| {
+                v.parse()
+                    .ok()
+                    .filter(|n: &u32| *n > 0)
+                    .map(|n| shards = n)
+                    .ok_or_else(|| "--shards: need a positive count".into())
             }),
             "--journal" => value("--journal").map(|v| journal = Some(v)),
             "--time-scale" => value("--time-scale").and_then(|v| {
@@ -177,41 +197,115 @@ fn main() -> ExitCode {
     if cluster_size == 0 {
         return die("--cluster-size: need at least one node");
     }
-
-    // Telemetry is always enabled: the /metrics endpoint and the stage
-    // histograms need a live registry even when no journal is written.
-    // Without --journal there are no event sinks, so emits stay cheap.
-    let telemetry = match &journal {
-        None => Telemetry::builder().build(),
-        Some(path) => match Telemetry::builder().flush_every(1024).jsonl_path(path) {
-            Ok(builder) => builder.build(),
-            Err(e) => {
-                eprintln!("pqos-qosd: cannot open journal {path}: {e}");
-                return ExitCode::from(2);
-            }
-        },
-    };
-    let predictor: Box<dyn Predictor + Send + Sync> = if synthetic_failures {
-        let trace = Arc::new(
-            AixLikeTrace::new()
-                .days(365.0)
-                .seed(0xD5_2005)
-                .nodes(cluster_size)
-                .build(),
-        );
-        Box::new(TraceOracle::new(trace, 0.9).expect("accuracy in range"))
-    } else {
-        Box::new(NullPredictor)
-    };
-    // Flush the journal before unwinding on any panic: an incident
-    // capture that stops mid-event cannot be replayed or trusted.
-    pqos_telemetry::panichook::flush_on_panic(&telemetry);
-    let config = SimConfig::paper_defaults().cluster_size_nodes(cluster_size);
-    let mut session =
-        NegotiationSession::new(config, predictor, telemetry).verify_parity(engine.verify_parity);
-    if let Some(secs) = quote_horizon {
-        session = session.quote_horizon(SimDuration::from_secs(secs));
+    if shards > cluster_size {
+        return die("--shards: cannot exceed --cluster-size");
     }
+
+    // One predictor per engine plane. Shard K predicts over its own
+    // node span from a seed derived from its index, so shard planes
+    // stay deterministic and distinguishable; replay rebuilds the same
+    // predictors from the trace header. The wide-job coordinator (and
+    // the single plane) predicts over the full cluster.
+    let make_predictor = |seed: u64, nodes: u32| -> Box<dyn Predictor + Send + Sync> {
+        if synthetic_failures {
+            let trace = Arc::new(
+                AixLikeTrace::new()
+                    .days(365.0)
+                    .seed(seed)
+                    .nodes(nodes)
+                    .build(),
+            );
+            Box::new(TraceOracle::new(trace, 0.9).expect("accuracy in range"))
+        } else {
+            Box::new(NullPredictor)
+        }
+    };
+    let open_journal = |path: Option<&str>| -> Result<Telemetry, ExitCode> {
+        // Telemetry is always enabled: the /metrics endpoint and the
+        // stage histograms need a live registry even when no journal is
+        // written. Without a journal there are no event sinks, so emits
+        // stay cheap.
+        let telemetry = match path {
+            None => Telemetry::builder().build(),
+            Some(path) => match Telemetry::builder().flush_every(1024).jsonl_path(path) {
+                Ok(builder) => builder.build(),
+                Err(e) => {
+                    eprintln!("pqos-qosd: cannot open journal {path}: {e}");
+                    return Err(ExitCode::from(2));
+                }
+            },
+        };
+        // Flush the journal before unwinding on any panic: an incident
+        // capture that stops mid-event cannot be replayed or trusted.
+        pqos_telemetry::panichook::flush_on_panic(&telemetry);
+        Ok(telemetry)
+    };
+    let make_session = |nodes: u32, base: u32, seed: u64, telemetry: Telemetry| {
+        let config = SimConfig::paper_defaults().cluster_size_nodes(nodes);
+        NegotiationSession::new(config, make_predictor(seed, nodes), telemetry)
+            .verify_parity(engine.verify_parity)
+            .node_base(u64::from(base))
+    };
+    let shard_journals: Vec<(u32, Option<String>)> = partition_spans(cluster_size, shards)
+        .iter()
+        .enumerate()
+        .map(|(k, span)| {
+            (
+                span.width,
+                journal
+                    .as_ref()
+                    .filter(|_| shards > 1)
+                    .map(|p| format!("{p}.shard{k}")),
+            )
+        })
+        .collect();
+    let core = if shards == 1 {
+        let telemetry = match open_journal(journal.as_deref()) {
+            Ok(t) => t,
+            Err(code) => return code,
+        };
+        ShardedCore::single(make_session(cluster_size, 0, 0xD5_2005, telemetry))
+    } else {
+        let mut sessions = Vec::with_capacity(shards as usize);
+        let mut base = 0u32;
+        for (k, (width, path)) in shard_journals.iter().enumerate() {
+            let telemetry = match open_journal(path.as_deref()) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            sessions.push(make_session(*width, base, 0xD5_2005 ^ k as u64, telemetry));
+            base += width;
+        }
+        let wide_path = journal.as_ref().map(|p| format!("{p}.wide"));
+        let coordinator = match open_journal(wide_path.as_deref()) {
+            Ok(t) => t,
+            Err(code) => return code,
+        };
+        let core = ShardedCore::sharded(
+            sessions,
+            make_predictor(0xD5_2005, cluster_size),
+            coordinator,
+            Telemetry::builder().build(),
+        );
+        // Even a panicking daemon leaves the merged journal behind: the
+        // per-telemetry flush hooks above run first, then this stitches
+        // the flushed shard files together.
+        if let Some(path) = &journal {
+            let merge_into = path.clone();
+            let parts = shard_part_paths(path, shards);
+            pqos_telemetry::panichook::on_panic(move || {
+                let _ = merge_journal_files(&merge_into, &parts);
+            });
+        }
+        core
+    };
+    // On the core, not per session: the wide-job coordinator must refuse
+    // past-horizon starts exactly like every shard does, or a sharded
+    // record→replay stops being byte-identical.
+    let core = match quote_horizon {
+        Some(secs) => core.quote_horizon(SimDuration::from_secs(secs)),
+        None => core,
+    };
 
     let listener = match TcpListener::bind(&addr) {
         Ok(l) => l,
@@ -266,6 +360,7 @@ fn main() -> ExitCode {
             } else {
                 "null".into()
             },
+            shards: u64::from(shards),
         },
     });
     let config = ServerConfig {
@@ -276,11 +371,44 @@ fn main() -> ExitCode {
         metrics_dump: metrics_dump.map(Into::into),
         record,
     };
-    match serve(listener, session, config) {
+    let served = serve_core(listener, core, config);
+    if shards > 1 {
+        if let Some(path) = &journal {
+            if let Err(e) = merge_journal_files(path, &shard_part_paths(path, shards)) {
+                eprintln!("pqos-qosd: cannot merge shard journals into {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match served {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("pqos-qosd: {e}");
             ExitCode::FAILURE
         }
     }
+}
+
+/// The per-plane journal files behind `path`: one per shard plus the
+/// wide-job coordinator's.
+fn shard_part_paths(path: &str, shards: u32) -> Vec<String> {
+    let mut parts: Vec<String> = (0..shards).map(|k| format!("{path}.shard{k}")).collect();
+    parts.push(format!("{path}.wide"));
+    parts
+}
+
+/// Stitches the per-shard journals into one doctor-clean stream at
+/// `path`. Missing part files are skipped (a shard that never journaled
+/// an event writes nothing).
+fn merge_journal_files(path: &str, parts: &[String]) -> std::io::Result<()> {
+    let mut texts = Vec::new();
+    for part in parts {
+        match std::fs::read_to_string(part) {
+            Ok(text) => texts.push(text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+    std::fs::write(path, pqos_telemetry::merge::merge_journals_to_string(&refs))
 }

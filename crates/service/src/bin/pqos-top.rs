@@ -9,8 +9,11 @@
 //! between polls), per-verb p50/p99 latency (interpolated from the
 //! exported histogram buckets), engine queue depth, live jobs, session
 //! counters, the promise-calibration ledger (`pqos_promise_*`), and the
-//! overload rate. `--once` prints a single snapshot
-//! without clearing the screen — the mode CI and scripts use.
+//! overload rate. Against a daemon running `--shards N` a per-shard
+//! table (live jobs, quoted, occupied nodes, reservations, routed) is
+//! appended from the `shard="k"`-labeled gauge families. `--once`
+//! prints a single snapshot without clearing the screen — the mode CI
+//! and scripts use.
 //!
 //! No raw-terminal games: the repaint is ANSI clear-home
 //! (`ESC[2J ESC[H`), so any terminal (or `watch`-style pager) works, and
@@ -260,5 +263,66 @@ fn render_frame(
         gauge("pqos_engine_ticks") as u64,
         gauge("pqos_engine_timeouts") as u64,
     ));
+    out.push_str(&render_shards(samples));
     out
+}
+
+/// Per-shard panel, present only against multi-shard daemons — a
+/// single-plane core exports no `shard="k"` label families, and the
+/// panel collapses to nothing. The `wide` lane is the cross-shard
+/// coordinator: it routes wide jobs but owns no nodes of its own.
+fn render_shards(samples: &[Sample]) -> String {
+    let shards = shard_labels(samples);
+    if shards.is_empty() {
+        return String::new();
+    }
+    let cell = |name: &str, shard: &str| {
+        shard_value(samples, name, shard).map_or(String::from("-"), |v| format!("{v:.0}"))
+    };
+    let mut out = format!(
+        "\n{:<6} {:>8} {:>8} {:>10} {:>8} {:>8}\n",
+        "shard", "live", "quoted", "occupied", "resv", "routed"
+    );
+    for shard in &shards {
+        out.push_str(&format!(
+            "{shard:<6} {:>8} {:>8} {:>10} {:>8} {:>8}\n",
+            cell("pqos_engine_live_jobs", shard),
+            cell("pqos_engine_shard_quoted", shard),
+            cell("pqos_engine_shard_occupied_nodes", shard),
+            cell("pqos_engine_shard_reservations", shard),
+            cell("pqos_engine_shard_routed_total", shard),
+        ));
+    }
+    if let Some(wide) = shard_value(samples, "pqos_engine_shard_routed_total", "wide") {
+        out.push_str(&format!(
+            "{:<6} {:>8} {:>8} {:>10} {:>8} {:>8.0}\n",
+            "wide", "-", "-", "-", "-", wide
+        ));
+    }
+    out
+}
+
+/// The numeric `shard="k"` labels exported by the daemon, sorted by
+/// shard index (the non-numeric `wide` lane is handled separately).
+fn shard_labels(samples: &[Sample]) -> Vec<String> {
+    let mut labels: Vec<String> = samples
+        .iter()
+        .filter(|s| s.name == "pqos_engine_shard_quoted")
+        .filter_map(|s| {
+            s.labels
+                .iter()
+                .find(|(k, _)| k == "shard")
+                .map(|(_, v)| v.clone())
+        })
+        .collect();
+    labels.sort_by_key(|v| v.parse::<u64>().unwrap_or(u64::MAX));
+    labels.dedup();
+    labels
+}
+
+fn shard_value(samples: &[Sample], name: &str, shard: &str) -> Option<f64> {
+    samples
+        .iter()
+        .find(|s| s.name == name && s.labels.iter().any(|(k, v)| k == "shard" && v == shard))
+        .map(|s| s.value)
 }

@@ -32,6 +32,7 @@
 use crate::flight::{FlightRecorder, TraceCtx};
 use crate::protocol::{ErrorCode, Request, Response, StatusBody};
 use crate::record::TraceRecorder;
+use crate::shard::ShardedCore;
 use pqos_core::session::{AcceptError, CancelError, NegotiationSession, QuoteDecision};
 use pqos_core::session::{AdmissionRequest, SessionStatus};
 use pqos_predict::api::Predictor;
@@ -44,10 +45,74 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// What travels back to a connection's writer thread: the response plus
-/// the request's trace (marked `write` and finished once the bytes are
-/// flushed to the socket).
-pub type ReplySender = Sender<(Response, Option<TraceCtx>)>;
+/// Where a reply travels once the engine has it: either a plain channel
+/// (in-process callers — tests, replay, benches) or the net event
+/// loop's completion lane, which tags the reply with its connection
+/// token and wakes the loop to relay it onto the socket. Either way the
+/// request's trace rides along, to be marked `write` and finished once
+/// the bytes hit the wire.
+#[derive(Clone)]
+pub struct ReplySender {
+    lane: ReplyLane,
+}
+
+#[derive(Clone)]
+enum ReplyLane {
+    Channel(Sender<(Response, Option<TraceCtx>)>),
+    Net {
+        tx: Sender<(pqos_net::Token, Response, Option<TraceCtx>)>,
+        token: pqos_net::Token,
+        waker: pqos_net::Waker,
+    },
+}
+
+impl ReplySender {
+    /// An in-process reply lane: the receiver sees `(response, trace)`
+    /// pairs in engine order.
+    pub fn channel() -> (ReplySender, Receiver<(Response, Option<TraceCtx>)>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (
+            ReplySender {
+                lane: ReplyLane::Channel(tx),
+            },
+            rx,
+        )
+    }
+
+    /// The net server's lane: replies land on the shared completions
+    /// queue tagged with `token`, and `waker` interrupts the event
+    /// loop's sleep so it relays them promptly.
+    pub(crate) fn net(
+        tx: Sender<(pqos_net::Token, Response, Option<TraceCtx>)>,
+        token: pqos_net::Token,
+        waker: pqos_net::Waker,
+    ) -> ReplySender {
+        ReplySender {
+            lane: ReplyLane::Net { tx, token, waker },
+        }
+    }
+
+    /// Sends the reply. A gone receiver hands the payload back so the
+    /// caller can abandon the trace instead of leaking it.
+    #[allow(clippy::result_large_err)] // consumed immediately by the caller
+    pub fn send(
+        &self,
+        response: Response,
+        trace: Option<TraceCtx>,
+    ) -> Result<(), (Response, Option<TraceCtx>)> {
+        match &self.lane {
+            ReplyLane::Channel(tx) => tx.send((response, trace)).map_err(|e| e.0),
+            ReplyLane::Net { tx, token, waker } => {
+                let sent = tx.send((*token, response, trace)).map_err(|e| {
+                    let (_, response, trace) = e.0;
+                    (response, trace)
+                });
+                waker.wake();
+                sent
+            }
+        }
+    }
+}
 
 /// Tuning for the engine thread.
 #[derive(Debug, Clone)]
@@ -220,10 +285,26 @@ pub fn spawn<P>(
 where
     P: Predictor + Send + Sync + 'static,
 {
+    spawn_core(ShardedCore::single(session), config, recorder, trace)
+}
+
+/// Starts the engine thread around a (possibly sharded) admission core.
+/// The classic [`spawn`] is this with a single-plane core; `pqos-qosd
+/// --shards N` builds an N-way core and comes in here directly. The
+/// engine loop is identical either way — the core hides the routing.
+pub fn spawn_core<P>(
+    core: ShardedCore<P>,
+    config: EngineConfig,
+    recorder: FlightRecorder,
+    trace: TraceRecorder,
+) -> (EngineHandle, JoinHandle<()>)
+where
+    P: Predictor + Send + Sync + 'static,
+{
     // The sampling cadence is engine policy, not session construction:
     // apply it here so every spawn path (daemon, tests, benches) gets
     // exactly what its EngineConfig says.
-    let session = session.parity_sample(config.parity_sample);
+    let core = core.parity_sample(config.parity_sample);
     let (tx, rx) = std::sync::mpsc::sync_channel(config.queue_depth.max(1));
     let shared = Arc::new(EngineShared {
         draining: AtomicBool::new(false),
@@ -234,25 +315,25 @@ where
     let handle = EngineHandle {
         tx,
         shared: Arc::clone(&shared),
-        telemetry: session.telemetry().clone(),
+        telemetry: core.telemetry().clone(),
     };
     let join = std::thread::Builder::new()
         .name("pqos-engine".into())
-        .spawn(move || run(session, config, rx, shared, recorder, trace))
+        .spawn(move || run(core, config, rx, shared, recorder, trace))
         .expect("spawn engine thread");
     (handle, join)
 }
 
 fn run<P: Predictor + Sync>(
-    mut session: NegotiationSession<P>,
+    mut core: ShardedCore<P>,
     config: EngineConfig,
     rx: Receiver<EngineRequest>,
     shared: Arc<EngineShared>,
     recorder: FlightRecorder,
     trace_rec: TraceRecorder,
 ) {
-    let session = &mut session;
-    let telemetry = session.telemetry().clone();
+    let core = &mut core;
+    let telemetry = core.telemetry().clone();
     let tick_ns = telemetry.histogram("engine.tick_ns");
     let batch_size = telemetry.histogram("engine.batch_size");
     let ticks = telemetry.counter("engine.ticks");
@@ -320,7 +401,7 @@ fn run<P: Predictor + Sync>(
             }
         }
         let virtual_now = (epoch.elapsed().as_secs_f64() * config.time_scale) as u64;
-        session.advance_to(SimTime::from_secs(virtual_now));
+        core.advance_to(SimTime::from_secs(virtual_now));
         epoch_no += 1;
 
         let mut live = Vec::with_capacity(tick.len());
@@ -383,7 +464,7 @@ fn run<P: Predictor + Sync>(
                     t.mark("batch");
                 }
             }
-            let decisions = session.quote_batch(&batch, config.batch_threads);
+            let decisions = core.quote_batch(&batch, config.batch_threads);
             for ((&k, (job, _)), decision) in quote_idx.iter().zip(&batch).zip(decisions) {
                 let item = &mut live[k];
                 let response = quote_response(item.request.id(), job.as_u64(), decision);
@@ -409,15 +490,17 @@ fn run<P: Predictor + Sync>(
             let id = item.request.id();
             let response = match item.request {
                 Request::Negotiate { .. } => continue, // answered in pass 1
-                Request::Accept { job, .. } => accept_response(session, id, job),
-                Request::Cancel { job, .. } => cancel_response(session, id, job),
+                Request::Accept { job, .. } => accept_response(core, id, job),
+                Request::Cancel { job, .. } => cancel_response(core, id, job),
                 Request::Status { .. } => Response::Status {
                     id,
                     body: status_body(
-                        &session.status(),
+                        &core.status(),
                         &shared,
-                        session.live_jobs() as u64,
-                        session.telemetry().sink_health(),
+                        core.live_jobs() as u64,
+                        core.sink_health(),
+                        core.shard_count() as u64,
+                        core.routed_last().to_vec(),
                     ),
                 },
                 Request::Dump { .. } => Response::Dump {
@@ -464,25 +547,27 @@ fn run<P: Predictor + Sync>(
         ticks.inc();
         tick_timer.stop();
         queue_gauge.set(shared.queue_len.load(Ordering::Relaxed).max(0));
-        live_jobs_gauge.set(session.live_jobs() as i64);
+        live_jobs_gauge.set(core.live_jobs() as i64);
         overloaded_gauge.set(shared.overloaded.load(Ordering::Relaxed) as i64);
         uptime_gauge.set(epoch.elapsed().as_secs() as i64);
-        let cache = session.quote_cache_stats();
+        let cache = core.quote_cache_stats();
         cache_hits_gauge.set(cache.hits as i64);
         cache_misses_gauge.set(cache.misses as i64);
         cache_rebuilds_gauge.set(cache.profile_rebuilds as i64);
         cache_invalidated_gauge.set(cache.entries_invalidated as i64);
-        set_promise_gauges(session.promise_stats());
+        set_promise_gauges(core.promise_stats());
+        set_shard_gauges(&telemetry, core);
         if last_flush.elapsed() >= FLUSH_EVERY {
-            session.flush();
+            core.flush();
             last_flush = Instant::now();
         }
     }
     uptime_gauge.set(epoch.elapsed().as_secs() as i64);
     // Shutdown breaks out before the tick-end gauge block; publish the
     // final promise tallies so the post-drain snapshot reconciles.
-    set_promise_gauges(session.promise_stats());
-    session.flush();
+    set_promise_gauges(core.promise_stats());
+    set_shard_gauges(&telemetry, core);
+    core.flush();
     trace_rec.flush();
 }
 
@@ -490,12 +575,10 @@ fn run<P: Predictor + Sync>(
 /// disconnect, not an engine error. The trace travels with the response
 /// so the writer thread can mark the `write` stage and finish it.
 fn respond(reply: &ReplySender, response: Response, trace: Option<TraceCtx>) {
-    if let Err(returned) = reply.send((response, trace)) {
+    if let Err((_, Some(t))) = reply.send(response, trace) {
         // Receiver gone: nobody will write the reply or finish the trace,
         // so drop it from the in-flight table instead of leaking it.
-        if let Some(t) = returned.0 .1 {
-            t.abandon();
-        }
+        t.abandon();
     }
 }
 
@@ -553,20 +636,72 @@ pub(crate) fn cancel_outcome_response(id: u64, outcome: &Result<(), CancelError>
     }
 }
 
-fn accept_response<P: Predictor + Sync>(
-    session: &mut NegotiationSession<P>,
-    id: u64,
-    job: u64,
-) -> Response {
-    accept_outcome_response(id, &session.accept(JobId::new(job)))
+fn accept_response<P: Predictor + Sync>(core: &mut ShardedCore<P>, id: u64, job: u64) -> Response {
+    accept_outcome_response(id, &core.accept(JobId::new(job)))
 }
 
-fn cancel_response<P: Predictor + Sync>(
-    session: &mut NegotiationSession<P>,
-    id: u64,
-    job: u64,
-) -> Response {
-    cancel_outcome_response(id, &session.cancel(JobId::new(job)))
+fn cancel_response<P: Predictor + Sync>(core: &mut ShardedCore<P>, id: u64, job: u64) -> Response {
+    cancel_outcome_response(id, &core.cancel(JobId::new(job)))
+}
+
+/// Publishes per-shard gauges (`shard="k"` labels on the engine, queue
+/// and quote-cache families) on multi-shard cores. The final label lane
+/// in `engine.shard_routed_total` is the cross-shard coordinator. A
+/// single-plane core publishes nothing — the unlabeled gauges already
+/// tell the whole story.
+fn set_shard_gauges<P: Predictor + Sync>(telemetry: &Telemetry, core: &ShardedCore<P>) {
+    if core.shard_count() <= 1 {
+        return;
+    }
+    let statuses = core.shard_statuses();
+    let caches = core.shard_cache_stats();
+    let routed = core.routed_total();
+    for (k, status) in statuses.iter().enumerate() {
+        let shard = k.to_string();
+        let labels = [("shard", shard.as_str())];
+        let set = |name: &str, v: i64| {
+            telemetry
+                .gauge(&pqos_telemetry::labeled(name, &labels))
+                .set(v);
+        };
+        set(
+            "engine.live_jobs",
+            status.stats.accepted as i64 + status.stats.started as i64
+                - status.stats.completed as i64
+                - status.stats.cancelled as i64,
+        );
+        set("engine.shard_quoted", status.stats.quoted as i64);
+        set(
+            "engine.shard_occupied_nodes",
+            i64::from(status.occupied_nodes),
+        );
+        set("engine.shard_reservations", status.reservations as i64);
+        if let Some(cache) = caches.get(k) {
+            set("quote_cache.hits", cache.hits as i64);
+            set("quote_cache.misses", cache.misses as i64);
+            set(
+                "quote_cache.profile_rebuilds",
+                cache.profile_rebuilds as i64,
+            );
+            set(
+                "quote_cache.entries_invalidated",
+                cache.entries_invalidated as i64,
+            );
+        }
+    }
+    for (k, &n) in routed.iter().enumerate() {
+        let lane = if k == routed.len() - 1 {
+            "wide".to_string()
+        } else {
+            k.to_string()
+        };
+        telemetry
+            .gauge(&pqos_telemetry::labeled(
+                "engine.shard_routed_total",
+                &[("shard", lane.as_str())],
+            ))
+            .set(n as i64);
+    }
 }
 
 fn status_body(
@@ -574,6 +709,8 @@ fn status_body(
     shared: &EngineShared,
     live_jobs: u64,
     journal: SinkHealth,
+    shards: u64,
+    shard_queue: Vec<u64>,
 ) -> StatusBody {
     StatusBody {
         now_secs: status.now.as_secs(),
@@ -602,6 +739,8 @@ fn status_body(
         journal_events_written: journal.events_written,
         journal_ring_dropped: journal.ring_dropped,
         journal_write_errors: journal.write_errors,
+        shards,
+        shard_queue,
     }
 }
 
@@ -628,7 +767,7 @@ mod tests {
     }
 
     fn ask(handle: &EngineHandle, request: Request) -> Response {
-        let (tx, rx) = std::sync::mpsc::channel();
+        let (tx, rx) = ReplySender::channel();
         handle
             .submit(request, &tx, None, 0)
             .expect("engine accepts");
@@ -665,7 +804,7 @@ mod tests {
         );
         join.join().unwrap();
         // Post-drain submissions are refused, not queued.
-        let (tx, _rx) = std::sync::mpsc::channel();
+        let (tx, _rx) = ReplySender::channel();
         let (refused, _) = handle
             .submit(Request::Status { id: 5 }, &tx, None, 0)
             .unwrap_err();
@@ -692,7 +831,7 @@ mod tests {
             }),
             telemetry: Telemetry::disabled(),
         };
-        let (reply, _) = std::sync::mpsc::channel();
+        let (reply, _rx) = ReplySender::channel();
         assert!(handle
             .submit(Request::Status { id: 1 }, &reply, None, 0)
             .is_ok());
@@ -715,7 +854,7 @@ mod tests {
     #[test]
     fn pipelined_negotiates_coalesce_and_stay_consistent() {
         let (handle, join) = engine(32, EngineConfig::default());
-        let (reply, rx) = std::sync::mpsc::channel();
+        let (reply, rx) = ReplySender::channel();
         for k in 0..20u64 {
             handle
                 .submit(
@@ -796,7 +935,7 @@ mod tests {
             recorder.clone(),
             TraceRecorder::disabled(),
         );
-        let (tx, rx) = std::sync::mpsc::channel();
+        let (tx, rx) = ReplySender::channel();
 
         // A traced negotiate: reader role (begin + parse mark) here,
         // writer role (write mark + finish) after the reply arrives.

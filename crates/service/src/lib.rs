@@ -57,6 +57,8 @@ pub mod record;
 pub mod replay;
 pub mod scrape;
 pub mod server;
+pub mod shard;
+pub mod sweep;
 
 pub use engine::{EngineConfig, EngineHandle};
 pub use flight::{FlightRecorder, TraceCtx};
@@ -65,3 +67,4 @@ pub use protocol::{ErrorCode, Request, Response};
 pub use record::{SharedBuf, TraceRecorder};
 pub use replay::{replay, ReplayOptions, ReplayReport};
 pub use server::{serve, RecordConfig, ServerConfig};
+pub use shard::{partition_spans, MergedAvailabilityView, ShardSpan, ShardedCore};

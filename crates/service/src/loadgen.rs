@@ -214,6 +214,23 @@ pub struct LoadgenReport {
     pub server: Option<ServerMetrics>,
     /// Reference throughput (tracing off) this run is compared against.
     pub baseline_rps: Option<f64>,
+    /// Shard-scaling sweep rows (`--shards` mode): one per engine shard
+    /// count tried, in sweep order. Empty for a plain single-daemon run.
+    pub shard_scaling: Vec<ShardScalingRow>,
+}
+
+/// One measured point of a shard-scaling sweep: the same workload thrown
+/// at a fresh in-process daemon running with `shards` engine shards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardScalingRow {
+    /// Engine shards the daemon ran with.
+    pub shards: u32,
+    /// Terminal negotiate outcomes per wall second.
+    pub throughput_rps: f64,
+    /// 99th percentile quote latency, microseconds.
+    pub p99_latency_us: u64,
+    /// Throughput relative to the sweep's first (baseline) point.
+    pub speedup: f64,
 }
 
 impl LoadgenReport {
@@ -240,7 +257,8 @@ impl LoadgenReport {
                 "  \"parity_sample\": {},\n",
                 "  \"promises\": {{ \"made\": {}, \"kept\": {}, \"broken\": {}, \"worst_residual_milli\": {} }},\n",
                 "  \"server\": {},\n",
-                "  \"tracing_overhead\": {}\n",
+                "  \"tracing_overhead\": {},\n",
+                "  \"shard_scaling\": {}\n",
                 "}}\n"
             ),
             self.threads,
@@ -266,7 +284,25 @@ impl LoadgenReport {
             self.worst_residual_milli,
             self.server_json(),
             self.overhead_json(),
+            self.shard_scaling_json(),
         )
+    }
+
+    fn shard_scaling_json(&self) -> String {
+        if self.shard_scaling.is_empty() {
+            return String::from("null");
+        }
+        let rows: Vec<String> = self
+            .shard_scaling
+            .iter()
+            .map(|row| {
+                format!(
+                    "{{ \"shards\": {}, \"throughput_rps\": {:.1}, \"p99_latency_us\": {}, \"speedup\": {:.2} }}",
+                    row.shards, row.throughput_rps, row.p99_latency_us, row.speedup,
+                )
+            })
+            .collect();
+        format!("[ {} ]", rows.join(", "))
     }
 
     fn server_json(&self) -> String {
@@ -307,6 +343,23 @@ impl LoadgenReport {
     /// server-side scrape is present).
     pub fn render(&self) -> String {
         let mut out = self.render_client();
+        if !self.shard_scaling.is_empty() {
+            let rows: Vec<String> = self
+                .shard_scaling
+                .iter()
+                .map(|row| {
+                    format!(
+                        "{} shard{}: {:.0} req/s p99 {}us ({:.2}x)",
+                        row.shards,
+                        if row.shards == 1 { "" } else { "s" },
+                        row.throughput_rps,
+                        row.p99_latency_us,
+                        row.speedup,
+                    )
+                })
+                .collect();
+            out.push_str(&format!("\nshard scaling: {}", rows.join(" | ")));
+        }
         if let Some(server) = &self.server {
             let stages: Vec<String> = server
                 .stages_us
@@ -437,6 +490,7 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
                 batch_threads: 0,
                 quote_horizon_secs: None,
                 predictor: "unknown".into(),
+                shards: 1,
             },
         )?,
         None => TraceRecorder::disabled(),
@@ -487,8 +541,9 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         Some(Response::Status { body, .. }) => Some(body),
         _ => None,
     };
-    let (parity_checked, parity_violations) =
-        final_body.map_or((0, 0), |b| (b.parity_checked, b.parity_violations));
+    let (parity_checked, parity_violations) = final_body
+        .as_ref()
+        .map_or((0, 0), |b| (b.parity_checked, b.parity_violations));
     // Scrape while the daemon is still up; a failed scrape degrades to a
     // report without server-side numbers, not a failed run.
     let server = config.metrics_addr.as_deref().and_then(|addr| {
@@ -522,13 +577,14 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         p99_latency_us: percentile(0.99),
         parity_checked,
         parity_violations,
-        parity_sample: final_body.map_or(1, |b| b.parity_sample),
-        promises_made: final_body.map_or(0, |b| b.promises_made),
-        promises_kept: final_body.map_or(0, |b| b.promises_kept),
-        promises_broken: final_body.map_or(0, |b| b.promises_broken),
-        worst_residual_milli: final_body.map_or(0, |b| b.worst_residual_milli),
+        parity_sample: final_body.as_ref().map_or(1, |b| b.parity_sample),
+        promises_made: final_body.as_ref().map_or(0, |b| b.promises_made),
+        promises_kept: final_body.as_ref().map_or(0, |b| b.promises_kept),
+        promises_broken: final_body.as_ref().map_or(0, |b| b.promises_broken),
+        worst_residual_milli: final_body.as_ref().map_or(0, |b| b.worst_residual_milli),
         server,
         baseline_rps: config.baseline_rps,
+        shard_scaling: Vec::new(),
     })
 }
 

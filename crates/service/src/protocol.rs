@@ -262,7 +262,7 @@ impl Request {
 }
 
 /// Counters and occupancy in a `status` reply.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct StatusBody {
     /// Virtual time in seconds.
     pub now_secs: u64,
@@ -321,6 +321,14 @@ pub struct StatusBody {
     pub journal_ring_dropped: u64,
     /// Journal events lost to sink I/O errors.
     pub journal_write_errors: u64,
+    /// Engine shards serving this daemon (1 = the classic single-writer
+    /// plane).
+    pub shards: u64,
+    /// Requests routed to each lane in the most recent quote batch:
+    /// one entry per shard, plus a final entry for the cross-shard
+    /// (wide-job) coordinator when `shards > 1`. Empty on single-shard
+    /// daemons.
+    pub shard_queue: Vec<u64>,
 }
 
 /// A server response.
@@ -439,7 +447,9 @@ impl Response {
                     .u64("promises_kept", body.promises_kept)
                     .u64("promises_broken", body.promises_broken)
                     .u64("promises_cancelled", body.promises_cancelled)
-                    .i64("worst_residual_milli", body.worst_residual_milli);
+                    .i64("worst_residual_milli", body.worst_residual_milli)
+                    .u64("shards", body.shards)
+                    .arr_u64("shard_queue", &body.shard_queue);
             }
             Response::Dump { id, trace } => {
                 w.u64("id", *id).bool("ok", true).str("trace", trace);
@@ -523,6 +533,13 @@ impl Response {
                         .get("worst_residual_milli")
                         .and_then(Json::as_i64)
                         .unwrap_or(0),
+                    // A daemon predating sharding ran one engine plane.
+                    shards: u("shards").unwrap_or(1),
+                    shard_queue: v
+                        .get("shard_queue")
+                        .and_then(Json::as_arr)
+                        .map(|a| a.iter().filter_map(Json::as_u64).collect())
+                        .unwrap_or_default(),
                 },
             });
         }
@@ -595,6 +612,8 @@ mod tests {
                     journal_events_written: 90,
                     journal_ring_dropped: 1,
                     journal_write_errors: 0,
+                    shards: 4,
+                    shard_queue: vec![12, 9, 11, 8, 2],
                 },
             },
             Response::Dump {
@@ -659,6 +678,9 @@ mod tests {
         assert_eq!(body.promises_broken, 0);
         assert_eq!(body.promises_cancelled, 0);
         assert_eq!(body.worst_residual_milli, 0);
+        // Pre-sharding daemons ran one engine plane.
+        assert_eq!(body.shards, 1);
+        assert!(body.shard_queue.is_empty());
     }
 
     #[test]

@@ -181,6 +181,7 @@ mod tests {
             batch_threads: 1,
             quote_horizon_secs: None,
             predictor: "null".into(),
+            shards: 1,
         }
     }
 

@@ -23,6 +23,7 @@
 use crate::engine;
 use crate::protocol::{ErrorCode, Request, Response};
 use crate::record::SharedBuf;
+use crate::shard::{partition_spans, ShardedCore};
 use pqos_core::config::SimConfig;
 use pqos_core::session::{AdmissionRequest, NegotiationSession, SessionOp, SessionOpOutcome};
 use pqos_failures::synthetic::AixLikeTrace;
@@ -179,39 +180,93 @@ pub fn replay_with(
             meta.source
         )));
     }
-    let predictor: Box<dyn Predictor + Send + Sync> = match meta.predictor.as_str() {
-        "null" => Box::new(NullPredictor),
-        // Mirrors pqos-qosd --synthetic-failures exactly; same seed, same
-        // trace, same oracle accuracy.
-        "synthetic-aix" => {
-            let failure_trace = Arc::new(
-                AixLikeTrace::new()
-                    .days(365.0)
-                    .seed(0xD5_2005)
-                    .nodes(meta.cluster_size)
-                    .build(),
-            );
-            Box::new(TraceOracle::new(failure_trace, 0.9).expect("accuracy in range"))
-        }
-        other => {
-            return Err(ReplayError::Unsupported(format!(
-                "unknown predictor {other:?} (this build knows \"null\" and \"synthetic-aix\")"
-            )));
-        }
+    // Mirrors pqos-qosd's predictor construction exactly: same seeds,
+    // same traces, same oracle accuracy — per shard and for the wide-job
+    // coordinator.
+    let make_predictor =
+        |seed: u64, nodes: u32| -> Result<Box<dyn Predictor + Send + Sync>, ReplayError> {
+            match meta.predictor.as_str() {
+                "null" => Ok(Box::new(NullPredictor)),
+                "synthetic-aix" => {
+                    let failure_trace = Arc::new(
+                        AixLikeTrace::new()
+                            .days(365.0)
+                            .seed(seed)
+                            .nodes(nodes)
+                            .build(),
+                    );
+                    Ok(Box::new(
+                        TraceOracle::new(failure_trace, 0.9).expect("accuracy in range"),
+                    ))
+                }
+                other => Err(ReplayError::Unsupported(format!(
+                    "unknown predictor {other:?} (this build knows \"null\" and \"synthetic-aix\")"
+                ))),
+            }
+        };
+    let shards = meta.shards.max(1) as u32;
+    if shards > meta.cluster_size {
+        return Err(ReplayError::Unsupported(format!(
+            "trace claims {shards} shards over {} nodes — a shard must own at least one node",
+            meta.cluster_size
+        )));
+    }
+    let make_session = |nodes: u32,
+                        base: u32,
+                        seed: u64|
+     -> Result<
+        (
+            NegotiationSession<Box<dyn Predictor + Send + Sync>>,
+            SharedBuf,
+        ),
+        ReplayError,
+    > {
+        let buf = SharedBuf::new();
+        let telemetry = Telemetry::builder()
+            .flush_every(0)
+            .jsonl_writer(buf.clone())
+            .build();
+        let session = NegotiationSession::new(
+            SimConfig::paper_defaults().cluster_size_nodes(nodes),
+            make_predictor(seed, nodes)?,
+            telemetry,
+        )
+        .verify_parity(false)
+        .node_base(u64::from(base));
+        Ok((session, buf))
     };
-    let journal_buf = SharedBuf::new();
-    let telemetry = Telemetry::builder()
-        .flush_every(0)
-        .jsonl_writer(journal_buf.clone())
-        .build();
-    let mut session = NegotiationSession::new(
-        SimConfig::paper_defaults().cluster_size_nodes(meta.cluster_size),
-        predictor,
-        telemetry.clone(),
-    )
-    .verify_parity(false);
+    // Per-plane journal buffers, in the same order qosd merges its
+    // per-plane journal files (shard 0..N-1, then the coordinator).
+    let mut journal_bufs: Vec<SharedBuf> = Vec::new();
+    let mut core = if shards == 1 {
+        let (session, buf) = make_session(meta.cluster_size, 0, 0xD5_2005)?;
+        journal_bufs.push(buf);
+        ShardedCore::single(session)
+    } else {
+        let mut sessions = Vec::with_capacity(shards as usize);
+        for (k, span) in partition_spans(meta.cluster_size, shards)
+            .iter()
+            .enumerate()
+        {
+            let (session, buf) = make_session(span.width, span.base, 0xD5_2005 ^ k as u64)?;
+            journal_bufs.push(buf);
+            sessions.push(session);
+        }
+        let wide_buf = SharedBuf::new();
+        let coordinator = Telemetry::builder()
+            .flush_every(0)
+            .jsonl_writer(wide_buf.clone())
+            .build();
+        journal_bufs.push(wide_buf);
+        ShardedCore::sharded(
+            sessions,
+            make_predictor(0xD5_2005, meta.cluster_size)?,
+            coordinator,
+            Telemetry::disabled(),
+        )
+    };
     if let Some(secs) = meta.quote_horizon_secs {
-        session = session.quote_horizon(SimDuration::from_secs(secs));
+        core = core.quote_horizon(SimDuration::from_secs(secs));
     }
     let threads = if opts.threads > 0 {
         opts.threads
@@ -245,7 +300,7 @@ pub fn replay_with(
         }
         let entries = &trace.entries[idx..end];
         let tick = entries[0].tick_secs;
-        session.apply(&SessionOp::AdvanceTo(SimTime::from_secs(tick)), threads);
+        core.apply(&SessionOp::AdvanceTo(SimTime::from_secs(tick)), threads);
 
         // Parse payloads and split out recorded queue-timeouts up front.
         let mut parsed = Vec::with_capacity(entries.len());
@@ -305,7 +360,7 @@ pub fn replay_with(
         }
         if !batch.is_empty() {
             let SessionOpOutcome::Quotes(decisions) =
-                session.apply(&SessionOp::QuoteBatch(batch.clone()), threads)
+                core.apply(&SessionOp::QuoteBatch(batch.clone()), threads)
             else {
                 unreachable!("QuoteBatch yields Quotes");
             };
@@ -327,7 +382,7 @@ pub fn replay_with(
                 Request::Negotiate { .. } => continue, // replayed in pass 1
                 Request::Accept { job, .. } => {
                     let SessionOpOutcome::Accepted(outcome) =
-                        session.apply(&SessionOp::Accept(JobId::new(*job)), threads)
+                        core.apply(&SessionOp::Accept(JobId::new(*job)), threads)
                     else {
                         unreachable!("Accept yields Accepted");
                     };
@@ -335,7 +390,7 @@ pub fn replay_with(
                 }
                 Request::Cancel { job, .. } => {
                     let SessionOpOutcome::Cancelled(outcome) =
-                        session.apply(&SessionOp::Cancel(JobId::new(*job)), threads)
+                        core.apply(&SessionOp::Cancel(JobId::new(*job)), threads)
                     else {
                         unreachable!("Cancel yields Cancelled");
                     };
@@ -360,7 +415,7 @@ pub fn replay_with(
                         epoch,
                         tick_secs: tick,
                         entries: entries.len(),
-                        live_jobs: session.live_jobs(),
+                        live_jobs: core.live_jobs(),
                         mismatches: report.mismatches.len(),
                     });
                     break 'epochs;
@@ -374,14 +429,23 @@ pub fn replay_with(
             epoch,
             tick_secs: tick,
             entries: entries.len(),
-            live_jobs: session.live_jobs(),
+            live_jobs: core.live_jobs(),
             mismatches: report.mismatches.len(),
         });
         idx = end;
     }
 
-    session.flush();
-    report.journal = journal_buf.take_string();
+    core.flush();
+    // One plane: its buffer IS the journal. Sharded: merge the per-plane
+    // buffers exactly as qosd merges its per-plane files, so the replayed
+    // journal is byte-comparable against the daemon's merged one.
+    let texts: Vec<String> = journal_bufs.iter().map(SharedBuf::take_string).collect();
+    report.journal = if texts.len() == 1 {
+        texts.into_iter().next().unwrap_or_default()
+    } else {
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        pqos_telemetry::merge::merge_journals_to_string(&refs)
+    };
     report.elapsed = started.elapsed();
     Ok(report)
 }
@@ -413,7 +477,7 @@ fn check_parity(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{self as eng, EngineConfig};
+    use crate::engine::{self as eng, EngineConfig, ReplySender};
     use crate::flight::FlightRecorder;
     use crate::record::TraceRecorder;
     use std::time::Duration as StdDuration;
@@ -432,6 +496,7 @@ mod tests {
             batch_threads: 2,
             quote_horizon_secs: None,
             predictor: "null".into(),
+            shards: 1,
         };
         let telemetry = Telemetry::builder()
             .flush_every(0)
@@ -449,7 +514,7 @@ mod tests {
         };
         let recorder = TraceRecorder::to_writer(trace_buf.clone(), &meta).unwrap();
         let (handle, join) = eng::spawn(session, config, FlightRecorder::disabled(), recorder);
-        let (reply, rx) = std::sync::mpsc::channel();
+        let (reply, rx) = ReplySender::channel();
         let ask = |request: Request| {
             handle.submit(request, &reply, None, 1).expect("accepts");
             rx.recv_timeout(StdDuration::from_secs(5)).expect("reply").0
@@ -541,6 +606,7 @@ mod tests {
             batch_threads: 1,
             quote_horizon_secs: None,
             predictor: "null".into(),
+            shards: 1,
         };
         let telemetry = Telemetry::builder()
             .flush_every(0)
@@ -560,7 +626,7 @@ mod tests {
         };
         let recorder = TraceRecorder::to_writer(trace_buf.clone(), &meta).unwrap();
         let (handle, join) = eng::spawn(session, config, FlightRecorder::disabled(), recorder);
-        let (reply, rx) = std::sync::mpsc::channel::<(Response, Option<crate::flight::TraceCtx>)>();
+        let (reply, rx) = ReplySender::channel();
         let recv = || rx.recv_timeout(StdDuration::from_secs(5)).expect("reply").0;
         let ask = |request: Request| {
             handle.submit(request, &reply, None, 1).expect("accepts");
@@ -676,6 +742,7 @@ mod tests {
             batch_threads: 1,
             quote_horizon_secs: None,
             predictor: "null".into(),
+            shards: 1,
         };
         let trace = RequestTrace {
             meta: meta.clone(),
@@ -705,6 +772,7 @@ mod tests {
             batch_threads: 1,
             quote_horizon_secs: None,
             predictor: "null".into(),
+            shards: 1,
         };
         let entry = |seq, epoch, tick, job: u64| TraceEntry {
             seq,
@@ -737,5 +805,141 @@ mod tests {
         assert_eq!(report.epochs_replayed, 2);
         assert_eq!(report.entries_replayed, 2);
         assert_eq!(report.responses.len(), 2);
+    }
+
+    /// The sharded mirror of `record_then_replay_round_trips`: a 4-shard
+    /// engine run (narrow jobs routed by probe, one wide job through the
+    /// two-phase coordinator) is recorded, then replayed through a
+    /// freshly partitioned core. Parity must hold response-by-response
+    /// and the replayed merged journal must be byte-identical to the
+    /// merge of the live run's per-plane journals.
+    #[test]
+    fn sharded_record_then_replay_round_trips() {
+        use crate::shard::{partition_spans, ShardedCore};
+
+        let trace_buf = SharedBuf::new();
+        let meta = pqos_telemetry::reqtrace::TraceMeta {
+            version: pqos_telemetry::reqtrace::TRACE_FORMAT_VERSION,
+            source: "qosd".into(),
+            cluster_size: 16,
+            time_scale: 2000.0,
+            batch_threads: 2,
+            quote_horizon_secs: None,
+            predictor: "null".into(),
+            shards: 4,
+        };
+        // Build the live core exactly the way pqos-qosd --shards 4 does,
+        // except each plane journals to a buffer instead of a file.
+        let mut plane_bufs = Vec::new();
+        let mut sessions = Vec::new();
+        for span in partition_spans(16, 4) {
+            let buf = SharedBuf::new();
+            let telemetry = Telemetry::builder()
+                .flush_every(0)
+                .jsonl_writer(buf.clone())
+                .build();
+            plane_bufs.push(buf);
+            sessions.push(
+                NegotiationSession::new(
+                    SimConfig::paper_defaults().cluster_size_nodes(span.width),
+                    NullPredictor,
+                    telemetry,
+                )
+                .node_base(u64::from(span.base)),
+            );
+        }
+        let wide_buf = SharedBuf::new();
+        let coordinator = Telemetry::builder()
+            .flush_every(0)
+            .jsonl_writer(wide_buf.clone())
+            .build();
+        plane_bufs.push(wide_buf);
+        let core =
+            ShardedCore::sharded(sessions, NullPredictor, coordinator, Telemetry::disabled());
+        let config = EngineConfig {
+            time_scale: 2000.0,
+            batch_threads: 2,
+            ..EngineConfig::default()
+        };
+        let recorder = TraceRecorder::to_writer(trace_buf.clone(), &meta).unwrap();
+        let (handle, join) = eng::spawn_core(core, config, FlightRecorder::disabled(), recorder);
+        let (reply, rx) = ReplySender::channel();
+        let ask = |request: Request| {
+            handle.submit(request, &reply, None, 1).expect("accepts");
+            rx.recv_timeout(StdDuration::from_secs(5)).expect("reply").0
+        };
+        let mut jobs = Vec::new();
+        for k in 0..10u64 {
+            match ask(Request::Negotiate {
+                id: k,
+                // Each shard owns 4 nodes, so sizes 1-4 route narrow.
+                size: 1 + (k % 4) as u32,
+                runtime_secs: 600 + 60 * k,
+            }) {
+                Response::Quote { job, .. } => jobs.push(job),
+                other => panic!("expected quote, got {other:?}"),
+            }
+            if k % 3 == 2 {
+                std::thread::sleep(StdDuration::from_millis(5));
+            }
+        }
+        // One job wider than any shard: the coordinator negotiates it
+        // against the merged view and reserves slices on several shards.
+        let wide = match ask(Request::Negotiate {
+            id: 50,
+            size: 10,
+            runtime_secs: 1200,
+        }) {
+            Response::Quote { job, .. } => job,
+            other => panic!("expected wide quote, got {other:?}"),
+        };
+        let mut accepted_ok = 0;
+        for &job in jobs.iter().take(5).chain([&wide]) {
+            if matches!(
+                ask(Request::Accept { id: 100 + job, job }),
+                Response::Ok { .. }
+            ) {
+                accepted_ok += 1;
+            }
+        }
+        assert!(accepted_ok >= 1, "at least one accept lands");
+        // Cancel one narrow and the wide job so slice release journals too.
+        ask(Request::Cancel {
+            id: 200,
+            job: jobs[0],
+        });
+        ask(Request::Cancel { id: 201, job: wide });
+        assert!(matches!(
+            ask(Request::Status { id: 300 }),
+            Response::Status { .. }
+        ));
+        assert!(matches!(
+            ask(Request::Shutdown { id: 301 }),
+            Response::Ok { .. }
+        ));
+        join.join().unwrap();
+
+        let plane_texts: Vec<String> = plane_bufs.iter().map(SharedBuf::take_string).collect();
+        let plane_refs: Vec<&str> = plane_texts.iter().map(String::as_str).collect();
+        let recorded_journal = pqos_telemetry::merge::merge_journals_to_string(&plane_refs);
+        assert!(
+            !recorded_journal.is_empty(),
+            "sharded run journals through its planes"
+        );
+
+        let trace = RequestTrace::parse(&trace_buf.take_string()).expect("recorded trace parses");
+        let report = replay(&trace, &ReplayOptions::default()).expect("replayable");
+        assert!(report.shutdown_seen);
+        assert!(
+            report.is_parity_clean(),
+            "parity mismatches: {:#?}",
+            report.mismatches
+        );
+        // 11 negotiates + 6 accepts + 2 cancels + 1 shutdown.
+        assert_eq!(report.parity_checked, 20);
+        assert_eq!(
+            report.journal, recorded_journal,
+            "replayed merged journal must be byte-identical"
+        );
     }
 }

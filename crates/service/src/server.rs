@@ -1,40 +1,45 @@
-//! TCP front end: accept loop and per-connection relay threads.
+//! TCP front end: one nonblocking event loop owns every socket.
 //!
-//! Each connection gets a *reader* thread (parses request lines, opens a
-//! trace, submits to the engine) and a *writer* thread (drains the
-//! connection's reply channel back onto the socket, then marks and
-//! finishes each reply's trace). Neither touches shared state; the
-//! engine's bounded queue is the only coupling, so a slow client can
-//! stall only itself.
+//! The `pqos-net` loop accepts connections, frames JSON lines, and
+//! enforces write backpressure; this module is its callback. A request
+//! line is parsed, traced, and submitted to the engine with a
+//! [`ReplySender`] that tags the reply with the connection's token and
+//! wakes the loop; the loop relays completed replies onto their sockets
+//! and finishes each request's trace once the bytes are flushed (the
+//! watermark returned by `Ctx::send` pairs with `NetEvent::Flushed`).
+//! No thread is spawned per connection — the old two-threads-per-client
+//! relay needed ~200 threads for 100 clients; this plane needs one,
+//! which is what makes six-figure request rates approachable.
 //!
-//! Disconnect handling mirrors `pqos-doctor`'s broken-pipe policy: a peer
-//! that closes its socket mid-stream is a *clean* disconnect — the writer
-//! stops, the reader sees EOF (or an error) and stops, pending replies
-//! are dropped. Malformed request lines (bad JSON, unknown verbs, invalid
-//! UTF-8) earn a `bad_request` reply and the connection stays open.
+//! Disconnect handling mirrors `pqos-doctor`'s broken-pipe policy: a
+//! peer that closes its socket mid-stream is a *clean* disconnect — its
+//! unflushed replies and traces are abandoned, nothing else notices.
+//! Malformed request lines (bad JSON, unknown verbs, invalid UTF-8)
+//! earn a `bad_request` reply and the connection stays open. A peer
+//! that stops reading is paused at the loop's high-water mark and
+//! dropped at its hard cap, so one slow client cannot pin reply memory.
 //!
 //! Shutdown is graceful: the `shutdown` verb makes the engine drain and
-//! flush its journal, readers notice within one poll interval and stop,
-//! a waker connection unblocks the accept loop, and [`serve`] writes the
-//! configured exit artifacts (flight-recorder Chrome trace, final metrics
-//! snapshot) before returning.
+//! flush its journal; a watcher thread wakes the loop when the engine
+//! exits; the loop stops accepting, flushes every queued reply, and
+//! [`serve`] writes the configured exit artifacts (flight-recorder
+//! Chrome trace, final metrics snapshot) before returning.
 
 use crate::engine::{self, EngineConfig, EngineHandle, ReplySender};
-use crate::flight::FlightRecorder;
+use crate::flight::{FlightRecorder, TraceCtx};
 use crate::metrics_http;
 use crate::protocol::{ErrorCode, Request, Response};
 use crate::record::TraceRecorder;
+use crate::shard::ShardedCore;
 use pqos_core::session::NegotiationSession;
+use pqos_net::{Ctx, EventLoop, NetConfig, NetEvent, Token};
 use pqos_predict::api::Predictor;
 use pqos_telemetry::reqtrace::TraceMeta;
-use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
-use std::net::{TcpListener, TcpStream};
+use std::collections::HashMap;
+use std::net::TcpListener;
 use std::path::PathBuf;
 use std::sync::mpsc::Receiver;
-use std::time::{Duration, Instant};
-
-/// How often parked readers check whether the daemon is draining.
-const DRAIN_POLL: Duration = Duration::from_millis(200);
+use std::time::Instant;
 
 /// Everything [`serve`] needs beyond the protocol listener: engine
 /// tuning plus the observability plane.
@@ -98,13 +103,15 @@ impl From<EngineConfig> for ServerConfig {
 /// Serves `session` on `listener` until a client sends `shutdown`.
 ///
 /// Blocks the calling thread for the daemon's lifetime. On return the
-/// engine has drained, the telemetry journal is flushed, every connection
-/// thread has been joined, and any configured exit dumps are on disk.
+/// engine has drained, the telemetry journal is flushed, the event loop
+/// has flushed every queued reply, and any configured exit dumps are on
+/// disk.
 ///
 /// # Errors
 ///
-/// Only binding-level failures (accepting on a dead listener) surface as
-/// `Err`; per-connection I/O errors are handled as clean disconnects.
+/// Only listener-level failures (registering it with the readiness
+/// driver) surface as `Err`; per-connection I/O errors are handled as
+/// clean disconnects.
 pub fn serve<P>(
     listener: TcpListener,
     session: NegotiationSession<P>,
@@ -113,8 +120,21 @@ pub fn serve<P>(
 where
     P: Predictor + Send + Sync + 'static,
 {
-    let local_addr = listener.local_addr()?;
-    let telemetry = session.telemetry().clone();
+    serve_core(listener, ShardedCore::single(session), config)
+}
+
+/// [`serve`] over a (possibly sharded) admission core — `pqos-qosd
+/// --shards N` comes in here with an N-way core; the front end is
+/// identical either way.
+pub fn serve_core<P>(
+    listener: TcpListener,
+    core: ShardedCore<P>,
+    config: ServerConfig,
+) -> std::io::Result<()>
+where
+    P: Predictor + Send + Sync + 'static,
+{
+    let telemetry = core.telemetry().clone();
     let recorder = if config.flight_capacity > 0 {
         FlightRecorder::new(config.flight_capacity, telemetry.clone())
     } else {
@@ -133,37 +153,72 @@ where
             let _ = std::fs::write(&path, panic_recorder.dump_chrome());
         });
     }
-    let (handle, engine_join) = engine::spawn(session, config.engine, recorder.clone(), trace_rec);
+    let event_loop = EventLoop::bind(listener, NetConfig::default())?;
+    let waker = event_loop.waker();
+    let (handle, engine_join) =
+        engine::spawn_core(core, config.engine, recorder.clone(), trace_rec);
     let metrics_join = config.metrics.map(|metrics_listener| {
         metrics_http::spawn(metrics_listener, telemetry.clone(), handle.clone())
     });
-    // The accept loop blocks in `accept`; once the engine drains, this
-    // waker connection is what knocks it loose.
-    let waker = std::thread::spawn(move || {
+    // The loop sleeps in the readiness driver; when the engine drains
+    // (shutdown verb served, journal flushed) this watcher is what
+    // knocks it loose so it can stop accepting and flush out.
+    let drain_waker = waker.clone();
+    let drain_watch = std::thread::spawn(move || {
         let _ = engine_join.join();
-        let _ = TcpStream::connect(local_addr);
+        drain_waker.wake();
     });
-    let mut connections = Vec::new();
-    let mut next_conn: u64 = 1;
-    for stream in listener.incoming() {
-        if handle.is_draining() {
-            break;
+
+    // Engine replies for every connection land here, tagged by token;
+    // each send wakes the loop, whose Wake handler relays them.
+    let (done_tx, completions) = std::sync::mpsc::channel::<(Token, Response, Option<TraceCtx>)>();
+    let mut conns: HashMap<Token, ConnState> = HashMap::new();
+    let loop_result = event_loop.run(|event, ctx| match event {
+        NetEvent::Opened(token) => {
+            conns.insert(
+                token,
+                ConnState {
+                    reply: ReplySender::net(done_tx.clone(), token, waker.clone()),
+                    pending: Vec::new(),
+                },
+            );
         }
-        let Ok(stream) = stream else {
-            continue; // transient accept error; keep serving
-        };
-        let engine = handle.clone();
-        let recorder = recorder.clone();
-        let conn = next_conn;
-        next_conn += 1;
-        connections.push(std::thread::spawn(move || {
-            serve_connection(stream, engine, recorder, conn)
-        }));
+        NetEvent::Line(token, line) => {
+            dispatch_line(line, token, &handle, &recorder, &mut conns, ctx);
+        }
+        NetEvent::Wake | NetEvent::Tick => {
+            relay_completions(&completions, &mut conns, ctx);
+            if handle.is_draining() && !ctx.is_draining() {
+                ctx.shutdown();
+            }
+        }
+        NetEvent::Flushed(token, flushed_total) => {
+            if let Some(state) = conns.get_mut(&token) {
+                // Watermarks are monotonic per connection: everything
+                // at or under the flushed total is on the wire now.
+                let delivered = state.pending.partition_point(|(w, _)| *w <= flushed_total);
+                for (_, mut trace) in state.pending.drain(..delivered) {
+                    trace.mark("write");
+                    trace.finish();
+                }
+            }
+        }
+        NetEvent::Closed(token) => {
+            if let Some(state) = conns.remove(&token) {
+                for (_, trace) in state.pending {
+                    trace.abandon();
+                }
+            }
+        }
+    });
+    // The loop is gone: replies still queued can never reach a socket,
+    // so drop their traces from the in-flight table.
+    while let Ok((_, _, trace)) = completions.try_recv() {
+        if let Some(t) = trace {
+            t.abandon();
+        }
     }
-    for conn in connections {
-        let _ = conn.join();
-    }
-    waker.join().expect("waker thread");
+    let _ = drain_watch.join();
     if let Some(join) = metrics_join {
         let _ = join.join();
     }
@@ -176,65 +231,30 @@ where
             std::fs::write(path, snapshot.to_json())?;
         }
     }
-    Ok(())
+    loop_result
 }
 
-/// Runs one connection to completion (EOF, error, or daemon drain).
-fn serve_connection(stream: TcpStream, engine: EngineHandle, recorder: FlightRecorder, conn: u64) {
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let (reply_tx, reply_rx) = std::sync::mpsc::channel();
-    let writer = std::thread::spawn(move || write_replies(write_half, &reply_rx));
-    // A timeout, not blocking reads, so an idle connection still notices
-    // the daemon draining and lets `serve` join it.
-    let _ = stream.set_read_timeout(Some(DRAIN_POLL));
-    read_requests(stream, &engine, &reply_tx, &recorder, conn);
-    drop(reply_tx); // writer exits once the engine's clones are gone too
-    let _ = writer.join();
+/// Per-connection bookkeeping the callback keeps alongside the loop's
+/// own socket state.
+struct ConnState {
+    /// The reply lane requests from this connection carry into the
+    /// engine.
+    reply: ReplySender,
+    /// Replies written to the socket buffer but not yet flushed:
+    /// `(watermark, trace)`, in watermark order. Their traces finish
+    /// when `NetEvent::Flushed` passes the watermark.
+    pending: Vec<(u64, TraceCtx)>,
 }
 
-fn read_requests(
-    stream: TcpStream,
-    engine: &EngineHandle,
-    reply: &ReplySender,
-    recorder: &FlightRecorder,
-    conn: u64,
-) {
-    let mut reader = BufReader::new(stream);
-    // Raw bytes, not `read_line`: invalid UTF-8 must earn `bad_request`,
-    // not kill the connection.
-    let mut line: Vec<u8> = Vec::new();
-    loop {
-        match reader.read_until(b'\n', &mut line) {
-            Ok(0) => break, // EOF: client is done
-            Ok(_) if !line.ends_with(b"\n") => {
-                // Partial line at a timeout boundary; keep accumulating.
-                if engine.is_draining() {
-                    break;
-                }
-            }
-            Ok(_) => {
-                dispatch_line(&line, engine, reply, recorder, conn);
-                line.clear();
-            }
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                if engine.is_draining() {
-                    break;
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(_) => break, // peer reset or similar: clean disconnect
-        }
-    }
-}
-
+/// Parses one request line and routes it into the engine; refusals and
+/// parse errors are answered inline (we are already on the loop thread).
 fn dispatch_line(
     raw: &[u8],
+    token: Token,
     engine: &EngineHandle,
-    reply: &ReplySender,
     recorder: &FlightRecorder,
-    conn: u64,
+    conns: &mut HashMap<Token, ConnState>,
+    ctx: &mut Ctx<'_>,
 ) {
     let arrived = Instant::now();
     let text = String::from_utf8_lossy(raw);
@@ -244,72 +264,68 @@ fn dispatch_line(
     }
     match Request::parse(text) {
         Ok(request) => {
-            let mut trace = recorder.begin(request.verb(), conn, arrived);
+            let mut trace = recorder.begin(request.verb(), token, arrived);
             if let Some(t) = trace.as_mut() {
                 t.mark("parse");
             }
-            if let Err((refusal, trace)) = engine.submit(request, reply, trace, conn) {
-                // Refusals still flow through the writer so the trace gets
-                // its write stage and lands in the ring like any reply.
-                if let Err(returned) = reply.send((refusal, trace)) {
-                    if let Some(t) = returned.0 .1 {
-                        t.abandon();
-                    }
+            let Some(state) = conns.get(&token) else {
+                if let Some(t) = trace {
+                    t.abandon();
                 }
+                return;
+            };
+            let reply = state.reply.clone();
+            if let Err((refusal, trace)) = engine.submit(request, &reply, trace, token) {
+                deliver(ctx, conns, token, &refusal, trace);
             }
         }
         Err(parse_error) => {
-            let _ = reply.send((
-                Response::Error {
-                    id: parse_error.id.unwrap_or(0),
-                    code: ErrorCode::BadRequest,
-                    detail: parse_error.detail.into(),
-                },
-                None,
-            ));
+            let refusal = Response::Error {
+                id: parse_error.id.unwrap_or(0),
+                code: ErrorCode::BadRequest,
+                detail: parse_error.detail.into(),
+            };
+            deliver(ctx, conns, token, &refusal, None);
         }
     }
 }
 
-fn write_replies(
-    stream: TcpStream,
-    replies: &Receiver<(Response, Option<crate::flight::TraceCtx>)>,
+/// Drains the completion queue, writing each reply to its connection.
+fn relay_completions(
+    completions: &Receiver<(Token, Response, Option<TraceCtx>)>,
+    conns: &mut HashMap<Token, ConnState>,
+    ctx: &mut Ctx<'_>,
 ) {
-    let mut out = BufWriter::new(stream);
-    // Traces written since the last flush; their replies only count as
-    // delivered (write stage ends) once the flush lands.
-    let mut written = Vec::new();
-    'relay: while let Ok(first) = replies.recv() {
-        // A closed peer is a clean disconnect; stop relaying. Everything
-        // already queued goes out under one flush — at high request rates
-        // the engine answers in batches, and one syscall per batch instead
-        // of one per response is a large share of the throughput budget.
-        let mut batch = vec![first];
-        while let Ok(next) = replies.try_recv() {
-            batch.push(next);
-        }
-        for (response, trace) in batch {
-            if writeln!(out, "{}", response.encode()).is_err() {
-                if let Some(t) = trace {
-                    t.abandon();
-                }
-                break 'relay;
-            }
-            if let Some(t) = trace {
-                written.push(t);
-            }
-        }
-        if out.flush().is_err() {
-            break;
-        }
-        for mut trace in written.drain(..) {
-            trace.mark("write");
-            trace.finish();
-        }
+    while let Ok((token, response, trace)) = completions.try_recv() {
+        deliver(ctx, conns, token, &response, trace);
     }
-    // Replies that never reached the socket: drop their traces from the
-    // in-flight table instead of leaking them.
-    for trace in written.drain(..) {
-        trace.abandon();
+}
+
+/// Queues one encoded reply on the connection. If the bytes were
+/// accepted, the trace parks against the returned watermark until the
+/// flush notification; a gone connection abandons it.
+fn deliver(
+    ctx: &mut Ctx<'_>,
+    conns: &mut HashMap<Token, ConnState>,
+    token: Token,
+    response: &Response,
+    trace: Option<TraceCtx>,
+) {
+    let mut line = response.encode();
+    line.push('\n');
+    match ctx.send(token, line.as_bytes()) {
+        Some(watermark) => {
+            if let Some(t) = trace {
+                match conns.get_mut(&token) {
+                    Some(state) => state.pending.push((watermark, t)),
+                    None => t.abandon(),
+                }
+            }
+        }
+        None => {
+            if let Some(t) = trace {
+                t.abandon();
+            }
+        }
     }
 }

@@ -1,0 +1,221 @@
+//! Property tests for the sharded admission core.
+//!
+//! Two invariants keep sharding honest:
+//!
+//! 1. `ShardedCore::single` is pure delegation — a randomized op stream
+//!    through it and through a raw [`NegotiationSession`] must produce
+//!    identical decisions AND a byte-identical telemetry journal. If
+//!    this drifts, every pre-sharding trace silently stops replaying.
+//! 2. An N-way core is deterministic per seed — two independently
+//!    constructed cores fed the same stream must emit byte-identical
+//!    merged journals, and that journal must satisfy the doctor's
+//!    causal checks. This is the property `pqos-replay` leans on.
+
+use pqos_core::config::SimConfig;
+use pqos_core::session::{AdmissionRequest, NegotiationSession, SessionOp, SessionOpOutcome};
+use pqos_obs::doctor::Doctor;
+use pqos_predict::api::NullPredictor;
+use pqos_service::record::SharedBuf;
+use pqos_service::shard::{partition_spans, ShardedCore};
+use pqos_sim_core::rng::DetRng;
+use pqos_sim_core::time::{SimDuration, SimTime};
+use pqos_telemetry::Telemetry;
+use pqos_workload::job::JobId;
+
+/// Builds a deterministic op stream: interleaved quote batches, accepts
+/// and cancels of previously quoted jobs, and time advances. The stream
+/// depends only on the seed, never on session responses, so two
+/// consumers can be fed the exact same sequence.
+fn op_stream(seed: u64, max_size: u32, ops: usize) -> Vec<SessionOp> {
+    let mut rng = DetRng::seed_from(seed);
+    let mut stream = Vec::with_capacity(ops);
+    let mut next_job: u64 = 1;
+    let mut quoted: Vec<u64> = Vec::new();
+    let mut clock: u64 = 0;
+    for _ in 0..ops {
+        match rng.uniform_u64(0, 10) {
+            0..=3 => {
+                let batch: Vec<(JobId, AdmissionRequest)> = (0..rng.uniform_u64(1, 3))
+                    .map(|_| {
+                        let id = next_job;
+                        next_job += 1;
+                        quoted.push(id);
+                        (
+                            JobId::new(id),
+                            AdmissionRequest {
+                                size: rng.uniform_u64(1, u64::from(max_size)) as u32,
+                                runtime: SimDuration::from_secs(rng.uniform_u64(300, 7200)),
+                            },
+                        )
+                    })
+                    .collect();
+                stream.push(SessionOp::QuoteBatch(batch));
+            }
+            4..=6 if !quoted.is_empty() => {
+                let pick = rng.uniform_u64(0, quoted.len() as u64 - 1) as usize;
+                stream.push(SessionOp::Accept(JobId::new(quoted[pick])));
+            }
+            7..=8 if !quoted.is_empty() => {
+                let pick = rng.uniform_u64(0, quoted.len() as u64 - 1) as usize;
+                stream.push(SessionOp::Cancel(JobId::new(quoted.swap_remove(pick))));
+            }
+            _ => {
+                clock += rng.uniform_u64(1, 1800);
+                stream.push(SessionOp::AdvanceTo(SimTime::from_secs(clock)));
+            }
+        }
+    }
+    // Always end with a final advance so starts/completions fire and the
+    // journal carries release events, not just admissions.
+    clock += 86_400;
+    stream.push(SessionOp::AdvanceTo(SimTime::from_secs(clock)));
+    stream
+}
+
+fn journaled_session(nodes: u32, base: u32) -> (NegotiationSession<NullPredictor>, SharedBuf) {
+    let buf = SharedBuf::new();
+    let telemetry = Telemetry::builder()
+        .flush_every(0)
+        .jsonl_writer(buf.clone())
+        .build();
+    let session = NegotiationSession::new(
+        SimConfig::paper_defaults().cluster_size_nodes(nodes),
+        NullPredictor,
+        telemetry,
+    )
+    .node_base(u64::from(base));
+    (session, buf)
+}
+
+/// Builds an N-way sharded core over `cluster` nodes, returning the
+/// per-plane journal buffers in merge order (shards, then coordinator).
+fn sharded_core(cluster: u32, shards: u32) -> (ShardedCore<NullPredictor>, Vec<SharedBuf>) {
+    let mut bufs = Vec::new();
+    let mut sessions = Vec::new();
+    for span in partition_spans(cluster, shards) {
+        let (session, buf) = journaled_session(span.width, span.base);
+        bufs.push(buf);
+        sessions.push(session);
+    }
+    let wide_buf = SharedBuf::new();
+    let coordinator = Telemetry::builder()
+        .flush_every(0)
+        .jsonl_writer(wide_buf.clone())
+        .build();
+    bufs.push(wide_buf);
+    let core = ShardedCore::sharded(sessions, NullPredictor, coordinator, Telemetry::disabled());
+    (core, bufs)
+}
+
+fn merged_journal(core: &mut ShardedCore<NullPredictor>, bufs: &[SharedBuf]) -> String {
+    core.flush();
+    let texts: Vec<String> = bufs.iter().map(SharedBuf::take_string).collect();
+    let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+    pqos_telemetry::merge::merge_journals_to_string(&refs)
+}
+
+#[test]
+fn single_shard_core_is_byte_identical_to_a_raw_session() {
+    for seed in [1u64, 42, 0xFEED, 0xD5_2005] {
+        let stream = op_stream(seed, 8, 120);
+
+        let (raw_session, raw_buf) = journaled_session(16, 0);
+        let mut raw_session = raw_session;
+        let (wrapped_session, wrapped_buf) = journaled_session(16, 0);
+        let mut core = ShardedCore::single(wrapped_session);
+
+        for op in &stream {
+            let raw = raw_session.apply(op, 2);
+            let wrapped = core.apply(op, 2);
+            assert_eq!(
+                format!("{raw:?}"),
+                format!("{wrapped:?}"),
+                "seed {seed}: outcome diverged on {op:?}"
+            );
+        }
+        assert_eq!(raw_session.live_jobs(), core.live_jobs(), "seed {seed}");
+        raw_session.flush();
+        core.flush();
+        assert_eq!(
+            raw_buf.take_string(),
+            wrapped_buf.take_string(),
+            "seed {seed}: journals diverged"
+        );
+    }
+}
+
+#[test]
+fn sharded_journal_merge_is_byte_stable_per_seed() {
+    for seed in [7u64, 1234, 0xBEEF] {
+        // 4 shards over 32 nodes: 8 nodes each, so sizes up to 8 route
+        // narrow and 9..=12 exercise the wide coordinator.
+        let stream = op_stream(seed, 12, 150);
+
+        let (mut a, a_bufs) = sharded_core(32, 4);
+        let (mut b, b_bufs) = sharded_core(32, 4);
+        let mut decisions = 0usize;
+        for op in &stream {
+            let ra = a.apply(op, 2);
+            let rb = b.apply(op, 2);
+            assert_eq!(
+                format!("{ra:?}"),
+                format!("{rb:?}"),
+                "seed {seed}: outcome diverged on {op:?}"
+            );
+            if let SessionOpOutcome::Quotes(qs) = &ra {
+                decisions += qs.len();
+            }
+        }
+        assert!(decisions > 0, "seed {seed}: stream produced no quotes");
+
+        let ja = merged_journal(&mut a, &a_bufs);
+        let jb = merged_journal(&mut b, &b_bufs);
+        assert!(!ja.is_empty(), "seed {seed}: empty merged journal");
+        assert_eq!(ja, jb, "seed {seed}: merged journals diverged");
+
+        // The merged stream must still satisfy causal ordering: no event
+        // about a job before its submission, releases after admissions.
+        let report = Doctor::check_str(&ja);
+        assert_eq!(
+            report.errors(),
+            0,
+            "seed {seed}: doctor errors in merged journal: {report:#?}"
+        );
+    }
+}
+
+#[test]
+fn narrow_routing_is_sticky_and_covers_every_shard_eventually() {
+    // A long single-node stream must spread across shards (the router
+    // load-balances by earliest-start, tie-broken by shard index), and
+    // every decision must land somewhere: routed_total over all lanes
+    // equals the number of quote decisions made.
+    let (mut core, _bufs) = sharded_core(16, 4);
+    let mut quotes = 0u64;
+    for k in 0..40u64 {
+        let outcome = core.apply(
+            &SessionOp::QuoteBatch(vec![(
+                JobId::new(k + 1),
+                AdmissionRequest {
+                    size: 1,
+                    runtime: SimDuration::from_secs(600),
+                },
+            )]),
+            1,
+        );
+        let SessionOpOutcome::Quotes(qs) = outcome else {
+            panic!("quote batch must yield quotes");
+        };
+        quotes += qs.len() as u64;
+        core.apply(&SessionOp::Accept(JobId::new(k + 1)), 1);
+    }
+    let routed = core.routed_total();
+    assert_eq!(routed.len(), 5, "4 shard lanes + wide coordinator lane");
+    assert_eq!(routed.iter().sum::<u64>(), quotes);
+    assert_eq!(routed[4], 0, "single-node jobs never go wide");
+    let shards_hit = routed[..4].iter().filter(|&&n| n > 0).count();
+    assert!(
+        shards_hit >= 2,
+        "40 accepted single-node jobs must spread over shards, got {routed:?}"
+    );
+}

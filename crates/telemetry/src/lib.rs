@@ -69,6 +69,7 @@ pub mod expo;
 pub mod handle;
 pub mod journal;
 pub mod json;
+pub mod merge;
 pub mod metrics;
 pub mod panichook;
 pub mod reqtrace;

@@ -1,0 +1,185 @@
+//! Deterministic k-way merge of per-shard JSONL journals.
+//!
+//! A sharded daemon writes one journal per engine shard plus one from
+//! the cross-shard wide-job coordinator. Each is individually sound —
+//! time-monotone, one lifecycle per job, completions before same-instant
+//! starts — but the doctor, the promise audit and replay parity all want
+//! *one* journal. The merge below produces it deterministically:
+//!
+//! - **Per-journal order is law.** Only journal heads are candidates, so
+//!   the merge can never reorder two lines of the same journal.
+//! - Among heads, the **earliest `at` wins**; a later instant never
+//!   precedes an earlier one, so the merged journal is time-monotone.
+//! - Among heads tied on `at`, **releasing events go first**
+//!   (`job_completed`, `deadline_missed`, `promise_resolved`,
+//!   `job_cancelled`). Shard-local node sets are disjoint, but a wide
+//!   job's nodes overlap every shard: if its same-instant completion in
+//!   the coordinator journal were merged *after* a shard's start that
+//!   reuses those nodes, the doctor would see phantom double-occupancy.
+//!   Every journal already orders completions before starts within an
+//!   instant (the session's timer classes), so preferring releasing
+//!   heads can always make progress and never deadlocks against rule 1.
+//! - Remaining ties break on **journal index**, making the merge a pure
+//!   function of its inputs — byte-stable across runs, which replay
+//!   parity relies on.
+//!
+//! Lines are moved verbatim (only the `"event"`/`"at"` prefix is read),
+//! so merging one journal is the identity.
+
+/// Event kinds that release capacity or resolve a promise at their
+/// instant; these win ties so same-instant claims in other journals see
+/// the capacity as free.
+const RELEASING: [&str; 4] = [
+    "job_completed",
+    "deadline_missed",
+    "promise_resolved",
+    "job_cancelled",
+];
+
+fn parse_at(line: &str) -> Option<u64> {
+    let idx = line.find("\"at\":")?;
+    let digits: String = line[idx + 5..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+fn is_releasing(line: &str) -> bool {
+    if let Some(idx) = line.find("\"event\":\"") {
+        let rest = &line[idx + 9..];
+        if let Some(end) = rest.find('"') {
+            return RELEASING.contains(&&rest[..end]);
+        }
+    }
+    false
+}
+
+/// Merges several JSONL journal bodies into one, returning the merged
+/// lines in order. Inputs are split on `\n`; blank lines are dropped.
+/// Lines missing a parseable `"at"` inherit their predecessor's instant
+/// (preserving that journal's relative order).
+pub fn merge_journals(journals: &[&str]) -> Vec<String> {
+    struct Cursor<'a> {
+        lines: Vec<&'a str>,
+        next: usize,
+        last_at: u64,
+    }
+    let mut cursors: Vec<Cursor<'_>> = journals
+        .iter()
+        .map(|body| Cursor {
+            lines: body.lines().filter(|l| !l.trim().is_empty()).collect(),
+            next: 0,
+            last_at: 0,
+        })
+        .collect();
+    let total: usize = cursors.iter().map(|c| c.lines.len()).sum();
+    let mut merged = Vec::with_capacity(total);
+    loop {
+        // Pick among heads: min at, then releasing-first, then index.
+        let mut best: Option<(u64, u8, usize)> = None;
+        for (idx, cursor) in cursors.iter().enumerate() {
+            let Some(&line) = cursor.lines.get(cursor.next) else {
+                continue;
+            };
+            let at = parse_at(line).unwrap_or(cursor.last_at);
+            let class = if is_releasing(line) { 0 } else { 1 };
+            let key = (at, class, idx);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+        let Some((at, _, idx)) = best else {
+            return merged;
+        };
+        let cursor = &mut cursors[idx];
+        merged.push(cursor.lines[cursor.next].to_string());
+        cursor.next += 1;
+        cursor.last_at = at;
+    }
+}
+
+/// [`merge_journals`] returning one newline-terminated body (empty
+/// input merges to an empty string).
+pub fn merge_journals_to_string(journals: &[&str]) -> String {
+    let lines = merge_journals(journals);
+    if lines.is_empty() {
+        String::new()
+    } else {
+        let mut body = lines.join("\n");
+        body.push('\n');
+        body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merging_one_journal_is_the_identity() {
+        let body = "{\"event\":\"job_submitted\",\"at\":0,\"job\":1}\n{\"event\":\"job_started\",\"at\":5,\"job\":1}\n";
+        assert_eq!(merge_journals_to_string(&[body]), body);
+        assert_eq!(merge_journals_to_string(&[]), "");
+        assert_eq!(merge_journals_to_string(&[""]), "");
+    }
+
+    #[test]
+    fn merge_is_time_ordered_across_journals() {
+        let a = "{\"event\":\"job_submitted\",\"at\":0,\"job\":1}\n{\"event\":\"job_started\",\"at\":10,\"job\":1}\n";
+        let b = "{\"event\":\"job_submitted\",\"at\":5,\"job\":2}\n";
+        let merged = merge_journals(&[a, b]);
+        let ats: Vec<u64> = merged.iter().map(|l| parse_at(l).unwrap()).collect();
+        assert_eq!(ats, [0, 5, 10]);
+    }
+
+    #[test]
+    fn same_instant_releases_precede_claims_from_other_journals() {
+        // Shard journal: a start at t=100. Coordinator journal: a wide
+        // job completing at t=100 (freeing the nodes that start needs).
+        let shard = "{\"event\":\"job_started\",\"at\":100,\"job\":7}\n";
+        let coord = "{\"event\":\"job_completed\",\"at\":100,\"job\":3,\"met_deadline\":true}\n{\"event\":\"promise_resolved\",\"at\":100,\"job\":3}\n";
+        let merged = merge_journals(&[shard, coord]);
+        let events: Vec<&str> = merged
+            .iter()
+            .map(|l| {
+                let i = l.find("\"event\":\"").unwrap() + 9;
+                let rest = &l[i..];
+                &rest[..rest.find('"').unwrap()]
+            })
+            .map(|s| match s {
+                "job_completed" => "job_completed",
+                "promise_resolved" => "promise_resolved",
+                "job_started" => "job_started",
+                other => panic!("unexpected {other}"),
+            })
+            .collect();
+        assert_eq!(events, ["job_completed", "promise_resolved", "job_started"]);
+    }
+
+    #[test]
+    fn per_journal_order_is_never_violated() {
+        // Journal b's completion at t=50 must NOT jump ahead of its own
+        // earlier submission at t=50, even though releasing events win
+        // cross-journal ties.
+        let a = "{\"event\":\"job_started\",\"at\":50,\"job\":1}\n";
+        let b = "{\"event\":\"job_submitted\",\"at\":50,\"job\":2}\n{\"event\":\"job_completed\",\"at\":50,\"job\":9}\n";
+        let merged = merge_journals(&[a, b]);
+        let b_sub = merged.iter().position(|l| l.contains("\"job\":2")).unwrap();
+        let b_comp = merged.iter().position(|l| l.contains("\"job\":9")).unwrap();
+        assert!(b_sub < b_comp, "journal b's internal order broke");
+    }
+
+    #[test]
+    fn index_breaks_remaining_ties_deterministically() {
+        let a = "{\"event\":\"job_submitted\",\"at\":5,\"job\":10}\n";
+        let b = "{\"event\":\"job_submitted\",\"at\":5,\"job\":20}\n";
+        let m1 = merge_journals(&[a, b]);
+        let m2 = merge_journals(&[a, b]);
+        assert_eq!(m1, m2);
+        assert!(m1[0].contains("\"job\":10"));
+        // Swapping the inputs swaps the winner: index is the tiebreak.
+        let m3 = merge_journals(&[b, a]);
+        assert!(m3[0].contains("\"job\":20"));
+    }
+}

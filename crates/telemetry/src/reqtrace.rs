@@ -47,6 +47,10 @@ pub struct TraceMeta {
     pub quote_horizon_secs: Option<u64>,
     /// Predictor the session used: `"null"` or `"synthetic-aix"`.
     pub predictor: String,
+    /// Engine shards the recording daemon ran (1 = the single-engine
+    /// plane). Absent in traces recorded before sharding existed, which
+    /// parse as 1.
+    pub shards: u64,
 }
 
 impl TraceMeta {
@@ -60,7 +64,8 @@ impl TraceMeta {
             .f64("time_scale", self.time_scale)
             .u64("batch_threads", self.batch_threads)
             .opt_u64("quote_horizon_secs", self.quote_horizon_secs)
-            .str("predictor", &self.predictor);
+            .str("predictor", &self.predictor)
+            .u64("shards", self.shards);
         w.finish()
     }
 }
@@ -282,6 +287,14 @@ fn parse_meta(line: &str) -> Result<TraceMeta, String> {
         batch_threads: u64_field(&v, "batch_threads")?,
         quote_horizon_secs,
         predictor: str_field(&v, "predictor")?,
+        // Lenient: pre-sharding traces have no field and mean 1.
+        shards: match v.get("shards") {
+            Some(j) => j
+                .as_u64()
+                .filter(|&s| s >= 1)
+                .ok_or_else(|| "field \"shards\" is not a positive integer".to_string())?,
+            None => 1,
+        },
     })
 }
 
@@ -325,6 +338,7 @@ mod tests {
             batch_threads: 4,
             quote_horizon_secs: Some(14_400),
             predictor: "null".into(),
+            shards: 1,
         }
     }
 
