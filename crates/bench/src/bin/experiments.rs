@@ -226,6 +226,8 @@ fn replay_parity() -> Table {
         quote_horizon_secs: None,
         predictor: "null".into(),
         shards: 1,
+        slo: Vec::new(),
+        slo_window_secs: pqos_telemetry::slo::DEFAULT_WINDOW_SECS,
     };
     let telemetry = Telemetry::builder()
         .flush_every(0)

@@ -12,6 +12,10 @@
 //! pqos-doctor bisect <trace.jsonl> [--target CODE] [-o FILE]
 //!                                            shrink a failing request trace to a
 //!                                            minimal reproducer (delta debugging)
+//! pqos-doctor slo <journal> --slo RULE [--slo RULE ...] [--slo-window-secs N]
+//!                                            re-derive SLO alerts from the journal
+//!                                            and diff against the recorded ones;
+//!                                            exit 1 on any difference
 //! ```
 //!
 //! `--check` is accepted as an alias for `check` so CI invocations read
@@ -49,7 +53,13 @@ const USAGE: &str = "usage:
                                                 that still produces CODE; writes the shrunk
                                                 trace to FILE and a JSON summary to stdout
                                                 (exit 1 when the trace replays clean)
-check, audit, spans, and crosscheck accept '-' as the journal path to read from stdin.
+  pqos-doctor slo <journal.jsonl> --slo RULE [--slo RULE ...] [--slo-window-secs N]
+                                                re-run the windowed SLO evaluator over the
+                                                journal's lifecycle events and diff the
+                                                derived alerts against the journaled
+                                                slo_alert records (exit 1 on any diff);
+                                                RULE grammar: NAME:METRIC{<,<=,>,>=}VALUE@NEED[/OVER]
+check, audit, spans, slo, and crosscheck accept '-' as the journal path to read from stdin.
 ";
 
 fn main() -> ExitCode {
@@ -70,6 +80,7 @@ fn main() -> ExitCode {
         "diff" | "--diff" => cmd_diff(rest),
         "crosscheck" | "--crosscheck" => cmd_crosscheck(rest),
         "bisect" | "--bisect" => cmd_bisect(rest),
+        "slo" | "--slo" => cmd_slo(rest),
         "-h" | "--help" | "help" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -301,6 +312,68 @@ fn cmd_bisect(args: &[String]) -> std::io::Result<ExitCode> {
             eprintln!("bisect: {msg}");
             Ok(ExitCode::FAILURE)
         }
+    }
+}
+
+fn cmd_slo(args: &[String]) -> std::io::Result<ExitCode> {
+    let mut rules = Vec::new();
+    let mut width_secs = pqos_obs::slo::DEFAULT_WINDOW_SECS;
+    let mut path: Option<&String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--slo" => {
+                let spec = it
+                    .next()
+                    .ok_or_else(|| std::io::Error::other("slo: --slo needs a rule spec"))?;
+                rules.push(pqos_obs::slo::parse_rule(spec).map_err(std::io::Error::other)?);
+            }
+            "--slo-window-secs" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| std::io::Error::other("slo: --slo-window-secs needs a value"))?;
+                width_secs = v.parse().map_err(|_| {
+                    std::io::Error::other("slo: --slo-window-secs must be an integer")
+                })?;
+            }
+            other if !other.starts_with("--") && path.is_none() => path = Some(arg),
+            other => {
+                return Err(std::io::Error::other(format!(
+                    "slo: unexpected argument {other}"
+                )))
+            }
+        }
+    }
+    let path = path.ok_or_else(|| std::io::Error::other("slo: missing journal path"))?;
+    if rules.is_empty() {
+        return Err(std::io::Error::other(
+            "slo: need at least one --slo rule (the rules the daemon ran with)",
+        ));
+    }
+    let mut journal = String::new();
+    open_journal(path)?.read_to_string(&mut journal)?;
+    let check = pqos_obs::slo::check_journal(&journal, rules, width_secs);
+    emit(&format!(
+        "slo: {} event(s), {} journaled alert(s), {} derived alert(s), closure limit t={}s\n",
+        check.events,
+        check.journaled.len(),
+        check.derived.len(),
+        check.limit_secs
+    ))?;
+    if check.unparsed > 0 {
+        eprintln!(
+            "warning: {} unparseable line(s) skipped (run `pqos-doctor check`)",
+            check.unparsed
+        );
+    }
+    if check.matches() {
+        emit("slo: derived alerts match the journal exactly\n")?;
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for line in check.diff_lines() {
+            emit(&format!("{line}\n"))?;
+        }
+        Ok(ExitCode::FAILURE)
     }
 }
 

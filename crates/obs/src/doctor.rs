@@ -12,8 +12,8 @@
 //! them and humans can grep them.
 
 use pqos_telemetry::json::ObjWriter;
-use pqos_telemetry::{PromiseVerdict, TelemetryEvent};
-use std::collections::HashMap;
+use pqos_telemetry::{AlertState, PromiseVerdict, TelemetryEvent};
+use std::collections::{BTreeSet, HashMap};
 use std::io::BufRead;
 
 /// How bad a finding is.
@@ -158,6 +158,8 @@ pub struct Doctor {
     jobs: HashMap<u64, JobTrack>,
     /// node -> job currently occupying it.
     owner: HashMap<u64, u64>,
+    /// SLO rules currently in the fired state.
+    firing_rules: BTreeSet<String>,
 }
 
 impl Doctor {
@@ -637,6 +639,37 @@ impl Doctor {
                     );
                 }
             }
+            // Alerts are system-wide annotations; full re-derivation lives
+            // in `pqos-doctor slo`. Here the doctor only checks the state
+            // machine: a rule alternates fire → resolve → fire.
+            TelemetryEvent::SloAlert { rule, state, .. } => match state {
+                AlertState::Fire => {
+                    if !self.firing_rules.insert(rule.clone()) {
+                        let detail = format!("slo rule {rule} fired while already firing");
+                        self.finding(
+                            "alert_double_fire",
+                            Severity::Error,
+                            Some(at),
+                            None,
+                            None,
+                            detail,
+                        );
+                    }
+                }
+                AlertState::Resolve => {
+                    if !self.firing_rules.remove(rule) {
+                        let detail = format!("slo rule {rule} resolved while not firing");
+                        self.finding(
+                            "alert_resolve_without_fire",
+                            Severity::Error,
+                            Some(at),
+                            None,
+                            None,
+                            detail,
+                        );
+                    }
+                }
+            },
         }
     }
 

@@ -28,6 +28,9 @@
 //!   metrics snapshot: every `journal.<kind>` gauge must agree with the
 //!   journal's own per-kind event counts, in both directions — and the
 //!   `pqos_promise_*` gauges must agree with the journal's promise ledger.
+//! * [`slo`] — re-derives SLO alerts from a journal with the same
+//!   windowed evaluator the daemon runs (`pqos_telemetry::slo`) and diffs
+//!   them against the journaled `slo_alert` records.
 //! * [`audit`] — folds the journal's quote → outcome pairs into a
 //!   calibration ledger (fixed quoted-probability bins + exact-p groups,
 //!   Wilson bounds, Brier scores) and flags overconfident buckets,
@@ -43,6 +46,7 @@
 //! pqos-doctor trace-check t.json          # validate a Chrome trace document
 //! pqos-doctor diff   a.jsonl b.jsonl      # first divergence, exit 1 if any
 //! pqos-doctor crosscheck journal.jsonl metrics.json   # journal vs counters
+//! pqos-doctor slo --slo RULE journal.jsonl   # re-derive alerts, exit 1 on diff
 //! ```
 //!
 //! # Example
@@ -79,6 +83,7 @@ pub mod crosscheck;
 pub mod diff;
 pub mod doctor;
 pub mod manifest;
+pub mod slo;
 pub mod span;
 pub mod trace;
 
@@ -87,5 +92,6 @@ pub use bisect::{bisect_trace, ddmin, finding_codes, findings_for_trace, TraceBi
 pub use diff::{first_divergence, Divergence};
 pub use doctor::{Doctor, DoctorReport, Finding, Severity};
 pub use manifest::{ExpectedFindings, FindingsDelta};
+pub use slo::{check_journal, AlertKey, SloCheck};
 pub use span::{JobSpan, Outcome, PhaseKind, PhaseSpan, SpanForest};
 pub use trace::{chrome_trace, load_chrome_trace, ChromeTraceSummary};

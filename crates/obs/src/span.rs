@@ -298,6 +298,8 @@ impl SpanForest {
             // Promise resolution restates the terminal event for the
             // calibration audit; it spans no wall time of its own.
             TelemetryEvent::PromiseResolved { .. } => {}
+            // System-wide, not job-scoped; spans ignore it.
+            TelemetryEvent::SloAlert { .. } => {}
         }
     }
 

@@ -27,11 +27,16 @@
 //!   nondeterminism leaves, since replay re-derives every route and
 //!   disagrees only on the entries a drifted shard answered. Pinned
 //!   `response_mismatch: 1` and bisected in CI like the seeded case.
+//! * `slo-alert-flap` — a tight `rejects<=0` SLO rule driven through
+//!   fire → resolve → fire → resolve by alternating oversized
+//!   (rejected) and well-formed negotiates. Pins the deterministic
+//!   alert journal: replay must reproduce the exact `slo_alert` lines
+//!   and `pqos-doctor slo` must re-derive them with zero diffs.
 
 use pqos_service::protocol::{Request, Response};
 use pqos_service::replay::{replay, ReplayOptions};
 use pqos_telemetry::reqtrace::{RequestTrace, TraceEntry, TraceMeta, TRACE_FORMAT_VERSION};
-use pqos_telemetry::TelemetryEvent;
+use pqos_telemetry::{AlertState, TelemetryEvent};
 use std::path::Path;
 
 fn meta(cluster_size: u32, quote_horizon_secs: Option<u64>) -> TraceMeta {
@@ -48,6 +53,16 @@ fn sharded_meta(cluster_size: u32, shards: u64, quote_horizon_secs: Option<u64>)
         quote_horizon_secs,
         predictor: "null".into(),
         shards,
+        slo: Vec::new(),
+        slo_window_secs: pqos_telemetry::slo::DEFAULT_WINDOW_SECS,
+    }
+}
+
+fn slo_meta(cluster_size: u32, rules: &[&str], window_secs: u64) -> TraceMeta {
+    TraceMeta {
+        slo: rules.iter().map(|s| (*s).into()).collect(),
+        slo_window_secs: window_secs,
+        ..sharded_meta(cluster_size, 1, None)
     }
 }
 
@@ -420,6 +435,67 @@ fn sharded_divergence(root: &Path) {
     );
 }
 
+/// The alert flap: one-window burn windows (`@1`, 60s wide) and a rule
+/// every reject violates. Oversized negotiates (size 32 on a 16-node
+/// cluster) journal `job_rejected`; the next tick closes their window
+/// and fires, a clean window in between resolves, and the shutdown
+/// tick's drain resolves the final fire. Four `slo_alert` lines, all
+/// pinned byte-for-byte by the committed journal.
+fn slo_alert_flap(root: &Path) {
+    let negotiate = |epoch: u64, tick: u64, id: u64, size: u32, job: u64| {
+        (
+            epoch,
+            tick,
+            Request::Negotiate {
+                id,
+                size,
+                runtime_secs: 600,
+            },
+            Some(job),
+        )
+    };
+    let full = author(
+        slo_meta(16, &["flap:rejects<=0@1"], 60),
+        &[
+            // Rejected: wider than the cluster. Lands in window [0,60).
+            negotiate(1, 0, 1, 32, 1),
+            // Tick 120 closes [0,60) with one reject -> FIRE. The clean
+            // quote lands in [120,180).
+            negotiate(2, 120, 2, 2, 2),
+            (2, 120, Request::Accept { id: 3, job: 2 }, None),
+            // Tick 240 closes the clean window -> RESOLVE, then journals
+            // a fresh reject into [240,300).
+            negotiate(3, 240, 4, 32, 3),
+            // Tick 360 closes the reject window -> FIRE again (the flap).
+            negotiate(4, 360, 5, 2, 4),
+            (4, 360, Request::Accept { id: 6, job: 4 }, None),
+            // Past every completion; the final drain closes the last
+            // clean window -> RESOLVE, and the journal ends quiet.
+            (5, 100_000, Request::Shutdown { id: 7 }, None),
+        ],
+    );
+    let (trace, journal) = reconstruct(full);
+    let states: Vec<AlertState> = journal
+        .lines()
+        .filter_map(TelemetryEvent::from_jsonl)
+        .filter_map(|e| match e {
+            TelemetryEvent::SloAlert { state, .. } => Some(state),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        states,
+        [
+            AlertState::Fire,
+            AlertState::Resolve,
+            AlertState::Fire,
+            AlertState::Resolve,
+        ],
+        "the flap journals fire/resolve/fire/resolve"
+    );
+    write_case(root, "slo-alert-flap", &trace, &journal, None);
+}
+
 fn main() {
     let root_arg = std::env::args()
         .nth(1)
@@ -430,5 +506,6 @@ fn main() {
     horizon_probe(&root);
     seeded_divergence(&root);
     sharded_divergence(&root);
+    slo_alert_flap(&root);
     println!("corpus written to {}", root.display());
 }

@@ -16,6 +16,8 @@ fn meta_line() -> String {
         quote_horizon_secs: None,
         predictor: "null".into(),
         shards: 1,
+        slo: Vec::new(),
+        slo_window_secs: pqos_telemetry::slo::DEFAULT_WINDOW_SECS,
     }
     .encode()
 }

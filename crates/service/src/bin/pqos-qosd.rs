@@ -8,6 +8,7 @@
 //!           [--synthetic-failures]
 //!           [--flight-capacity N] [--no-flight] [--flight-dump PATH]
 //!           [--metrics-dump PATH] [--record PATH]
+//!           [--slo RULE]... [--slo-window-secs N] [--history-window-ms N]
 //! ```
 //!
 //! Binds, prints `listening on HOST:PORT` (port 0 in `--addr` picks a free
@@ -30,6 +31,15 @@
 //! by default (`--no-flight` to opt out), and `--flight-dump` /
 //! `--metrics-dump` write the Chrome trace and the final metrics snapshot
 //! when the daemon drains.
+//!
+//! The continuous SLO plane: `--slo NAME:METRIC{<,<=,>,>=}VALUE@NEED[/OVER]`
+//! (repeatable) declares burn-rate rules the engine evaluates every tick
+//! over fixed `--slo-window-secs` windows of *virtual* time. Fires and
+//! resolves journal as `slo_alert` events (deterministic: replay
+//! reproduces them byte-for-byte and `pqos-doctor slo` re-derives them),
+//! and export live as `pqos_slo_*` gauges. Separately, a wall-clock
+//! sampler folds the registry into a ring of `--history-window-ms`
+//! windows served by the `history` verb and the `/history` route.
 
 use pqos_core::config::SimConfig;
 use pqos_core::session::NegotiationSession;
@@ -37,11 +47,13 @@ use pqos_failures::synthetic::AixLikeTrace;
 use pqos_predict::api::{NullPredictor, Predictor};
 use pqos_predict::oracle::TraceOracle;
 use pqos_service::engine::EngineConfig;
-use pqos_service::server::{serve_core, RecordConfig, ServerConfig, DEFAULT_FLIGHT_CAPACITY};
+use pqos_service::server::{
+    serve_core, RecordConfig, ServerConfig, DEFAULT_FLIGHT_CAPACITY, DEFAULT_HISTORY_WINDOW_MS,
+};
 use pqos_service::shard::{partition_spans, ShardedCore};
 use pqos_sim_core::time::SimDuration;
 use pqos_telemetry::reqtrace::{TraceMeta, TRACE_FORMAT_VERSION};
-use pqos_telemetry::Telemetry;
+use pqos_telemetry::{SloAccum, SloSink, Telemetry};
 use std::io::Write;
 use std::net::TcpListener;
 use std::process::ExitCode;
@@ -77,6 +89,16 @@ const USAGE: &str = "usage: pqos-qosd [options]
                         graceful shutdown
   --record PATH         record every answered request as a replayable
                         trace (JSONL) for `pqos-replay run`
+  --slo RULE            declare a burn-rate SLO rule (repeatable); RULE is
+                        NAME:METRIC{<,<=,>,>=}VALUE@NEED[/OVER], e.g.
+                        tight:rejects<=0@1 or p99:reject_ratio<0.5@2/5.
+                        Alerts journal as slo_alert events and export as
+                        pqos_slo_* gauges
+  --slo-window-secs N   SLO burn-window width in virtual seconds
+                        (default 60)
+  --history-window-ms N windowed health-history sample width in wall
+                        milliseconds (default 1000; 0 disables the
+                        history plane)
 ";
 
 fn die(msg: &str) -> ExitCode {
@@ -106,6 +128,9 @@ fn main() -> ExitCode {
     let mut flight_dump: Option<String> = None;
     let mut metrics_dump: Option<String> = None;
     let mut record: Option<String> = None;
+    let mut slo_specs: Vec<String> = Vec::new();
+    let mut slo_window_secs: u64 = pqos_telemetry::slo::DEFAULT_WINDOW_SECS;
+    let mut history_window_ms: u64 = DEFAULT_HISTORY_WINDOW_MS;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -169,6 +194,23 @@ fn main() -> ExitCode {
             "--flight-dump" => value("--flight-dump").map(|v| flight_dump = Some(v)),
             "--metrics-dump" => value("--metrics-dump").map(|v| metrics_dump = Some(v)),
             "--record" => value("--record").map(|v| record = Some(v)),
+            "--slo" => value("--slo").and_then(|v| {
+                pqos_telemetry::slo::parse_rule(&v)
+                    .map(|_| slo_specs.push(v))
+                    .map_err(|e| format!("--slo: {e}"))
+            }),
+            "--slo-window-secs" => value("--slo-window-secs").and_then(|v| {
+                v.parse()
+                    .ok()
+                    .filter(|n: &u64| *n > 0)
+                    .map(|n| slo_window_secs = n)
+                    .ok_or_else(|| "--slo-window-secs: need a positive duration".into())
+            }),
+            "--history-window-ms" => value("--history-window-ms").and_then(|v| {
+                v.parse()
+                    .map(|n| history_window_ms = n)
+                    .map_err(|_| "--history-window-ms: not a duration".into())
+            }),
             "--no-verify-parity" => {
                 engine.verify_parity = false;
                 Ok(())
@@ -201,6 +243,16 @@ fn main() -> ExitCode {
         return die("--shards: cannot exceed --cluster-size");
     }
 
+    // The SLO plane: one accumulator shared by every journal plane's
+    // event sink and drained by the engine's per-tick evaluator. Rules
+    // were validated during flag parsing, so re-parsing cannot fail.
+    let slo_accum = (!slo_specs.is_empty()).then(|| Arc::new(SloAccum::new(slo_window_secs)));
+    engine.slo_rules = slo_specs
+        .iter()
+        .map(|s| pqos_telemetry::slo::parse_rule(s).expect("validated at flag parse"))
+        .collect();
+    engine.slo_accum = slo_accum.clone();
+
     // One predictor per engine plane. Shard K predicts over its own
     // node span from a seed derived from its index, so shard planes
     // stay deterministic and distinguishable; replay rebuilds the same
@@ -223,18 +275,22 @@ fn main() -> ExitCode {
     let open_journal = |path: Option<&str>| -> Result<Telemetry, ExitCode> {
         // Telemetry is always enabled: the /metrics endpoint and the
         // stage histograms need a live registry even when no journal is
-        // written. Without a journal there are no event sinks, so emits
-        // stay cheap.
-        let telemetry = match path {
-            None => Telemetry::builder().build(),
+        // written. Without a journal or SLO rules there are no event
+        // sinks, so emits stay cheap.
+        let mut builder = match path {
+            None => Telemetry::builder(),
             Some(path) => match Telemetry::builder().flush_every(1024).jsonl_path(path) {
-                Ok(builder) => builder.build(),
+                Ok(builder) => builder,
                 Err(e) => {
                     eprintln!("pqos-qosd: cannot open journal {path}: {e}");
                     return Err(ExitCode::from(2));
                 }
             },
         };
+        if let Some(accum) = &slo_accum {
+            builder = builder.sink(Box::new(SloSink(Arc::clone(accum))));
+        }
+        let telemetry = builder.build();
         // Flush the journal before unwinding on any panic: an incident
         // capture that stops mid-event cannot be replayed or trusted.
         pqos_telemetry::panichook::flush_on_panic(&telemetry);
@@ -361,6 +417,8 @@ fn main() -> ExitCode {
                 "null".into()
             },
             shards: u64::from(shards),
+            slo: slo_specs.clone(),
+            slo_window_secs,
         },
     });
     let config = ServerConfig {
@@ -370,6 +428,7 @@ fn main() -> ExitCode {
         flight_dump: flight_dump.map(Into::into),
         metrics_dump: metrics_dump.map(Into::into),
         record,
+        history_window_ms,
     };
     let served = serve_core(listener, core, config);
     if shards > 1 {

@@ -1,7 +1,7 @@
 //! `pqos-top`: one-screen live status for a running `pqos-qosd`.
 //!
 //! ```text
-//! pqos-top --metrics HOST:PORT [--interval-ms N] [--once]
+//! pqos-top --metrics HOST:PORT [--interval-ms N] [--once] [--no-history]
 //! ```
 //!
 //! Polls the daemon's `/metrics` endpoint and renders the scrape as a
@@ -15,12 +15,23 @@
 //! prints a single snapshot without clearing the screen — the mode CI
 //! and scripts use.
 //!
+//! Two panels ride on the SLO plane: `/history` (the daemon's windowed
+//! health ring) renders as sparklines, and when the daemon declares
+//! `--slo` rules, an alert panel lists each rule FIRING/ok from the
+//! `pqos_slo_*` gauges.
+//!
+//! A daemon that stops answering does not blank the screen: the last
+//! good frame stays up under a STALE banner showing the data's age, and
+//! reconnect attempts back off exponentially (interval .. 16x interval)
+//! until the scrape succeeds again.
+//!
 //! No raw-terminal games: the repaint is ANSI clear-home
 //! (`ESC[2J ESC[H`), so any terminal (or `watch`-style pager) works, and
 //! piping to a file degrades to one frame per poll.
 
 use pqos_service::scrape;
 use pqos_telemetry::expo::{self, Sample};
+use pqos_telemetry::json::Json;
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::process::ExitCode;
@@ -29,7 +40,11 @@ use std::time::{Duration, Instant};
 const USAGE: &str = "usage: pqos-top --metrics HOST:PORT [options]
   --interval-ms N   poll interval (default 1000)
   --once            print one snapshot and exit (no screen clearing)
+  --no-history      skip the /history sparkline panel
 ";
+
+/// Reconnect backoff cap, as a multiple of the poll interval.
+const MAX_BACKOFF_MULT: u32 = 16;
 
 const VERBS: [&str; 6] = [
     "negotiate",
@@ -51,6 +66,7 @@ fn main() -> ExitCode {
     let mut metrics: Option<String> = None;
     let mut interval = Duration::from_millis(1000);
     let mut once = false;
+    let mut no_history = false;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -70,6 +86,10 @@ fn main() -> ExitCode {
                 once = true;
                 Ok(())
             }
+            "--no-history" => {
+                no_history = true;
+                Ok(())
+            }
             "-h" | "--help" => {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -86,39 +106,70 @@ fn main() -> ExitCode {
 
     let timeout = Duration::from_secs(5);
     let mut previous: Option<(Instant, BTreeMap<String, f64>)> = None;
+    // The stale-data plane: the last frame that rendered from a live
+    // scrape, kept on screen (under a banner) while the daemon is away.
+    let mut last_good: Option<(Instant, String)> = None;
+    let mut failures: u32 = 0;
     loop {
-        let samples = match scrape::scrape_metrics(&addr, timeout) {
-            Ok(samples) => samples,
+        let emit = |payload: &str| -> bool {
+            let mut stdout = std::io::stdout().lock();
+            write!(stdout, "{payload}")
+                .and_then(|()| stdout.flush())
+                .is_ok()
+        };
+        match scrape::scrape_metrics(&addr, timeout) {
+            Ok(samples) => {
+                failures = 0;
+                let now = Instant::now();
+                let counters = verb_counters(&samples);
+                let history = (!no_history)
+                    .then(|| scrape::http_get(&addr, "/history", timeout).ok())
+                    .flatten();
+                let mut frame = render_frame(&addr, &samples, &counters, previous.as_ref(), now);
+                frame.push_str(&render_slo(&samples));
+                if let Some(body) = &history {
+                    frame.push_str(&render_history(body));
+                }
+                let payload = if once {
+                    frame.clone()
+                } else {
+                    format!("\x1b[2J\x1b[H{frame}")
+                };
+                if !emit(&payload) {
+                    return ExitCode::SUCCESS; // pipe closed: done
+                }
+                if once {
+                    return ExitCode::SUCCESS;
+                }
+                previous = Some((now, counters));
+                last_good = Some((now, frame));
+                std::thread::sleep(interval);
+            }
             Err(e) => {
                 if once {
                     eprintln!("pqos-top: {addr}: {e}");
                     return ExitCode::FAILURE;
                 }
-                eprintln!("pqos-top: {addr}: {e} (retrying)");
-                std::thread::sleep(interval);
-                continue;
+                failures = failures.saturating_add(1);
+                let backoff = interval * 2u32.pow((failures - 1).min(MAX_BACKOFF_MULT.ilog2()));
+                let payload = match &last_good {
+                    Some((at, frame)) => format!(
+                        "\x1b[2J\x1b[HSTALE: {addr} unreachable ({e}); data is {}s old; \
+                         retry {failures} in {:.1}s\n\n{frame}",
+                        at.elapsed().as_secs(),
+                        backoff.as_secs_f64(),
+                    ),
+                    None => format!(
+                        "\x1b[2J\x1b[Hpqos-top: {addr}: {e}; retry {failures} in {:.1}s\n",
+                        backoff.as_secs_f64(),
+                    ),
+                };
+                if !emit(&payload) {
+                    return ExitCode::SUCCESS;
+                }
+                std::thread::sleep(backoff);
             }
-        };
-        let now = Instant::now();
-        let counters = verb_counters(&samples);
-        let frame = render_frame(&addr, &samples, &counters, previous.as_ref(), now);
-        let mut stdout = std::io::stdout().lock();
-        let payload = if once {
-            frame
-        } else {
-            format!("\x1b[2J\x1b[H{frame}")
-        };
-        if write!(stdout, "{payload}")
-            .and_then(|()| stdout.flush())
-            .is_err()
-        {
-            return ExitCode::SUCCESS; // pipe closed: done
         }
-        if once {
-            return ExitCode::SUCCESS;
-        }
-        previous = Some((now, counters));
-        std::thread::sleep(interval);
     }
 }
 
@@ -297,6 +348,112 @@ fn render_shards(samples: &[Sample]) -> String {
         out.push_str(&format!(
             "{:<6} {:>8} {:>8} {:>10} {:>8} {:>8.0}\n",
             "wide", "-", "-", "-", "-", wide
+        ));
+    }
+    out
+}
+
+/// SLO alert panel, present only against daemons that declared `--slo`
+/// rules (`pqos_slo_rules` is 0 or absent otherwise).
+fn render_slo(samples: &[Sample]) -> String {
+    let gauge = |name: &str| expo::find(samples, name, &[]).unwrap_or(0.0);
+    let rules = gauge("pqos_slo_rules") as u64;
+    if rules == 0 {
+        return String::new();
+    }
+    let mut out = format!(
+        "\nslo: {rules} rule(s) | active {} | fired {} resolved {} | windows closed {}\n",
+        gauge("pqos_slo_active_alerts") as u64,
+        gauge("pqos_slo_alerts_fired_total") as u64,
+        gauge("pqos_slo_alerts_resolved_total") as u64,
+        gauge("pqos_slo_windows_closed_total") as u64,
+    );
+    for s in samples {
+        if s.name != "pqos_slo_rule_firing" {
+            continue;
+        }
+        if let Some((_, rule)) = s.labels.iter().find(|(k, _)| k == "rule") {
+            out.push_str(&format!(
+                "  {:<7} {rule}\n",
+                if s.value >= 1.0 { "FIRING" } else { "ok" }
+            ));
+        }
+    }
+    out
+}
+
+const SPARK: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+/// Windows of history drawn per sparkline row.
+const SPARK_WIDTH: usize = 48;
+/// Sparkline rows shown before the panel truncates.
+const HISTORY_ROWS: usize = 8;
+
+/// The last [`SPARK_WIDTH`] windows as one row of block characters,
+/// scaled against the row's own peak; a window with no data is a blank.
+fn sparkline(points: &[Option<f64>]) -> String {
+    let tail = &points[points.len().saturating_sub(SPARK_WIDTH)..];
+    let peak = tail.iter().flatten().fold(0.0f64, |a, &b| a.max(b));
+    tail.iter()
+        .map(|p| match p {
+            None => ' ',
+            Some(_) if peak <= 0.0 => SPARK[0],
+            Some(v) => SPARK[((v.max(0.0) / peak * 7.0).round() as usize).min(7)],
+        })
+        .collect()
+}
+
+/// `/history` sparkline panel: a handful of load-bearing families
+/// (pinned ones first, then the busiest per-window rates), each drawn
+/// against its own peak with its latest value alongside.
+fn render_history(body: &str) -> String {
+    const PREFERRED: [&str; 5] = [
+        "engine.queue_depth",
+        "journal.quote_negotiated",
+        "journal.job_completed",
+        "journal.job_rejected",
+        "slo.active_alerts",
+    ];
+    let Some(doc) = Json::parse(body) else {
+        return String::new();
+    };
+    let window_ms = doc.get("window_ms").and_then(Json::as_u64).unwrap_or(0);
+    let windows = doc.get("windows").and_then(Json::as_u64).unwrap_or(0);
+    let Some(families) = doc.get("families").and_then(Json::as_arr) else {
+        return String::new();
+    };
+    if windows == 0 || families.is_empty() {
+        return String::new();
+    }
+    let mut rows: Vec<(i64, String, String, Vec<Option<f64>>)> = Vec::new();
+    for f in families {
+        let (Some(name), Some(kind), Some(points)) = (
+            f.get("name").and_then(Json::as_str),
+            f.get("kind").and_then(Json::as_str),
+            f.get("points").and_then(Json::as_arr),
+        ) else {
+            continue;
+        };
+        let pts: Vec<Option<f64>> = points.iter().map(Json::as_f64).collect();
+        let peak = pts.iter().flatten().fold(0.0f64, |a, &b| a.max(b.abs()));
+        let score = match PREFERRED.iter().position(|p| *p == name) {
+            Some(i) => i64::MIN + i as i64, // pinned to the top, in order
+            None if kind == "rate" && peak > 0.0 => -(peak as i64),
+            None => continue, // idle unpinned family: not worth a row
+        };
+        rows.push((score, name.into(), kind.into(), pts));
+    }
+    if rows.is_empty() {
+        return String::new();
+    }
+    rows.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    rows.truncate(HISTORY_ROWS);
+    let mut out = format!("\nhistory ({window_ms}ms windows, {windows} sampled):\n");
+    for (_, name, kind, pts) in &rows {
+        let last = pts.iter().rev().flatten().next().copied();
+        out.push_str(&format!(
+            "  {name:<34} {} {:>9} {kind}\n",
+            sparkline(pts),
+            last.map_or(String::from("-"), |v| format!("{v:.1}")),
         ));
     }
     out

@@ -37,7 +37,7 @@ use pqos_core::session::{AcceptError, CancelError, NegotiationSession, QuoteDeci
 use pqos_core::session::{AdmissionRequest, SessionStatus};
 use pqos_predict::api::Predictor;
 use pqos_sim_core::time::{SimDuration, SimTime};
-use pqos_telemetry::{SinkHealth, Telemetry};
+use pqos_telemetry::{SinkHealth, SloAccum, SloEngine, SloRule, Telemetry, WindowStore};
 use pqos_workload::job::JobId;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
@@ -136,6 +136,19 @@ pub struct EngineConfig {
     /// release serving dials it up to keep the re-check off the hot
     /// path (`pqos-qosd --parity-sample`).
     pub parity_sample: u64,
+    /// Declarative SLO rules evaluated over virtual-time windows at each
+    /// tick; fire/resolve transitions are journaled as `slo_alert`
+    /// events. Only meaningful together with [`EngineConfig::slo_accum`].
+    pub slo_rules: Vec<SloRule>,
+    /// The window accumulator the SLO evaluator drains. The caller
+    /// attaches a [`pqos_telemetry::SloSink`] over this same accumulator
+    /// to every journal plane, so window counts fill as events are
+    /// journaled; `None` disables SLO evaluation entirely.
+    pub slo_accum: Option<Arc<SloAccum>>,
+    /// Wall-clock windowed health history served by the `history` verb
+    /// (sampled by the server's history thread, not by the engine).
+    /// `None` answers `history` with an empty document.
+    pub history: Option<Arc<WindowStore>>,
 }
 
 impl Default for EngineConfig {
@@ -148,6 +161,9 @@ impl Default for EngineConfig {
             max_batch: 256,
             verify_parity: true,
             parity_sample: 1,
+            slo_rules: Vec::new(),
+            slo_accum: None,
+            history: None,
         }
     }
 }
@@ -367,6 +383,37 @@ fn run<P: Predictor + Sync>(
         promise_cancelled_gauge.set(p.cancelled as i64);
         promise_residual_gauge.set(p.worst_residual_milli);
     };
+    // The SLO plane: per-window counts accumulate via SloSinks on the
+    // journal planes; the evaluator drains closed windows once per tick,
+    // right after virtual time advances — the same point replay drains
+    // at, which is what makes the journaled alerts byte-reproducible.
+    let mut slo: Option<(Arc<SloAccum>, SloEngine)> = config
+        .slo_accum
+        .as_ref()
+        .filter(|_| !config.slo_rules.is_empty())
+        .map(|accum| (Arc::clone(accum), SloEngine::new(config.slo_rules.clone())));
+    let slo_rules_gauge = telemetry.gauge("slo.rules");
+    let slo_active_gauge = telemetry.gauge("slo.active_alerts");
+    let slo_fired_gauge = telemetry.gauge("slo.alerts_fired_total");
+    let slo_resolved_gauge = telemetry.gauge("slo.alerts_resolved_total");
+    let slo_windows_gauge = telemetry.gauge("slo.windows_closed_total");
+    let set_slo_gauges = |engine: &SloEngine| {
+        slo_rules_gauge.set(engine.rules().len() as i64);
+        slo_active_gauge.set(engine.active_alerts() as i64);
+        slo_fired_gauge.set(engine.fired_total as i64);
+        slo_resolved_gauge.set(engine.resolved_total as i64);
+        slo_windows_gauge.set(engine.windows_closed as i64);
+        let firing = engine.firing();
+        for rule in engine.rules() {
+            let labels = [("rule", rule.name.as_str())];
+            telemetry
+                .gauge(&pqos_telemetry::labeled("slo.rule_firing", &labels))
+                .set(i64::from(firing.contains(&rule.name.as_str())));
+        }
+    };
+    if let Some((_, engine)) = slo.as_ref() {
+        set_slo_gauges(engine);
+    }
     let epoch = shared.epoch;
     let mut next_job: u64 = 1;
     // Batch-epoch counter for the request trace: one per tick, starting
@@ -403,6 +450,12 @@ fn run<P: Predictor + Sync>(
         let virtual_now = (epoch.elapsed().as_secs_f64() * config.time_scale) as u64;
         core.advance_to(SimTime::from_secs(virtual_now));
         epoch_no += 1;
+        if let Some((accum, slo_engine)) = slo.as_mut() {
+            for alert in slo_engine.drain(accum, virtual_now) {
+                core.alert_telemetry().emit(|| alert.clone());
+            }
+            set_slo_gauges(slo_engine);
+        }
 
         let mut live = Vec::with_capacity(tick.len());
         for mut item in tick {
@@ -507,6 +560,17 @@ fn run<P: Predictor + Sync>(
                     id,
                     trace: recorder.dump_chrome(),
                 },
+                Request::History { .. } => Response::History {
+                    id,
+                    history: match config.history.as_ref() {
+                        Some(store) => store.to_json(),
+                        None => concat!(
+                            r#"{"history":true,"window_ms":0,"#,
+                            r#""windows":0,"families":[]}"#
+                        )
+                        .to_string(),
+                    },
+                },
                 Request::Shutdown { .. } => {
                     shared.draining.store(true, Ordering::Release);
                     let response = Response::Ok { id };
@@ -564,8 +628,13 @@ fn run<P: Predictor + Sync>(
     }
     uptime_gauge.set(epoch.elapsed().as_secs() as i64);
     // Shutdown breaks out before the tick-end gauge block; publish the
-    // final promise tallies so the post-drain snapshot reconciles.
+    // final promise tallies so the post-drain snapshot reconciles. No
+    // extra SLO drain happens here: windows close only at recorded tick
+    // times, so replay closes exactly the same set.
     set_promise_gauges(core.promise_stats());
+    if let Some((_, slo_engine)) = slo.as_ref() {
+        set_slo_gauges(slo_engine);
+    }
     set_shard_gauges(&telemetry, core);
     core.flush();
     trace_rec.flush();

@@ -491,6 +491,8 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
                 quote_horizon_secs: None,
                 predictor: "unknown".into(),
                 shards: 1,
+                slo: Vec::new(),
+                slo_window_secs: pqos_telemetry::slo::DEFAULT_WINDOW_SECS,
             },
         )?,
         None => TraceRecorder::disabled(),

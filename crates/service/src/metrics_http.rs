@@ -8,6 +8,9 @@
 //!   format v0.0.4 ([`pqos_telemetry::expo::render`]).
 //! * `GET /healthz` — `ok` while the engine is accepting work,
 //!   `draining` (HTTP 503) once shutdown has begun.
+//! * `GET /history` — the windowed health history as JSON
+//!   ([`WindowStore::to_json`]); an empty document when the history
+//!   plane is disabled (`--history-window-ms 0`).
 //!
 //! The endpoint answers anything that speaks enough HTTP to send a
 //! request line; there is deliberately no keep-alive, chunking, or TLS —
@@ -18,9 +21,10 @@
 //! process uptime), so an idle daemon still reports live values.
 
 use crate::engine::EngineHandle;
-use pqos_telemetry::{expo, Telemetry};
+use pqos_telemetry::{expo, Telemetry, WindowStore};
 use std::io::{Read, Write};
 use std::net::TcpListener;
+use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
@@ -36,14 +40,20 @@ pub fn spawn(
     listener: TcpListener,
     telemetry: Telemetry,
     engine: EngineHandle,
+    history: Option<Arc<WindowStore>>,
 ) -> thread::JoinHandle<()> {
     thread::Builder::new()
         .name("pqos-metrics".into())
-        .spawn(move || serve_metrics(listener, telemetry, engine))
+        .spawn(move || serve_metrics(listener, telemetry, engine, history))
         .expect("spawn metrics thread")
 }
 
-fn serve_metrics(listener: TcpListener, telemetry: Telemetry, engine: EngineHandle) {
+fn serve_metrics(
+    listener: TcpListener,
+    telemetry: Telemetry,
+    engine: EngineHandle,
+    history: Option<Arc<WindowStore>>,
+) {
     if listener.set_nonblocking(true).is_err() {
         return;
     }
@@ -55,7 +65,7 @@ fn serve_metrics(listener: TcpListener, telemetry: Telemetry, engine: EngineHand
                 let _ = stream.set_nonblocking(false);
                 let _ = stream.set_read_timeout(Some(CLIENT_TIMEOUT));
                 let _ = stream.set_write_timeout(Some(CLIENT_TIMEOUT));
-                handle_client(stream, &telemetry, &engine);
+                handle_client(stream, &telemetry, &engine, history.as_deref());
             }
             Err(err)
                 if err.kind() == std::io::ErrorKind::WouldBlock
@@ -71,7 +81,12 @@ fn serve_metrics(listener: TcpListener, telemetry: Telemetry, engine: EngineHand
     }
 }
 
-fn handle_client(mut stream: std::net::TcpStream, telemetry: &Telemetry, engine: &EngineHandle) {
+fn handle_client(
+    mut stream: std::net::TcpStream,
+    telemetry: &Telemetry,
+    engine: &EngineHandle,
+    history: Option<&WindowStore>,
+) {
     let mut buf = [0u8; 1024];
     let mut line = Vec::new();
     // Read until the end of the request line; ignore headers entirely.
@@ -103,6 +118,17 @@ fn handle_client(mut stream: std::net::TcpStream, telemetry: &Telemetry, engine:
                 .map(|snap| expo::render(&snap))
                 .unwrap_or_default();
             ("200 OK", "text/plain; version=0.0.4; charset=utf-8", body)
+        }
+        "/history" => {
+            let body = match history {
+                Some(store) => store.to_json(),
+                None => concat!(
+                    r#"{"history":true,"window_ms":0,"#,
+                    r#""windows":0,"families":[]}"#
+                )
+                .to_string(),
+            };
+            ("200 OK", "application/json", body)
         }
         "/healthz" => {
             if engine.is_draining() {

@@ -12,7 +12,8 @@
 //! {"id":3,"verb":"cancel","job":17}
 //! {"id":4,"verb":"status"}
 //! {"id":5,"verb":"dump"}
-//! {"id":6,"verb":"shutdown"}
+//! {"id":6,"verb":"history"}
+//! {"id":7,"verb":"shutdown"}
 //! ```
 //!
 //! Successful responses carry `"ok":true` plus verb-specific fields;
@@ -126,6 +127,11 @@ pub enum Request {
         /// Correlation id, echoed in the reply.
         id: u64,
     },
+    /// Ask for the windowed health history (wall-clock metric windows).
+    History {
+        /// Correlation id, echoed in the reply.
+        id: u64,
+    },
     /// Drain and stop the daemon.
     Shutdown {
         /// Correlation id, echoed in the reply.
@@ -152,6 +158,7 @@ impl Request {
             | Request::Cancel { id, .. }
             | Request::Status { id }
             | Request::Dump { id }
+            | Request::History { id }
             | Request::Shutdown { id } => *id,
         }
     }
@@ -164,6 +171,7 @@ impl Request {
             Request::Cancel { .. } => "cancel",
             Request::Status { .. } => "status",
             Request::Dump { .. } => "dump",
+            Request::History { .. } => "history",
             Request::Shutdown { .. } => "shutdown",
         }
     }
@@ -222,6 +230,7 @@ impl Request {
             }
             "status" => Ok(Request::Status { id }),
             "dump" => Ok(Request::Dump { id }),
+            "history" => Ok(Request::History { id }),
             "shutdown" => Ok(Request::Shutdown { id }),
             _ => fail(Some(id), "unknown verb"),
         }
@@ -252,6 +261,9 @@ impl Request {
             }
             Request::Dump { id } => {
                 w.u64("id", *id).str("verb", "dump");
+            }
+            Request::History { id } => {
+                w.u64("id", *id).str("verb", "history");
             }
             Request::Shutdown { id } => {
                 w.u64("id", *id).str("verb", "shutdown");
@@ -371,6 +383,15 @@ pub enum Response {
         /// Chrome trace JSON (`{"traceEvents":[…]}`).
         trace: String,
     },
+    /// A successful `history`: the windowed health-history document
+    /// (JSON carried as a string field; see
+    /// `pqos_telemetry::WindowStore::to_json`).
+    History {
+        /// Correlation id of the request.
+        id: u64,
+        /// History JSON (`{"history":true,"window_ms":…,"families":[…]}`).
+        history: String,
+    },
     /// Any failure; `code` is stable, `detail` is advisory.
     Error {
         /// Correlation id of the request (0 when unrecoverable).
@@ -390,6 +411,7 @@ impl Response {
             | Response::Ok { id }
             | Response::Status { id, .. }
             | Response::Dump { id, .. }
+            | Response::History { id, .. }
             | Response::Error { id, .. } => *id,
         }
     }
@@ -454,6 +476,9 @@ impl Response {
             Response::Dump { id, trace } => {
                 w.u64("id", *id).bool("ok", true).str("trace", trace);
             }
+            Response::History { id, history } => {
+                w.u64("id", *id).bool("ok", true).str("history", history);
+            }
             Response::Error { id, code, detail } => {
                 w.u64("id", *id)
                     .bool("ok", false)
@@ -483,6 +508,12 @@ impl Response {
             return Some(Response::Dump {
                 id,
                 trace: trace.to_string(),
+            });
+        }
+        if let Some(history) = v.get("history").and_then(Json::as_str) {
+            return Some(Response::History {
+                id,
+                history: history.to_string(),
             });
         }
         if let Some(job) = v.get("job").and_then(Json::as_u64) {
@@ -563,7 +594,8 @@ mod tests {
             Request::Cancel { id: 3, job: 17 },
             Request::Status { id: 4 },
             Request::Dump { id: 5 },
-            Request::Shutdown { id: 6 },
+            Request::History { id: 6 },
+            Request::Shutdown { id: 7 },
         ];
         for r in requests {
             assert_eq!(Request::parse(&r.encode()), Ok(r));
@@ -619,6 +651,11 @@ mod tests {
             Response::Dump {
                 id: 9,
                 trace: "{\"traceEvents\":[]}\n".into(),
+            },
+            Response::History {
+                id: 10,
+                history: "{\"history\":true,\"window_ms\":1000,\"windows\":0,\"families\":[]}"
+                    .into(),
             },
             Response::Error {
                 id: 4,

@@ -182,6 +182,8 @@ mod tests {
             quote_horizon_secs: None,
             predictor: "null".into(),
             shards: 1,
+            slo: Vec::new(),
+            slo_window_secs: pqos_telemetry::slo::DEFAULT_WINDOW_SECS,
         }
     }
 

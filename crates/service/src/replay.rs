@@ -31,7 +31,7 @@ use pqos_predict::api::{NullPredictor, Predictor};
 use pqos_predict::oracle::TraceOracle;
 use pqos_sim_core::time::{SimDuration, SimTime};
 use pqos_telemetry::reqtrace::{RequestTrace, TraceEntry};
-use pqos_telemetry::Telemetry;
+use pqos_telemetry::{SloAccum, SloEngine, SloSink, Telemetry};
 use pqos_workload::job::JobId;
 use std::fmt;
 use std::sync::Arc;
@@ -204,6 +204,23 @@ pub fn replay_with(
                 ))),
             }
         };
+    // The SLO plane: rebuild the daemon's evaluator from the recorded
+    // rule specs, attach the same window accumulator to every journal
+    // plane, and drain at the same point the engine does (right after
+    // each epoch's AdvanceTo) — the journaled alert lines then replay
+    // byte-identically.
+    let mut slo_rules = Vec::new();
+    for spec in &meta.slo {
+        slo_rules.push(pqos_telemetry::slo::parse_rule(spec).map_err(|e| {
+            ReplayError::Unsupported(format!("bad SLO rule {spec:?} in trace header: {e}"))
+        })?);
+    }
+    let slo_accum = if slo_rules.is_empty() {
+        None
+    } else {
+        Some(Arc::new(SloAccum::new(meta.slo_window_secs)))
+    };
+    let mut slo_engine = slo_accum.as_ref().map(|_| SloEngine::new(slo_rules));
     let shards = meta.shards.max(1) as u32;
     if shards > meta.cluster_size {
         return Err(ReplayError::Unsupported(format!(
@@ -222,10 +239,13 @@ pub fn replay_with(
         ReplayError,
     > {
         let buf = SharedBuf::new();
-        let telemetry = Telemetry::builder()
+        let mut builder = Telemetry::builder()
             .flush_every(0)
-            .jsonl_writer(buf.clone())
-            .build();
+            .jsonl_writer(buf.clone());
+        if let Some(accum) = &slo_accum {
+            builder = builder.sink(Box::new(SloSink(Arc::clone(accum))));
+        }
+        let telemetry = builder.build();
         let session = NegotiationSession::new(
             SimConfig::paper_defaults().cluster_size_nodes(nodes),
             make_predictor(seed, nodes)?,
@@ -253,10 +273,13 @@ pub fn replay_with(
             sessions.push(session);
         }
         let wide_buf = SharedBuf::new();
-        let coordinator = Telemetry::builder()
+        let mut builder = Telemetry::builder()
             .flush_every(0)
-            .jsonl_writer(wide_buf.clone())
-            .build();
+            .jsonl_writer(wide_buf.clone());
+        if let Some(accum) = &slo_accum {
+            builder = builder.sink(Box::new(SloSink(Arc::clone(accum))));
+        }
+        let coordinator = builder.build();
         journal_bufs.push(wide_buf);
         ShardedCore::sharded(
             sessions,
@@ -301,6 +324,11 @@ pub fn replay_with(
         let entries = &trace.entries[idx..end];
         let tick = entries[0].tick_secs;
         core.apply(&SessionOp::AdvanceTo(SimTime::from_secs(tick)), threads);
+        if let (Some(accum), Some(slo)) = (&slo_accum, slo_engine.as_mut()) {
+            for alert in slo.drain(accum, tick) {
+                core.alert_telemetry().emit(|| alert.clone());
+            }
+        }
 
         // Parse payloads and split out recorded queue-timeouts up front.
         let mut parsed = Vec::with_capacity(entries.len());
@@ -396,7 +424,7 @@ pub fn replay_with(
                     };
                     engine::cancel_outcome_response(id, &outcome)
                 }
-                Request::Status { .. } | Request::Dump { .. } => {
+                Request::Status { .. } | Request::Dump { .. } | Request::History { .. } => {
                     report.skipped_nondeterministic += 1;
                     continue;
                 }
@@ -497,6 +525,8 @@ mod tests {
             quote_horizon_secs: None,
             predictor: "null".into(),
             shards: 1,
+            slo: Vec::new(),
+            slo_window_secs: pqos_telemetry::slo::DEFAULT_WINDOW_SECS,
         };
         let telemetry = Telemetry::builder()
             .flush_every(0)
@@ -588,6 +618,111 @@ mod tests {
         );
     }
 
+    /// The SLO plane round trip: a live engine run with a tight
+    /// `rejects<=0` rule journals a fire and a resolve, and replay —
+    /// rebuilding the evaluator from the trace header alone — reproduces
+    /// the exact `slo_alert` lines, byte for byte.
+    #[test]
+    fn slo_alerts_record_then_replay_byte_identically() {
+        use pqos_telemetry::{AlertState, SloAccum, SloSink, TelemetryEvent};
+        let trace_buf = SharedBuf::new();
+        let journal_buf = SharedBuf::new();
+        let meta = pqos_telemetry::reqtrace::TraceMeta {
+            version: pqos_telemetry::reqtrace::TRACE_FORMAT_VERSION,
+            source: "qosd".into(),
+            cluster_size: 16,
+            time_scale: 5000.0,
+            batch_threads: 2,
+            quote_horizon_secs: None,
+            predictor: "null".into(),
+            shards: 1,
+            slo: vec!["tight:rejects<=0@1".into()],
+            slo_window_secs: 60,
+        };
+        let accum = Arc::new(SloAccum::new(60));
+        let telemetry = Telemetry::builder()
+            .flush_every(0)
+            .jsonl_writer(journal_buf.clone())
+            .sink(Box::new(SloSink(Arc::clone(&accum))))
+            .build();
+        let session = NegotiationSession::new(
+            SimConfig::paper_defaults().cluster_size_nodes(16),
+            NullPredictor,
+            telemetry,
+        );
+        let config = EngineConfig {
+            time_scale: 5000.0,
+            batch_threads: 2,
+            slo_rules: vec![pqos_telemetry::slo::parse_rule("tight:rejects<=0@1").unwrap()],
+            slo_accum: Some(accum),
+            ..EngineConfig::default()
+        };
+        let recorder = TraceRecorder::to_writer(trace_buf.clone(), &meta).unwrap();
+        let (handle, join) = eng::spawn(session, config, FlightRecorder::disabled(), recorder);
+        let (reply, rx) = ReplySender::channel();
+        let ask = |request: Request| {
+            handle.submit(request, &reply, None, 1).expect("accepts");
+            rx.recv_timeout(StdDuration::from_secs(5)).expect("reply").0
+        };
+        // Wider than the cluster: journals a reject into the live window.
+        assert!(matches!(
+            ask(Request::Negotiate {
+                id: 1,
+                size: 32,
+                runtime_secs: 600,
+            }),
+            Response::Error { .. }
+        ));
+        // 30ms of wall time is 150 virtual seconds at this scale — more
+        // than one 60s window, so the next tick must close the reject's
+        // window and FIRE, and its own clean quote lands in a later one.
+        std::thread::sleep(StdDuration::from_millis(30));
+        assert!(matches!(
+            ask(Request::Negotiate {
+                id: 2,
+                size: 2,
+                runtime_secs: 600,
+            }),
+            Response::Quote { .. }
+        ));
+        // Another window's worth of virtual time: the shutdown tick's
+        // drain closes the clean window and RESOLVES before serving.
+        std::thread::sleep(StdDuration::from_millis(30));
+        assert!(matches!(
+            ask(Request::Shutdown { id: 3 }),
+            Response::Ok { .. }
+        ));
+        join.join().unwrap();
+
+        let recorded_journal = journal_buf.take_string();
+        let states: Vec<AlertState> = recorded_journal
+            .lines()
+            .filter_map(TelemetryEvent::from_jsonl)
+            .filter_map(|e| match e {
+                TelemetryEvent::SloAlert { state, .. } => Some(state),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            states,
+            [AlertState::Fire, AlertState::Resolve],
+            "the run journals one fire and one resolve"
+        );
+
+        let trace = RequestTrace::parse(&trace_buf.take_string()).expect("recorded trace parses");
+        let report = replay(&trace, &ReplayOptions::default()).expect("replayable");
+        assert!(report.shutdown_seen);
+        assert!(
+            report.is_parity_clean(),
+            "parity mismatches: {:#?}",
+            report.mismatches
+        );
+        assert_eq!(
+            report.journal, recorded_journal,
+            "replayed journal (alerts included) must be byte-identical"
+        );
+    }
+
     /// Regression for engine tick coalescing: a cancel and a re-negotiate
     /// for the same capacity racing into one tick are quoted in pass 1
     /// (pre-cancel snapshot) and mutated in pass 2, so the fresh job can
@@ -607,6 +742,8 @@ mod tests {
             quote_horizon_secs: None,
             predictor: "null".into(),
             shards: 1,
+            slo: Vec::new(),
+            slo_window_secs: pqos_telemetry::slo::DEFAULT_WINDOW_SECS,
         };
         let telemetry = Telemetry::builder()
             .flush_every(0)
@@ -743,6 +880,8 @@ mod tests {
             quote_horizon_secs: None,
             predictor: "null".into(),
             shards: 1,
+            slo: Vec::new(),
+            slo_window_secs: pqos_telemetry::slo::DEFAULT_WINDOW_SECS,
         };
         let trace = RequestTrace {
             meta: meta.clone(),
@@ -773,6 +912,8 @@ mod tests {
             quote_horizon_secs: None,
             predictor: "null".into(),
             shards: 1,
+            slo: Vec::new(),
+            slo_window_secs: pqos_telemetry::slo::DEFAULT_WINDOW_SECS,
         };
         let entry = |seq, epoch, tick, job: u64| TraceEntry {
             seq,
@@ -827,6 +968,8 @@ mod tests {
             quote_horizon_secs: None,
             predictor: "null".into(),
             shards: 4,
+            slo: Vec::new(),
+            slo_window_secs: pqos_telemetry::slo::DEFAULT_WINDOW_SECS,
         };
         // Build the live core exactly the way pqos-qosd --shards 4 does,
         // except each plane journals to a buffer instead of a file.

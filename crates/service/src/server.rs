@@ -35,11 +35,13 @@ use pqos_core::session::NegotiationSession;
 use pqos_net::{Ctx, EventLoop, NetConfig, NetEvent, Token};
 use pqos_predict::api::Predictor;
 use pqos_telemetry::reqtrace::TraceMeta;
+use pqos_telemetry::{WindowStore, DEFAULT_WINDOW_CAPACITY};
 use std::collections::HashMap;
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::sync::mpsc::Receiver;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Everything [`serve`] needs beyond the protocol listener: engine
 /// tuning plus the observability plane.
@@ -61,6 +63,10 @@ pub struct ServerConfig {
     pub metrics_dump: Option<PathBuf>,
     /// Record every answered request as a replayable trace (`--record`).
     pub record: Option<RecordConfig>,
+    /// Width of one windowed-health-history sample in wall milliseconds
+    /// (`0` disables the history plane: no sampler thread, and the
+    /// `history` verb and `/history` route answer an empty document).
+    pub history_window_ms: u64,
 }
 
 /// Where and how to record a request trace: the destination path plus the
@@ -78,6 +84,14 @@ pub struct RecordConfig {
 /// requests plus context around it.
 pub const DEFAULT_FLIGHT_CAPACITY: usize = 256;
 
+/// Default health-history window width: one second per point, two
+/// minutes of ring (`DEFAULT_WINDOW_CAPACITY` windows).
+pub const DEFAULT_HISTORY_WINDOW_MS: u64 = 1000;
+
+/// How often the history sampler rechecks the draining flag between
+/// samples, so shutdown never waits out a wide window.
+const HISTORY_POLL: Duration = Duration::from_millis(50);
+
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
@@ -87,6 +101,7 @@ impl Default for ServerConfig {
             flight_dump: None,
             metrics_dump: None,
             record: None,
+            history_window_ms: DEFAULT_HISTORY_WINDOW_MS,
         }
     }
 }
@@ -129,12 +144,22 @@ where
 pub fn serve_core<P>(
     listener: TcpListener,
     core: ShardedCore<P>,
-    config: ServerConfig,
+    mut config: ServerConfig,
 ) -> std::io::Result<()>
 where
     P: Predictor + Send + Sync + 'static,
 {
     let telemetry = core.telemetry().clone();
+    // The windowed health history: one store shared by the sampler
+    // thread (below), the engine's `history` verb, and the `/history`
+    // HTTP route.
+    let history = (config.history_window_ms > 0).then(|| {
+        Arc::new(WindowStore::new(
+            DEFAULT_WINDOW_CAPACITY,
+            config.history_window_ms,
+        ))
+    });
+    config.engine.history = history.clone();
     let recorder = if config.flight_capacity > 0 {
         FlightRecorder::new(config.flight_capacity, telemetry.clone())
     } else {
@@ -155,10 +180,38 @@ where
     }
     let event_loop = EventLoop::bind(listener, NetConfig::default())?;
     let waker = event_loop.waker();
+    let engine_config = std::mem::take(&mut config.engine);
     let (handle, engine_join) =
-        engine::spawn_core(core, config.engine, recorder.clone(), trace_rec);
-    let metrics_join = config.metrics.map(|metrics_listener| {
-        metrics_http::spawn(metrics_listener, telemetry.clone(), handle.clone())
+        engine::spawn_core(core, engine_config, recorder.clone(), trace_rec);
+    let metrics_join = config.metrics.take().map(|metrics_listener| {
+        metrics_http::spawn(
+            metrics_listener,
+            telemetry.clone(),
+            handle.clone(),
+            history.clone(),
+        )
+    });
+    // Wall-clock sampler: folds the registry into the window ring once
+    // per window until the engine drains.
+    let sampler_join = history.map(|store| {
+        let sampler_telemetry = telemetry.clone();
+        let sampler_handle = handle.clone();
+        std::thread::Builder::new()
+            .name("pqos-history".into())
+            .spawn(move || {
+                let period = Duration::from_millis(store.window_ms());
+                let mut slept = Duration::ZERO;
+                while !sampler_handle.is_draining() {
+                    std::thread::sleep(HISTORY_POLL);
+                    slept += HISTORY_POLL;
+                    if slept >= period {
+                        slept = Duration::ZERO;
+                        sampler_handle.refresh_gauges();
+                        store.sample(&sampler_telemetry);
+                    }
+                }
+            })
+            .expect("spawn history sampler thread")
     });
     // The loop sleeps in the readiness driver; when the engine drains
     // (shutdown verb served, journal flushed) this watcher is what
@@ -220,6 +273,9 @@ where
     }
     let _ = drain_watch.join();
     if let Some(join) = metrics_join {
+        let _ = join.join();
+    }
+    if let Some(join) = sampler_join {
         let _ = join.join();
     }
     if let Some(path) = &config.flight_dump {

@@ -408,6 +408,18 @@ impl<P: Predictor + Sync> ShardedCore<P> {
         }
     }
 
+    /// The telemetry handle SLO alerts are journaled through: the
+    /// session's own for the single plane, the wide-job coordinator's
+    /// for the sharded plane (the coordinator journal is part of the
+    /// merged journal, so alert lines survive `merge_journals`; the
+    /// metrics registry is journal-less and would drop them).
+    pub fn alert_telemetry(&self) -> &Telemetry {
+        match &self.plane {
+            Plane::Single(s) => s.telemetry(),
+            Plane::Sharded(inner) => &inner.wide.telemetry,
+        }
+    }
+
     /// Journal sink health aggregated across every plane's telemetry:
     /// the single session's own, or the N shard journals plus the
     /// wide-job coordinator's. `status` reports these totals, so a

@@ -11,7 +11,7 @@ use pqos_sim_core::time::SimTime;
 
 /// Number of distinct [`TelemetryEvent`] variants (the size of any
 /// per-kind accounting table).
-pub const EVENT_KINDS: usize = 15;
+pub const EVENT_KINDS: usize = 16;
 
 /// Why a checkpoint request did not result in a checkpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +76,34 @@ impl PromiseVerdict {
             "kept" => Some(PromiseVerdict::Kept),
             "broken" => Some(PromiseVerdict::Broken),
             "cancelled" => Some(PromiseVerdict::Cancelled),
+            _ => None,
+        }
+    }
+}
+
+/// Whether an SLO alert is firing or has recovered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertState {
+    /// The rule's violation count crossed its firing threshold.
+    Fire,
+    /// A previously firing rule dropped back below its threshold.
+    Resolve,
+}
+
+impl AlertState {
+    /// Stable wire name used in the journal.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AlertState::Fire => "fire",
+            AlertState::Resolve => "resolve",
+        }
+    }
+
+    /// Parses a wire name back into a state.
+    pub fn parse(s: &str) -> Option<AlertState> {
+        match s {
+            "fire" => Some(AlertState::Fire),
+            "resolve" => Some(AlertState::Resolve),
             _ => None,
         }
     }
@@ -254,6 +282,24 @@ pub enum TelemetryEvent {
         /// How the promise resolved.
         verdict: PromiseVerdict,
     },
+    /// An SLO rule changed state at a window boundary. `at` is the
+    /// engine's virtual time when the window was closed (journals are
+    /// time-ordered); `window_end_secs` is the boundary of the window
+    /// whose evaluation caused the transition.
+    SloAlert {
+        /// Simulation time the alert was emitted (tick time).
+        at: SimTime,
+        /// Name of the rule, as given on the command line.
+        rule: String,
+        /// Fire or resolve.
+        state: AlertState,
+        /// End boundary of the evaluated window, seconds since epoch.
+        window_end_secs: u64,
+        /// Observed metric value in that window.
+        value: f64,
+        /// The rule's threshold.
+        threshold: f64,
+    },
 }
 
 impl TelemetryEvent {
@@ -274,7 +320,8 @@ impl TelemetryEvent {
             | TelemetryEvent::JobCompleted { at, .. }
             | TelemetryEvent::DeadlineMissed { at, .. }
             | TelemetryEvent::JobCancelled { at, .. }
-            | TelemetryEvent::PromiseResolved { at, .. } => *at,
+            | TelemetryEvent::PromiseResolved { at, .. }
+            | TelemetryEvent::SloAlert { at, .. } => *at,
         }
     }
 
@@ -296,6 +343,7 @@ impl TelemetryEvent {
             TelemetryEvent::DeadlineMissed { .. } => "deadline_missed",
             TelemetryEvent::JobCancelled { .. } => "job_cancelled",
             TelemetryEvent::PromiseResolved { .. } => "promise_resolved",
+            TelemetryEvent::SloAlert { .. } => "slo_alert",
         }
     }
 
@@ -319,6 +367,7 @@ impl TelemetryEvent {
             TelemetryEvent::DeadlineMissed { .. } => 12,
             TelemetryEvent::JobCancelled { .. } => 13,
             TelemetryEvent::PromiseResolved { .. } => 14,
+            TelemetryEvent::SloAlert { .. } => 15,
         }
     }
 
@@ -341,6 +390,7 @@ impl TelemetryEvent {
             "deadline_missed",
             "job_cancelled",
             "promise_resolved",
+            "slo_alert",
         ]
     }
 
@@ -457,6 +507,20 @@ impl TelemetryEvent {
                     .u64("deadline_secs", *deadline_secs)
                     .str("verdict", verdict.as_str());
             }
+            TelemetryEvent::SloAlert {
+                rule,
+                state,
+                window_end_secs,
+                value,
+                threshold,
+                ..
+            } => {
+                w.str("rule", rule)
+                    .str("state", state.as_str())
+                    .u64("window_end_secs", *window_end_secs)
+                    .f64("value", *value)
+                    .f64("threshold", *threshold);
+            }
         }
         w.finish()
     }
@@ -554,6 +618,14 @@ impl TelemetryEvent {
                 success_probability: v.get("success_probability")?.as_f64()?,
                 deadline_secs: v.get("deadline_secs")?.as_u64()?,
                 verdict: PromiseVerdict::parse(v.get("verdict")?.as_str()?)?,
+            }),
+            "slo_alert" => Some(TelemetryEvent::SloAlert {
+                at,
+                rule: v.get("rule")?.as_str()?.to_string(),
+                state: AlertState::parse(v.get("state")?.as_str()?)?,
+                window_end_secs: v.get("window_end_secs")?.as_u64()?,
+                value: v.get("value")?.as_f64()?,
+                threshold: v.get("threshold")?.as_f64()?,
             }),
             _ => None,
         }
@@ -659,6 +731,22 @@ pub fn one_of_each() -> Vec<TelemetryEvent> {
             deadline_secs: 8_000,
             verdict: PromiseVerdict::Cancelled,
         },
+        TelemetryEvent::SloAlert {
+            at: t,
+            rule: "tight".to_string(),
+            state: AlertState::Fire,
+            window_end_secs: 3600,
+            value: 0.42,
+            threshold: 0.2,
+        },
+        TelemetryEvent::SloAlert {
+            at: t,
+            rule: "tight".to_string(),
+            state: AlertState::Resolve,
+            window_end_secs: 3600,
+            value: 0.1,
+            threshold: 0.2,
+        },
     ]
 }
 
@@ -680,7 +768,7 @@ mod tests {
     fn one_of_each_covers_every_variant_name() {
         let names: std::collections::BTreeSet<&str> =
             one_of_each().iter().map(|e| e.name()).collect();
-        assert_eq!(names.len(), 15, "update one_of_each() for new variants");
+        assert_eq!(names.len(), 16, "update one_of_each() for new variants");
     }
 
     #[test]
@@ -720,6 +808,14 @@ mod tests {
             assert_eq!(PromiseVerdict::parse(v.as_str()), Some(v));
         }
         assert_eq!(PromiseVerdict::parse("bogus"), None);
+    }
+
+    #[test]
+    fn alert_state_wire_names_round_trip() {
+        for s in [AlertState::Fire, AlertState::Resolve] {
+            assert_eq!(AlertState::parse(s.as_str()), Some(s));
+        }
+        assert_eq!(AlertState::parse("bogus"), None);
     }
 
     #[test]

@@ -194,7 +194,17 @@ fn parse_sample(line: &str) -> Option<Sample> {
         "+Inf" => f64::INFINITY,
         "-Inf" => f64::NEG_INFINITY,
         "NaN" => f64::NAN,
-        v => v.parse().ok()?,
+        v => {
+            // Rust's float parser also accepts "inf"/"nan" spellings; the
+            // exposition format does not, so only numeric tokens pass.
+            if !v
+                .bytes()
+                .all(|b| matches!(b, b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-'))
+            {
+                return None;
+            }
+            v.parse().ok()?
+        }
     };
     let (name, labels) = match name_and_labels.find('{') {
         Some(brace) => {
@@ -406,6 +416,102 @@ mod tests {
         assert!(parse("9starts_with_digit 1").is_none());
         assert!(parse("bad name 1").is_none());
         assert!(parse("x NaN").is_some(), "NaN is a legal sample value");
+    }
+
+    #[test]
+    fn duplicate_and_conflicting_headers_are_ignored() {
+        // Scrapes stitched from two sources can repeat or contradict
+        // HELP/TYPE headers; headers are commentary, samples are truth.
+        let text = "# HELP pqos_x one\n# TYPE pqos_x counter\n\
+                    # HELP pqos_x two\n# TYPE pqos_x gauge\n\
+                    pqos_x 1\npqos_x 2\n";
+        let samples = parse(text).expect("headers never invalidate samples");
+        assert_eq!(samples.len(), 2);
+        assert_eq!(find(&samples, "pqos_x", &[]), Some(1.0));
+    }
+
+    #[test]
+    fn non_finite_values_round_trip_without_panicking() {
+        let text = "a +Inf\nb -Inf\nc NaN\nd 1e309\n";
+        let samples = parse(text).expect("non-finite values are legal");
+        assert_eq!(find(&samples, "a", &[]), Some(f64::INFINITY));
+        assert_eq!(find(&samples, "b", &[]), Some(f64::NEG_INFINITY));
+        assert!(find(&samples, "c", &[]).unwrap().is_nan());
+        // Overflowing literals saturate to infinity in the float parser.
+        assert_eq!(find(&samples, "d", &[]), Some(f64::INFINITY));
+        // But non-finite spellings outside the Prometheus vocabulary fail.
+        assert!(parse("e inf").is_none());
+        assert!(parse("f nan").is_none());
+    }
+
+    #[test]
+    fn out_of_order_buckets_parse_and_quantile_stays_finite() {
+        // A buggy exporter can emit `le` buckets out of order or
+        // non-cumulatively; the parser reads the lines (they are
+        // well-formed), and the quantile helper must neither panic nor
+        // return a non-finite bound.
+        let text = "h_bucket{le=\"10\"} 50\nh_bucket{le=\"1\"} 7\n\
+                    h_bucket{le=\"+Inf\"} 50\n";
+        let samples = parse(text).expect("lines are syntactically valid");
+        let buckets: Vec<(f64, u64)> = samples
+            .iter()
+            .filter(|s| s.name == "h_bucket")
+            .map(|s| {
+                let le = s.labels.iter().find(|(k, _)| k == "le").unwrap();
+                (le.1.parse::<f64>().unwrap_or(f64::INFINITY), s.value as u64)
+            })
+            .collect();
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            if let Some(v) = quantile_from_buckets(&buckets, q) {
+                assert!(v.is_finite() || buckets.iter().all(|(b, _)| !b.is_finite()));
+            }
+        }
+        // Decreasing cumulative counts (impossible data) must also not
+        // panic.
+        assert!(quantile_from_buckets(&[(1.0, 50), (2.0, 7), (3.0, 50)], 0.5).is_some());
+    }
+
+    #[test]
+    fn adversarial_label_escapes_reject_or_normalize() {
+        // Trailing backslash with nothing to escape: reject.
+        assert!(parse("x{k=\"a\\").is_none());
+        // Unterminated label value: reject.
+        assert!(parse("x{k=\"a} 1").is_none());
+        // Missing '=' in a label pair: reject.
+        assert!(parse("x{k} 1").is_none());
+        // Unknown escape sequences normalize to the escaped character.
+        let samples = parse("x{k=\"a\\qb\"} 1").expect("unknown escape normalizes");
+        assert_eq!(samples[0].labels[0].1, "aqb");
+        // Escaped quote and backslash inside a value survive.
+        let samples = parse("x{k=\"a\\\"b\\\\c\"} 2").unwrap();
+        assert_eq!(samples[0].labels[0].1, "a\"b\\c");
+        // A label value containing '}' must not confuse the name split.
+        let samples = parse("x{k=\"a}b\"} 3").unwrap();
+        assert_eq!(samples[0].name, "x");
+        assert_eq!(samples[0].labels[0].1, "a}b");
+        // Empty label block is fine; stray comma noise is tolerated by the
+        // lenient splitter but the pairs must still be well formed.
+        let samples = parse("x{} 4").unwrap();
+        assert!(samples[0].labels.is_empty());
+    }
+
+    #[test]
+    fn render_parse_round_trip_on_hostile_registry_names() {
+        let registry = MetricsRegistry::new();
+        registry.counter("weird name/with+chars").add(1);
+        registry
+            .counter(&labeled("c", &[("k", "\\trailing\\")]))
+            .add(2);
+        registry.gauge("9starts.with.digit").set(5);
+        let text = render(&registry.snapshot());
+        let samples = parse(&text).expect("rendered exposition always parses");
+        assert_eq!(find(&samples, "pqos_weird_name_with_chars", &[]), Some(1.0));
+        assert_eq!(
+            find(&samples, "pqos_c", &[("k", "\\trailing\\")]),
+            Some(2.0)
+        );
+        // sanitize_name prefixes, so a leading digit is legal again.
+        assert_eq!(find(&samples, "pqos_9starts_with_digit", &[]), Some(5.0));
     }
 
     #[test]

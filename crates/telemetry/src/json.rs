@@ -371,6 +371,22 @@ impl ObjWriter {
         self
     }
 
+    /// Writes an array of strings (each escaped).
+    pub fn arr_str<S: AsRef<str>>(&mut self, key: &str, vs: &[S]) -> &mut Self {
+        self.key(key);
+        self.out.push('[');
+        for (i, v) in vs.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            self.out.push('"');
+            escape_into(&mut self.out, v.as_ref());
+            self.out.push('"');
+        }
+        self.out.push(']');
+        self
+    }
+
     /// Writes a pre-serialized JSON value verbatim (for nested objects or
     /// arrays the typed methods do not cover). The caller is responsible
     /// for `json` being valid JSON.

@@ -31,6 +31,8 @@
 //! | `job_completed`      | `job`, `met_deadline`                                               |
 //! | `deadline_missed`    | `job`, `late_by_secs`                                               |
 //! | `job_cancelled`      | `job` (withdrawn before starting; reservation released)             |
+//! | `promise_resolved`   | `job`, `success_probability`, `deadline_secs`, `verdict` (`kept` \| `broken` \| `cancelled`) |
+//! | `slo_alert`          | `rule`, `state` (`fire` \| `resolve`), `window_end_secs`, `value`, `threshold` |
 //!
 //! Events are emitted in the simulator's deterministic dispatch order, so
 //! two runs with the same seed produce byte-identical journals — the
@@ -73,11 +75,16 @@ pub mod merge;
 pub mod metrics;
 pub mod panichook;
 pub mod reqtrace;
+pub mod slo;
+pub mod window;
 
-pub use event::{one_of_each, PromiseVerdict, SkipReason, TelemetryEvent, EVENT_KINDS};
+pub use event::{one_of_each, AlertState, PromiseVerdict, SkipReason, TelemetryEvent, EVENT_KINDS};
 pub use handle::{SinkHealth, Telemetry, TelemetryBuilder};
 pub use journal::{EventSink, JsonlSink, RingBufferSink};
 pub use metrics::{
     labeled, Counter, Gauge, Histogram, HistogramSummary, MetricsRegistry, Snapshot, Timer,
+    WindowSummary,
 };
 pub use reqtrace::{RequestTrace, TraceEntry, TraceError, TraceMeta};
+pub use slo::{parse_rule, SloAccum, SloEngine, SloRule, SloSink};
+pub use window::{WindowStore, DEFAULT_WINDOW_CAPACITY};

@@ -233,6 +233,27 @@ impl Reservoir {
 struct HistState {
     stats: OnlineStats,
     reservoir: Reservoir,
+    /// A second reservoir covering only the observations since the last
+    /// [`Histogram::take_window`]/[`Histogram::reset_window`], so windowed
+    /// percentiles describe the window rather than the whole run. The
+    /// cumulative `reservoir` above is untouched by resets.
+    window: Reservoir,
+    /// Observations since the last window reset.
+    window_count: u64,
+}
+
+/// Percentiles of one histogram over its current window (the observations
+/// since the last [`Histogram::take_window`] call).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowSummary {
+    /// Observations in the window.
+    pub count: u64,
+    /// Median of the window's reservoir.
+    pub p50: f64,
+    /// 90th percentile of the window's reservoir.
+    pub p90: f64,
+    /// 99th percentile of the window's reservoir.
+    pub p99: f64,
 }
 
 /// A streaming histogram: Welford accumulator (count/mean/stddev/min/max)
@@ -252,6 +273,36 @@ impl Histogram {
             let mut state = cell.lock().expect("histogram lock");
             state.stats.push(x);
             state.reservoir.push(x);
+            state.window.push(x);
+            state.window_count += 1;
+        }
+    }
+
+    /// Returns the percentiles of the observations since the previous call
+    /// (or since creation) and starts a fresh window. `None` for a no-op
+    /// histogram or an empty window. The cumulative reservoir used by
+    /// [`quantile`](Self::quantile) and snapshots is unaffected.
+    pub fn take_window(&self) -> Option<WindowSummary> {
+        let cell = self.0.as_ref()?;
+        let mut state = cell.lock().expect("histogram lock");
+        let count = state.window_count;
+        let summary = WindowSummary {
+            count,
+            p50: state.window.quantile(0.5)?,
+            p90: state.window.quantile(0.9)?,
+            p99: state.window.quantile(0.99)?,
+        };
+        state.window = Reservoir::default();
+        state.window_count = 0;
+        Some(summary)
+    }
+
+    /// Discards the current window without reading it.
+    pub fn reset_window(&self) {
+        if let Some(cell) = &self.0 {
+            let mut state = cell.lock().expect("histogram lock");
+            state.window = Reservoir::default();
+            state.window_count = 0;
         }
     }
 
@@ -347,6 +398,8 @@ impl MetricsRegistry {
             Arc::new(Mutex::new(HistState {
                 stats: OnlineStats::new(),
                 reservoir: Reservoir::default(),
+                window: Reservoir::default(),
+                window_count: 0,
             }))
         });
         Histogram(Some(Arc::clone(cell)))
@@ -659,6 +712,35 @@ impl Snapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn take_window_reflects_the_window_not_the_run() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("quote.latency");
+        for x in [1.0, 2.0, 3.0] {
+            h.observe(x);
+        }
+        let w = h.take_window().unwrap();
+        assert_eq!(w.count, 3);
+        assert_eq!(w.p50, 2.0);
+        // New window: only the fresh observations count...
+        for x in [10.0, 20.0, 30.0] {
+            h.observe(x);
+        }
+        let w = h.take_window().unwrap();
+        assert_eq!(w.count, 3);
+        assert_eq!(w.p50, 20.0);
+        // ...while the cumulative reservoir still spans the whole run.
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.stats().count(), 6);
+        // An empty window yields no summary.
+        assert!(h.take_window().is_none());
+        // reset_window discards without reading.
+        h.observe(99.0);
+        h.reset_window();
+        assert!(h.take_window().is_none());
+        assert!(Histogram::noop().take_window().is_none());
+    }
 
     #[test]
     fn counters_share_state_by_name() {

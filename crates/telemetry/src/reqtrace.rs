@@ -51,6 +51,14 @@ pub struct TraceMeta {
     /// plane). Absent in traces recorded before sharding existed, which
     /// parse as 1.
     pub shards: u64,
+    /// SLO rule specs the daemon evaluated (`--slo` flags, original
+    /// spellings), in evaluation order. Empty when no SLO plane ran;
+    /// absent from the encoded header in that case so pre-SLO traces
+    /// stay byte-stable.
+    pub slo: Vec<String>,
+    /// Virtual-time window width the SLO evaluator used, in seconds.
+    /// Only encoded alongside `slo`; parses as the default otherwise.
+    pub slo_window_secs: u64,
 }
 
 impl TraceMeta {
@@ -66,6 +74,10 @@ impl TraceMeta {
             .opt_u64("quote_horizon_secs", self.quote_horizon_secs)
             .str("predictor", &self.predictor)
             .u64("shards", self.shards);
+        if !self.slo.is_empty() {
+            w.arr_str("slo", &self.slo)
+                .u64("slo_window_secs", self.slo_window_secs);
+        }
         w.finish()
     }
 }
@@ -136,6 +148,7 @@ pub const TRACE_VERBS: &[&str] = &[
     "cancel",
     "status",
     "dump",
+    "history",
     "shutdown",
 ];
 
@@ -295,6 +308,29 @@ fn parse_meta(line: &str) -> Result<TraceMeta, String> {
                 .ok_or_else(|| "field \"shards\" is not a positive integer".to_string())?,
             None => 1,
         },
+        // Lenient: pre-SLO traces have no fields and mean "no rules".
+        slo: match v.get("slo") {
+            Some(j) => j
+                .as_arr()
+                .map(|a| {
+                    a.iter()
+                        .map(|s| {
+                            s.as_str()
+                                .map(str::to_string)
+                                .ok_or_else(|| "field \"slo\" holds a non-string".to_string())
+                        })
+                        .collect::<Result<Vec<_>, _>>()
+                })
+                .ok_or_else(|| "field \"slo\" is not an array".to_string())??,
+            None => Vec::new(),
+        },
+        slo_window_secs: match v.get("slo_window_secs") {
+            Some(j) => j
+                .as_u64()
+                .filter(|&w| w >= 1)
+                .ok_or_else(|| "field \"slo_window_secs\" is not a positive integer".to_string())?,
+            None => crate::slo::DEFAULT_WINDOW_SECS,
+        },
     })
 }
 
@@ -339,6 +375,8 @@ mod tests {
             quote_horizon_secs: Some(14_400),
             predictor: "null".into(),
             shards: 1,
+            slo: Vec::new(),
+            slo_window_secs: crate::slo::DEFAULT_WINDOW_SECS,
         }
     }
 
@@ -370,6 +408,32 @@ mod tests {
         let back = RequestTrace::parse(&text).expect("round trip parses");
         assert_eq!(back, trace);
         assert_eq!(back.encode(), text, "encode is a fixpoint");
+    }
+
+    #[test]
+    fn slo_fields_round_trip_and_stay_out_of_rule_free_headers() {
+        // No rules: the encoded header must not mention slo at all, so
+        // traces recorded before the SLO plane stay byte-stable.
+        let bare = meta().encode();
+        assert!(!bare.contains("slo"));
+        let back = RequestTrace::parse(&format!("{bare}\n")).unwrap();
+        assert!(back.meta.slo.is_empty());
+        assert_eq!(back.meta.slo_window_secs, crate::slo::DEFAULT_WINDOW_SECS);
+        // With rules: specs and window width survive the round trip.
+        let with_rules = TraceMeta {
+            slo: vec![
+                "tight:rejects<=0@1".into(),
+                "p99:reject_ratio<0.5@2/5".into(),
+            ],
+            slo_window_secs: 30,
+            ..meta()
+        };
+        let trace = RequestTrace {
+            meta: with_rules.clone(),
+            entries: vec![],
+        };
+        let back = RequestTrace::parse(&trace.encode()).unwrap();
+        assert_eq!(back.meta, with_rules);
     }
 
     #[test]
